@@ -1,0 +1,327 @@
+//! Variant-selection diagnostics (Section 5.2).
+//!
+//! Two rules decide which edge-dependency model fits a dataset:
+//!
+//! * **Normalized rule** — at least 90% of sessions click at most one
+//!   alternative.
+//! * **Independence rule** — the popularity-weighted average, over desired
+//!   items, of the mean pairwise *normalized mutual information* between
+//!   the click indicators of the item's alternatives is below 0.1.
+//!
+//! NMI follows Strehl & Ghosh: `I(X; Y) / sqrt(H(X) · H(Y))`, with the
+//! convention that a constant indicator (zero entropy) contributes 0 —
+//! a variable with no variation demonstrates no dependence.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pcover_clickstream::{Clickstream, ExternalItemId};
+use pcover_core::Variant;
+
+/// Thresholds for [`diagnose`], defaulting to the paper's.
+#[derive(Clone, Copy, Debug)]
+pub struct DiagnosticThresholds {
+    /// Minimum fraction of ≤1-alternative sessions for the Normalized
+    /// variant (paper: 0.9).
+    pub single_alt_fraction: f64,
+    /// Maximum weighted mean NMI for the Independent variant (paper: 0.1).
+    pub max_nmi: f64,
+    /// Consider at most this many of an item's most-clicked alternatives
+    /// when forming pairs (bounds the `O(alternatives²)` pair count; 10
+    /// covers everything the affinity tail contributes).
+    pub max_alternatives_per_item: usize,
+    /// Only include items with at least this many purchase sessions in the
+    /// NMI average. Sample mutual information has an upward finite-sample
+    /// bias of order `1/(2N)` per degree of freedom, so items observed a
+    /// handful of times read as spuriously dependent; the paper's weighting
+    /// by popularity addresses the same concern.
+    pub min_sessions_per_item: usize,
+}
+
+impl Default for DiagnosticThresholds {
+    fn default() -> Self {
+        DiagnosticThresholds {
+            single_alt_fraction: 0.9,
+            max_nmi: 0.1,
+            max_alternatives_per_item: 10,
+            min_sessions_per_item: 20,
+        }
+    }
+}
+
+/// The verdict of [`diagnose`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Recommendation {
+    /// ≥ 90% of sessions have at most one alternative.
+    Normalized,
+    /// Dependence measure below threshold.
+    Independent,
+    /// Neither rule fires; the paper's two models do not cleanly apply.
+    Unclear,
+}
+
+impl Recommendation {
+    /// The [`Variant`] to use, if the data fits one.
+    pub fn variant(self) -> Option<Variant> {
+        match self {
+            Recommendation::Normalized => Some(Variant::Normalized),
+            Recommendation::Independent => Some(Variant::Independent),
+            Recommendation::Unclear => None,
+        }
+    }
+}
+
+/// Full diagnostic output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Fraction of sessions with ≤ 1 distinct clicked alternative.
+    pub single_alt_fraction: f64,
+    /// Popularity-weighted mean pairwise NMI between alternative clicks
+    /// (`None` when no item has two alternatives to pair).
+    pub weighted_mean_nmi: Option<f64>,
+    /// The verdict.
+    pub recommendation: Recommendation,
+}
+
+/// Runs both variant-selection rules on a clickstream.
+pub fn diagnose(cs: &Clickstream, thresholds: &DiagnosticThresholds) -> Diagnosis {
+    let stats = cs.stats();
+    let single_alt_fraction = stats.at_most_one_alternative_fraction;
+    let weighted_mean_nmi = weighted_mean_pairwise_nmi(
+        cs,
+        thresholds.max_alternatives_per_item,
+        thresholds.min_sessions_per_item,
+    );
+
+    let recommendation = if single_alt_fraction >= thresholds.single_alt_fraction {
+        Recommendation::Normalized
+    } else if weighted_mean_nmi.unwrap_or(0.0) < thresholds.max_nmi {
+        Recommendation::Independent
+    } else {
+        Recommendation::Unclear
+    };
+
+    Diagnosis {
+        single_alt_fraction,
+        weighted_mean_nmi,
+        recommendation,
+    }
+}
+
+/// The paper's dependence measure: for every desired (purchased) item with
+/// at least `min_sessions` observations, the mean NMI over pairs of its top
+/// alternatives; averaged over items weighted by purchase counts. `None`
+/// if no qualifying item has ≥ 2 alternatives.
+pub fn weighted_mean_pairwise_nmi(
+    cs: &Clickstream,
+    max_alternatives: usize,
+    min_sessions: usize,
+) -> Option<f64> {
+    // Group sessions by purchased item.
+    let mut by_item: HashMap<ExternalItemId, Vec<Vec<ExternalItemId>>> = HashMap::new();
+    for s in &cs.sessions {
+        by_item.entry(s.purchase).or_default().push(s.alternatives());
+    }
+
+    let mut weighted_sum = 0.0f64;
+    let mut weight_total = 0.0f64;
+    for (_, sessions) in by_item {
+        let n = sessions.len();
+        if n < min_sessions {
+            continue;
+        }
+        // Click counts per alternative of this item.
+        let mut counts: HashMap<ExternalItemId, usize> = HashMap::new();
+        for alts in &sessions {
+            for &a in alts {
+                *counts.entry(a).or_insert(0) += 1;
+            }
+        }
+        if counts.len() < 2 {
+            continue;
+        }
+        // Top alternatives by click count (ties by id for determinism).
+        let mut ranked: Vec<(ExternalItemId, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(max_alternatives);
+
+        let mut pair_sum = 0.0f64;
+        let mut pairs = 0usize;
+        for i in 0..ranked.len() {
+            for j in (i + 1)..ranked.len() {
+                pair_sum += pair_nmi(&sessions, ranked[i].0, ranked[j].0, n);
+                pairs += 1;
+            }
+        }
+        if pairs > 0 {
+            weighted_sum += (pair_sum / pairs as f64) * n as f64;
+            weight_total += n as f64;
+        }
+    }
+    if weight_total > 0.0 {
+        Some(weighted_sum / weight_total)
+    } else {
+        None
+    }
+}
+
+/// NMI between the indicator variables "clicked `b`" and "clicked `c`"
+/// over an item's sessions.
+fn pair_nmi(
+    sessions: &[Vec<ExternalItemId>],
+    b: ExternalItemId,
+    c: ExternalItemId,
+    n: usize,
+) -> f64 {
+    let mut joint = [[0usize; 2]; 2];
+    for alts in sessions {
+        let x = usize::from(alts.contains(&b));
+        let y = usize::from(alts.contains(&c));
+        joint[x][y] += 1;
+    }
+    let n = n as f64;
+    let px = [
+        (joint[0][0] + joint[0][1]) as f64 / n,
+        (joint[1][0] + joint[1][1]) as f64 / n,
+    ];
+    let py = [
+        (joint[0][0] + joint[1][0]) as f64 / n,
+        (joint[0][1] + joint[1][1]) as f64 / n,
+    ];
+    let hx = entropy2(px);
+    let hy = entropy2(py);
+    if hx == 0.0 || hy == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for x in 0..2 {
+        for y in 0..2 {
+            let pxy = joint[x][y] as f64 / n;
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (px[x] * py[y])).ln();
+            }
+        }
+    }
+    // Clamp numeric dust; MI is nonnegative and bounded by sqrt(HxHy) for
+    // indicator variables under this normalization.
+    (mi / (hx * hy).sqrt()).clamp(0.0, 1.0)
+}
+
+fn entropy2(p: [f64; 2]) -> f64 {
+    let mut h = 0.0;
+    for &q in &p {
+        if q > 0.0 {
+            h -= q * q.ln();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_clickstream::Session;
+    use pcover_datagen::behavior::BehaviorModel;
+    use pcover_datagen::catalog::CatalogConfig;
+    use pcover_datagen::sessions::{generate_clickstream, SessionConfig};
+
+    use super::*;
+
+    fn gen(behavior: BehaviorModel, seed: u64) -> Clickstream {
+        generate_clickstream(
+            &CatalogConfig {
+                items: 300,
+                ..CatalogConfig::default()
+            },
+            &SessionConfig {
+                sessions: 20_000,
+                behavior,
+                seed,
+            },
+        )
+        .1
+    }
+
+    #[test]
+    fn independent_data_diagnosed_independent() {
+        let cs = gen(BehaviorModel::independent_default(), 1);
+        let d = diagnose(&cs, &DiagnosticThresholds::default());
+        assert_eq!(d.recommendation, Recommendation::Independent);
+        assert!(d.single_alt_fraction < 0.9);
+        let nmi = d.weighted_mean_nmi.unwrap();
+        assert!(nmi < 0.1, "NMI {nmi} should be below the paper threshold");
+    }
+
+    #[test]
+    fn single_alternative_data_diagnosed_normalized() {
+        let cs = gen(BehaviorModel::single_alternative_default(), 2);
+        let d = diagnose(&cs, &DiagnosticThresholds::default());
+        assert_eq!(d.recommendation, Recommendation::Normalized);
+        assert!(d.single_alt_fraction >= 0.9);
+        assert_eq!(d.recommendation.variant(), Some(Variant::Normalized));
+    }
+
+    #[test]
+    fn perfectly_dependent_clicks_yield_high_nmi() {
+        // Every session for item 1 clicks alternatives 2 and 3 together or
+        // neither: X == Y, NMI = 1.
+        let mut sessions = Vec::new();
+        for i in 0..50 {
+            sessions.push(Session::new(i, vec![1, 2, 3], 1));
+        }
+        for i in 50..100 {
+            sessions.push(Session::new(i, vec![1], 1));
+        }
+        let cs = Clickstream::new(sessions);
+        let nmi = weighted_mean_pairwise_nmi(&cs, 10, 1).unwrap();
+        assert!((nmi - 1.0).abs() < 1e-9, "NMI {nmi}");
+        // And the verdict is Unclear: too many multi-alt sessions for
+        // Normalized, too dependent for Independent.
+        let d = diagnose(&cs, &DiagnosticThresholds::default());
+        assert_eq!(d.recommendation, Recommendation::Unclear);
+        assert_eq!(d.recommendation.variant(), None);
+    }
+
+    #[test]
+    fn perfectly_independent_clicks_yield_low_nmi() {
+        // Click 2 in a 50% stripe and 3 in an interleaved 50% stripe:
+        // jointly independent by construction.
+        let mut sessions = Vec::new();
+        for i in 0..200u64 {
+            let mut clicks = vec![1];
+            if i % 2 == 0 {
+                clicks.push(2);
+            }
+            if (i / 2) % 2 == 0 {
+                clicks.push(3);
+            }
+            sessions.push(Session::new(i, clicks, 1));
+        }
+        let cs = Clickstream::new(sessions);
+        let nmi = weighted_mean_pairwise_nmi(&cs, 10, 1).unwrap();
+        assert!(nmi < 1e-9, "NMI {nmi}");
+    }
+
+    #[test]
+    fn constant_indicators_contribute_zero() {
+        // Alternative 2 is clicked in *every* session: H(X) = 0.
+        let sessions = (0..40)
+            .map(|i| Session::new(i, vec![1, 2, if i % 2 == 0 { 3 } else { 4 }], 1))
+            .collect();
+        let cs = Clickstream::new(sessions);
+        let nmi = weighted_mean_pairwise_nmi(&cs, 10, 1).unwrap();
+        // Pairs involving the constant alternative contribute 0; the
+        // (3, 4) pair is perfectly anti-dependent... which IS dependence,
+        // so the average is strictly between 0 and 1.
+        assert!(nmi > 0.0 && nmi < 1.0);
+    }
+
+    #[test]
+    fn no_pairs_means_no_nmi() {
+        let cs = Clickstream::new(vec![Session::new(1, vec![1, 2], 1)]);
+        assert_eq!(weighted_mean_pairwise_nmi(&cs, 10, 1), None);
+        let d = diagnose(&cs, &DiagnosticThresholds::default());
+        // Single session with one alternative: Normalized rule fires.
+        assert_eq!(d.recommendation, Recommendation::Normalized);
+    }
+}

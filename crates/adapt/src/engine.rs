@@ -1,0 +1,376 @@
+//! Clickstream → preference graph construction.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use pcover_clickstream::{Clickstream, ExternalItemId};
+use pcover_core::Variant;
+use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+/// Options for [`adapt`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptOptions {
+    /// Which variant's counting rule to apply. The Independent rule counts
+    /// each clicked alternative fully; the Normalized rule counts a session
+    /// with `t` alternatives as `1/t` per alternative, bounding out-sums
+    /// by 1.
+    pub variant: Variant,
+    /// Attach the external item id (decimal) as the node label. Costs
+    /// memory on multi-million-item graphs; invaluable everywhere else.
+    pub label_nodes: bool,
+    /// Drop edges supported by fewer than this many raw co-occurrence
+    /// sessions (noise floor; 1 keeps everything, as the paper does —
+    /// rarely-clicked items have negligible node weight anyway).
+    pub min_edge_support: u64,
+}
+
+impl Default for AdaptOptions {
+    fn default() -> Self {
+        AdaptOptions {
+            variant: Variant::Independent,
+            label_nodes: true,
+            min_edge_support: 1,
+        }
+    }
+}
+
+/// Construction metadata returned alongside the graph.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// The variant rule used.
+    pub variant: Variant,
+    /// Sessions consumed.
+    pub sessions: usize,
+    /// Items (nodes) in the graph.
+    pub items: usize,
+    /// Items that were clicked but never purchased (their node weight
+    /// is 0; they can still serve as retained alternatives).
+    pub never_purchased_items: usize,
+    /// Edges emitted.
+    pub edges: usize,
+    /// Edges dropped by the `min_edge_support` floor.
+    pub edges_dropped_by_support: usize,
+}
+
+/// The result of adaptation: the graph plus the id mapping and metadata.
+#[derive(Clone, Debug)]
+pub struct Adapted {
+    /// The preference graph; for `Variant::Normalized` it satisfies the
+    /// out-sum ≤ 1 invariant by construction.
+    pub graph: PreferenceGraph,
+    /// `external_ids[v.index()]` is the platform id of node `v`.
+    pub external_ids: Vec<ExternalItemId>,
+    /// Construction metadata.
+    pub report: AdaptReport,
+}
+
+impl Adapted {
+    /// Looks up the dense node id of a platform item id (`O(log n)`).
+    pub fn node_of(&self, external: ExternalItemId) -> Option<ItemId> {
+        self.external_ids
+            .binary_search(&external)
+            .ok()
+            .map(ItemId::from_index)
+    }
+}
+
+/// Runs the Data Adaptation Engine on a (single-purchase) clickstream.
+///
+/// # Errors
+///
+/// Fails with [`GraphError::EmptyGraph`] on an empty clickstream, and
+/// propagates builder validation failures (which would indicate a bug in
+/// the counting rules rather than bad input).
+pub fn adapt(cs: &Clickstream, opts: &AdaptOptions) -> Result<Adapted, GraphError> {
+    if cs.is_empty() {
+        return Err(GraphError::EmptyGraph);
+    }
+
+    // Dense ids sorted by external id: deterministic and binary-searchable.
+    let mut external_ids: Vec<ExternalItemId> = cs.item_purchase_counts().into_keys().collect();
+    external_ids.sort_unstable();
+    if external_ids.len() > u32::MAX as usize {
+        return Err(GraphError::CapacityExceeded {
+            what: "more than u32::MAX distinct items",
+        });
+    }
+    let index: HashMap<ExternalItemId, u32> = external_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, i as u32))
+        .collect();
+
+    // Counting pass.
+    let n = external_ids.len();
+    let mut purchase_counts = vec![0u64; n];
+    // (source, target) -> (fractional click mass, raw support count)
+    let mut edge_mass: HashMap<(u32, u32), (f64, u64)> = HashMap::new();
+    for s in &cs.sessions {
+        let a = index[&s.purchase];
+        purchase_counts[a as usize] += 1;
+        let alts = s.alternatives();
+        if alts.is_empty() {
+            continue;
+        }
+        let mass = match opts.variant {
+            Variant::Independent => 1.0,
+            Variant::Normalized => 1.0 / alts.len() as f64,
+        };
+        for alt in alts {
+            let b = index[&alt];
+            let entry = edge_mass.entry((a, b)).or_insert((0.0, 0));
+            entry.0 += mass;
+            entry.1 += 1;
+        }
+    }
+
+    // Emission pass.
+    let total_sessions = cs.len() as f64;
+    let mut builder = GraphBuilder::with_capacity(n, edge_mass.len());
+    for (i, &ext) in external_ids.iter().enumerate() {
+        let w = purchase_counts[i] as f64 / total_sessions;
+        if opts.label_nodes {
+            builder.add_node_labeled(w, ext.to_string());
+        } else {
+            builder.add_node(w);
+        }
+    }
+    let mut edges: Vec<((u32, u32), (f64, u64))> = edge_mass.into_iter().collect();
+    edges.sort_unstable_by_key(|&(key, _)| key);
+    let mut emitted = 0usize;
+    let mut dropped = 0usize;
+    for ((a, b), (mass, support)) in edges {
+        if support < opts.min_edge_support {
+            dropped += 1;
+            continue;
+        }
+        let weight = (mass / purchase_counts[a as usize] as f64).min(1.0);
+        builder.add_edge(ItemId::new(a), ItemId::new(b), weight)?;
+        emitted += 1;
+    }
+
+    let graph = match opts.variant {
+        Variant::Normalized => builder.build_normalized()?,
+        Variant::Independent => builder.build()?,
+    };
+    let never_purchased = purchase_counts.iter().filter(|&&c| c == 0).count();
+
+    Ok(Adapted {
+        graph,
+        report: AdaptReport {
+            variant: opts.variant,
+            sessions: cs.len(),
+            items: n,
+            never_purchased_items: never_purchased,
+            edges: emitted,
+            edges_dropped_by_support: dropped,
+        },
+        external_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_clickstream::Session;
+    use pcover_graph::examples::figure3;
+
+    use super::*;
+
+    /// The exact five sessions of Figure 3a (items: 1 = Silver, 2 = Gold,
+    /// 3 = Space Gray).
+    fn figure3_sessions() -> Clickstream {
+        Clickstream::new(vec![
+            // 2 purchases of Space Gray: one clean, one clicking Silver.
+            Session::new(1, vec![3], 3),
+            Session::new(2, vec![3, 1], 3),
+            // 2 purchases of Silver: one clicks Gold, one clicks Space Gray.
+            Session::new(3, vec![1, 2], 1),
+            Session::new(4, vec![1, 3], 1),
+            // 1 purchase of Gold, clicking Space Gray.
+            Session::new(5, vec![2, 3], 2),
+        ])
+    }
+
+    #[test]
+    fn figure3_graph_reconstructed_exactly() {
+        let cs = figure3_sessions();
+        let adapted = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let g = &adapted.graph;
+        let silver = adapted.node_of(1).unwrap();
+        let gold = adapted.node_of(2).unwrap();
+        let gray = adapted.node_of(3).unwrap();
+
+        // Node weights 0.4 / 0.2 / 0.4 (Figure 3b).
+        assert!((g.node_weight(silver) - 0.4).abs() < 1e-12);
+        assert!((g.node_weight(gold) - 0.2).abs() < 1e-12);
+        assert!((g.node_weight(gray) - 0.4).abs() < 1e-12);
+
+        // Edges: Silver→Gold 1/2, Silver→Gray 1/2, Gray→Silver 1/2,
+        // Gold→Gray 1.
+        assert_eq!(g.edge_weight(silver, gold), Some(0.5));
+        assert_eq!(g.edge_weight(silver, gray), Some(0.5));
+        assert_eq!(g.edge_weight(gray, silver), Some(0.5));
+        assert_eq!(g.edge_weight(gold, gray), Some(1.0));
+        assert_eq!(g.edge_count(), 4);
+
+        // And it matches the hand-built Figure 3 graph up to labels.
+        let expected = figure3();
+        for v in expected.node_ids() {
+            assert!((g.node_weight(v) - expected.node_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn independent_and_normalized_agree_when_sessions_have_one_alt() {
+        // Every Figure 3 session clicks at most one alternative, so the
+        // 1/t rule never fires and both variants build the same graph.
+        let cs = figure3_sessions();
+        let ind = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Independent,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let nrm = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(ind.graph, nrm.graph);
+    }
+
+    #[test]
+    fn normalized_rule_splits_multi_alt_sessions() {
+        // One session purchasing 1 clicks both 2 and 3: Normalized gives
+        // each edge 1/2, Independent gives each 1.
+        let cs = Clickstream::new(vec![Session::new(1, vec![1, 2, 3], 1)]);
+        let nrm = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let one = nrm.node_of(1).unwrap();
+        let two = nrm.node_of(2).unwrap();
+        let three = nrm.node_of(3).unwrap();
+        assert_eq!(nrm.graph.edge_weight(one, two), Some(0.5));
+        assert_eq!(nrm.graph.edge_weight(one, three), Some(0.5));
+        assert!((nrm.graph.out_weight_sum(one) - 1.0).abs() < 1e-12);
+
+        let ind = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Independent,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let one = ind.node_of(1).unwrap();
+        let two = ind.node_of(2).unwrap();
+        assert_eq!(ind.graph.edge_weight(one, two), Some(1.0));
+    }
+
+    #[test]
+    fn normalized_out_sums_bounded_on_any_input() {
+        // Mixed multi-alt sessions; build_normalized would reject any
+        // violation, so success is the assertion.
+        let cs = Clickstream::new(vec![
+            Session::new(1, vec![1, 2, 3, 4], 1),
+            Session::new(2, vec![1, 2], 1),
+            Session::new(3, vec![1, 5], 1),
+            Session::new(4, vec![2, 1], 2),
+        ]);
+        let adapted = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        for v in adapted.graph.node_ids() {
+            assert!(adapted.graph.out_weight_sum(v) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clicked_only_items_become_zero_weight_nodes() {
+        let cs = Clickstream::new(vec![Session::new(1, vec![1, 99], 1)]);
+        let adapted = adapt(&cs, &AdaptOptions::default()).unwrap();
+        assert_eq!(adapted.report.items, 2);
+        assert_eq!(adapted.report.never_purchased_items, 1);
+        let ninety_nine = adapted.node_of(99).unwrap();
+        assert_eq!(adapted.graph.node_weight(ninety_nine), 0.0);
+        // The zero-weight node still receives the edge.
+        let one = adapted.node_of(1).unwrap();
+        assert_eq!(adapted.graph.edge_weight(one, ninety_nine), Some(1.0));
+    }
+
+    #[test]
+    fn min_edge_support_drops_rare_edges() {
+        let mut sessions = vec![Session::new(1, vec![1, 50], 1)];
+        for i in 0..10 {
+            sessions.push(Session::new(2 + i, vec![1, 2], 1));
+        }
+        let cs = Clickstream::new(sessions);
+        let adapted = adapt(
+            &cs,
+            &AdaptOptions {
+                min_edge_support: 2,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(adapted.report.edges, 1);
+        assert_eq!(adapted.report.edges_dropped_by_support, 1);
+        let one = adapted.node_of(1).unwrap();
+        let fifty = adapted.node_of(50).unwrap();
+        assert_eq!(adapted.graph.edge_weight(one, fifty), None);
+    }
+
+    #[test]
+    fn labels_carry_external_ids() {
+        let cs = Clickstream::new(vec![Session::new(1, vec![777, 888], 777)]);
+        let adapted = adapt(&cs, &AdaptOptions::default()).unwrap();
+        let node = adapted.node_of(777).unwrap();
+        assert_eq!(adapted.graph.label(node), Some("777"));
+
+        let unlabeled = adapt(
+            &cs,
+            &AdaptOptions {
+                label_nodes: false,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!unlabeled.graph.has_labels());
+    }
+
+    #[test]
+    fn empty_clickstream_rejected() {
+        assert!(adapt(&Clickstream::default(), &AdaptOptions::default()).is_err());
+    }
+
+    #[test]
+    fn node_of_unknown_item_is_none() {
+        let cs = Clickstream::new(vec![Session::new(1, vec![], 5)]);
+        let adapted = adapt(&cs, &AdaptOptions::default()).unwrap();
+        assert!(adapted.node_of(6).is_none());
+        assert!(adapted.node_of(5).is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! # pcover-adapt
+//!
+//! The **Data Adaptation Engine** of the Preference Cover system
+//! (Section 5.2 and Figure 2 of the EDBT 2020 paper): turns raw clickstream
+//! sessions into a preference graph, and diagnoses which problem variant
+//! (Independent or Normalized) fits a dataset.
+//!
+//! ## Graph construction (paper rules)
+//!
+//! * One node per item; node weight = the item's share of purchases.
+//! * An edge `A → B` exists iff some session purchased `A` and clicked `B`;
+//!   its weight is the fraction of `A`-purchasing sessions that clicked `B`.
+//! * For the Normalized variant, a session with `t > 1` clicked
+//!   alternatives counts each as a `1/t` fraction of a click, which makes
+//!   every node's out-weight sum ≤ 1 by construction.
+//!
+//! Note the deliberate direction: edges go from the *purchased* item to the
+//! *clicked* ones — in a fully-stocked store the purchase reveals the true
+//! request, and clicks reveal acceptable alternatives (see the discussion
+//! in Section 5.2 of why the reverse orientation is wrong).
+//!
+//! ## Variant selection (paper rules)
+//!
+//! * If ≥ 90% of sessions click at most one alternative → **Normalized**.
+//! * Else, if the popularity-weighted mean pairwise normalized mutual
+//!   information between alternative-click indicators is < 0.1 →
+//!   **Independent**.
+//! * Otherwise the data fits neither dependency scheme cleanly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+
+pub mod diagnostics;
+
+pub use engine::{adapt, AdaptOptions, AdaptReport, Adapted};

@@ -1,0 +1,140 @@
+//! Property tests for the Data Adaptation Engine and diagnostics on random
+//! clickstreams.
+
+use proptest::prelude::*;
+
+use pcover_adapt::diagnostics::weighted_mean_pairwise_nmi;
+use pcover_adapt::{adapt, AdaptOptions};
+use pcover_clickstream::{Clickstream, Session};
+use pcover_core::Variant;
+
+/// Random single-purchase clickstreams over a small item universe.
+fn arb_clickstream(max_sessions: usize) -> impl Strategy<Value = Clickstream> {
+    proptest::collection::vec(
+        (
+            1u64..30,                                     // purchase
+            proptest::collection::vec(1u64..30, 0..5),    // clicks
+        ),
+        1..=max_sessions,
+    )
+    .prop_map(|raw| {
+        Clickstream::new(
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (purchase, mut clicks))| {
+                    clicks.insert(0, purchase);
+                    Session::new(i as u64 + 1, clicks, purchase)
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn node_weights_are_purchase_shares(cs in arb_clickstream(60)) {
+        let adapted = adapt(&cs, &AdaptOptions::default()).unwrap();
+        let counts = cs.item_purchase_counts();
+        let total = cs.len() as f64;
+        prop_assert!((adapted.graph.total_node_weight() - 1.0).abs() < 1e-9);
+        for (&ext, &count) in &counts {
+            let v = adapted.node_of(ext).unwrap();
+            prop_assert!(
+                (adapted.graph.node_weight(v) - count as f64 / total).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_adaptation_always_satisfies_invariant(cs in arb_clickstream(60)) {
+        let adapted = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        for v in adapted.graph.node_ids() {
+            prop_assert!(adapted.graph.out_weight_sum(v) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn independent_weights_dominate_normalized(cs in arb_clickstream(60)) {
+        // The 1/t split can only shrink edge mass, so for every edge the
+        // Independent weight >= the Normalized weight.
+        let ind = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Independent,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let nrm = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(ind.graph.edge_count(), nrm.graph.edge_count());
+        prop_assert_eq!(&ind.external_ids, &nrm.external_ids);
+        for e in ind.graph.edges() {
+            let w_nrm = nrm.graph.edge_weight(e.source, e.target).unwrap();
+            prop_assert!(e.weight >= w_nrm - 1e-12);
+        }
+    }
+
+    #[test]
+    fn edge_weights_in_domain_and_supported(cs in arb_clickstream(60)) {
+        let adapted = adapt(&cs, &AdaptOptions::default()).unwrap();
+        for e in adapted.graph.edges() {
+            prop_assert!(e.weight > 0.0 && e.weight <= 1.0);
+            prop_assert!(e.source != e.target, "self-loop emitted");
+            // Source must have been purchased at least once.
+            prop_assert!(adapted.graph.node_weight(e.source) > 0.0);
+        }
+    }
+
+    #[test]
+    fn min_edge_support_only_removes_edges(cs in arb_clickstream(60), support in 1u64..4) {
+        let all = adapt(&cs, &AdaptOptions::default()).unwrap();
+        let filtered = adapt(
+            &cs,
+            &AdaptOptions {
+                min_edge_support: support,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(filtered.graph.edge_count() <= all.graph.edge_count());
+        // Every surviving edge keeps its exact weight.
+        for e in filtered.graph.edges() {
+            prop_assert_eq!(all.graph.edge_weight(e.source, e.target), Some(e.weight));
+        }
+        prop_assert_eq!(
+            filtered.report.edges + filtered.report.edges_dropped_by_support,
+            all.report.edges
+        );
+    }
+
+    #[test]
+    fn nmi_is_in_unit_range(cs in arb_clickstream(60)) {
+        if let Some(nmi) = weighted_mean_pairwise_nmi(&cs, 10, 1) {
+            prop_assert!((0.0..=1.0).contains(&nmi), "NMI {} out of range", nmi);
+        }
+    }
+
+    #[test]
+    fn adaptation_is_deterministic(cs in arb_clickstream(40)) {
+        let a = adapt(&cs, &AdaptOptions::default()).unwrap();
+        let b = adapt(&cs, &AdaptOptions::default()).unwrap();
+        prop_assert_eq!(a.graph, b.graph);
+        prop_assert_eq!(a.external_ids, b.external_ids);
+    }
+}

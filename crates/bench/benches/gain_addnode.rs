@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the solver's inner loop: `Gain` (Algorithms 2/4)
+//! and `AddNode` (Algorithms 3/5), per variant.
+//!
+//! These are the `O(d(v))` primitives whose cost the paper's `O(nkD)`
+//! analysis counts; the Independent variant does one extra multiply per
+//! in-edge, which should be visible but small.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcover_core::{CoverState, Independent, Normalized};
+use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+use pcover_graph::{ItemId, PreferenceGraph};
+
+fn test_graph() -> PreferenceGraph {
+    generate_graph(&GraphGenConfig {
+        nodes: 10_000,
+        avg_out_degree: 6,
+        seed: 1,
+        ..GraphGenConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_gain(c: &mut Criterion) {
+    let g = test_graph();
+    // A state with some coverage so gains exercise the partial-cover path.
+    let mut state = CoverState::new(g.node_count());
+    for i in (0..g.node_count()).step_by(50) {
+        state.add_node::<Independent>(&g, ItemId::from_index(i));
+    }
+
+    let mut group = c.benchmark_group("gain");
+    group.bench_function("independent", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in (0..2000).map(|x| x * 3 + 1) {
+                acc += state.gain::<Independent>(&g, ItemId::from_index(i));
+            }
+            black_box(acc)
+        })
+    });
+    let mut state_n = CoverState::new(g.node_count());
+    for i in (0..g.node_count()).step_by(50) {
+        state_n.add_node::<Normalized>(&g, ItemId::from_index(i));
+    }
+    group.bench_function("normalized", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in (0..2000).map(|x| x * 3 + 1) {
+                acc += state_n.gain::<Normalized>(&g, ItemId::from_index(i));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_add_node(c: &mut Criterion) {
+    let g = test_graph();
+    let mut group = c.benchmark_group("add_node");
+    group.bench_function("independent_full_run", |b| {
+        b.iter(|| {
+            let mut state = CoverState::new(g.node_count());
+            for i in (0..1000).map(|x| x * 7 % g.node_count()) {
+                state.add_node::<Independent>(&g, ItemId::from_index(i));
+            }
+            black_box(state.cover())
+        })
+    });
+    group.bench_function("normalized_full_run", |b| {
+        b.iter(|| {
+            let mut state = CoverState::new(g.node_count());
+            for i in (0..1000).map(|x| x * 7 % g.node_count()) {
+                state.add_node::<Normalized>(&g, ItemId::from_index(i));
+            }
+            black_box(state.cover())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gain, bench_add_node
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Whole-solver benchmarks: the greedy family and the baselines on a
+//! mid-size graph — the per-algorithm cost behind Figures 4b/4c.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcover_core::{baselines, greedy, lazy, minimize, parallel, Independent};
+use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+use pcover_graph::PreferenceGraph;
+
+fn test_graph(n: usize) -> PreferenceGraph {
+    generate_graph(&GraphGenConfig {
+        nodes: n,
+        avg_out_degree: 5,
+        seed: 2,
+        ..GraphGenConfig::default()
+    })
+    .expect("valid config")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = test_graph(5_000);
+    let k = 100;
+
+    let mut group = c.benchmark_group("solve_n5000_k100");
+    group.bench_function("greedy_plain", |b| {
+        b.iter(|| black_box(greedy::solve::<Independent>(&g, k).unwrap().cover))
+    });
+    group.bench_function("greedy_lazy", |b| {
+        b.iter(|| black_box(lazy::solve::<Independent>(&g, k).unwrap().cover))
+    });
+    group.bench_function("greedy_parallel_2", |b| {
+        b.iter(|| black_box(parallel::solve::<Independent>(&g, k, 2).unwrap().0.cover))
+    });
+    group.bench_function("topk_weight", |b| {
+        b.iter(|| black_box(baselines::top_k_weight::<Independent>(&g, k).unwrap().cover))
+    });
+    group.bench_function("topk_coverage", |b| {
+        b.iter(|| black_box(baselines::top_k_coverage::<Independent>(&g, k).unwrap().cover))
+    });
+    group.bench_function("random_best_of_10", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::random_best_of::<Independent>(&g, k, 3, 10)
+                    .unwrap()
+                    .cover,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    let g = test_graph(5_000);
+    let mut group = c.benchmark_group("minimize_n5000_t0.8");
+    group.bench_function("greedy_direct", |b| {
+        b.iter(|| {
+            black_box(
+                minimize::greedy_min_cover::<Independent>(&g, 0.8)
+                    .unwrap()
+                    .set_size(),
+            )
+        })
+    });
+    group.bench_function("topk_weight_binary_search", |b| {
+        b.iter(|| {
+            black_box(
+                minimize::top_k_weight_min_cover::<Independent>(&g, 0.8)
+                    .unwrap()
+                    .set_size(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers, bench_minimize
+}
+criterion_main!(benches);

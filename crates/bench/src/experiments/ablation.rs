@@ -1,0 +1,122 @@
+//! Ablation — the solver family side by side.
+//!
+//! Not a figure from the paper: this quantifies the design choices
+//! DESIGN.md calls out (lazy evaluation, sampling, streaming selection,
+//! local-search refinement) on one mid-size instance, reporting cover,
+//! work and wall time relative to the paper's plain greedy.
+
+use pcover_core::{
+    baselines, greedy, lazy, local_search, parallel, stochastic, streaming, Independent,
+};
+use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+
+use crate::util::{fmt_duration, timed, Table};
+use crate::Opts;
+
+/// Runs the algorithm comparison.
+pub fn run(opts: &Opts) -> String {
+    let (n, k) = if opts.full { (100_000, 2000) } else { (20_000, 400) };
+    let g = generate_graph(&GraphGenConfig {
+        nodes: n,
+        avg_out_degree: 5,
+        seed: opts.seed,
+        ..GraphGenConfig::default()
+    })
+    .expect("valid config");
+
+    let mut t = Table::new(["algorithm", "cover", "vs plain", "gain evals", "time"]);
+    let (plain, plain_time) = timed(|| greedy::solve::<Independent>(&g, k).expect("valid k"));
+    let mut push = |name: &str, cover: f64, evals: u64, time: std::time::Duration| {
+        t.row([
+            name.to_string(),
+            format!("{cover:.4}"),
+            format!("{:+.3}%", 100.0 * (cover - plain.cover) / plain.cover),
+            evals.to_string(),
+            fmt_duration(time),
+        ]);
+    };
+    push("Greedy (plain, paper)", plain.cover, plain.gain_evaluations, plain_time);
+
+    let (lz, time) = timed(|| lazy::solve::<Independent>(&g, k).expect("valid k"));
+    push("Greedy (lazy)", lz.cover, lz.gain_evaluations, time);
+
+    let ((par, _), time) =
+        timed(|| parallel::solve::<Independent>(&g, k, 4).expect("valid k"));
+    push("Greedy (parallel x4)", par.cover, par.gain_evaluations, time);
+
+    let (part, time) =
+        timed(|| pcover_core::partitioned::solve::<Independent>(&g, k).expect("valid k"));
+    push(
+        "Greedy (component-partitioned)",
+        part.cover,
+        part.gain_evaluations,
+        time,
+    );
+
+    let (st, time) = timed(|| {
+        stochastic::solve::<Independent>(
+            &g,
+            k,
+            &stochastic::StochasticOptions {
+                epsilon: 0.05,
+                seed: opts.seed,
+            },
+        )
+        .expect("valid k")
+    });
+    push("Stochastic greedy (eps=0.05)", st.cover, st.gain_evaluations, time);
+
+    let (sv, time) = timed(|| {
+        streaming::solve::<Independent>(&g, k, &streaming::SieveOptions { epsilon: 0.1 })
+            .expect("valid k")
+    });
+    push(
+        "Sieve-streaming (eps=0.1, one pass)",
+        sv.cover,
+        sv.gain_evaluations,
+        time,
+    );
+
+    let (tw, time) = timed(|| baselines::top_k_weight::<Independent>(&g, k).expect("valid k"));
+    push("TopK-W", tw.cover, tw.gain_evaluations, time);
+
+    // Local search refining TopK-W (refining greedy rarely moves).
+    let (ls, time) = timed(|| {
+        local_search::refine::<Independent>(
+            &g,
+            &tw.order,
+            &local_search::LocalSearchOptions {
+                max_swaps: 16,
+                ..Default::default()
+            },
+        )
+        .expect("valid initial")
+    });
+    push(
+        "TopK-W + local search (16 swaps)",
+        ls.report.cover,
+        ls.report.gain_evaluations,
+        time,
+    );
+
+    let mut out = format!("## Ablation — solver family (n = {n}, k = {k}, Independent)\n\n");
+    out.push_str(&t.render());
+    out.push_str(
+        "\nlazy/parallel/partitioned must match plain's cover exactly; stochastic trades a\n\
+         bounded expected loss for k-independent work; sieve pays ~half the cover for a single\n\
+         pass; local search recovers part of a weak baseline's gap at high evaluation cost.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "seconds in release, minutes in debug; run with --ignored"]
+    fn ablation_runs() {
+        let out = run(&Opts::default());
+        assert!(out.contains("Greedy (lazy)"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 4e — parallelizability: speedup over worker count.
+//!
+//! The paper runs parallel Greedy on a fixed PE graph with
+//! 1/4/8/16/32 cores on a 32-core server and reports ~20x at 32 cores.
+//! **This host has a single core** (see DESIGN.md §5.3), so wall-clock
+//! cannot show speedup; the experiment therefore reports, for each pool
+//! size:
+//!
+//! * measured wall time (expect ≈flat on one physical core — printed for
+//!   honesty, not for the figure),
+//! * the measured load balance of the actual rayon work partition,
+//! * the Amdahl-modeled speedup `T1 / (T_serial + (T1 − T_serial)/N)`,
+//!   where `T_serial` is the measured cost of the sequential `AddNode`
+//!   phase — the quantity the paper's figure plots, instantiated with this
+//!   host's measured constants.
+
+use pcover_core::{parallel, CoverState, Independent};
+use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+
+use crate::util::{fmt_duration, timed, Table};
+use crate::Opts;
+
+/// Runs the thread sweep.
+pub fn run(opts: &Opts) -> String {
+    let (n, k) = if opts.full { (200_000, 1000) } else { (50_000, 250) };
+    let g = generate_graph(&GraphGenConfig {
+        nodes: n,
+        avg_out_degree: 5,
+        seed: opts.seed,
+        ..GraphGenConfig::default()
+    })
+    .expect("valid config");
+
+    // Baseline: one thread.
+    let ((one_thread, _), t1) =
+        timed(|| parallel::solve::<Independent>(&g, k, 1).expect("valid k"));
+
+    // The serial fraction: replaying the chosen order through AddNode is
+    // exactly the non-parallelizable part of each iteration.
+    let (_, t_serial) = timed(|| {
+        let mut state = CoverState::new(g.node_count());
+        for &v in &one_thread.order {
+            state.add_node::<Independent>(&g, v);
+        }
+        state.cover()
+    });
+
+    let model = |threads: usize| -> f64 {
+        let t1s = t1.as_secs_f64();
+        let ser = t_serial.as_secs_f64().min(t1s);
+        t1s / (ser + (t1s - ser) / threads as f64)
+    };
+
+    let mut t = Table::new([
+        "threads",
+        "wall time (1-core host)",
+        "load balance",
+        "modeled speedup",
+        "paper",
+    ]);
+    let paper_points = [(1, 1.0), (4, 3.7), (8, 7.0), (16, 12.5), (32, 20.0)];
+    for &(threads, paper) in &paper_points {
+        let ((report, stats), wall) = timed(|| {
+            parallel::solve::<Independent>(&g, k, threads).expect("valid k")
+        });
+        assert_eq!(report.order, one_thread.order, "thread count changed the result");
+        t.row([
+            threads.to_string(),
+            fmt_duration(wall),
+            format!("{:.3}", stats.balance()),
+            format!("{:.1}x", model(threads)),
+            format!("~{paper:.1}x"),
+        ]);
+    }
+
+    let mut out = format!(
+        "## Figure 4e — parallelizability (n = {n}, k = {k}, Independent)\n\n"
+    );
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nT1 = {}, measured serial (AddNode) share = {:.1}%\n\
+         HOST SUBSTITUTION: this machine has one physical core, so wall time cannot drop with\n\
+         thread count; the modeled column instantiates the paper's speedup quantity via Amdahl's\n\
+         law with the measured serial fraction, and the load-balance column certifies the actual\n\
+         rayon partition is near-uniform (1.0 = perfect). The model is an upper bound — it\n\
+         excludes the memory-bandwidth and synchronization costs behind the paper's measured\n\
+         ~20x-of-32; the figure's qualitative claim (speedup keeps growing to 32 workers with\n\
+         no saturation cliff) is what both reproduce. The parallel code path itself is real and\n\
+         bit-identical to sequential greedy (asserted on every run above).\n",
+        fmt_duration(t1),
+        100.0 * t_serial.as_secs_f64() / t1.as_secs_f64().max(1e-12),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "takes tens of seconds in debug builds; run with --ignored or --release"]
+    fn thread_sweep_runs() {
+        let out = run(&Opts::default());
+        assert!(out.contains("modeled speedup"));
+        assert!(out.contains("HOST SUBSTITUTION"));
+    }
+}

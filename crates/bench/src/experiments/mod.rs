@@ -1,0 +1,46 @@
+//! One module per table/figure of the paper.
+
+pub mod ablation;
+pub mod fig3;
+pub mod mccm;
+pub mod variantfit;
+pub mod fig4a;
+pub mod fig4b;
+pub mod fig4c;
+pub mod fig4d;
+pub mod fig4e;
+pub mod fig4f;
+pub mod table1;
+pub mod table2;
+
+use crate::Opts;
+
+/// All experiment ids, in paper order.
+pub const ALL: &[&str] = &[
+    "table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+    "ablation", "mccm", "variantfit",
+];
+
+/// Runs one experiment by id, returning its report text.
+pub fn run(id: &str, opts: &Opts) -> Option<String> {
+    let report = match id {
+        "table1" => table1::run(opts),
+        "table2" => table2::run(opts),
+        "fig3" => fig3::run(opts),
+        "fig4a" => fig4a::run(opts),
+        "fig4b" => fig4b::run(opts),
+        "fig4c" => fig4c::run(opts),
+        "fig4d" => fig4d::run(opts),
+        "fig4e" => fig4e::run(opts),
+        "fig4f" => fig4f::run(opts),
+        "ablation" => ablation::run(opts),
+        "mccm" => mccm::run(opts),
+        "variantfit" => variantfit::run(opts),
+        _ => return None,
+    };
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        std::fs::write(dir.join(format!("{id}.md")), &report).expect("write report");
+    }
+    Some(report)
+}

@@ -1,0 +1,51 @@
+//! # pcover-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (Section 5.4), each regenerating the corresponding result on
+//! synthetic data. The `experiments` binary dispatches them:
+//!
+//! ```text
+//! cargo run --release -p pcover-bench --bin experiments -- all
+//! cargo run --release -p pcover-bench --bin experiments -- fig4c --seed 7
+//! cargo run --release -p pcover-bench --bin experiments -- fig4d --full
+//! ```
+//!
+//! Each experiment prints a human-readable table and, when `--out DIR` is
+//! given, writes the same content as a markdown fragment for inclusion in
+//! EXPERIMENTS.md.
+//!
+//! Scale notes: defaults are sized for a laptop-class single-core machine
+//! (seconds to a few minutes per experiment); `--full` switches to
+//! paper-scale parameters where feasible (Figure 4d goes to 1M nodes;
+//! Table 2 generates the full multi-million-session clickstreams, which
+//! takes tens of minutes and several GB of RAM).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+pub mod experiments;
+pub mod util;
+
+/// Options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Run at paper scale instead of laptop scale.
+    pub full: bool,
+    /// Master seed; every experiment derives sub-seeds deterministically.
+    pub seed: u64,
+    /// If set, write each experiment's markdown fragment to
+    /// `<out>/<id>.md`.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            full: false,
+            seed: 42,
+            out_dir: None,
+        }
+    }
+}

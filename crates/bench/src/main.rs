@@ -1,0 +1,73 @@
+//! The `experiments` binary: regenerate any table or figure of the paper.
+
+use std::path::PathBuf;
+
+use pcover_bench::{experiments, Opts};
+
+const USAGE: &str = "\
+experiments — regenerate the tables and figures of the EDBT 2020 paper
+
+USAGE: experiments <id | all> [--full] [--seed N] [--out DIR]
+
+ids: table1 table2 fig3 fig4a fig4b fig4c fig4d fig4e fig4f
+  --full   paper-scale parameters (minutes instead of seconds)
+  --seed   master RNG seed (default 42)
+  --out    also write each report to DIR/<id>.md
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+    let id = args[0].clone();
+    let mut opts = Opts::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => opts.full = true,
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --seed needs an integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                i += 1;
+                opts.out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| {
+                    eprintln!("error: --out needs a directory");
+                    std::process::exit(2);
+                })));
+            }
+            other => {
+                eprintln!("error: unknown option {other:?}");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ids: Vec<&str> = if id == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        vec![id.as_str()]
+    };
+    for id in ids {
+        match experiments::run(id, &opts) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("error: unknown experiment {id:?}");
+                eprint!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

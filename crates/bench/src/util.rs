@@ -1,0 +1,161 @@
+//! Shared helpers for the experiment modules.
+
+use std::time::{Duration, Instant};
+
+use pcover_adapt::{adapt, AdaptOptions, Adapted};
+use pcover_core::Variant;
+use pcover_datagen::profiles::{DatasetProfile, Scale};
+use pcover_datagen::sessions::generate_clickstream;
+
+/// A simple fixed-width markdown-ish table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as a markdown table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let dashes: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        let _ = ncols;
+        out
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Formats a duration with sensible units.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 0.001 {
+        format!("{:.1}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.1}min", secs / 60.0)
+    }
+}
+
+/// Generates a profile's clickstream and adapts it in one step.
+pub fn adapted_profile(
+    profile: DatasetProfile,
+    scale: Scale,
+    variant: Variant,
+    seed: u64,
+) -> Adapted {
+    let (catalog_cfg, session_cfg) = profile.configs(scale, seed);
+    let (_, sessions) = generate_clickstream(&catalog_cfg, &session_cfg);
+    adapt(
+        &sessions,
+        &AdaptOptions {
+            variant,
+            label_nodes: false,
+            min_edge_support: 1,
+        },
+    )
+    .expect("generated clickstreams are nonempty")
+}
+
+/// The small brute-force-solvable instance of Figures 4a/4b: a YC-profile
+/// clickstream adapted to a graph, reduced to its `n` most-purchased items
+/// (the paper reduces the YC dataset to 30 products).
+pub fn small_yc_instance(n: usize, seed: u64) -> pcover_graph::PreferenceGraph {
+    let adapted = adapted_profile(
+        DatasetProfile::YC,
+        Scale::Fraction(0.01),
+        Variant::Normalized,
+        seed,
+    );
+    pcover_graph::transform::top_n_by_weight(&adapted.graph, n)
+        .expect("graph has more than n nodes")
+        .graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "10000"]);
+        let r = t.render();
+        assert!(r.contains("name") && r.contains("10000"));
+        assert!(r.lines().count() == 4);
+        // All lines equal width.
+        let widths: Vec<usize> = r.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0us");
+        assert_eq!(fmt_duration(Duration::from_millis(25)), "25.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+        assert_eq!(fmt_duration(Duration::from_secs(600)), "10.0min");
+    }
+
+    #[test]
+    fn adapted_profile_smoke() {
+        let a = adapted_profile(
+            DatasetProfile::YC,
+            Scale::Fraction(0.002),
+            Variant::Independent,
+            1,
+        );
+        assert!(a.graph.node_count() > 10);
+        assert!(a.graph.edge_count() > 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Minimal `--key value` argument parsing.
+//!
+//! A hand-rolled parser keeps the dependency tree small (see DESIGN.md);
+//! the grammar is strictly `<subcommand> (--key value | --flag)*`.
+
+use std::collections::HashMap;
+
+use crate::CliError;
+
+/// Parsed arguments: a subcommand plus key→value options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional token).
+    pub command: String,
+    options: HashMap<String, String>,
+    /// Keys that appeared without a value (boolean flags).
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+        let mut iter = raw.into_iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError("missing subcommand; try `pcover help`".into()))?;
+        if command.starts_with("--") {
+            return Err(CliError(format!(
+                "expected a subcommand before options, found {command:?}"
+            )));
+        }
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = iter.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --option, found {token:?}")))?
+                .to_owned();
+            if key.is_empty() {
+                return Err(CliError("empty option name".into()));
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    if options.insert(key.clone(), value).is_some() {
+                        return Err(CliError(format!("option --{key} given twice")));
+                    }
+                }
+                _ => flags.push(key),
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A parsed required option.
+    pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| CliError(format!("cannot parse --{key} value {:?}", self.required(key).unwrap())))
+    }
+
+    /// A parsed optional option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError(format!("cannot parse --{key} value {raw:?}"))),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, CliError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["solve", "--k", "10", "--graph", "g.json", "--verbose"]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.required("k").unwrap(), "10");
+        assert_eq!(a.required_parse::<usize>("k").unwrap(), 10);
+        assert_eq!(a.optional("graph"), Some("g.json"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--k", "10"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert!(parse(&["solve", "--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn missing_required_reports_key() {
+        let a = parse(&["solve"]).unwrap();
+        let err = a.required("graph").unwrap_err();
+        assert!(err.to_string().contains("--graph"));
+    }
+
+    #[test]
+    fn parse_or_defaults() {
+        let a = parse(&["solve", "--k", "7"]).unwrap();
+        assert_eq!(a.parse_or::<usize>("threads", 4).unwrap(), 4);
+        assert_eq!(a.parse_or::<usize>("k", 1).unwrap(), 7);
+        assert!(a.parse_or::<usize>("k", 1).is_ok());
+        let bad = parse(&["solve", "--k", "seven"]).unwrap();
+        assert!(bad.parse_or::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn positional_after_command_rejected() {
+        assert!(parse(&["solve", "stray"]).is_err());
+    }
+}

@@ -1,0 +1,686 @@
+//! Subcommand implementations.
+//!
+//! Every command returns its report as a `String` so the binary stays a
+//! thin printer and tests can assert on outputs directly.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use pcover_adapt::diagnostics::{diagnose, DiagnosticThresholds};
+use pcover_adapt::{adapt, AdaptOptions};
+use pcover_clickstream::{io as cs_io, Clickstream};
+use pcover_core::brute_force::BruteForceOptions;
+use pcover_core::{
+    baselines, brute_force, greedy, lazy, minimize, parallel, CoverModel, Independent,
+    Normalized, SolveReport, Variant,
+};
+use pcover_datagen::profiles::{DatasetProfile, Scale};
+use pcover_datagen::sessions::generate_clickstream;
+use pcover_graph::io::{json as graph_json, LoadOptions};
+use pcover_graph::{GraphStats, PreferenceGraph};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "diagnose" => diagnose_cmd(args),
+        "adapt" => adapt_cmd(args),
+        "stats" => stats_cmd(args),
+        "solve" => solve_cmd(args),
+        "minimize" => minimize_cmd(args),
+        "repair" => repair_cmd(args),
+        "export-dot" => export_dot_cmd(args),
+        "closure" => closure_cmd(args),
+        "delta" => delta_cmd(args),
+        "help" | "--help" => Ok(HELP.to_owned()),
+        other => Err(CliError(format!(
+            "unknown subcommand {other:?}; try `pcover help`"
+        ))),
+    }
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+pcover — inventory reduction via maximal coverage (EDBT 2020)
+
+USAGE: pcover <subcommand> [--option value]...
+
+SUBCOMMANDS
+  generate  --profile PE|PF|PM|YC [--scale 0.01] [--seed 42]
+            --out sessions.jsonl [--format jsonl|yoochoose]
+            Generate a synthetic clickstream from a Table 2 profile.
+  diagnose  --input sessions.jsonl
+            Report the variant-selection diagnostics (Section 5.2).
+  adapt     --input sessions.jsonl --variant independent|normalized
+            --out graph.json [--min-support 1]
+            Build the preference graph (Data Adaptation Engine).
+  stats     --graph graph.json
+            Print graph statistics.
+  solve     --graph graph.json --k K --variant independent|normalized
+            [--algorithm greedy|lazy|parallel|partitioned|bf|topk-w|topk-c|
+                         random|stochastic|sieve|local-search]
+            [--threads N] [--seed S] [--top 10] [--out report.json]
+            Select the k items maximizing cover (Preference Cover Solver).
+  minimize  --graph graph.json --threshold 0.8
+            --variant independent|normalized
+            Smallest retained set reaching the cover threshold.
+  repair    --graph graph.json --report old-report.json
+            --variant independent|normalized [--max-changes 5]
+            Repair a previous solution against an updated graph with
+            bounded churn (incremental maintenance).
+  export-dot --graph graph.json --out graph.dot
+            [--report report.json] [--min-weight 0.0]
+            Render the graph (and optionally a retained set) as Graphviz.
+  closure   --graph browse.json --out closed.json
+            [--depth 3] [--min-weight 1e-6] [--combine independent|normalized]
+            Transitively close a one-step browse graph into a preference
+            graph (Section 2's modeling step).
+  delta     --graph graph.json --changes delta.json --out new-graph.json
+            Apply a JSON batch of demand/edge/delisting changes.
+";
+
+fn load_clickstream(path: &str) -> Result<Clickstream, CliError> {
+    cs_io::read_jsonl(path).map_err(CliError::from_display)
+}
+
+fn load_graph(path: &str) -> Result<PreferenceGraph, CliError> {
+    graph_json::read_json(path, &LoadOptions::default()).map_err(CliError::from_display)
+}
+
+fn parse_variant(args: &Args) -> Result<Variant, CliError> {
+    let raw = args.required("variant")?;
+    Variant::parse(raw).ok_or_else(|| {
+        CliError(format!(
+            "unknown variant {raw:?}; use independent or normalized"
+        ))
+    })
+}
+
+fn generate(args: &Args) -> Result<String, CliError> {
+    let profile_raw = args.required("profile")?;
+    let profile = DatasetProfile::parse(profile_raw)
+        .ok_or_else(|| CliError(format!("unknown profile {profile_raw:?}; use PE, PF, PM or YC")))?;
+    let scale = match args.optional("scale") {
+        None => Scale::Fraction(0.01),
+        Some("full") => Scale::Full,
+        Some(raw) => Scale::Fraction(raw.parse().map_err(|_| {
+            CliError(format!("cannot parse --scale value {raw:?} (number or `full`)"))
+        })?),
+    };
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out = args.required("out")?;
+    let format = args.optional("format").unwrap_or("jsonl");
+
+    let (catalog_cfg, session_cfg) = profile.configs(scale, seed);
+    let (_, cs) = generate_clickstream(&catalog_cfg, &session_cfg);
+    match format {
+        "jsonl" => cs_io::write_jsonl(&cs, out).map_err(CliError::from_display)?,
+        "yoochoose" => {
+            let base = Path::new(out);
+            let clicks = base.with_extension("clicks.dat");
+            let buys = base.with_extension("buys.dat");
+            cs_io::write_yoochoose(&cs, &clicks, &buys).map_err(CliError::from_display)?;
+        }
+        other => return Err(CliError(format!("unknown format {other:?}"))),
+    }
+    let stats = cs.stats();
+    Ok(format!(
+        "generated {} sessions over {} items (profile {}, seed {seed}) -> {out}\n\
+         at-most-one-alternative fraction: {:.3}",
+        stats.sessions,
+        stats.items,
+        profile.name(),
+        stats.at_most_one_alternative_fraction,
+    ))
+}
+
+fn diagnose_cmd(args: &Args) -> Result<String, CliError> {
+    let cs = load_clickstream(args.required("input")?)?;
+    let d = diagnose(&cs, &DiagnosticThresholds::default());
+    let stats = cs.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "sessions:                    {}", stats.sessions);
+    let _ = writeln!(out, "items:                       {}", stats.items);
+    let _ = writeln!(
+        out,
+        "<=1-alternative fraction:    {:.4} (Normalized rule needs >= 0.90)",
+        d.single_alt_fraction
+    );
+    match d.weighted_mean_nmi {
+        Some(nmi) => {
+            let _ = writeln!(
+                out,
+                "weighted mean pairwise NMI:  {nmi:.4} (Independent rule needs < 0.10)"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "weighted mean pairwise NMI:  n/a (no multi-alternative items)");
+        }
+    }
+    let _ = writeln!(out, "recommended variant:         {:?}", d.recommendation);
+    Ok(out)
+}
+
+fn adapt_cmd(args: &Args) -> Result<String, CliError> {
+    // Validate cheap arguments before touching the filesystem.
+    let variant = parse_variant(args)?;
+    let min_support: u64 = args.parse_or("min-support", 1)?;
+    let out = args.required("out")?;
+    let cs = load_clickstream(args.required("input")?)?;
+
+    let adapted = adapt(
+        &cs,
+        &AdaptOptions {
+            variant,
+            label_nodes: true,
+            min_edge_support: min_support,
+        },
+    )
+    .map_err(CliError::from_display)?;
+    graph_json::write_json(&adapted.graph, out).map_err(CliError::from_display)?;
+    let r = &adapted.report;
+    Ok(format!(
+        "adapted {} sessions -> graph with {} items, {} edges ({} never purchased, {} edges dropped by support) -> {out}",
+        r.sessions, r.items, r.edges, r.never_purchased_items, r.edges_dropped_by_support
+    ))
+}
+
+fn stats_cmd(args: &Args) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let s = GraphStats::compute(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes:               {}", s.nodes);
+    let _ = writeln!(out, "edges:               {}", s.edges);
+    let _ = writeln!(out, "avg out-degree:      {:.3}", s.avg_out_degree);
+    let _ = writeln!(out, "max in-degree (D):   {}", s.max_in_degree);
+    let _ = writeln!(out, "isolated nodes:      {}", s.isolated_nodes);
+    let _ = writeln!(out, "node weight sum:     {:.6}", s.node_weight_sum);
+    let _ = writeln!(out, "max node weight:     {:.6}", s.max_node_weight);
+    let _ = writeln!(out, "avg edge weight:     {:.4}", s.avg_edge_weight);
+    let _ = writeln!(out, "normalized fraction: {:.4}", s.normalized_fraction);
+    let _ = writeln!(
+        out,
+        "components:          {} (largest: {})",
+        s.components, s.largest_component
+    );
+    Ok(out)
+}
+
+fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    algorithm: &str,
+    threads: usize,
+    seed: u64,
+) -> Result<SolveReport, CliError> {
+    let report = match algorithm {
+        "greedy" => greedy::solve::<M>(g, k),
+        "lazy" => lazy::solve::<M>(g, k),
+        "parallel" => parallel::solve::<M>(g, k, threads).map(|(r, _)| r),
+        "bf" => brute_force::solve::<M>(g, k, &BruteForceOptions::default()),
+        "topk-w" => baselines::top_k_weight::<M>(g, k),
+        "topk-c" => baselines::top_k_coverage::<M>(g, k),
+        "random" => baselines::random_best_of::<M>(g, k, seed, 10),
+        "stochastic" => pcover_core::stochastic::solve::<M>(
+            g,
+            k,
+            &pcover_core::stochastic::StochasticOptions {
+                seed,
+                ..Default::default()
+            },
+        ),
+        "sieve" => pcover_core::streaming::solve::<M>(g, k, &Default::default()),
+        "partitioned" => pcover_core::partitioned::solve::<M>(g, k),
+        "local-search" => lazy::solve::<M>(g, k).and_then(|r| {
+            pcover_core::local_search::refine::<M>(g, &r.order, &Default::default())
+                .map(|ls| ls.report)
+        }),
+        other => return Err(CliError(format!("unknown algorithm {other:?}"))),
+    };
+    report.map_err(CliError::from_display)
+}
+
+fn repair_cmd(args: &Args) -> Result<String, CliError> {
+    let variant = parse_variant(args)?;
+    let max_changes: usize = args.parse_or("max-changes", 5)?;
+    let g = load_graph(args.required("graph")?)?;
+    let old: SolveReport = serde_json::from_str(
+        &std::fs::read_to_string(args.required("report")?).map_err(CliError::from_display)?,
+    )
+    .map_err(CliError::from_display)?;
+
+    let result = match variant {
+        Variant::Independent => {
+            pcover_core::extensions::incremental::repair::<Independent>(&g, &old.order, max_changes)
+        }
+        Variant::Normalized => {
+            pcover_core::extensions::incremental::repair::<Normalized>(&g, &old.order, max_changes)
+        }
+    }
+    .map_err(CliError::from_display)?;
+
+    Ok(format!(
+        "repaired solution of {} items: stale cover {:.4} -> {:.4} with {} swaps\n\
+         evicted: {:?}\nadded:   {:?}\n",
+        old.order.len(),
+        result.stale_cover,
+        result.report.cover,
+        result.churn(),
+        result.evicted.iter().map(|v| v.raw()).collect::<Vec<_>>(),
+        result.added.iter().map(|v| v.raw()).collect::<Vec<_>>(),
+    ))
+}
+
+fn closure_cmd(args: &Args) -> Result<String, CliError> {
+    let out = args.required("out")?;
+    let depth: usize = args.parse_or("depth", 3)?;
+    let min_weight: f64 = args.parse_or("min-weight", 1e-6)?;
+    let combine = match args.optional("combine").unwrap_or("independent") {
+        "independent" => pcover_graph::transform::PathCombination::Independent,
+        "normalized" => pcover_graph::transform::PathCombination::NormalizedClamped,
+        other => return Err(CliError(format!("unknown combine rule {other:?}"))),
+    };
+    let g = load_graph(args.required("graph")?)?;
+    let closed = pcover_graph::transform::transitive_closure(&g, depth, min_weight, combine)
+        .map_err(CliError::from_display)?;
+    graph_json::write_json(&closed, out).map_err(CliError::from_display)?;
+    Ok(format!(
+        "closed graph to depth {depth}: {} -> {} edges -> {out}\n",
+        g.edge_count(),
+        closed.edge_count()
+    ))
+}
+
+fn delta_cmd(args: &Args) -> Result<String, CliError> {
+    let out = args.required("out")?;
+    let g = load_graph(args.required("graph")?)?;
+    let delta: pcover_graph::delta::GraphDelta = serde_json::from_str(
+        &std::fs::read_to_string(args.required("changes")?).map_err(CliError::from_display)?,
+    )
+    .map_err(CliError::from_display)?;
+    let updated = pcover_graph::delta::apply(&g, &delta).map_err(CliError::from_display)?;
+    graph_json::write_json(&updated, out).map_err(CliError::from_display)?;
+    Ok(format!(
+        "applied {} changes: {} nodes / {} edges -> {} nodes / {} edges -> {out}\n",
+        delta.len(),
+        g.node_count(),
+        g.edge_count(),
+        updated.node_count(),
+        updated.edge_count()
+    ))
+}
+
+fn export_dot_cmd(args: &Args) -> Result<String, CliError> {
+    let out = args.required("out")?;
+    let min_weight: f64 = args.parse_or("min-weight", 0.0)?;
+    let g = load_graph(args.required("graph")?)?;
+    let retained = match args.optional("report") {
+        Some(path) => {
+            let report: SolveReport = serde_json::from_str(
+                &std::fs::read_to_string(path).map_err(CliError::from_display)?,
+            )
+            .map_err(CliError::from_display)?;
+            report.order
+        }
+        None => Vec::new(),
+    };
+    pcover_graph::io::dot::write_dot(
+        &g,
+        out,
+        &pcover_graph::io::dot::DotOptions {
+            retained,
+            min_edge_weight: min_weight,
+            name: None,
+        },
+    )
+    .map_err(CliError::from_display)?;
+    Ok(format!(
+        "wrote DOT with {} nodes and {} edges (min edge weight {min_weight}) -> {out}\n",
+        g.node_count(),
+        g.edge_count()
+    ))
+}
+
+fn solve_cmd(args: &Args) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let k: usize = args.required_parse("k")?;
+    let variant = parse_variant(args)?;
+    let algorithm = args.optional("algorithm").unwrap_or("lazy");
+    let threads: usize = args.parse_or("threads", 4)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let top: usize = args.parse_or("top", 10)?;
+
+    let report = match variant {
+        Variant::Independent => solve_with::<Independent>(&g, k, algorithm, threads, seed)?,
+        Variant::Normalized => solve_with::<Normalized>(&g, k, algorithm, threads, seed)?,
+    };
+
+    if let Some(out) = args.optional("out") {
+        let json = serde_json::to_string_pretty(&report).map_err(CliError::from_display)?;
+        std::fs::write(out, json).map_err(CliError::from_display)?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} retained {} of {} items, cover {:.4} ({} gain evaluations, {:?})",
+        report.algorithm.label(),
+        report.k(),
+        g.node_count(),
+        report.cover,
+        report.gain_evaluations,
+        report.elapsed,
+    );
+    let _ = writeln!(out, "first retained items (selection order):");
+    for &v in report.order.iter().take(top) {
+        let label = g.label(v).unwrap_or("");
+        let _ = writeln!(
+            out,
+            "  {:>8}  {}  weight {:.5}",
+            v.raw(),
+            if label.is_empty() { "-" } else { label },
+            g.node_weight(v),
+        );
+    }
+    Ok(out)
+}
+
+fn minimize_cmd(args: &Args) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let threshold: f64 = args.required_parse("threshold")?;
+    let variant = parse_variant(args)?;
+    let result = match variant {
+        Variant::Independent => minimize::greedy_min_cover::<Independent>(&g, threshold),
+        Variant::Normalized => minimize::greedy_min_cover::<Normalized>(&g, threshold),
+    }
+    .map_err(CliError::from_display)?;
+    Ok(format!(
+        "threshold {:.3}: smallest greedy set has {} of {} items (cover {:.4})",
+        threshold,
+        result.set_size(),
+        g.node_count(),
+        result.report.cover,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, CliError> {
+        run(&Args::parse(tokens.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("pcover-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_tokens(&["help"]).unwrap().contains("SUBCOMMANDS"));
+        assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_files() {
+        let sessions = tmp("pipeline.jsonl");
+        let graph = tmp("pipeline-graph.json");
+
+        let out = run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.005", "--seed", "7", "--out", &sessions,
+        ])
+        .unwrap();
+        assert!(out.contains("generated"), "{out}");
+
+        let out = run_tokens(&["diagnose", "--input", &sessions]).unwrap();
+        assert!(out.contains("recommended variant"), "{out}");
+
+        let out = run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+        ])
+        .unwrap();
+        assert!(out.contains("adapted"), "{out}");
+
+        let out = run_tokens(&["stats", "--graph", &graph]).unwrap();
+        assert!(out.contains("nodes:"), "{out}");
+
+        let out = run_tokens(&[
+            "solve", "--graph", &graph, "--k", "50", "--variant", "independent",
+            "--algorithm", "lazy",
+        ])
+        .unwrap();
+        assert!(out.contains("retained 50"), "{out}");
+
+        let out = run_tokens(&[
+            "minimize", "--graph", &graph, "--threshold", "0.5", "--variant", "independent",
+        ])
+        .unwrap();
+        assert!(out.contains("smallest greedy set"), "{out}");
+    }
+
+    #[test]
+    fn solve_writes_report_json() {
+        let sessions = tmp("report.jsonl");
+        let graph = tmp("report-graph.json");
+        let report = tmp("report-out.json");
+        run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.003", "--out", &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "normalized", "--out", &graph,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "solve", "--graph", &graph, "--k", "10", "--variant", "normalized", "--out", &report,
+        ])
+        .unwrap();
+        let parsed: pcover_core::SolveReport =
+            serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(parsed.k(), 10);
+    }
+
+    #[test]
+    fn all_algorithms_run_on_small_graph() {
+        let sessions = tmp("algos.jsonl");
+        let graph = tmp("algos-graph.json");
+        run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.001", "--seed", "3", "--out", &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+        ])
+        .unwrap();
+        for algo in ["greedy", "lazy", "parallel", "topk-w", "topk-c", "random"] {
+            let out = run_tokens(&[
+                "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
+                "--algorithm", algo,
+            ])
+            .unwrap();
+            assert!(out.contains("retained 5"), "algorithm {algo}: {out}");
+        }
+        assert!(run_tokens(&[
+            "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
+            "--algorithm", "nope",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn extended_algorithms_run() {
+        let sessions = tmp("ext-algos.jsonl");
+        let graph = tmp("ext-algos-graph.json");
+        run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.001", "--seed", "4", "--out", &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+        ])
+        .unwrap();
+        for algo in ["stochastic", "sieve", "local-search", "partitioned"] {
+            let out = run_tokens(&[
+                "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
+                "--algorithm", algo,
+            ])
+            .unwrap();
+            assert!(out.contains("retained"), "algorithm {algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn repair_and_export_dot() {
+        let sessions = tmp("repair.jsonl");
+        let graph = tmp("repair-graph.json");
+        let report = tmp("repair-report.json");
+        let dot = tmp("repair.dot");
+        run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.002", "--seed", "8", "--out", &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "solve", "--graph", &graph, "--k", "10", "--variant", "independent", "--out", &report,
+        ])
+        .unwrap();
+
+        let out = run_tokens(&[
+            "repair", "--graph", &graph, "--report", &report, "--variant", "independent",
+            "--max-changes", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("repaired solution of 10 items"), "{out}");
+
+        let out = run_tokens(&[
+            "export-dot", "--graph", &graph, "--out", &dot, "--report", &report,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote DOT"), "{out}");
+        let content = std::fs::read_to_string(&dot).unwrap();
+        assert!(content.contains("digraph"));
+        assert_eq!(content.matches("peripheries=2").count(), 10);
+    }
+
+    #[test]
+    fn closure_and_delta_commands() {
+        let graph = tmp("closure-graph.json");
+        let closed = tmp("closure-closed.json");
+        let changes = tmp("closure-delta.json");
+        let updated = tmp("closure-updated.json");
+
+        // A 3-node chain browse graph.
+        let mut b = pcover_graph::GraphBuilder::new().normalize_node_weights(true);
+        let x = b.add_node(1.0);
+        let y = b.add_node(1.0);
+        let z = b.add_node(1.0);
+        b.add_edge(x, y, 0.5).unwrap();
+        b.add_edge(y, z, 0.4).unwrap();
+        let g = b.build().unwrap();
+        graph_json::write_json(&g, &graph).unwrap();
+
+        let out = run_tokens(&[
+            "closure", "--graph", &graph, "--out", &closed, "--depth", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("2 -> 3 edges"), "{out}");
+
+        std::fs::write(
+            &changes,
+            r#"{"changes": [{"Delist": {"node": 2}}, {"SetNodeWeight": {"node": 0, "weight": 3.0}}]}"#,
+        )
+        .unwrap();
+        let out = run_tokens(&[
+            "delta", "--graph", &graph, "--changes", &changes, "--out", &updated,
+        ])
+        .unwrap();
+        assert!(out.contains("applied 2 changes"), "{out}");
+        let g2 = load_graph(&updated).unwrap();
+        assert_eq!(g2.edge_weight(y, z), None);
+        // x set to (unnormalized) 3.0 against y's surviving 1/3:
+        // renormalized share 3 / (3 + 1/3) = 0.9.
+        assert!((g2.node_weight(x) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_variant_is_rejected() {
+        let err = run_tokens(&[
+            "adapt", "--input", "x.jsonl", "--variant", "bogus", "--out", "y.json",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("variant"));
+    }
+
+    #[test]
+    fn error_paths_are_clean_messages() {
+        // Missing file.
+        let err = run_tokens(&["stats", "--graph", "/nonexistent/g.json"]).unwrap_err();
+        assert!(err.to_string().contains("io error"), "{err}");
+
+        // k larger than the graph.
+        let sessions = tmp("errs.jsonl");
+        let graph = tmp("errs-graph.json");
+        run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "0.001", "--out", &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+        ])
+        .unwrap();
+        let err = run_tokens(&[
+            "solve", "--graph", &graph, "--k", "999999", "--variant", "independent",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // Unparseable k.
+        let err = run_tokens(&[
+            "solve", "--graph", &graph, "--k", "many", "--variant", "independent",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--k"), "{err}");
+
+        // Threshold outside [0, 1].
+        let err = run_tokens(&[
+            "minimize", "--graph", &graph, "--threshold", "1.5", "--variant", "independent",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("1.5"), "{err}");
+
+        // Bad scale and profile for generate.
+        assert!(run_tokens(&[
+            "generate", "--profile", "ZZ", "--out", "x.jsonl"
+        ])
+        .is_err());
+        assert!(run_tokens(&[
+            "generate", "--profile", "YC", "--scale", "nope", "--out", "x.jsonl"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn yoochoose_format_generation() {
+        let base = tmp("ycgen.dat");
+        let out = run_tokens(&[
+            "generate", "--profile", "PM", "--scale", "0.001", "--out", &base, "--format",
+            "yoochoose",
+        ])
+        .unwrap();
+        assert!(out.contains("generated"));
+        let clicks = std::path::Path::new(&base).with_extension("clicks.dat");
+        let buys = std::path::Path::new(&base).with_extension("buys.dat");
+        assert!(clicks.exists() && buys.exists());
+        let (cs, _) = cs_io::read_yoochoose(&clicks, &buys).unwrap();
+        assert!(!cs.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # pcover-cli
+//!
+//! The end-to-end command line of the Preference Cover system, wiring the
+//! Figure 2 architecture: raw data → Data Adaptation Engine → Preference
+//! Cover Solver → retained items + coverage metadata.
+//!
+//! The binary is `pcover`; the library exposes the command implementations
+//! so they are unit-testable without spawning processes.
+//!
+//! ```text
+//! pcover generate --profile YC --scale 0.01 --seed 42 --out sessions.jsonl
+//! pcover diagnose --input sessions.jsonl
+//! pcover adapt    --input sessions.jsonl --variant independent --out graph.json
+//! pcover stats    --graph graph.json
+//! pcover solve    --graph graph.json --k 100 --variant independent --algorithm lazy
+//! pcover minimize --graph graph.json --threshold 0.8 --variant independent
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;
+
+/// CLI-level errors: argument problems or failures from the underlying
+/// libraries, all rendered as user-facing messages.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    /// Builds an error from anything displayable.
+    pub fn from_display(e: impl std::fmt::Display) -> Self {
+        CliError(e.to_string())
+    }
+}

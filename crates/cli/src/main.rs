@@ -1,0 +1,23 @@
+//! The `pcover` binary: parse, dispatch, print.
+
+use pcover_cli::args::Args;
+use pcover_cli::commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::HELP);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Clickstream containers and dataset statistics.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::session::{ExternalItemId, Session};
+
+/// A collection of sessions — one dataset in the paper's sense (PE, PF, PM,
+/// YC are each one `Clickstream`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clickstream {
+    /// The sessions, in log order.
+    pub sessions: Vec<Session>,
+}
+
+impl Clickstream {
+    /// Creates a clickstream from sessions.
+    pub fn new(sessions: Vec<Session>) -> Self {
+        Clickstream { sessions }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when there are no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Distinct item ids appearing anywhere (clicked or purchased), with
+    /// their total purchase counts. Iteration order of the map is
+    /// unspecified; callers sort as needed.
+    pub fn item_purchase_counts(&self) -> HashMap<ExternalItemId, u64> {
+        let mut counts: HashMap<ExternalItemId, u64> = HashMap::new();
+        for s in &self.sessions {
+            *counts.entry(s.purchase).or_insert(0) += 1;
+            for &c in &s.clicks {
+                counts.entry(c).or_insert(0);
+            }
+        }
+        counts
+    }
+
+    /// Computes the dataset statistics (the Table 2 numbers, minus the edge
+    /// count which only exists after graph construction).
+    pub fn stats(&self) -> ClickstreamStats {
+        let mut purchases = 0u64;
+        let mut clicks = 0u64;
+        let mut alt_histogram: Vec<u64> = Vec::new();
+        let mut weighted_alt_fraction_sum = 0.0f64;
+        for s in &self.sessions {
+            purchases += 1;
+            clicks += s.clicks.len() as u64;
+            let alts = s.alternative_count();
+            if alt_histogram.len() <= alts {
+                alt_histogram.resize(alts + 1, 0);
+            }
+            alt_histogram[alts] += 1;
+            if alts <= 1 {
+                weighted_alt_fraction_sum += 1.0;
+            }
+        }
+        let items = self.item_purchase_counts().len();
+        let n_sessions = self.sessions.len();
+        ClickstreamStats {
+            sessions: n_sessions,
+            purchases,
+            items,
+            clicks,
+            alt_histogram,
+            at_most_one_alternative_fraction: if n_sessions == 0 {
+                1.0
+            } else {
+                weighted_alt_fraction_sum / n_sessions as f64
+            },
+        }
+    }
+}
+
+/// Summary statistics of a clickstream dataset.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClickstreamStats {
+    /// Number of sessions (all ending in a purchase).
+    pub sessions: usize,
+    /// Number of purchases (equals `sessions` after single-purchase
+    /// filtering — the paper's Table 2 lists both).
+    pub purchases: u64,
+    /// Number of distinct items clicked or purchased.
+    pub items: usize,
+    /// Total click events.
+    pub clicks: u64,
+    /// `alt_histogram[t]` = number of sessions with exactly `t` distinct
+    /// non-purchase clicked items.
+    pub alt_histogram: Vec<u64>,
+    /// Fraction of sessions with at most one alternative — the paper's 90%
+    /// rule for choosing the Normalized variant (Section 5.2).
+    pub at_most_one_alternative_fraction: f64,
+}
+
+impl ClickstreamStats {
+    /// Mean number of distinct alternatives per session.
+    pub fn mean_alternatives(&self) -> f64 {
+        if self.sessions == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .alt_histogram
+            .iter()
+            .enumerate()
+            .map(|(t, &n)| t as u64 * n)
+            .sum();
+        total as f64 / self.sessions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clickstream {
+        Clickstream::new(vec![
+            Session::new(1, vec![10, 20], 10),        // 1 alternative (20)
+            Session::new(2, vec![10, 20, 30], 30),    // 2 alternatives
+            Session::new(3, vec![], 10),              // 0 alternatives
+            Session::new(4, vec![40], 10),            // 1 alternative
+        ])
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = sample().stats();
+        assert_eq!(s.sessions, 4);
+        assert_eq!(s.purchases, 4);
+        assert_eq!(s.items, 4); // 10, 20, 30, 40
+        assert_eq!(s.clicks, 6);
+        assert_eq!(s.alt_histogram, vec![1, 2, 1]);
+        assert!((s.at_most_one_alternative_fraction - 0.75).abs() < 1e-12);
+        assert!((s.mean_alternatives() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purchase_counts() {
+        let counts = sample().item_purchase_counts();
+        assert_eq!(counts[&10], 3);
+        assert_eq!(counts[&30], 1);
+        assert_eq!(counts[&20], 0); // clicked only
+        assert_eq!(counts[&40], 0);
+    }
+
+    #[test]
+    fn empty_clickstream() {
+        let cs = Clickstream::default();
+        assert!(cs.is_empty());
+        let s = cs.stats();
+        assert_eq!(s.sessions, 0);
+        assert_eq!(s.at_most_one_alternative_fraction, 1.0);
+        assert_eq!(s.mean_alternatives(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cs = sample();
+        let json = serde_json::to_string(&cs).unwrap();
+        let back: Clickstream = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cs);
+    }
+}

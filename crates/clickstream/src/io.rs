@@ -1,0 +1,307 @@
+//! Clickstream serialization: JSONL interchange and the YooChoose
+//! RecSys'15 two-file format.
+//!
+//! The YooChoose dataset (reference \[3\] of the paper) ships as
+//!
+//! * `yoochoose-clicks.dat` — `session_id,timestamp,item_id,category`
+//! * `yoochoose-buys.dat` — `session_id,timestamp,item_id,price,quantity`
+//!
+//! with ISO-8601 timestamps and no header rows. [`read_yoochoose`] joins
+//! the two files by session and runs the paper's single-purchase
+//! normalization; [`write_yoochoose`] emits the same format (used by the
+//! synthetic data generator, so every downstream tool exercises the real
+//! parsing path).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::filter::{normalize_sessions, FilterStats, RawSession};
+use crate::{Clickstream, Session};
+
+/// Errors raised by clickstream IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file error.
+    Io(std::io::Error),
+    /// Malformed content.
+    Parse {
+        /// 1-based line number, if known.
+        line: Option<usize>,
+        /// Description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line: Some(n), message } => {
+                write!(f, "parse error at line {n}: {message}")
+            }
+            IoError::Parse { line: None, message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes one session per line as JSON.
+pub fn write_jsonl(cs: &Clickstream, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for s in &cs.sessions {
+        serde_json::to_writer(&mut w, s).map_err(|e| IoError::Parse {
+            line: None,
+            message: e.to_string(),
+        })?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a JSONL clickstream written by [`write_jsonl`].
+pub fn read_jsonl(path: impl AsRef<Path>) -> Result<Clickstream, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut sessions = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let s: Session = serde_json::from_str(&line).map_err(|e| IoError::Parse {
+            line: Some(lineno + 1),
+            message: e.to_string(),
+        })?;
+        sessions.push(s);
+    }
+    Ok(Clickstream::new(sessions))
+}
+
+/// Reads the YooChoose two-file format, joining clicks and buys by session
+/// and normalizing to single-purchase sessions.
+///
+/// Returns the clickstream together with the normalization statistics
+/// (sessions dropped/split).
+pub fn read_yoochoose(
+    clicks_path: impl AsRef<Path>,
+    buys_path: impl AsRef<Path>,
+) -> Result<(Clickstream, FilterStats), IoError> {
+    // Session id -> raw session under construction. Insertion order is
+    // preserved via a parallel Vec so output is deterministic.
+    let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut raw: Vec<RawSession> = Vec::new();
+
+    let slot = |raw: &mut Vec<RawSession>,
+                    index: &mut std::collections::HashMap<u64, usize>,
+                    id: u64|
+     -> usize {
+        *index.entry(id).or_insert_with(|| {
+            raw.push(RawSession {
+                id,
+                ..RawSession::default()
+            });
+            raw.len() - 1
+        })
+    };
+
+    let clicks = BufReader::new(File::open(clicks_path)?);
+    for (lineno, line) in clicks.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(4, ',');
+        let session: u64 = parse(parts.next(), "session_id", lineno)?;
+        let _timestamp = parts.next().ok_or_else(|| missing("timestamp", lineno))?;
+        let item: u64 = parse(parts.next(), "item_id", lineno)?;
+        // Fourth field (category) is ignored.
+        let i = slot(&mut raw, &mut index, session);
+        raw[i].clicks.push(item);
+    }
+
+    let buys = BufReader::new(File::open(buys_path)?);
+    for (lineno, line) in buys.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(5, ',');
+        let session: u64 = parse(parts.next(), "session_id", lineno)?;
+        let _timestamp = parts.next().ok_or_else(|| missing("timestamp", lineno))?;
+        let item: u64 = parse(parts.next(), "item_id", lineno)?;
+        // price, quantity ignored (the paper's model is unit-commission).
+        let i = slot(&mut raw, &mut index, session);
+        raw[i].purchases.push(item);
+    }
+
+    let (mut cs, stats) = normalize_sessions(raw);
+    // A session that only appears in the buys file is first seen during the
+    // second pass; canonicalize output order by session id (stable, so the
+    // per-purchase splits of one session keep their relative order).
+    cs.sessions.sort_by_key(|s| s.id);
+    Ok((cs, stats))
+}
+
+/// Writes a clickstream in the YooChoose two-file format.
+///
+/// Timestamps are synthesized as a fixed epoch plus the session index (the
+/// model is timestamp-free); categories are written as `0`, price as `999`
+/// and quantity as `1`.
+pub fn write_yoochoose(
+    cs: &Clickstream,
+    clicks_path: impl AsRef<Path>,
+    buys_path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    let mut clicks = BufWriter::new(File::create(clicks_path)?);
+    let mut buys = BufWriter::new(File::create(buys_path)?);
+    for (i, s) in cs.sessions.iter().enumerate() {
+        let ts = format!("2014-04-01T00:00:{:02}.000Z", i % 60);
+        for &c in &s.clicks {
+            writeln!(clicks, "{},{},{},0", s.id, ts, c)?;
+        }
+        writeln!(buys, "{},{},{},999,1", s.id, ts, s.purchase)?;
+    }
+    clicks.flush()?;
+    buys.flush()?;
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(
+    field: Option<&str>,
+    name: &str,
+    lineno: usize,
+) -> Result<T, IoError> {
+    let raw = field.ok_or_else(|| missing(name, lineno))?;
+    raw.trim().parse().map_err(|_| IoError::Parse {
+        line: Some(lineno + 1),
+        message: format!("cannot parse {name} from {raw:?}"),
+    })
+}
+
+fn missing(name: &str, lineno: usize) -> IoError {
+    IoError::Parse {
+        line: Some(lineno + 1),
+        message: format!("missing field {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pcover-cs-io").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> Clickstream {
+        Clickstream::new(vec![
+            Session::new(1, vec![10, 20, 10], 20),
+            Session::new(2, vec![], 30),
+            Session::new(3, vec![40], 30),
+        ])
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let dir = tmpdir("jsonl");
+        let path = dir.join("cs.jsonl");
+        let cs = sample();
+        write_jsonl(&cs, &path).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let dir = tmpdir("garbage");
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"id\": 1}\nnot json\n").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn yoochoose_roundtrip_preserves_single_purchase_sessions() {
+        let dir = tmpdir("yc");
+        let clicks = dir.join("yoochoose-clicks.dat");
+        let buys = dir.join("yoochoose-buys.dat");
+        let cs = sample();
+        write_yoochoose(&cs, &clicks, &buys).unwrap();
+        let (back, stats) = read_yoochoose(&clicks, &buys).unwrap();
+        assert_eq!(back, cs);
+        assert_eq!(stats.dropped_no_purchase, 0);
+        assert_eq!(stats.split_multi_purchase, 0);
+    }
+
+    #[test]
+    fn yoochoose_real_format_lines_parse() {
+        // Lines in the shape of the actual public dataset.
+        let dir = tmpdir("ycreal");
+        let clicks = dir.join("clicks.dat");
+        let buys = dir.join("buys.dat");
+        std::fs::write(
+            &clicks,
+            "420374,2014-04-06T18:44:58.314Z,214537888,0\n\
+             420374,2014-04-06T18:44:58.325Z,214537850,0\n\
+             281626,2014-04-06T09:40:13.032Z,214535653,0\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &buys,
+            "420374,2014-04-06T18:44:58.314Z,214537888,12462,1\n",
+        )
+        .unwrap();
+        let (cs, stats) = read_yoochoose(&clicks, &buys).unwrap();
+        // Session 281626 has no purchase -> dropped.
+        assert_eq!(cs.len(), 1);
+        assert_eq!(stats.dropped_no_purchase, 1);
+        let s = &cs.sessions[0];
+        assert_eq!(s.id, 420374);
+        assert_eq!(s.purchase, 214537888);
+        assert_eq!(s.alternatives(), vec![214537850]);
+    }
+
+    #[test]
+    fn yoochoose_multi_purchase_sessions_split() {
+        let dir = tmpdir("ycmulti");
+        let clicks = dir.join("clicks.dat");
+        let buys = dir.join("buys.dat");
+        std::fs::write(&clicks, "9,t,100,0\n9,t,200,0\n9,t,300,0\n").unwrap();
+        std::fs::write(&buys, "9,t,100,1,1\n9,t,300,1,1\n").unwrap();
+        let (cs, stats) = read_yoochoose(&clicks, &buys).unwrap();
+        assert_eq!(stats.split_multi_purchase, 1);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.sessions[0].purchase, 100);
+        assert_eq!(cs.sessions[0].alternatives(), vec![200]);
+        assert_eq!(cs.sessions[1].purchase, 300);
+        assert_eq!(cs.sessions[1].alternatives(), vec![200]);
+    }
+
+    #[test]
+    fn bad_item_id_is_parse_error_with_line() {
+        let dir = tmpdir("ycbad");
+        let clicks = dir.join("clicks.dat");
+        let buys = dir.join("buys.dat");
+        std::fs::write(&clicks, "1,t,abc,0\n").unwrap();
+        std::fs::write(&buys, "").unwrap();
+        let err = read_yoochoose(&clicks, &buys).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: Some(1), .. }));
+    }
+}

@@ -1,0 +1,33 @@
+//! # pcover-clickstream
+//!
+//! The raw-data substrate of the Preference Cover system: consumer browsing
+//! *sessions* consisting of item clicks and a purchase, as described in
+//! Section 5.2 of "Inventory Reduction via Maximal Coverage in E-Commerce"
+//! (EDBT 2020).
+//!
+//! E-commerce platforms log per-session events; the paper's pipeline
+//! consumes the minimal schema available on essentially every platform —
+//! clicks and purchases grouped by session — and the public YooChoose
+//! RecSys'15 dataset ships exactly that. This crate provides:
+//!
+//! * [`Session`] / [`Clickstream`] — the in-memory model, with items under
+//!   their external (platform) ids.
+//! * [`ClickstreamStats`] — the Table 2 dataset-summary numbers plus the
+//!   alternative-click distribution that drives variant selection.
+//! * [`filter`] — the cleaning steps the paper applies (single-purchase
+//!   sessions, click dedup).
+//! * [`io`] — JSONL interchange and the YooChoose two-file format
+//!   (`yoochoose-clicks.dat` / `yoochoose-buys.dat`), both read *and*
+//!   write, so the real public dataset can be dropped in directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod session;
+
+pub mod filter;
+pub mod io;
+
+pub use dataset::{ClickstreamStats, Clickstream};
+pub use session::{ExternalItemId, Session};

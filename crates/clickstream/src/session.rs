@@ -1,0 +1,88 @@
+//! A single consumer browsing session.
+
+use serde::{Deserialize, Serialize};
+
+/// An item identifier as it appears in platform logs (YooChoose uses 64-bit
+/// integers; string ids should be interned upstream).
+pub type ExternalItemId = u64;
+
+/// One browsing session: the items the consumer clicked and the single item
+/// purchased at the end.
+///
+/// The paper restricts its input to sessions ending in exactly one item
+/// purchase (Section 5.3); sessions without a purchase carry no intent
+/// signal for the model and are dropped by [`filter`](crate::filter).
+/// Clicks may include the purchased item itself and repeated views — the
+/// adaptation engine considers *distinct non-purchased* clicked items.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Platform session id.
+    pub id: u64,
+    /// Clicked item ids, in click order, possibly with repeats.
+    pub clicks: Vec<ExternalItemId>,
+    /// The purchased item.
+    pub purchase: ExternalItemId,
+}
+
+impl Session {
+    /// Convenience constructor.
+    pub fn new(id: u64, clicks: Vec<ExternalItemId>, purchase: ExternalItemId) -> Self {
+        Session {
+            id,
+            clicks,
+            purchase,
+        }
+    }
+
+    /// The distinct clicked items that are **not** the purchase — the
+    /// "alternatives considered" signal of Section 5.2, in first-click
+    /// order.
+    pub fn alternatives(&self) -> Vec<ExternalItemId> {
+        let mut seen = Vec::new();
+        for &c in &self.clicks {
+            if c != self.purchase && !seen.contains(&c) {
+                seen.push(c);
+            }
+        }
+        seen
+    }
+
+    /// Number of distinct non-purchase clicked items.
+    pub fn alternative_count(&self) -> usize {
+        self.alternatives().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternatives_dedup_and_exclude_purchase() {
+        let s = Session::new(1, vec![10, 20, 10, 30, 20, 30], 30);
+        assert_eq!(s.alternatives(), vec![10, 20]);
+        assert_eq!(s.alternative_count(), 2);
+    }
+
+    #[test]
+    fn purchase_only_session_has_no_alternatives() {
+        let s = Session::new(2, vec![5, 5], 5);
+        assert!(s.alternatives().is_empty());
+        let s = Session::new(3, vec![], 5);
+        assert!(s.alternatives().is_empty());
+    }
+
+    #[test]
+    fn order_is_first_click_order() {
+        let s = Session::new(4, vec![9, 7, 9, 8], 1);
+        assert_eq!(s.alternatives(), vec![9, 7, 8]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Session::new(7, vec![1, 2], 2);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Session = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,59 @@
+//! Robustness: the YooChoose and JSONL readers must error, never panic, on
+//! arbitrary input.
+
+use proptest::prelude::*;
+
+use pcover_clickstream::io;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn yoochoose_reader_never_panics(clicks in "\\PC{0,300}", buys in "\\PC{0,300}") {
+        let dir = std::env::temp_dir()
+            .join("pcover-fuzz-yc")
+            .join(format!("{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = dir.join("clicks.dat");
+        let b = dir.join("buys.dat");
+        std::fs::write(&c, &clicks).unwrap();
+        std::fs::write(&b, &buys).unwrap();
+        let _ = io::read_yoochoose(&c, &b);
+    }
+
+    #[test]
+    fn yoochoose_reader_accepts_any_numeric_rows(
+        rows in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..20),
+    ) {
+        // Well-formed numeric rows must always parse (whatever the ids).
+        let dir = std::env::temp_dir()
+            .join("pcover-fuzz-yc2")
+            .join(format!("{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = dir.join("clicks.dat");
+        let b = dir.join("buys.dat");
+        let clicks: String = rows
+            .iter()
+            .map(|(s, i)| format!("{s},2014-04-01T00:00:00.000Z,{i},0\n"))
+            .collect();
+        let buys: String = rows
+            .iter()
+            .map(|(s, i)| format!("{s},2014-04-01T00:00:00.000Z,{i},100,1\n"))
+            .collect();
+        std::fs::write(&c, &clicks).unwrap();
+        std::fs::write(&b, &buys).unwrap();
+        let (cs, stats) = io::read_yoochoose(&c, &b).unwrap();
+        // Every row pair purchases its clicked item, so nothing is dropped.
+        prop_assert_eq!(stats.dropped_no_purchase, 0);
+        prop_assert!(cs.len() >= stats.raw_sessions - stats.split_multi_purchase);
+    }
+
+    #[test]
+    fn jsonl_reader_never_panics(content in "\\PC{0,300}") {
+        let dir = std::env::temp_dir().join("pcover-fuzz-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}.jsonl", std::process::id()));
+        std::fs::write(&p, &content).unwrap();
+        let _ = io::read_jsonl(&p);
+    }
+}

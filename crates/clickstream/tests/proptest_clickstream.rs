@@ -1,0 +1,116 @@
+//! Property tests for the clickstream substrate: normalization invariants
+//! and format roundtrips on random sessions.
+
+use proptest::prelude::*;
+
+use pcover_clickstream::filter::{normalize_sessions, RawSession};
+use pcover_clickstream::{io, Clickstream, Session};
+
+fn arb_raw_sessions(max: usize) -> impl Strategy<Value = Vec<RawSession>> {
+    proptest::collection::vec(
+        (
+            1u64..1000,
+            proptest::collection::vec(1u64..50, 0..6),
+            proptest::collection::vec(1u64..50, 0..3),
+        ),
+        0..=max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(id, clicks, purchases)| RawSession {
+                id,
+                clicks,
+                purchases,
+            })
+            .collect()
+    })
+}
+
+fn arb_clickstream(max: usize) -> impl Strategy<Value = Clickstream> {
+    proptest::collection::vec(
+        (1u64..10_000, proptest::collection::vec(1u64..200, 0..6), 1u64..200),
+        0..=max,
+    )
+    .prop_map(|raw| {
+        Clickstream::new(
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (_, clicks, purchase))| Session::new(i as u64 + 1, clicks, purchase))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normalization_accounting_adds_up(raw in arb_raw_sessions(30)) {
+        let raw_count = raw.len();
+        let multi: usize = raw
+            .iter()
+            .filter(|r| {
+                let mut d: Vec<u64> = r.purchases.clone();
+                d.sort_unstable();
+                d.dedup();
+                d.len() > 1
+            })
+            .count();
+        let (cs, stats) = normalize_sessions(raw);
+        prop_assert_eq!(stats.raw_sessions, raw_count);
+        prop_assert_eq!(stats.split_multi_purchase, multi);
+        prop_assert_eq!(stats.output_sessions, cs.len());
+        // Every output session's purchase is never listed among its
+        // alternatives.
+        for s in &cs.sessions {
+            prop_assert!(!s.alternatives().contains(&s.purchase));
+        }
+        // Conservation: outputs = raw - dropped + extra splits.
+        prop_assert!(cs.len() >= raw_count - stats.dropped_no_purchase);
+    }
+
+    #[test]
+    fn stats_histogram_sums_to_sessions(cs in arb_clickstream(40)) {
+        let stats = cs.stats();
+        let hist_total: u64 = stats.alt_histogram.iter().sum();
+        prop_assert_eq!(hist_total, cs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&stats.at_most_one_alternative_fraction));
+        prop_assert!(stats.mean_alternatives() >= 0.0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip(cs in arb_clickstream(30)) {
+        let dir = std::env::temp_dir().join("pcover-prop-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cs-{}.jsonl", std::process::id()));
+        io::write_jsonl(&cs, &path).unwrap();
+        let back = io::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back, cs);
+    }
+
+    #[test]
+    fn yoochoose_roundtrip_for_sorted_unique_ids(n in 1usize..30, salt in 0u64..1000) {
+        // The YooChoose reader canonicalizes by session id, so feed it
+        // sessions with unique ascending ids.
+        let sessions: Vec<Session> = (0..n)
+            .map(|i| {
+                let id = i as u64 + 1;
+                let purchase = (i as u64 * 7 + salt) % 40 + 1;
+                let clicks = vec![purchase, (purchase + 3) % 40 + 1];
+                Session::new(id, clicks, purchase)
+            })
+            .collect();
+        let cs = Clickstream::new(sessions);
+        let dir = std::env::temp_dir().join("pcover-prop-yc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clicks = dir.join(format!("c-{}.dat", std::process::id()));
+        let buys = dir.join(format!("b-{}.dat", std::process::id()));
+        io::write_yoochoose(&cs, &clicks, &buys).unwrap();
+        let (back, stats) = io::read_yoochoose(&clicks, &buys).unwrap();
+        std::fs::remove_file(&clicks).ok();
+        std::fs::remove_file(&buys).ok();
+        prop_assert_eq!(back, cs);
+        prop_assert_eq!(stats.dropped_no_purchase, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Approximation-ratio formulas and the Table 1 data.
+//!
+//! The greedy algorithm achieves `max{1 − 1/e, 1 − (1 − k/n)²}` for `NPC_k`
+//! (via the `VC_k` equivalence; Feige & Langberg 2001) and a tight
+//! `1 − 1/e` for `IPC_k` (Theorem 4.1). Table 1 of the paper contrasts the
+//! greedy bound with the best known (SDP/LP-based, unscalable) bounds per
+//! `k/n` range; [`table1`] reproduces that table.
+
+use serde::{Deserialize, Serialize};
+
+/// `1 − 1/e ≈ 0.632`, the classic submodular-greedy constant.
+pub const ONE_MINUS_INV_E: f64 = 1.0 - 0.367_879_441_171_442_33;
+
+/// The greedy approximation guarantee for `NPC_k` at ratio `rho = k / n`:
+/// `max{1 − 1/e, 1 − (1 − rho)²}`.
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1]`.
+pub fn greedy_ratio_npc(rho: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rho),
+        "k/n ratio must be in [0, 1], got {rho}"
+    );
+    let quadratic = 1.0 - (1.0 - rho) * (1.0 - rho);
+    quadratic.max(1.0 - (-1.0f64).exp())
+}
+
+/// The greedy approximation guarantee for `IPC_k`: the tight `1 − 1/e`,
+/// independent of `k/n`.
+pub fn greedy_ratio_ipc() -> f64 {
+    1.0 - (-1.0f64).exp()
+}
+
+/// The `k/n` ratio above which the quadratic term beats `1 − 1/e`:
+/// `1 − 1/√e ≈ 0.3935` (the "≈0.39" boundary in Table 1).
+pub fn quadratic_crossover() -> f64 {
+    1.0 - (-0.5f64).exp()
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// The `k/n` range as printed in the paper.
+    pub range: &'static str,
+    /// Representative `rho` used to evaluate the greedy column (`None` for
+    /// the asymptotic `o(1)` row, where the quadratic term vanishes).
+    pub representative_rho: Option<f64>,
+    /// The greedy guarantee formula rendered as in the paper.
+    pub greedy_formula: &'static str,
+    /// The greedy guarantee evaluated at the representative `rho`.
+    pub greedy_value: f64,
+    /// Best known polynomial guarantee (literature constants; SDP/LP-based
+    /// except the last row where greedy itself is the best known).
+    pub best_known: &'static str,
+    /// Numeric value of the best-known column (approximate for the rows the
+    /// paper itself reports approximately).
+    pub best_known_value: f64,
+}
+
+/// Reproduces Table 1: greedy vs best-known approximation ratios for
+/// `VC_k` (and hence `NPC_k`) per `k/n` range.
+pub fn table1() -> Vec<Table1Row> {
+    let e_term = greedy_ratio_ipc();
+    vec![
+        Table1Row {
+            range: "o(1)",
+            representative_rho: None,
+            greedy_formula: "1 - 1/e",
+            greedy_value: e_term,
+            best_known: "0.75 + eps (SDP) [11]",
+            best_known_value: 0.75,
+        },
+        Table1Row {
+            range: "Theta(1), [0, ~0.39)",
+            representative_rho: Some(0.2),
+            greedy_formula: "1 - 1/e",
+            greedy_value: greedy_ratio_npc(0.2),
+            best_known: "0.92 (SDP) [19]",
+            best_known_value: 0.92,
+        },
+        Table1Row {
+            range: "(~0.39, ~0.72)",
+            representative_rho: Some(0.55),
+            greedy_formula: "1 - (1 - k/n)^2",
+            greedy_value: greedy_ratio_npc(0.55),
+            best_known: "0.92 (SDP) [19]",
+            best_known_value: 0.92,
+        },
+        Table1Row {
+            range: "(~0.72, 0.74)",
+            representative_rho: Some(0.73),
+            greedy_formula: "1 - (1 - k/n)^2",
+            greedy_value: greedy_ratio_npc(0.73),
+            best_known: "~0.93 (SDP) [17]",
+            best_known_value: 0.93,
+        },
+        Table1Row {
+            range: "[0.74, 1]",
+            representative_rho: Some(0.74),
+            greedy_formula: "1 - (1 - k/n)^2",
+            greedy_value: greedy_ratio_npc(0.74),
+            best_known: "1 - (1 - k/n)^2 [11]",
+            best_known_value: greedy_ratio_npc(0.74),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert!((greedy_ratio_ipc() - 0.6321205588285577).abs() < 1e-12);
+        assert!((quadratic_crossover() - 0.3934693402873666).abs() < 1e-12);
+    }
+
+    #[test]
+    fn npc_ratio_regimes() {
+        // Below the crossover the e-term dominates...
+        assert!((greedy_ratio_npc(0.1) - greedy_ratio_ipc()).abs() < 1e-12);
+        assert!((greedy_ratio_npc(0.39) - greedy_ratio_ipc()).abs() < 1e-12);
+        // ...above it the quadratic takes over.
+        assert!(greedy_ratio_npc(0.5) > greedy_ratio_ipc());
+        assert!((greedy_ratio_npc(0.5) - 0.75).abs() < 1e-12);
+        // Paper: for k >= 0.74n the guarantee exceeds 0.93.
+        assert!(greedy_ratio_npc(0.74) > 0.93);
+        // Extremes.
+        assert!((greedy_ratio_npc(0.0) - greedy_ratio_ipc()).abs() < 1e-12);
+        assert!((greedy_ratio_npc(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rho_out_of_range_panics() {
+        greedy_ratio_npc(1.5);
+    }
+
+    #[test]
+    fn table1_has_five_rows_and_monotone_greedy_column() {
+        let t = table1();
+        assert_eq!(t.len(), 5);
+        for w in t.windows(2) {
+            assert!(w[1].greedy_value >= w[0].greedy_value - 1e-12);
+        }
+        // The last row is where greedy is the best known.
+        assert!((t[4].greedy_value - t[4].best_known_value).abs() < 1e-12);
+        // Greedy never claims more than best-known anywhere.
+        for row in &t {
+            assert!(row.greedy_value <= row.best_known_value + 1e-12, "{}", row.range);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Exact brute-force solver — the paper's BF baseline.
+//!
+//! Enumerates every size-`k` subset and keeps the best cover. Only feasible
+//! on tiny instances (the paper notes 155M subsets already at `n = 30`,
+//! `k = 15`); its role is to measure the *actual* approximation ratio greedy
+//! achieves in practice (Figure 4a) and the exponential runtime wall
+//! (Figure 4b).
+//!
+//! Subsets are represented as `u64` bitmasks (`n ≤ 64`), and enumeration is
+//! Gosper's hack: the next subset with the same popcount in amortized
+//! `O(1)`. Cover evaluation per subset is `O(n + m)`.
+
+use std::time::Instant;
+
+use pcover_graph::{ItemId, PreferenceGraph};
+
+use crate::report::{Algorithm, SolveReport};
+use crate::variant::CoverModel;
+use crate::SolveError;
+
+/// Configuration for the exact solver.
+#[derive(Clone, Copy, Debug)]
+pub struct BruteForceOptions {
+    /// Refuse to run if `C(n, k)` exceeds this many subsets.
+    pub max_subsets: u128,
+}
+
+impl Default for BruteForceOptions {
+    fn default() -> Self {
+        // ~20M subsets × O(n + m) is seconds of work on small instances;
+        // anything beyond that deserves an explicit opt-in.
+        BruteForceOptions {
+            max_subsets: 20_000_000,
+        }
+    }
+}
+
+/// Number of size-`k` subsets of an `n`-set, saturating at `u128::MAX`.
+pub fn subset_count(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut c: u128 = 1;
+    for i in 0..k {
+        c = match c.checked_mul((n - i) as u128) {
+            Some(x) => x / (i as u128 + 1),
+            None => return u128::MAX,
+        };
+    }
+    c
+}
+
+/// Finds the optimal retained set of size exactly `k` by exhaustive search.
+///
+/// Tie-breaking is toward the lexicographically smallest bitmask, i.e. the
+/// subset containing the smallest ids, making results deterministic.
+///
+/// # Errors
+///
+/// * [`SolveError::KTooLarge`] if `k > n`.
+/// * [`SolveError::TooManyNodesForBruteForce`] if `n > 64`.
+/// * [`SolveError::TooManySubsets`] if the enumeration exceeds
+///   `opts.max_subsets`.
+pub fn solve<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    opts: &BruteForceOptions,
+) -> Result<SolveReport, SolveError> {
+    let started = Instant::now();
+    let n = g.node_count();
+    if k > n {
+        return Err(SolveError::KTooLarge { k, n });
+    }
+    if n > 64 {
+        return Err(SolveError::TooManyNodesForBruteForce { n });
+    }
+    let subsets = subset_count(n, k);
+    if subsets > opts.max_subsets {
+        return Err(SolveError::TooManySubsets {
+            subsets,
+            limit: opts.max_subsets,
+        });
+    }
+
+    let mut best_mask: u64 = if k == 0 { 0 } else { (1u64 << k) - 1 };
+    let mut best_cover = cover_of_mask::<M>(g, best_mask);
+    let mut evaluations = 1u64;
+
+    if k > 0 && k < n {
+        let limit: u64 = if n == 64 { u64::MAX } else { 1u64 << n };
+        let mut mask = best_mask;
+        loop {
+            // Gosper's hack: next integer with the same popcount.
+            let c = mask & mask.wrapping_neg();
+            let Some(r) = mask.checked_add(c) else {
+                break; // enumeration wrapped past the top of the u64 range
+            };
+            let next = (((r ^ mask) >> 2) / c) | r;
+            if next >= limit || next < mask {
+                break;
+            }
+            mask = next;
+            let cover = cover_of_mask::<M>(g, mask);
+            evaluations += 1;
+            if cover > best_cover {
+                best_cover = cover;
+                best_mask = mask;
+            }
+        }
+    }
+
+    // Assemble the report. BF has no meaningful selection order; ids are
+    // reported ascending, and the trajectory is the cover of each prefix of
+    // that order (useful for plots, not a greedy trajectory).
+    let order: Vec<ItemId> = (0..n as u32)
+        .filter(|&i| best_mask >> i & 1 == 1)
+        .map(ItemId::new)
+        .collect();
+    let mut trajectory = Vec::with_capacity(order.len());
+    let mut prefix_mask = 0u64;
+    for v in &order {
+        prefix_mask |= 1 << v.raw();
+        trajectory.push(cover_of_mask::<M>(g, prefix_mask));
+    }
+    let item_cover = item_cover_of_mask::<M>(g, best_mask);
+
+    Ok(SolveReport {
+        algorithm: Algorithm::BruteForce,
+        variant: M::VARIANT,
+        order,
+        trajectory,
+        cover: best_cover,
+        item_cover,
+        elapsed: started.elapsed(),
+        gain_evaluations: evaluations,
+    })
+}
+
+/// `C(S)` for a bitmask selection.
+fn cover_of_mask<M: CoverModel>(g: &PreferenceGraph, mask: u64) -> f64 {
+    let mut c = 0.0;
+    for v in g.node_ids() {
+        if mask >> v.raw() & 1 == 1 {
+            c += g.node_weight(v);
+        } else {
+            let matched = M::combine(
+                g.out_edges(v)
+                    .filter(|&(u, _)| u != v && mask >> u.raw() & 1 == 1)
+                    .map(|(_, w)| w),
+            );
+            c += g.node_weight(v) * matched;
+        }
+    }
+    c
+}
+
+/// Per-item `I` values for a bitmask selection.
+fn item_cover_of_mask<M: CoverModel>(g: &PreferenceGraph, mask: u64) -> Vec<f64> {
+    g.node_ids()
+        .map(|v| {
+            if mask >> v.raw() & 1 == 1 {
+                g.node_weight(v)
+            } else {
+                let matched = M::combine(
+                    g.out_edges(v)
+                        .filter(|&(u, _)| u != v && mask >> u.raw() & 1 == 1)
+                        .map(|(_, w)| w),
+                );
+                g.node_weight(v) * matched
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::examples::figure1_ids;
+    use pcover_graph::GraphBuilder;
+    use rand::{RngExt, SeedableRng};
+
+    use crate::{greedy, Independent, Normalized};
+
+    use super::*;
+
+    #[test]
+    fn subset_counts() {
+        assert_eq!(subset_count(5, 2), 10);
+        assert_eq!(subset_count(30, 15), 155_117_520);
+        assert_eq!(subset_count(4, 0), 1);
+        assert_eq!(subset_count(4, 4), 1);
+        assert_eq!(subset_count(3, 7), 0);
+        // Saturation instead of overflow.
+        assert_eq!(subset_count(200, 100), u128::MAX);
+    }
+
+    #[test]
+    fn figure1_optimum_is_b_d() {
+        let (g, ids) = figure1_ids();
+        let r = solve::<Normalized>(&g, 2, &BruteForceOptions::default()).unwrap();
+        assert_eq!(r.order, vec![ids.b, ids.d]);
+        assert!((r.cover - 0.873).abs() < 1e-9);
+        // Example 1.1 says {B, D} is "also the optimal possible pair" —
+        // greedy achieves the optimum here.
+        let gr = greedy::solve::<Normalized>(&g, 2).unwrap();
+        assert!((gr.cover - r.cover).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let (g, _) = figure1_ids();
+        let r0 = solve::<Independent>(&g, 0, &BruteForceOptions::default()).unwrap();
+        assert!(r0.order.is_empty());
+        assert_eq!(r0.cover, 0.0);
+        let rn = solve::<Independent>(&g, 5, &BruteForceOptions::default()).unwrap();
+        assert!((rn.cover - 1.0).abs() < 1e-9);
+        assert!(solve::<Independent>(&g, 6, &BruteForceOptions::default()).is_err());
+    }
+
+    #[test]
+    fn subset_limit_enforced() {
+        let (g, _) = figure1_ids();
+        let opts = BruteForceOptions { max_subsets: 5 };
+        assert!(matches!(
+            solve::<Normalized>(&g, 2, &opts),
+            Err(SolveError::TooManySubsets { subsets: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_more_than_64_nodes() {
+        let mut b = GraphBuilder::new().normalize_node_weights(true);
+        for _ in 0..70 {
+            b.add_node(1.0);
+        }
+        let g = b.build().unwrap();
+        assert!(matches!(
+            solve::<Normalized>(&g, 1, &BruteForceOptions::default()),
+            Err(SolveError::TooManyNodesForBruteForce { n: 70 })
+        ));
+    }
+
+    #[test]
+    fn greedy_never_beats_bf_and_stays_within_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for trial in 0..10 {
+            let n = rng.random_range(5..12);
+            let mut b = GraphBuilder::new()
+                .normalize_node_weights(true)
+                .duplicate_edge_policy(pcover_graph::DuplicateEdgePolicy::Max);
+            let ids: Vec<_> = (0..n).map(|_| b.add_node(rng.random_range(1.0..20.0))).collect();
+            for &v in &ids {
+                for _ in 0..2 {
+                    let u = ids[rng.random_range(0..n)];
+                    if u != v {
+                        b.add_edge(v, u, rng.random_range(0.1..1.0)).unwrap();
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let k = rng.random_range(1..n);
+            let bf = solve::<Independent>(&g, k, &BruteForceOptions::default()).unwrap();
+            let gr = greedy::solve::<Independent>(&g, k).unwrap();
+            assert!(
+                gr.cover <= bf.cover + 1e-9,
+                "trial {trial}: greedy beat BF?!"
+            );
+            assert!(
+                gr.cover >= (1.0 - 1.0 / std::f64::consts::E) * bf.cover - 1e-9,
+                "trial {trial}: greedy {} below (1-1/e) of optimum {}",
+                gr.cover,
+                bf.cover
+            );
+        }
+    }
+
+    #[test]
+    fn works_at_n_64_boundary() {
+        let mut b = GraphBuilder::new().normalize_node_weights(true);
+        let ids: Vec<_> = (0..64).map(|_| b.add_node(1.0)).collect();
+        b.add_edge(ids[0], ids[63], 0.5).unwrap();
+        let g = b.build().unwrap();
+        let r = solve::<Normalized>(&g, 63, &BruteForceOptions::default()).unwrap();
+        // Leaving out node 0 (covered half by 63) is optimal: cover
+        // = 63/64 + (1/64)(0.5).
+        let expected = 63.0 / 64.0 + 0.5 / 64.0;
+        assert!((r.cover - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Solver error types.
+
+use std::fmt;
+
+/// Errors raised by the solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// `k` exceeds the number of nodes in the graph.
+    KTooLarge {
+        /// The requested retained-set size.
+        k: usize,
+        /// The number of available items.
+        n: usize,
+    },
+    /// The brute-force solver would enumerate more subsets than its
+    /// configured limit.
+    TooManySubsets {
+        /// `C(n, k)`, the number of subsets that would be evaluated
+        /// (saturating).
+        subsets: u128,
+        /// The configured enumeration limit.
+        limit: u128,
+    },
+    /// The brute-force bitmask representation supports at most 64 nodes.
+    TooManyNodesForBruteForce {
+        /// The number of nodes in the instance.
+        n: usize,
+    },
+    /// The minimization threshold cannot be reached even by retaining every
+    /// item.
+    ThresholdUnreachable {
+        /// The requested cover threshold.
+        threshold: f64,
+        /// The best cover achievable (retaining all items).
+        achievable: f64,
+    },
+    /// The minimization threshold is not a finite probability in `[0, 1]`.
+    InvalidThreshold {
+        /// The rejected threshold.
+        threshold: f64,
+    },
+    /// A requested thread count of zero.
+    ZeroThreads,
+    /// A pinned-prefix solve received a prefix longer than `k` or containing
+    /// duplicates/out-of-range ids.
+    InvalidPrefix {
+        /// What was wrong with the prefix.
+        message: String,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::KTooLarge { k, n } => {
+                write!(f, "k = {k} exceeds the number of items n = {n}")
+            }
+            SolveError::TooManySubsets { subsets, limit } => write!(
+                f,
+                "brute force would enumerate {subsets} subsets, above the limit of {limit}"
+            ),
+            SolveError::TooManyNodesForBruteForce { n } => write!(
+                f,
+                "brute force supports at most 64 nodes, instance has {n}"
+            ),
+            SolveError::ThresholdUnreachable {
+                threshold,
+                achievable,
+            } => write!(
+                f,
+                "cover threshold {threshold} unreachable; retaining everything covers only {achievable}"
+            ),
+            SolveError::InvalidThreshold { threshold } => {
+                write!(f, "threshold {threshold} is not a probability in [0, 1]")
+            }
+            SolveError::ZeroThreads => write!(f, "thread count must be at least 1"),
+            SolveError::InvalidPrefix { message } => write!(f, "invalid prefix: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = SolveError::KTooLarge { k: 10, n: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+
+        let e = SolveError::ThresholdUnreachable {
+            threshold: 0.99,
+            achievable: 0.8,
+        };
+        assert!(e.to_string().contains("0.99"));
+    }
+}

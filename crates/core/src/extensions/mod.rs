@@ -1,0 +1,21 @@
+//! Extensions beyond the paper's core model.
+//!
+//! The paper's conclusion names two future-work directions: supporting
+//! varying per-item revenues, and incremental maintenance of solutions as
+//! the catalog changes over time. This module implements practical versions
+//! of both, plus pinned-prefix solving (business-rule constraints), all on
+//! top of the unchanged greedy machinery:
+//!
+//! * [`revenue`] — revenue-weighted objectives via node-weight scaling.
+//! * [`pinned`] — greedy completion of a forced prefix of retained items.
+//! * [`incremental`] — solution repair after graph weight updates.
+//! * [`quota`] — per-category minimum/maximum constraints (partition
+//!   matroid greedy).
+//! * [`markov`] — the Markov chain choice model of the related OR
+//!   literature, as an exact multi-hop reference objective.
+
+pub mod incremental;
+pub mod markov;
+pub mod pinned;
+pub mod quota;
+pub mod revenue;

@@ -1,0 +1,294 @@
+//! Category-quota constrained selection — a beyond-paper extension.
+//!
+//! Real assortment planning rarely runs unconstrained: a same-day-delivery
+//! warehouse wants breadth ("at least 2 items from every top category")
+//! and balance ("at most 50 phones"). This module runs the greedy scheme
+//! under per-category minimum and maximum quotas:
+//!
+//! 1. **Breadth phase** — for each category with a minimum, repeatedly add
+//!    the max-gain item of that category until its minimum is met
+//!    (categories processed in order of remaining deficit, largest first).
+//! 2. **Greedy phase** — ordinary max-gain greedy over all items whose
+//!    category still has headroom.
+//!
+//! With only maxima this is greedy over a partition matroid — a classical
+//! `1/2`-approximation for monotone submodular objectives; minima are a
+//! feasibility constraint layered on top (infeasible combinations are
+//! rejected up front).
+
+use std::time::Instant;
+
+use pcover_graph::{ItemId, PreferenceGraph};
+
+use crate::cover::CoverState;
+use crate::greedy::finish;
+use crate::report::{Algorithm, SolveReport};
+use crate::variant::CoverModel;
+use crate::SolveError;
+
+/// Per-category constraints. Categories are dense `0..num_categories`.
+#[derive(Clone, Debug)]
+pub struct CategoryQuotas {
+    /// `category_of[item.index()]` — the item's category.
+    pub category_of: Vec<u32>,
+    /// Per category, the minimum number of retained items (0 = none).
+    pub min_per_category: Vec<usize>,
+    /// Per category, the maximum number of retained items
+    /// (`usize::MAX` = unbounded).
+    pub max_per_category: Vec<usize>,
+}
+
+impl CategoryQuotas {
+    /// Unconstrained quotas over `categories` categories for a graph of
+    /// `category_of` assignments.
+    pub fn unconstrained(category_of: Vec<u32>, categories: usize) -> Self {
+        CategoryQuotas {
+            category_of,
+            min_per_category: vec![0; categories],
+            max_per_category: vec![usize::MAX; categories],
+        }
+    }
+
+    fn validate(&self, g: &PreferenceGraph, k: usize) -> Result<(), SolveError> {
+        if self.category_of.len() != g.node_count() {
+            return Err(SolveError::InvalidPrefix {
+                message: format!(
+                    "category assignment length {} does not match node count {}",
+                    self.category_of.len(),
+                    g.node_count()
+                ),
+            });
+        }
+        let c = self.min_per_category.len();
+        if self.max_per_category.len() != c {
+            return Err(SolveError::InvalidPrefix {
+                message: "min and max quota vectors differ in length".into(),
+            });
+        }
+        let mut sizes = vec![0usize; c];
+        for &cat in &self.category_of {
+            if cat as usize >= c {
+                return Err(SolveError::InvalidPrefix {
+                    message: format!("item category {cat} out of range (have {c})"),
+                });
+            }
+            sizes[cat as usize] += 1;
+        }
+        let mut min_total = 0usize;
+        for (cat, &size) in sizes.iter().enumerate() {
+            if self.min_per_category[cat] > self.max_per_category[cat] {
+                return Err(SolveError::InvalidPrefix {
+                    message: format!("category {cat}: min exceeds max"),
+                });
+            }
+            if self.min_per_category[cat] > size {
+                return Err(SolveError::InvalidPrefix {
+                    message: format!(
+                        "category {cat}: minimum {} exceeds its {size} items",
+                        self.min_per_category[cat]
+                    ),
+                });
+            }
+            min_total += self.min_per_category[cat];
+        }
+        if min_total > k {
+            return Err(SolveError::InvalidPrefix {
+                message: format!("sum of category minimums {min_total} exceeds k = {k}"),
+            });
+        }
+        // k must be reachable under the maxima.
+        let capacity: usize = (0..c)
+            .map(|cat| self.max_per_category[cat].min(sizes[cat]))
+            .sum();
+        if capacity < k {
+            return Err(SolveError::KTooLarge { k, n: capacity });
+        }
+        Ok(())
+    }
+}
+
+/// Runs quota-constrained greedy for budget `k`.
+pub fn solve<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    quotas: &CategoryQuotas,
+) -> Result<SolveReport, SolveError> {
+    let started = Instant::now();
+    let n = g.node_count();
+    if k > n {
+        return Err(SolveError::KTooLarge { k, n });
+    }
+    quotas.validate(g, k)?;
+
+    let c = quotas.min_per_category.len();
+    let mut taken = vec![0usize; c];
+    let mut state = CoverState::new(n);
+    let mut trajectory = Vec::with_capacity(k);
+    let mut gain_evaluations = 0u64;
+
+    // Phase 1: satisfy minimums, most-deficient category first.
+    loop {
+        let deficit_cat = (0..c)
+            .filter(|&cat| taken[cat] < quotas.min_per_category[cat])
+            .max_by_key(|&cat| quotas.min_per_category[cat] - taken[cat]);
+        let Some(cat) = deficit_cat else { break };
+        let mut best: Option<(f64, ItemId)> = None;
+        for v in g.node_ids() {
+            if state.contains(v) || quotas.category_of[v.index()] as usize != cat {
+                continue;
+            }
+            let gain = state.gain::<M>(g, v);
+            gain_evaluations += 1;
+            let better = match best {
+                None => true,
+                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        let (_, chosen) = best.expect("validated: category has enough items");
+        state.add_node::<M>(g, chosen);
+        taken[cat] += 1;
+        trajectory.push(state.cover());
+    }
+
+    // Phase 2: unconstrained-gain greedy over categories with headroom.
+    while state.len() < k {
+        let mut best: Option<(f64, ItemId)> = None;
+        for v in g.node_ids() {
+            if state.contains(v) {
+                continue;
+            }
+            let cat = quotas.category_of[v.index()] as usize;
+            if taken[cat] >= quotas.max_per_category[cat] {
+                continue;
+            }
+            let gain = state.gain::<M>(g, v);
+            gain_evaluations += 1;
+            let better = match best {
+                None => true,
+                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
+            };
+            if better {
+                best = Some((gain, v));
+            }
+        }
+        let (_, chosen) = best.expect("validated: capacity >= k");
+        taken[quotas.category_of[chosen.index()] as usize] += 1;
+        state.add_node::<M>(g, chosen);
+        trajectory.push(state.cover());
+    }
+
+    Ok(finish::<M>(
+        Algorithm::Greedy,
+        state,
+        trajectory,
+        started,
+        gain_evaluations,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::examples::figure1_ids;
+
+    use crate::{greedy, Normalized};
+
+    use super::*;
+
+    /// Figure 1 categories: {A, B, C} = 0 (TVs), {D, E} = 1 (upgrades).
+    fn fig1_quotas() -> CategoryQuotas {
+        CategoryQuotas::unconstrained(vec![0, 0, 0, 1, 1], 2)
+    }
+
+    #[test]
+    fn unconstrained_matches_plain_greedy() {
+        let (g, _) = figure1_ids();
+        for k in 1..=4 {
+            let plain = greedy::solve::<Normalized>(&g, k).unwrap();
+            let quota = solve::<Normalized>(&g, k, &fig1_quotas()).unwrap();
+            assert_eq!(plain.order, quota.order, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn max_quota_redirects_selection() {
+        let (g, ids) = figure1_ids();
+        // At most one item from category 0: greedy would pick {B, D}
+        // anyway (one from each), but at k = 3 plain greedy adds A (cat 0);
+        // constrained must pick E instead.
+        let mut quotas = fig1_quotas();
+        quotas.max_per_category[0] = 1;
+        let r = solve::<Normalized>(&g, 3, &quotas).unwrap();
+        assert_eq!(r.order[..2], [ids.b, ids.d]);
+        assert_eq!(r.order[2], ids.e);
+        let plain = greedy::solve::<Normalized>(&g, 3).unwrap();
+        assert_eq!(plain.order[2], ids.a);
+        assert!(r.cover <= plain.cover);
+    }
+
+    #[test]
+    fn min_quota_forces_breadth() {
+        let (g, ids) = figure1_ids();
+        // k = 2 with a minimum of 1 in category 1: {B, D} already complies;
+        // minimum of 2 in category 1 forces {D, E}.
+        let mut quotas = fig1_quotas();
+        quotas.min_per_category[1] = 2;
+        let r = solve::<Normalized>(&g, 2, &quotas).unwrap();
+        let mut sorted = r.order.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![ids.d, ids.e]);
+    }
+
+    #[test]
+    fn infeasible_quotas_rejected() {
+        let (g, _) = figure1_ids();
+        // Minimum exceeding category size.
+        let mut quotas = fig1_quotas();
+        quotas.min_per_category[1] = 3;
+        assert!(solve::<Normalized>(&g, 4, &quotas).is_err());
+
+        // Minimums exceeding k.
+        let mut quotas = fig1_quotas();
+        quotas.min_per_category[0] = 2;
+        quotas.min_per_category[1] = 2;
+        assert!(solve::<Normalized>(&g, 3, &quotas).is_err());
+
+        // Maxima too tight for k.
+        let mut quotas = fig1_quotas();
+        quotas.max_per_category[0] = 1;
+        quotas.max_per_category[1] = 1;
+        assert!(solve::<Normalized>(&g, 3, &quotas).is_err());
+
+        // min > max.
+        let mut quotas = fig1_quotas();
+        quotas.min_per_category[0] = 2;
+        quotas.max_per_category[0] = 1;
+        assert!(solve::<Normalized>(&g, 3, &quotas).is_err());
+
+        // Wrong assignment length.
+        let quotas = CategoryQuotas::unconstrained(vec![0, 0], 1);
+        assert!(solve::<Normalized>(&g, 1, &quotas).is_err());
+
+        // Category id out of range.
+        let quotas = CategoryQuotas::unconstrained(vec![0, 0, 0, 0, 7], 2);
+        assert!(solve::<Normalized>(&g, 1, &quotas).is_err());
+    }
+
+    #[test]
+    fn quotas_always_respected() {
+        let (g, _) = figure1_ids();
+        let mut quotas = fig1_quotas();
+        quotas.min_per_category[1] = 1;
+        quotas.max_per_category[0] = 2;
+        let r = solve::<Normalized>(&g, 3, &quotas).unwrap();
+        let mut counts = [0usize; 2];
+        for &v in &r.order {
+            counts[quotas.category_of[v.index()] as usize] += 1;
+        }
+        assert!(counts[0] <= 2);
+        assert!(counts[1] >= 1);
+        assert_eq!(r.k(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Revenue-weighted Preference Cover.
+//!
+//! The paper's model values every matched request equally (fixed commission
+//! per purchase). When per-item revenues differ, the natural objective is
+//! expected *revenue* rather than expected *sales*:
+//!
+//! `R(S) = Σ_v r(v) · I_S[v]`
+//!
+//! where `I_S[v]` is the probability `v` is requested and matched. Because
+//! both cover variants are linear in the node weights, this is exactly the
+//! ordinary cover of a graph whose node weights are scaled by revenue and
+//! renormalized. The solver therefore reduces revenue optimization to the
+//! unmodified greedy, keeping all guarantees (the objective is still
+//! monotone submodular; scaling node weights preserves that structure).
+
+use pcover_graph::{GraphBuilder, GraphError, PreferenceGraph};
+
+use crate::report::SolveReport;
+use crate::variant::CoverModel;
+use crate::{lazy, SolveError};
+
+/// The outcome of a revenue-weighted solve.
+#[derive(Clone, Debug)]
+pub struct RevenueReport {
+    /// The underlying solve report **on the scaled graph**: covers and
+    /// trajectories are fractions of total attainable revenue.
+    pub report: SolveReport,
+    /// Total revenue rate `Σ_v r(v) · W(v)` — multiply report covers by
+    /// this to get absolute expected revenue per request.
+    pub total_revenue_rate: f64,
+}
+
+impl RevenueReport {
+    /// Expected revenue per consumer request under the selected inventory.
+    pub fn expected_revenue_per_request(&self) -> f64 {
+        self.report.cover * self.total_revenue_rate
+    }
+}
+
+/// Builds the revenue-scaled graph: node weights become
+/// `W(v) · r(v) / Σ_u W(u) · r(u)`; edges are untouched.
+///
+/// # Errors
+///
+/// Fails if `revenues` has the wrong length, contains non-finite or
+/// negative values, or scales every weight to zero.
+pub fn scale_by_revenue(
+    g: &PreferenceGraph,
+    revenues: &[f64],
+) -> Result<(PreferenceGraph, f64), GraphError> {
+    if revenues.len() != g.node_count() {
+        return Err(GraphError::Parse {
+            line: None,
+            message: format!(
+                "revenue vector length {} does not match node count {}",
+                revenues.len(),
+                g.node_count()
+            ),
+        });
+    }
+    for (i, &r) in revenues.iter().enumerate() {
+        if !r.is_finite() || r < 0.0 {
+            return Err(GraphError::InvalidNodeWeight {
+                node: pcover_graph::ItemId::from_index(i),
+                weight: r,
+            });
+        }
+    }
+    let total: f64 = g
+        .node_ids()
+        .map(|v| g.node_weight(v) * revenues[v.index()])
+        .sum();
+    if total <= 0.0 {
+        return Err(GraphError::EmptyGraph);
+    }
+
+    let mut b = GraphBuilder::with_capacity(g.node_count(), g.edge_count())
+        .allow_self_loops(true)
+        .normalize_node_weights(true);
+    for v in g.node_ids() {
+        let w = g.node_weight(v) * revenues[v.index()];
+        match g.label(v) {
+            Some(l) => b.add_node_labeled(w, l),
+            None => b.add_node(w),
+        };
+    }
+    for e in g.edges() {
+        b.add_edge(e.source, e.target, e.weight)?;
+    }
+    Ok((b.build()?, total))
+}
+
+/// Solves the revenue-weighted problem with lazy greedy.
+pub fn solve<M: CoverModel>(
+    g: &PreferenceGraph,
+    revenues: &[f64],
+    k: usize,
+) -> Result<RevenueReport, SolveError> {
+    let (scaled, total) = scale_by_revenue(g, revenues).map_err(|e| SolveError::InvalidPrefix {
+        message: format!("revenue scaling failed: {e}"),
+    })?;
+    let report = lazy::solve::<M>(&scaled, k)?;
+    Ok(RevenueReport {
+        report,
+        total_revenue_rate: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::examples::figure1_ids;
+
+    use crate::{greedy, Normalized};
+
+    use super::*;
+
+    #[test]
+    fn uniform_revenue_changes_nothing() {
+        let (g, _) = figure1_ids();
+        let plain = greedy::solve::<Normalized>(&g, 2).unwrap();
+        let rev = solve::<Normalized>(&g, &[5.0; 5], 2).unwrap();
+        assert_eq!(rev.report.order, plain.order);
+        assert!((rev.report.cover - plain.cover).abs() < 1e-9);
+        // Total rate = 5 (every request earns 5).
+        assert!((rev.total_revenue_rate - 5.0).abs() < 1e-9);
+        assert!((rev.expected_revenue_per_request() - 5.0 * plain.cover).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_revenue_item_gets_retained() {
+        let (g, ids) = figure1_ids();
+        // Make E enormously profitable; with k = 1 the solver should now
+        // pick D (covering E at 0.9 plus itself) or E itself over B.
+        let mut revenues = [1.0; 5];
+        revenues[ids.e.index()] = 100.0;
+        let rev = solve::<Normalized>(&g, &revenues, 1).unwrap();
+        assert_eq!(rev.report.order.len(), 1);
+        let picked = rev.report.order[0];
+        assert!(
+            picked == ids.e || picked == ids.d,
+            "expected E or D, got {picked}"
+        );
+        // E itself is worth 17 of the ~18.8 total rate; D covers 0.9 of
+        // that plus its own 0.06 — E wins.
+        assert_eq!(picked, ids.e);
+    }
+
+    #[test]
+    fn zero_revenue_items_never_attract_selection() {
+        let (g, ids) = figure1_ids();
+        let mut revenues = [1.0; 5];
+        revenues[ids.b.index()] = 0.0;
+        revenues[ids.c.index()] = 0.0;
+        let rev = solve::<Normalized>(&g, &revenues, 1).unwrap();
+        // Without B/C revenue, A is the biggest prize.
+        assert_eq!(rev.report.order[0], ids.a);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (g, _) = figure1_ids();
+        assert!(scale_by_revenue(&g, &[1.0; 3]).is_err());
+        assert!(scale_by_revenue(&g, &[1.0, 1.0, 1.0, 1.0, -2.0]).is_err());
+        assert!(scale_by_revenue(&g, &[0.0; 5]).is_err());
+        assert!(scale_by_revenue(&g, &[1.0, f64::NAN, 1.0, 1.0, 1.0]).is_err());
+    }
+}

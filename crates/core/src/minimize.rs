@@ -1,0 +1,264 @@
+//! The complementary minimization problem: the **smallest** retained set
+//! whose cover reaches a threshold.
+//!
+//! The paper notes (end of Section 3.2) that the greedy solver handles this
+//! directly — keep adding max-gain items until the threshold is crossed —
+//! avoiding the `O(log n)` binary-search overhead a black-box maximization
+//! algorithm would need. Baselines, lacking incremental structure, *are*
+//! adapted by binary search over their ranking prefix (Section 5.4,
+//! Figure 4f).
+
+use pcover_graph::{ItemId, PreferenceGraph};
+
+use crate::baselines::{rank_by_singleton_coverage, rank_by_weight};
+use crate::cover::{cover_value, CoverState};
+use crate::lazy;
+use crate::report::{Algorithm, SolveReport};
+use crate::variant::CoverModel;
+use crate::SolveError;
+
+/// The result of a minimization: the report for the chosen set plus the
+/// threshold it was asked to reach.
+#[derive(Clone, Debug)]
+pub struct MinimizeResult {
+    /// Report for the selected set (cover ≥ threshold).
+    pub report: SolveReport,
+    /// The requested threshold.
+    pub threshold: f64,
+}
+
+impl MinimizeResult {
+    /// Size of the selected set.
+    pub fn set_size(&self) -> usize {
+        self.report.order.len()
+    }
+}
+
+fn check_threshold(threshold: f64) -> Result<(), SolveError> {
+    if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+        return Err(SolveError::InvalidThreshold { threshold });
+    }
+    Ok(())
+}
+
+/// Greedy minimization: runs lazy greedy, stopping as soon as the cover
+/// reaches `threshold`.
+///
+/// ```
+/// use pcover_core::{minimize, Normalized};
+/// use pcover_graph::examples::figure1;
+///
+/// let g = figure1();
+/// // Item B alone covers 66% of requests, so a 0.5 target needs one item.
+/// let result = minimize::greedy_min_cover::<Normalized>(&g, 0.5).unwrap();
+/// assert_eq!(result.set_size(), 1);
+/// assert!(result.report.cover >= 0.5);
+/// ```
+///
+/// # Errors
+///
+/// * [`SolveError::InvalidThreshold`] for thresholds outside `[0, 1]`.
+/// * [`SolveError::ThresholdUnreachable`] if even retaining every item
+///   falls short (possible only when node weights sum below the threshold).
+pub fn greedy_min_cover<M: CoverModel>(
+    g: &PreferenceGraph,
+    threshold: f64,
+) -> Result<MinimizeResult, SolveError> {
+    check_threshold(threshold)?;
+    // A full greedy run is the worst case; thanks to the incremental order
+    // we can simply truncate its trajectory at the threshold. Lazy greedy
+    // makes the full run cheap, and in practice the threshold triggers long
+    // before exhaustion — so run incrementally instead of solving for n.
+    let n = g.node_count();
+    let mut report = lazy::solve_until::<M>(g, threshold)?;
+    if report.cover < threshold {
+        debug_assert_eq!(report.order.len(), n);
+        return Err(SolveError::ThresholdUnreachable {
+            threshold,
+            achievable: report.cover,
+        });
+    }
+    report.algorithm = Algorithm::LazyGreedy;
+    Ok(MinimizeResult { report, threshold })
+}
+
+/// Adapts a ranking-based baseline by binary search: the smallest prefix of
+/// `ranking` whose cover reaches `threshold`.
+///
+/// Each probe evaluates the cover from scratch (`O(n + m)`), and the search
+/// uses `O(log n)` probes — the overhead the paper's greedy approach avoids.
+fn binary_search_prefix<M: CoverModel>(
+    g: &PreferenceGraph,
+    ranking: &[ItemId],
+    threshold: f64,
+) -> Result<usize, SolveError> {
+    let full = {
+        let mut mask = vec![false; g.node_count()];
+        for &v in ranking {
+            mask[v.index()] = true;
+        }
+        cover_value::<M>(g, &mask)
+    };
+    if full < threshold {
+        return Err(SolveError::ThresholdUnreachable {
+            threshold,
+            achievable: full,
+        });
+    }
+    // Invariant: cover(prefix of hi) >= threshold > cover(prefix of lo).
+    let (mut lo, mut hi) = (0usize, ranking.len());
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let mut mask = vec![false; g.node_count()];
+        for &v in &ranking[..mid] {
+            mask[v.index()] = true;
+        }
+        if cover_value::<M>(g, &mask) >= threshold {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // hi = 1 may still be more than needed if threshold == 0.
+    if threshold == 0.0 {
+        return Ok(0);
+    }
+    Ok(hi)
+}
+
+/// TopK-W adapted to minimization: smallest weight-ranked prefix reaching
+/// `threshold`.
+pub fn top_k_weight_min_cover<M: CoverModel>(
+    g: &PreferenceGraph,
+    threshold: f64,
+) -> Result<MinimizeResult, SolveError> {
+    check_threshold(threshold)?;
+    let ranking = rank_by_weight(g);
+    let size = binary_search_prefix::<M>(g, &ranking, threshold)?;
+    let report = replay::<M>(g, Algorithm::TopKWeight, &ranking[..size]);
+    Ok(MinimizeResult { report, threshold })
+}
+
+/// TopK-C adapted to minimization: smallest coverage-ranked prefix reaching
+/// `threshold`.
+pub fn top_k_coverage_min_cover<M: CoverModel>(
+    g: &PreferenceGraph,
+    threshold: f64,
+) -> Result<MinimizeResult, SolveError> {
+    check_threshold(threshold)?;
+    let ranking = rank_by_singleton_coverage(g);
+    let size = binary_search_prefix::<M>(g, &ranking, threshold)?;
+    let report = replay::<M>(g, Algorithm::TopKCoverage, &ranking[..size]);
+    Ok(MinimizeResult { report, threshold })
+}
+
+fn replay<M: CoverModel>(
+    g: &PreferenceGraph,
+    algorithm: Algorithm,
+    selection: &[ItemId],
+) -> SolveReport {
+    let started = std::time::Instant::now();
+    let mut state = CoverState::new(g.node_count());
+    let mut trajectory = Vec::with_capacity(selection.len());
+    for &v in selection {
+        state.add_node::<M>(g, v);
+        trajectory.push(state.cover());
+    }
+    crate::greedy::finish::<M>(algorithm, state, trajectory, started, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::examples::figure1_ids;
+    use pcover_graph::GraphBuilder;
+
+    use crate::{Independent, Normalized};
+
+    use super::*;
+
+    #[test]
+    fn greedy_min_cover_on_figure1() {
+        let (g, ids) = figure1_ids();
+        // Threshold 0.5: B alone covers 0.66 >= 0.5.
+        let r = greedy_min_cover::<Normalized>(&g, 0.5).unwrap();
+        assert_eq!(r.set_size(), 1);
+        assert_eq!(r.report.order, vec![ids.b]);
+        // Threshold 0.7 needs B and D (0.873).
+        let r = greedy_min_cover::<Normalized>(&g, 0.7).unwrap();
+        assert_eq!(r.set_size(), 2);
+        // Threshold 1.0 needs everything with positive uncovered weight.
+        let r = greedy_min_cover::<Normalized>(&g, 1.0).unwrap();
+        assert!(r.report.cover >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn zero_threshold_needs_nothing() {
+        let (g, _) = figure1_ids();
+        let r = greedy_min_cover::<Independent>(&g, 0.0).unwrap();
+        assert_eq!(r.set_size(), 0);
+        let r = top_k_weight_min_cover::<Independent>(&g, 0.0).unwrap();
+        assert_eq!(r.set_size(), 0);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        let (g, _) = figure1_ids();
+        assert!(greedy_min_cover::<Normalized>(&g, 1.5).is_err());
+        assert!(greedy_min_cover::<Normalized>(&g, -0.1).is_err());
+        assert!(greedy_min_cover::<Normalized>(&g, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn unreachable_threshold_reported() {
+        // A graph whose weights sum to 0.8 (lax build) cannot reach 0.9.
+        let mut b = GraphBuilder::new().skip_weight_sum_check(true);
+        b.add_node(0.5);
+        b.add_node(0.3);
+        let g = b.build().unwrap();
+        let err = greedy_min_cover::<Normalized>(&g, 0.9).unwrap_err();
+        assert!(matches!(err, SolveError::ThresholdUnreachable { .. }));
+        let err = top_k_weight_min_cover::<Normalized>(&g, 0.9).unwrap_err();
+        assert!(matches!(err, SolveError::ThresholdUnreachable { .. }));
+    }
+
+    #[test]
+    fn greedy_needs_no_more_than_baselines() {
+        let (g, _) = figure1_ids();
+        for threshold in [0.3, 0.5, 0.7, 0.9] {
+            let gr = greedy_min_cover::<Normalized>(&g, threshold).unwrap();
+            let tw = top_k_weight_min_cover::<Normalized>(&g, threshold).unwrap();
+            let tc = top_k_coverage_min_cover::<Normalized>(&g, threshold).unwrap();
+            assert!(
+                gr.set_size() <= tw.set_size(),
+                "threshold {threshold}: greedy {} vs TopK-W {}",
+                gr.set_size(),
+                tw.set_size()
+            );
+            assert!(gr.set_size() <= tc.set_size(), "threshold {threshold}");
+            // All results actually reach the threshold.
+            assert!(gr.report.cover >= threshold - 1e-12);
+            assert!(tw.report.cover >= threshold - 1e-12);
+            assert!(tc.report.cover >= threshold - 1e-12);
+        }
+    }
+
+    #[test]
+    fn binary_search_prefix_is_minimal() {
+        let (g, _) = figure1_ids();
+        let ranking = rank_by_weight(&g);
+        for threshold in [0.2, 0.4, 0.6, 0.8] {
+            let size = binary_search_prefix::<Normalized>(&g, &ranking, threshold).unwrap();
+            // The chosen prefix reaches the threshold...
+            let mut mask = vec![false; g.node_count()];
+            for &v in &ranking[..size] {
+                mask[v.index()] = true;
+            }
+            assert!(cover_value::<Normalized>(&g, &mask) >= threshold);
+            // ...and one fewer item does not.
+            if size > 0 {
+                mask[ranking[size - 1].index()] = false;
+                assert!(cover_value::<Normalized>(&g, &mask) < threshold);
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The two Preference Cover variants as compile-time cover models.
+
+use serde::{Deserialize, Serialize};
+
+/// Runtime tag identifying a Preference Cover variant.
+///
+/// Use this at API boundaries (CLI flags, file metadata); the solvers
+/// themselves are generic over [`CoverModel`] so the variant-specific
+/// formulas compile to straight-line arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// `IPC_k` — alternatives are independent events (Definition 2.1).
+    Independent,
+    /// `NPC_k` — at most one acceptable alternative per request
+    /// (Definition 2.2); out-weight sums must be ≤ 1.
+    Normalized,
+}
+
+impl Variant {
+    /// Short lowercase name (`"independent"` / `"normalized"`) used in CLI
+    /// flags and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Independent => "independent",
+            Variant::Normalized => "normalized",
+        }
+    }
+
+    /// Parses a variant name, case-insensitively; accepts the full names
+    /// and the paper's suffixes `i`/`n`.
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s.to_ascii_lowercase().as_str() {
+            "independent" | "i" | "ipc" => Some(Variant::Independent),
+            "normalized" | "n" | "npc" => Some(Variant::Normalized),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A Preference Cover variant as a zero-sized strategy type.
+///
+/// The entire difference between the paper's Algorithms 2/3 (Normalized) and
+/// 4/5 (Independent) is the marginal contribution a newly retained node `v`
+/// makes to the cover of a non-retained in-neighbor `u`. Everything else —
+/// the greedy scheme, the incremental `I` array bookkeeping, lazy and
+/// parallel variants — is shared and generic over this trait.
+pub trait CoverModel: Copy + Send + Sync + 'static {
+    /// The runtime tag for this model.
+    const VARIANT: Variant;
+
+    /// Marginal gain to the cover of a **non-retained** node `u` when a new
+    /// node `v` with edge `u → v` of weight `w` is added to the retained
+    /// set.
+    ///
+    /// * `w` — the edge weight `W(u, v)`.
+    /// * `w_u` — the node weight `W(u)`.
+    /// * `i_u` — the current `I[u]`: the probability `u` is requested *and*
+    ///   already matched by the retained set.
+    ///
+    /// Independent (Algorithm 4, line 3): `w · (W(u) − I[u])` — the paper's
+    /// `O(1)` simplification of multiplying the miss-product by `(1 − w)`.
+    ///
+    /// Normalized (Algorithm 2, line 3): `W(u) · w` — alternatives are
+    /// mutually exclusive, so contributions add without interaction.
+    fn marginal(w: f64, w_u: f64, i_u: f64) -> f64;
+
+    /// The probability a request for a non-retained node is matched, given
+    /// the multiset of edge weights toward its retained neighbors.
+    ///
+    /// Used by from-scratch cover evaluation ([`cover_value`]) and by tests
+    /// as an independent oracle for the incremental bookkeeping.
+    ///
+    /// [`cover_value`]: crate::cover_value
+    fn combine<I: Iterator<Item = f64>>(weights: I) -> f64;
+}
+
+/// The Independent variant (`IPC_k`): edge events are independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Independent;
+
+impl CoverModel for Independent {
+    const VARIANT: Variant = Variant::Independent;
+
+    #[inline]
+    fn marginal(w: f64, w_u: f64, i_u: f64) -> f64 {
+        w * (w_u - i_u)
+    }
+
+    #[inline]
+    fn combine<I: Iterator<Item = f64>>(weights: I) -> f64 {
+        let miss: f64 = weights.map(|w| 1.0 - w).product();
+        1.0 - miss
+    }
+}
+
+/// The Normalized variant (`NPC_k`): at most one acceptable alternative per
+/// request; edge weights out of a node sum to at most 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Normalized;
+
+impl CoverModel for Normalized {
+    const VARIANT: Variant = Variant::Normalized;
+
+    #[inline]
+    fn marginal(w: f64, w_u: f64, _i_u: f64) -> f64 {
+        w_u * w
+    }
+
+    #[inline]
+    fn combine<I: Iterator<Item = f64>>(weights: I) -> f64 {
+        weights.sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_roundtrip() {
+        for v in [Variant::Independent, Variant::Normalized] {
+            assert_eq!(Variant::parse(v.name()), Some(v));
+        }
+        assert_eq!(Variant::parse("I"), Some(Variant::Independent));
+        assert_eq!(Variant::parse("NPC"), Some(Variant::Normalized));
+        assert_eq!(Variant::parse("bogus"), None);
+    }
+
+    #[test]
+    fn independent_combine_is_inclusion_exclusion() {
+        let p = Independent::combine([0.5, 0.5].into_iter());
+        assert!((p - 0.75).abs() < 1e-12);
+        assert_eq!(Independent::combine(std::iter::empty()), 0.0);
+        // A sure alternative matches with certainty.
+        assert_eq!(Independent::combine([1.0, 0.3].into_iter()), 1.0);
+    }
+
+    #[test]
+    fn normalized_combine_is_a_sum() {
+        let p = Normalized::combine([0.2, 0.3].into_iter());
+        assert!((p - 0.5).abs() < 1e-12);
+        assert_eq!(Normalized::combine(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn independent_marginal_shrinks_with_existing_cover() {
+        // Once u is partially covered, the marginal of a new alternative
+        // shrinks proportionally — the submodularity driver.
+        let fresh = Independent::marginal(0.5, 0.4, 0.0);
+        let partly = Independent::marginal(0.5, 0.4, 0.2);
+        assert!((fresh - 0.2).abs() < 1e-12);
+        assert!((partly - 0.1).abs() < 1e-12);
+        assert!(partly < fresh);
+    }
+
+    #[test]
+    fn normalized_marginal_ignores_existing_cover() {
+        assert_eq!(
+            Normalized::marginal(0.5, 0.4, 0.0),
+            Normalized::marginal(0.5, 0.4, 0.3)
+        );
+    }
+}

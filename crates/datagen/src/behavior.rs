@@ -1,0 +1,177 @@
+//! Consumer click-behavior models.
+//!
+//! Section 5.2 of the paper identifies two dependency regimes in real
+//! clickstreams, one per problem variant. These models synthesize sessions
+//! in each regime so the adaptation diagnostics (the ≥90% single-alternative
+//! rule and the <0.1 mutual-information rule) classify the generated data
+//! the same way the paper classifies PE/PF/YC (Independent) and PM
+//! (Normalized).
+
+use rand::{Rng, RngExt};
+
+use crate::sampling::AliasTable;
+
+/// How a simulated consumer clicks alternatives before purchasing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BehaviorModel {
+    /// Each candidate substitute is clicked **independently** with
+    /// probability `base_click_prob · affinity` — the regime of the PE, PF
+    /// and YC datasets.
+    IndependentClicks {
+        /// Scales affinities into click probabilities; `0.0..=1.0`.
+        base_click_prob: f64,
+    },
+    /// At most one alternative is (almost always) clicked: with probability
+    /// `alt_prob` one substitute is drawn by affinity; independently, with
+    /// probability `second_alt_prob` a second distinct one is added. Keeps
+    /// the ≤1-alternative fraction at `1 − alt_prob · second_alt_prob`
+    /// (≥ 90% for the defaults) — the regime of the PM dataset.
+    SingleAlternative {
+        /// Probability the session considers any alternative at all.
+        alt_prob: f64,
+        /// Probability a considered session clicks a second alternative.
+        second_alt_prob: f64,
+    },
+}
+
+impl BehaviorModel {
+    /// The paper-like Independent default.
+    pub fn independent_default() -> Self {
+        BehaviorModel::IndependentClicks {
+            base_click_prob: 0.6,
+        }
+    }
+
+    /// The paper-like Normalized (PM) default: 85% of sessions consider one
+    /// alternative, 8% of those add a second → ~93.2% of sessions have ≤1
+    /// (above the paper's 90% rule), while keeping enough alternative
+    /// clicks to approach Table 2's PM edge density.
+    pub fn single_alternative_default() -> Self {
+        BehaviorModel::SingleAlternative {
+            alt_prob: 0.85,
+            second_alt_prob: 0.08,
+        }
+    }
+
+    /// Draws the set of clicked alternatives for one session, given the
+    /// desired item's substitute candidates `(item, affinity)`.
+    pub fn draw_alternatives<R: Rng + ?Sized>(
+        &self,
+        substitutes: &[(u64, f64)],
+        rng: &mut R,
+    ) -> Vec<u64> {
+        if substitutes.is_empty() {
+            return Vec::new();
+        }
+        match *self {
+            BehaviorModel::IndependentClicks { base_click_prob } => substitutes
+                .iter()
+                .filter(|&&(_, aff)| rng.random::<f64>() < base_click_prob * aff)
+                .map(|&(j, _)| j)
+                .collect(),
+            BehaviorModel::SingleAlternative {
+                alt_prob,
+                second_alt_prob,
+            } => {
+                let mut clicked = Vec::new();
+                if rng.random::<f64>() < alt_prob {
+                    let weights: Vec<f64> = substitutes.iter().map(|&(_, a)| a).collect();
+                    let table = AliasTable::new(&weights);
+                    let first = substitutes[table.sample(rng)].0;
+                    clicked.push(first);
+                    if substitutes.len() > 1 && rng.random::<f64>() < second_alt_prob {
+                        // Rejection-sample a distinct second alternative.
+                        loop {
+                            let second = substitutes[table.sample(rng)].0;
+                            if second != first {
+                                clicked.push(second);
+                                break;
+                            }
+                        }
+                    }
+                }
+                clicked
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn subs() -> Vec<(u64, f64)> {
+        vec![(1, 1.0), (2, 0.5), (3, 0.33), (4, 0.25)]
+    }
+
+    #[test]
+    fn independent_click_rates_scale_with_affinity() {
+        let model = BehaviorModel::IndependentClicks {
+            base_click_prob: 0.5,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let trials = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..trials {
+            for j in model.draw_alternatives(&subs(), &mut rng) {
+                counts[j as usize] += 1;
+            }
+        }
+        // Expected click rates: 0.5, 0.25, 0.165, 0.125.
+        for (j, expected) in [(1usize, 0.5), (2, 0.25), (3, 0.165), (4, 0.125)] {
+            let rate = counts[j] as f64 / trials as f64;
+            assert!(
+                (rate - expected).abs() < 0.01,
+                "item {j}: rate {rate} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_alternative_rarely_clicks_two() {
+        let model = BehaviorModel::single_alternative_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let trials = 50_000;
+        let mut at_most_one = 0usize;
+        let mut more_than_two = 0usize;
+        for _ in 0..trials {
+            let alts = model.draw_alternatives(&subs(), &mut rng);
+            if alts.len() <= 1 {
+                at_most_one += 1;
+            }
+            if alts.len() > 2 {
+                more_than_two += 1;
+            }
+        }
+        let fraction = at_most_one as f64 / trials as f64;
+        // The paper's rule for the Normalized variant: >= 90%.
+        assert!(fraction >= 0.90, "only {fraction} of sessions had <= 1 alt");
+        assert_eq!(more_than_two, 0);
+    }
+
+    #[test]
+    fn no_substitutes_means_no_clicks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for model in [
+            BehaviorModel::independent_default(),
+            BehaviorModel::single_alternative_default(),
+        ] {
+            assert!(model.draw_alternatives(&[], &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_substitute_never_duplicated() {
+        let model = BehaviorModel::SingleAlternative {
+            alt_prob: 1.0,
+            second_alt_prob: 1.0,
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let alts = model.draw_alternatives(&[(7, 1.0)], &mut rng);
+            assert_eq!(alts, vec![7]);
+        }
+    }
+}

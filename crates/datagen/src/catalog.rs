@@ -1,0 +1,238 @@
+//! Synthetic item catalogs: items, categories and substitute affinities.
+
+use rand::{Rng, RngExt};
+
+use crate::sampling::zipf_weights;
+
+/// Configuration for [`Catalog::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogConfig {
+    /// Number of items.
+    pub items: usize,
+    /// Minimum category size (inclusive).
+    pub min_category_size: usize,
+    /// Maximum category size (inclusive). Categories partition the catalog
+    /// into contiguous id blocks with sizes uniform in
+    /// `[min_category_size, max_category_size]`.
+    pub max_category_size: usize,
+    /// Zipf exponent of item purchase popularity (`≈ 1` for e-commerce).
+    pub popularity_exponent: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            items: 1000,
+            min_category_size: 4,
+            max_category_size: 16,
+            popularity_exponent: 1.0,
+        }
+    }
+}
+
+/// A synthetic catalog: per-item popularity and a partition into categories
+/// of substitutable items.
+///
+/// Item ids are `0..items`. Popularity rank is deliberately decoupled from
+/// category position by a deterministic permutation, so the heavy items
+/// spread across categories (as in real catalogs) instead of clustering in
+/// the first block.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    /// `popularity[i]` — probability item `i` is the one a random session
+    /// wants to purchase; sums to 1.
+    pub popularity: Vec<f64>,
+    /// `category_of[i]` — category index of item `i`.
+    pub category_of: Vec<u32>,
+    /// `categories[c]` — the (contiguous, ascending) item ids of category
+    /// `c`.
+    pub categories: Vec<Vec<u64>>,
+}
+
+impl Catalog {
+    /// Generates a catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero items or inverted/zero category size bounds.
+    pub fn generate<R: Rng + ?Sized>(config: &CatalogConfig, rng: &mut R) -> Self {
+        assert!(config.items > 0, "catalog needs at least one item");
+        assert!(
+            config.min_category_size >= 1
+                && config.min_category_size <= config.max_category_size,
+            "invalid category size bounds"
+        );
+
+        // Contiguous category blocks.
+        let mut categories: Vec<Vec<u64>> = Vec::new();
+        let mut category_of = vec![0u32; config.items];
+        let mut next = 0usize;
+        while next < config.items {
+            let size = rng
+                .random_range(config.min_category_size..=config.max_category_size)
+                .min(config.items - next);
+            let c = categories.len() as u32;
+            let members: Vec<u64> = (next..next + size).map(|i| i as u64).collect();
+            for &m in &members {
+                category_of[m as usize] = c;
+            }
+            categories.push(members);
+            next += size;
+        }
+
+        // Popularity is category-correlated, as in real catalogs: demand is
+        // Zipf over *categories* (assigned through a pseudo-random
+        // permutation so category id order is not popularity order), and a
+        // category's demand splits among its members with a gentle decay.
+        // This is what makes naive top-seller selection wasteful — the best
+        // sellers cluster inside categories where they substitute for each
+        // other (e.g. all colors of a hot phone).
+        let cat_ranked = zipf_weights(categories.len(), config.popularity_exponent);
+        let mut perm: Vec<usize> = (0..categories.len()).collect();
+        // Deterministic Fisher-Yates driven by the same rng.
+        for i in (1..perm.len()).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut popularity = vec![0.0; config.items];
+        for (rank, &cat) in perm.iter().enumerate() {
+            let members = &categories[cat];
+            let shares = zipf_weights(members.len(), 0.7);
+            for (pos, &item) in members.iter().enumerate() {
+                popularity[item as usize] = cat_ranked[rank] * shares[pos];
+            }
+        }
+
+        Catalog {
+            popularity,
+            category_of,
+            categories,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.popularity.len()
+    }
+
+    /// True when the catalog has no items (never after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.popularity.is_empty()
+    }
+
+    /// The substitute candidates for `item`: its category peers (excluding
+    /// itself) with affinities decaying gently in catalog distance,
+    /// `affinity = 1 / sqrt(1 + |i - j|)`.
+    ///
+    /// Affinities are relative preference weights among substitutes; the
+    /// behavior models turn them into click probabilities. The square-root
+    /// decay keeps a wide substitute fan per item, which calibrates the
+    /// adapted graphs to Table 2's 4.2–4.8 edges-per-item ratios.
+    pub fn substitutes(&self, item: u64) -> Vec<(u64, f64)> {
+        let c = self.category_of[item as usize] as usize;
+        self.categories[c]
+            .iter()
+            .filter(|&&j| j != item)
+            .map(|&j| {
+                let dist = item.abs_diff(j) as f64;
+                (j, 1.0 / (1.0 + dist).sqrt())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn catalog(items: usize, seed: u64) -> Catalog {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Catalog::generate(
+            &CatalogConfig {
+                items,
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn categories_partition_the_catalog() {
+        let c = catalog(500, 1);
+        let mut seen = vec![false; 500];
+        for (ci, members) in c.categories.iter().enumerate() {
+            for &m in members {
+                assert!(!seen[m as usize], "item {m} in two categories");
+                seen[m as usize] = true;
+                assert_eq!(c.category_of[m as usize] as usize, ci);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn category_sizes_in_bounds() {
+        let c = catalog(500, 2);
+        for members in &c.categories[..c.categories.len() - 1] {
+            assert!(members.len() >= 4 && members.len() <= 16);
+        }
+        // Last category may be a remainder, but never empty.
+        assert!(!c.categories.last().unwrap().is_empty());
+    }
+
+    #[test]
+    fn popularity_is_a_distribution() {
+        let c = catalog(300, 3);
+        assert!((c.popularity.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(c.popularity.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn popularity_is_permuted_not_sorted() {
+        let c = catalog(300, 4);
+        let sorted = c
+            .popularity
+            .windows(2)
+            .all(|w| w[0] >= w[1]);
+        assert!(!sorted, "popularity should not be in rank order");
+    }
+
+    #[test]
+    fn substitutes_stay_in_category_and_decay() {
+        let c = catalog(500, 5);
+        let item = 42u64;
+        let subs = c.substitutes(item);
+        assert!(!subs.is_empty());
+        for &(j, aff) in &subs {
+            assert_ne!(j, item);
+            assert_eq!(c.category_of[j as usize], c.category_of[item as usize]);
+            assert!(aff > 0.0 && aff <= 1.0 / 2.0f64.sqrt()); // distance >= 1
+        }
+        // Immediate neighbor has the highest affinity.
+        let max = subs.iter().cloned().fold((0u64, 0.0f64), |acc, x| {
+            if x.1 > acc.1 {
+                x
+            } else {
+                acc
+            }
+        });
+        assert_eq!(max.0.abs_diff(item), 1);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = catalog(200, 9);
+        let b = catalog(200, 9);
+        assert_eq!(a.popularity, b.popularity);
+        assert_eq!(a.categories, b.categories);
+    }
+
+    #[test]
+    fn single_item_catalog() {
+        let c = catalog(1, 0);
+        assert_eq!(c.len(), 1);
+        assert!(c.substitutes(0).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Direct preference-graph generation for scalability experiments.
+//!
+//! Figure 4d sweeps the solver over graphs of up to a million nodes;
+//! materializing tens of millions of sessions just to adapt them back into
+//! a graph would dominate the experiment (the paper likewise excludes graph
+//! construction from its timings, treating it as an offline phase). This
+//! generator produces preference graphs with the same structural profile
+//! the adaptation pipeline yields — Zipf node weights, category-local edges
+//! with distance-decaying weights — directly in `O(n · degree)`.
+
+use rand::{RngExt, SeedableRng};
+
+use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+use crate::sampling::zipf_weights;
+
+/// Configuration for [`generate_graph`].
+#[derive(Clone, Copy, Debug)]
+pub struct GraphGenConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target mean out-degree (actual degree varies per node in
+    /// `0..=2 * avg_out_degree`).
+    pub avg_out_degree: usize,
+    /// Zipf exponent of node weights.
+    pub popularity_exponent: f64,
+    /// Neighborhood radius: edges connect ids within this catalog distance
+    /// (category locality).
+    pub locality: usize,
+    /// Enforce the Normalized invariant by rescaling each node's out-weights
+    /// to sum to at most 1.
+    pub normalized: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        GraphGenConfig {
+            nodes: 10_000,
+            avg_out_degree: 5,
+            popularity_exponent: 1.0,
+            locality: 8,
+            normalized: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a preference graph per the config.
+///
+/// Node weights are a Zipf distribution assigned through a pseudo-random
+/// permutation (so heavy nodes spread across the id space). Each node draws
+/// a degree uniform in `0..=2 · avg_out_degree` and connects to distinct
+/// neighbors within `locality`, with edge weight `0.9 / (1 + distance)`
+/// jittered by ±20%.
+pub fn generate_graph(config: &GraphGenConfig) -> Result<PreferenceGraph, GraphError> {
+    assert!(config.nodes > 0, "graph needs at least one node");
+    assert!(config.locality >= 1, "locality must be at least 1");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+
+    let ranked = zipf_weights(n, config.popularity_exponent);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, n * config.avg_out_degree)
+        .normalize_node_weights(true);
+    for i in 0..n {
+        b.add_node(ranked[perm[i]]);
+    }
+
+    let mut targets: Vec<ItemId> = Vec::with_capacity(2 * config.avg_out_degree);
+    let mut weights: Vec<f64> = Vec::with_capacity(2 * config.avg_out_degree);
+    for v in 0..n {
+        targets.clear();
+        weights.clear();
+        let degree = rng.random_range(0..=2 * config.avg_out_degree);
+        let mut attempts = 0;
+        while targets.len() < degree && attempts < 4 * degree + 8 {
+            attempts += 1;
+            let offset = rng.random_range(1..=config.locality) as i64;
+            let sign = if rng.random::<bool>() { 1 } else { -1 };
+            let u = v as i64 + sign * offset;
+            if u < 0 || u >= n as i64 || u == v as i64 {
+                continue;
+            }
+            let u = ItemId::from_index(u as usize);
+            if targets.contains(&u) {
+                continue;
+            }
+            let dist = offset as f64;
+            let jitter = 0.8 + 0.4 * rng.random::<f64>();
+            let w = (0.9 / (1.0 + dist) * jitter).clamp(0.01, 1.0);
+            targets.push(u);
+            weights.push(w);
+        }
+        if config.normalized {
+            let sum: f64 = weights.iter().sum();
+            if sum > 1.0 {
+                for w in &mut weights {
+                    *w /= sum;
+                }
+            }
+        }
+        let src = ItemId::from_index(v);
+        for (u, w) in targets.iter().zip(&weights) {
+            b.add_edge(src, *u, *w)?;
+        }
+    }
+
+    if config.normalized {
+        b.build_normalized()
+    } else {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::GraphStats;
+
+    use super::*;
+
+    #[test]
+    fn respects_node_count_and_degree_target() {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 5000,
+            avg_out_degree: 5,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(g.node_count(), 5000);
+        let stats = GraphStats::compute(&g);
+        assert!(
+            (stats.avg_out_degree - 5.0).abs() < 1.0,
+            "avg degree {}",
+            stats.avg_out_degree
+        );
+        assert!((stats.node_weight_sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_mode_bounds_out_sums() {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 2000,
+            normalized: true,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        for v in g.node_ids() {
+            assert!(g.out_weight_sum(v) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn edges_respect_locality() {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 1000,
+            locality: 8,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        for e in g.edges() {
+            assert!(e.source.raw().abs_diff(e.target.raw()) <= 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GraphGenConfig {
+            nodes: 500,
+            seed: 9,
+            ..GraphGenConfig::default()
+        };
+        assert_eq!(generate_graph(&cfg).unwrap(), generate_graph(&cfg).unwrap());
+        let other = GraphGenConfig { seed: 10, ..cfg };
+        assert_ne!(
+            generate_graph(&cfg).unwrap(),
+            generate_graph(&other).unwrap()
+        );
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 1000,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        let mut weights: Vec<f64> = g.node_weights().to_vec();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top 1% of items carry a large share of demand.
+        let head: f64 = weights[..10].iter().sum();
+        assert!(head > 0.2, "head share {head}");
+    }
+
+    #[test]
+    fn single_node_graph_works() {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 1,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

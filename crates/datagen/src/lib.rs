@@ -1,0 +1,39 @@
+//! # pcover-datagen
+//!
+//! Synthetic data generation for the Preference Cover system.
+//!
+//! The paper evaluates on three private eBay clickstreams (PE/PF/PM, 27M
+//! sessions over 5M items) and the public YooChoose dataset (YC). The
+//! private data is unavailable by construction and the public files cannot
+//! be redistributed, so this crate generates synthetic datasets that
+//! reproduce the *structural* properties every algorithm in the system
+//! actually consumes:
+//!
+//! * **Skewed popularity** — item purchase frequencies follow a Zipf law,
+//!   sampled in `O(1)` per draw via Walker's alias method ([`sampling`]).
+//! * **Category-local substitution** — items live in categories
+//!   ([`catalog`]); consumers consider same-category items as alternatives
+//!   with affinity decaying in catalog distance.
+//! * **Variant-specific click behavior** ([`behavior`]) — an
+//!   `IndependentClicks` mode where each candidate alternative is clicked
+//!   independently (fits `IPC_k`, like PE/PF/YC), and a `SingleAlternative`
+//!   mode where at most one alternative is (almost always) clicked (fits
+//!   `NPC_k`, like PM).
+//! * **Paper-scale profiles** ([`profiles`]) — session/item counts matching
+//!   Table 2, downscalable for laptop runs.
+//!
+//! For the scalability experiments that need graphs with millions of nodes
+//! directly, [`graphgen`] generates preference graphs without materializing
+//! sessions.
+//!
+//! Everything is deterministic under an explicit `u64` seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod behavior;
+pub mod catalog;
+pub mod graphgen;
+pub mod profiles;
+pub mod sampling;
+pub mod sessions;

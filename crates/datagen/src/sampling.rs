@@ -1,0 +1,202 @@
+//! Discrete sampling primitives: Zipf weight vectors and Walker's alias
+//! method for `O(1)` draws from arbitrary discrete distributions.
+
+use rand::{Rng, RngExt};
+
+/// Unnormalized-then-normalized Zipf weights: `w_i ∝ 1 / (i + 1)^s`.
+///
+/// `s = 0` is uniform; `s ≈ 1` matches typical e-commerce purchase
+/// popularity.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `s` is negative or non-finite.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one item");
+    assert!(s.is_finite() && s >= 0.0, "exponent must be nonnegative");
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+/// Walker's alias table: after `O(n)` preprocessing, samples an index from
+/// a fixed discrete distribution in `O(1)` per draw.
+///
+/// The construction is the classic two-worklist ("small"/"large") algorithm
+/// and is numerically robust to weights that do not sum exactly to 1.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from nonnegative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        let n = weights.len();
+        assert!(n <= u32::MAX as usize, "too many weights");
+        let sum: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be nonnegative");
+                w
+            })
+            .sum();
+        assert!(sum > 0.0, "weights must not all be zero");
+
+        // Scale so the mean weight is 1.
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Large donor gives away (1 - prob[s]) of its mass.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical dust) saturate to probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no entries (never: construction requires
+    /// nonempty weights).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.0);
+        assert_eq!(w.len(), 100);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        // Head heaviness: first item carries ~1/H(100) ≈ 0.192.
+        assert!(w[0] > 0.15 && w[0] < 0.25);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for &x in &w {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zipf_rejects_empty() {
+        zipf_weights(0, 1.0);
+    }
+
+    #[test]
+    fn alias_table_matches_distribution() {
+        let weights = [0.5, 0.3, 0.15, 0.05];
+        let table = AliasTable::new(&weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / draws as f64;
+            assert!(
+                (freq - w).abs() < 0.01,
+                "index {i}: frequency {freq} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_unnormalized_and_zero_weights() {
+        let table = AliasTable::new(&[0.0, 10.0, 0.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_table_single_element() {
+        let table = AliasTable::new(&[3.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn alias_rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_deterministic_under_seed() {
+        let table = AliasTable::new(&zipf_weights(50, 1.0));
+        let draw = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..20).map(|_| table.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+    }
+}

@@ -1,0 +1,145 @@
+//! Session simulation: catalog + behavior model → synthetic clickstream.
+
+use rand::SeedableRng;
+
+use pcover_clickstream::{Clickstream, Session};
+
+use crate::behavior::BehaviorModel;
+use crate::catalog::{Catalog, CatalogConfig};
+use crate::sampling::AliasTable;
+
+/// Configuration for [`generate_clickstream`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Number of sessions to generate (each ends in one purchase).
+    pub sessions: usize,
+    /// The click-behavior model.
+    pub behavior: BehaviorModel,
+    /// RNG seed; same seed + config → identical clickstream.
+    pub seed: u64,
+}
+
+/// Generates a synthetic clickstream over a fresh catalog.
+///
+/// Each session draws a desired item from the catalog's Zipf popularity,
+/// clicks it, clicks behavior-model-driven alternatives from its category,
+/// and purchases the desired item. This is exactly the process the paper's
+/// graph construction inverts (Section 5.2): popular items get heavy nodes,
+/// frequently co-clicked substitutes get heavy edges.
+///
+/// Returns the catalog too, so tests can compare recovered edge weights
+/// against the generating affinities.
+pub fn generate_clickstream(
+    catalog_config: &CatalogConfig,
+    session_config: &SessionConfig,
+) -> (Catalog, Clickstream) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(session_config.seed);
+    let catalog = Catalog::generate(catalog_config, &mut rng);
+
+    // Precompute substitute lists once per item (sessions reuse them).
+    let substitutes: Vec<Vec<(u64, f64)>> = (0..catalog.len())
+        .map(|i| catalog.substitutes(i as u64))
+        .collect();
+    let popularity_table = AliasTable::new(&catalog.popularity);
+
+    let mut sessions = Vec::with_capacity(session_config.sessions);
+    for sid in 0..session_config.sessions {
+        let desired = popularity_table.sample(&mut rng) as u64;
+        let alternatives = session_config
+            .behavior
+            .draw_alternatives(&substitutes[desired as usize], &mut rng);
+        // Clicks: the desired item first (consumers view what they buy),
+        // then the considered alternatives.
+        let mut clicks = Vec::with_capacity(1 + alternatives.len());
+        clicks.push(desired);
+        clicks.extend(alternatives);
+        sessions.push(Session::new(sid as u64 + 1, clicks, desired));
+    }
+    (catalog, Clickstream::new(sessions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(sessions: usize, behavior: BehaviorModel, seed: u64) -> (Catalog, Clickstream) {
+        generate_clickstream(
+            &CatalogConfig {
+                items: 200,
+                ..CatalogConfig::default()
+            },
+            &SessionConfig {
+                sessions,
+                behavior,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn sessions_have_requested_count_and_single_purchase() {
+        let (_, cs) = quick(500, BehaviorModel::independent_default(), 1);
+        assert_eq!(cs.len(), 500);
+        for s in &cs.sessions {
+            assert_eq!(s.clicks[0], s.purchase);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (_, a) = quick(200, BehaviorModel::independent_default(), 5);
+        let (_, b) = quick(200, BehaviorModel::independent_default(), 5);
+        assert_eq!(a, b);
+        let (_, c) = quick(200, BehaviorModel::independent_default(), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn popular_items_purchased_more() {
+        let (catalog, cs) = quick(20_000, BehaviorModel::independent_default(), 2);
+        let counts = cs.item_purchase_counts();
+        // The most popular catalog item should be bought far more often
+        // than a median one.
+        let best = catalog
+            .popularity
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as u64;
+        let best_count = counts.get(&best).copied().unwrap_or(0);
+        assert!(
+            best_count > 20_000 / 200,
+            "top item bought only {best_count} times"
+        );
+    }
+
+    #[test]
+    fn normalized_behavior_satisfies_the_90_percent_rule() {
+        let (_, cs) = quick(10_000, BehaviorModel::single_alternative_default(), 3);
+        let stats = cs.stats();
+        assert!(
+            stats.at_most_one_alternative_fraction >= 0.90,
+            "fraction {}",
+            stats.at_most_one_alternative_fraction
+        );
+    }
+
+    #[test]
+    fn independent_behavior_clicks_more_alternatives() {
+        let (_, ind) = quick(10_000, BehaviorModel::independent_default(), 4);
+        let (_, nrm) = quick(10_000, BehaviorModel::single_alternative_default(), 4);
+        assert!(ind.stats().mean_alternatives() > nrm.stats().mean_alternatives());
+    }
+
+    #[test]
+    fn alternatives_come_from_the_desired_items_category() {
+        let (catalog, cs) = quick(2_000, BehaviorModel::independent_default(), 7);
+        for s in &cs.sessions {
+            let c = catalog.category_of[s.purchase as usize];
+            for alt in s.alternatives() {
+                assert_eq!(catalog.category_of[alt as usize], c);
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Incremental graph updates.
+//!
+//! Preference graphs are periodically re-derived from fresh clickstreams,
+//! but many consumers of the graph (dashboards, the repair solver) want to
+//! apply *small* changes — demand shifts, new items, delisted items,
+//! re-estimated edges — without rebuilding from raw data. A [`GraphDelta`]
+//! is an ordered batch of such changes; [`apply`] produces a new validated
+//! graph (the CSR representation is immutable by design, so application
+//! costs one rebuild pass, `O(n + m + |delta|)`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+/// One atomic change.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Change {
+    /// Set the (unnormalized) demand weight of an existing node.
+    SetNodeWeight {
+        /// Target node.
+        node: ItemId,
+        /// New weight (nonnegative; the batch is renormalized at the end).
+        weight: f64,
+    },
+    /// Add a new node with the given (unnormalized) demand weight; new ids
+    /// are assigned densely after the existing ones in batch order.
+    AddNode {
+        /// New weight.
+        weight: f64,
+        /// Optional label.
+        label: Option<String>,
+    },
+    /// Insert or update edge `source → target`.
+    UpsertEdge {
+        /// Edge source.
+        source: ItemId,
+        /// Edge target.
+        target: ItemId,
+        /// New weight in `(0, 1]`.
+        weight: f64,
+    },
+    /// Remove edge `source → target` (a no-op if absent).
+    RemoveEdge {
+        /// Edge source.
+        source: ItemId,
+        /// Edge target.
+        target: ItemId,
+    },
+    /// Delist a node: its weight becomes 0 and all incident edges are
+    /// dropped. The id remains valid (dense ids are load-bearing for
+    /// downstream reports).
+    Delist {
+        /// Target node.
+        node: ItemId,
+    },
+}
+
+/// An ordered batch of changes.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    /// Changes, applied in order.
+    pub changes: Vec<Change>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style append.
+    pub fn push(mut self, change: Change) -> Self {
+        self.changes.push(change);
+        self
+    }
+
+    /// Number of changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True when there are no changes.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// Applies `delta` to `g`, renormalizing node weights to sum to 1 at the
+/// end, and returns the new graph.
+///
+/// # Errors
+///
+/// Unknown node ids, out-of-domain weights and similar problems surface as
+/// [`GraphError`]s; the input graph is never modified.
+pub fn apply(g: &PreferenceGraph, delta: &GraphDelta) -> Result<PreferenceGraph, GraphError> {
+    // Materialize mutable views.
+    let mut weights: Vec<f64> = g.node_weights().to_vec();
+    let mut labels: Vec<String> = g
+        .node_ids()
+        .map(|v| g.label(v).unwrap_or("").to_owned())
+        .collect();
+    let mut any_label = g.has_labels();
+    let mut edges: HashMap<(ItemId, ItemId), f64> =
+        g.edges().map(|e| ((e.source, e.target), e.weight)).collect();
+    let mut delisted: Vec<bool> = vec![false; weights.len()];
+
+    let check_node = |node: ItemId, len: usize| -> Result<(), GraphError> {
+        if node.index() >= len {
+            return Err(GraphError::UnknownNode { node });
+        }
+        Ok(())
+    };
+
+    for change in &delta.changes {
+        match change {
+            Change::SetNodeWeight { node, weight } => {
+                check_node(*node, weights.len())?;
+                if !weight.is_finite() || *weight < 0.0 {
+                    return Err(GraphError::InvalidNodeWeight {
+                        node: *node,
+                        weight: *weight,
+                    });
+                }
+                weights[node.index()] = *weight;
+            }
+            Change::AddNode { weight, label } => {
+                if !weight.is_finite() || *weight < 0.0 {
+                    return Err(GraphError::InvalidNodeWeight {
+                        node: ItemId::from_index(weights.len()),
+                        weight: *weight,
+                    });
+                }
+                weights.push(*weight);
+                labels.push(label.clone().unwrap_or_default());
+                delisted.push(false);
+                any_label |= label.is_some();
+            }
+            Change::UpsertEdge {
+                source,
+                target,
+                weight,
+            } => {
+                check_node(*source, weights.len())?;
+                check_node(*target, weights.len())?;
+                if !weight.is_finite() || *weight <= 0.0 || *weight > 1.0 {
+                    return Err(GraphError::InvalidEdgeWeight {
+                        source: *source,
+                        target: *target,
+                        weight: *weight,
+                    });
+                }
+                if source == target {
+                    return Err(GraphError::SelfLoopDisallowed { node: *source });
+                }
+                edges.insert((*source, *target), *weight);
+            }
+            Change::RemoveEdge { source, target } => {
+                check_node(*source, weights.len())?;
+                check_node(*target, weights.len())?;
+                edges.remove(&(*source, *target));
+            }
+            Change::Delist { node } => {
+                check_node(*node, weights.len())?;
+                weights[node.index()] = 0.0;
+                delisted[node.index()] = true;
+            }
+        }
+    }
+    edges.retain(|(s, t), _| !delisted[s.index()] && !delisted[t.index()]);
+
+    let mut b = GraphBuilder::with_capacity(weights.len(), edges.len())
+        .normalize_node_weights(true);
+    for (i, w) in weights.iter().enumerate() {
+        if any_label {
+            b.add_node_labeled(*w, labels[i].clone());
+        } else {
+            b.add_node(*w);
+        }
+    }
+    let mut sorted: Vec<((ItemId, ItemId), f64)> = edges.into_iter().collect();
+    sorted.sort_unstable_by_key(|&(key, _)| key);
+    for ((s, t), w) in sorted {
+        b.add_edge(s, t, w)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::figure1_ids;
+
+    use super::*;
+
+    #[test]
+    fn empty_delta_preserves_structure() {
+        let (g, _) = figure1_ids();
+        let g2 = apply(&g, &GraphDelta::new()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.node_ids() {
+            assert!((g2.node_weight(v) - g.node_weight(v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demand_shift_renormalizes() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new().push(Change::SetNodeWeight {
+            node: ids.e,
+            weight: 0.60,
+        });
+        let g2 = apply(&g, &delta).unwrap();
+        assert!((g2.total_node_weight() - 1.0).abs() < 1e-9);
+        // E's share rose from 0.17 to 0.60 / (0.83 + 0.60).
+        let expected = 0.60 / (0.33 + 0.22 + 0.22 + 0.06 + 0.60);
+        assert!((g2.node_weight(ids.e) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_node_and_edge() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new()
+            .push(Change::AddNode {
+                weight: 0.1,
+                label: Some("F".into()),
+            })
+            .push(Change::UpsertEdge {
+                source: ItemId::new(5),
+                target: ids.d,
+                weight: 0.4,
+            });
+        let g2 = apply(&g, &delta).unwrap();
+        assert_eq!(g2.node_count(), 6);
+        let f = ItemId::new(5);
+        assert_eq!(g2.label(f), Some("F"));
+        assert_eq!(g2.edge_weight(f, ids.d), Some(0.4));
+    }
+
+    #[test]
+    fn upsert_overwrites_and_remove_is_idempotent() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new()
+            .push(Change::UpsertEdge {
+                source: ids.a,
+                target: ids.b,
+                weight: 0.5,
+            })
+            .push(Change::RemoveEdge {
+                source: ids.e,
+                target: ids.d,
+            })
+            .push(Change::RemoveEdge {
+                source: ids.e,
+                target: ids.d,
+            });
+        let g2 = apply(&g, &delta).unwrap();
+        assert_eq!(g2.edge_weight(ids.a, ids.b), Some(0.5));
+        assert_eq!(g2.edge_weight(ids.e, ids.d), None);
+        assert_eq!(g2.edge_count(), g.edge_count() - 1);
+    }
+
+    #[test]
+    fn delist_removes_weight_and_edges() {
+        let (g, ids) = figure1_ids();
+        let g2 = apply(&g, &GraphDelta::new().push(Change::Delist { node: ids.b })).unwrap();
+        assert_eq!(g2.node_weight(ids.b), 0.0);
+        assert_eq!(g2.edge_weight(ids.a, ids.b), None);
+        assert_eq!(g2.edge_weight(ids.b, ids.c), None);
+        assert_eq!(g2.edge_weight(ids.c, ids.b), None);
+        // Remaining weights renormalized over A, C, D, E.
+        assert!((g2.total_node_weight() - 1.0).abs() < 1e-9);
+        assert!((g2.node_weight(ids.a) - 0.33 / 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn changes_apply_in_order() {
+        let (g, ids) = figure1_ids();
+        // Delist then re-weight: the later change wins for the weight, but
+        // incident edges stay dropped (delist marked them).
+        let delta = GraphDelta::new()
+            .push(Change::Delist { node: ids.b })
+            .push(Change::SetNodeWeight {
+                node: ids.b,
+                weight: 0.22,
+            });
+        let g2 = apply(&g, &delta).unwrap();
+        assert!(g2.node_weight(ids.b) > 0.0);
+        assert_eq!(g2.edge_weight(ids.a, ids.b), None);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (g, ids) = figure1_ids();
+        let bad_node = GraphDelta::new().push(Change::SetNodeWeight {
+            node: ItemId::new(99),
+            weight: 0.1,
+        });
+        assert!(matches!(
+            apply(&g, &bad_node),
+            Err(GraphError::UnknownNode { .. })
+        ));
+
+        let bad_weight = GraphDelta::new().push(Change::UpsertEdge {
+            source: ids.a,
+            target: ids.b,
+            weight: 1.5,
+        });
+        assert!(matches!(
+            apply(&g, &bad_weight),
+            Err(GraphError::InvalidEdgeWeight { .. })
+        ));
+
+        let self_loop = GraphDelta::new().push(Change::UpsertEdge {
+            source: ids.a,
+            target: ids.a,
+            weight: 0.5,
+        });
+        assert!(matches!(
+            apply(&g, &self_loop),
+            Err(GraphError::SelfLoopDisallowed { .. })
+        ));
+
+        let negative = GraphDelta::new().push(Change::AddNode {
+            weight: -1.0,
+            label: None,
+        });
+        assert!(apply(&g, &negative).is_err());
+    }
+
+    #[test]
+    fn delta_serde_roundtrip() {
+        let delta = GraphDelta::new()
+            .push(Change::Delist { node: ItemId::new(1) })
+            .push(Change::AddNode {
+                weight: 0.5,
+                label: Some("new".into()),
+            });
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: GraphDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+    }
+}

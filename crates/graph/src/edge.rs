@@ -1,0 +1,65 @@
+//! Edge records used at the graph boundary (building, iteration, IO).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ItemId;
+
+/// A directed, weighted preference edge `source → target`.
+///
+/// The weight is the probability that a consumer requesting `source` accepts
+/// `target` as an alternative when `source` is unavailable (Section 2 of the
+/// paper). Inside [`PreferenceGraph`](crate::PreferenceGraph) edges are
+/// stored in compressed form; this struct is the exploded representation
+/// used by builders, iterators and serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The requested (possibly unavailable) item.
+    pub source: ItemId,
+    /// The candidate alternative item.
+    pub target: ItemId,
+    /// Probability in `(0, 1]` that `target` satisfies a request for `source`.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(source: ItemId, target: ItemId, weight: f64) -> Self {
+        Edge {
+            source,
+            target,
+            weight,
+        }
+    }
+
+    /// Whether this edge is a self-loop (`source == target`).
+    ///
+    /// Self-loops never contribute to a cover (an item cannot substitute for
+    /// itself while simultaneously being retained and not retained), but they
+    /// appear in Max Vertex Cover reduction instances.
+    #[inline]
+    pub fn is_self_loop(&self) -> bool {
+        self.source == self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_loop_detection() {
+        let a = ItemId::new(1);
+        let b = ItemId::new(2);
+        assert!(Edge::new(a, a, 0.5).is_self_loop());
+        assert!(!Edge::new(a, b, 0.5).is_self_loop());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Edge::new(ItemId::new(0), ItemId::new(9), 0.25);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Edge = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

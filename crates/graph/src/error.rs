@@ -1,0 +1,167 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+use crate::ItemId;
+
+/// Errors raised while building, transforming or (de)serializing a
+/// preference graph.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node weight was outside `[0, 1]` or not finite.
+    InvalidNodeWeight {
+        /// Offending node.
+        node: ItemId,
+        /// The rejected weight value.
+        weight: f64,
+    },
+    /// An edge weight was outside `(0, 1]` or not finite.
+    InvalidEdgeWeight {
+        /// Edge source.
+        source: ItemId,
+        /// Edge target.
+        target: ItemId,
+        /// The rejected weight value.
+        weight: f64,
+    },
+    /// An edge referenced a node id that was never added.
+    UnknownNode {
+        /// The unknown id.
+        node: ItemId,
+    },
+    /// A self-loop was added while the builder disallows them.
+    SelfLoopDisallowed {
+        /// The node with the rejected self-loop.
+        node: ItemId,
+    },
+    /// The same directed edge was added twice under
+    /// [`DuplicateEdgePolicy::Error`](crate::DuplicateEdgePolicy).
+    DuplicateEdge {
+        /// Edge source.
+        source: ItemId,
+        /// Edge target.
+        target: ItemId,
+    },
+    /// Node weights do not sum to 1 (within tolerance) and normalization was
+    /// not requested.
+    NodeWeightsNotNormalized {
+        /// The actual sum of node weights.
+        sum: f64,
+    },
+    /// In a normalized-variant graph, a node's outgoing edge weights sum to
+    /// more than 1 (within tolerance).
+    OutWeightsExceedOne {
+        /// Offending node.
+        node: ItemId,
+        /// The actual sum of its outgoing edge weights.
+        sum: f64,
+    },
+    /// The graph has no nodes where at least one is required.
+    EmptyGraph,
+    /// Too many nodes or edges for the compressed representation (`u32`
+    /// indices).
+    CapacityExceeded {
+        /// Human-readable description of the exceeded dimension.
+        what: &'static str,
+    },
+    /// An IO error while reading or writing a graph file.
+    Io(io::Error),
+    /// A parse error in a graph file.
+    Parse {
+        /// 1-based line number where parsing failed, if known.
+        line: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNodeWeight { node, weight } => write!(
+                f,
+                "node {node} has invalid weight {weight}; node weights must be finite and in [0, 1]"
+            ),
+            GraphError::InvalidEdgeWeight {
+                source,
+                target,
+                weight,
+            } => write!(
+                f,
+                "edge {source} -> {target} has invalid weight {weight}; edge weights must be finite and in (0, 1]"
+            ),
+            GraphError::UnknownNode { node } => {
+                write!(f, "edge references unknown node {node}")
+            }
+            GraphError::SelfLoopDisallowed { node } => {
+                write!(f, "self-loop on node {node} rejected (enable allow_self_loops to permit)")
+            }
+            GraphError::DuplicateEdge { source, target } => {
+                write!(f, "duplicate edge {source} -> {target}")
+            }
+            GraphError::NodeWeightsNotNormalized { sum } => write!(
+                f,
+                "node weights sum to {sum}, expected 1; call normalize_node_weights or enable auto-normalization"
+            ),
+            GraphError::OutWeightsExceedOne { node, sum } => write!(
+                f,
+                "outgoing edge weights of node {node} sum to {sum} > 1, violating the Normalized variant invariant"
+            ),
+            GraphError::EmptyGraph => write!(f, "graph has no nodes"),
+            GraphError::CapacityExceeded { what } => {
+                write!(f, "capacity exceeded: {what}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Parse { line, message } => match line {
+                Some(n) => write!(f, "parse error at line {n}: {message}"),
+                None => write!(f, "parse error: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidNodeWeight {
+            node: ItemId::new(3),
+            weight: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("node 3"));
+        assert!(msg.contains("1.5"));
+
+        let e = GraphError::OutWeightsExceedOne {
+            node: ItemId::new(0),
+            sum: 1.25,
+        };
+        assert!(e.to_string().contains("Normalized"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io_err.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,378 @@
+//! The immutable compressed-sparse-row preference graph.
+
+use crate::{Edge, ItemId};
+
+/// An immutable weighted directed preference graph in compressed sparse row
+/// (CSR) form, storing both adjacency directions.
+///
+/// Construction goes through [`GraphBuilder`](crate::GraphBuilder), which
+/// validates weights and assembles the CSR arrays. Once built, the graph is
+/// read-only and safe to share across threads (`&PreferenceGraph` is `Sync`),
+/// which is what the parallel greedy solver relies on.
+///
+/// # Representation
+///
+/// For `n` nodes and `m` edges the graph stores:
+///
+/// * `node_weights[n]` — `W(v)`, request probabilities.
+/// * Out-CSR: `out_offsets[n + 1]`, `out_targets[m]`, `out_weights[m]` with
+///   each row sorted by target id.
+/// * In-CSR: `in_offsets[n + 1]`, `in_sources[m]`, `in_weights[m]` with each
+///   row sorted by source id. This direction drives the solver's
+///   `Gain`/`AddNode` loops ("for each `u ∉ S` such that `(u, v) ∈ E`").
+/// * Optional string labels mapping dense ids back to external identifiers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PreferenceGraph {
+    pub(crate) node_weights: Vec<f64>,
+    pub(crate) labels: Option<Vec<String>>,
+
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_targets: Vec<ItemId>,
+    pub(crate) out_weights: Vec<f64>,
+
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_sources: Vec<ItemId>,
+    pub(crate) in_weights: Vec<f64>,
+}
+
+impl PreferenceGraph {
+    /// Number of nodes (items).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Returns true if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_weights.is_empty()
+    }
+
+    /// Iterator over all node ids in ascending order.
+    #[inline]
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = ItemId> + Clone {
+        (0..self.node_count() as u32).map(ItemId::new)
+    }
+
+    /// The request probability `W(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn node_weight(&self, v: ItemId) -> f64 {
+        self.node_weights[v.index()]
+    }
+
+    /// All node weights as a slice indexed by `ItemId::index`.
+    #[inline]
+    pub fn node_weights(&self) -> &[f64] {
+        &self.node_weights
+    }
+
+    /// Sum of all node weights (1.0 for a well-formed preference graph, up
+    /// to floating-point error).
+    pub fn total_node_weight(&self) -> f64 {
+        self.node_weights.iter().sum()
+    }
+
+    /// The label of `v`, if labels were provided at build time.
+    pub fn label(&self, v: ItemId) -> Option<&str> {
+        self.labels.as_ref().map(|l| l[v.index()].as_str())
+    }
+
+    /// Whether the graph carries node labels.
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Out-degree of `v` (number of alternatives consumers consider for it).
+    #[inline]
+    pub fn out_degree(&self, v: ItemId) -> usize {
+        let i = v.index();
+        (self.out_offsets[i + 1] - self.out_offsets[i]) as usize
+    }
+
+    /// In-degree of `v` (number of items for which `v` is an alternative).
+    #[inline]
+    pub fn in_degree(&self, v: ItemId) -> usize {
+        let i = v.index();
+        (self.in_offsets[i + 1] - self.in_offsets[i]) as usize
+    }
+
+    /// Maximum in-degree `D` over all nodes — the degree bound in the
+    /// paper's `O(nkD)` greedy complexity.
+    pub fn max_in_degree(&self) -> usize {
+        self.node_ids().map(|v| self.in_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all nodes.
+    pub fn max_out_degree(&self) -> usize {
+        self.node_ids()
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the out-edges of `v` as `(target, weight)` pairs,
+    /// sorted by target id.
+    #[inline]
+    pub fn out_edges(&self, v: ItemId) -> OutEdgesIter<'_> {
+        let i = v.index();
+        let lo = self.out_offsets[i] as usize;
+        let hi = self.out_offsets[i + 1] as usize;
+        OutEdgesIter {
+            targets: &self.out_targets[lo..hi],
+            weights: &self.out_weights[lo..hi],
+            pos: 0,
+        }
+    }
+
+    /// Iterates over the in-edges of `v` as `(source, weight)` pairs, sorted
+    /// by source id. This is the iteration order of Algorithms 2–5.
+    #[inline]
+    pub fn in_edges(&self, v: ItemId) -> InEdgesIter<'_> {
+        let i = v.index();
+        let lo = self.in_offsets[i] as usize;
+        let hi = self.in_offsets[i + 1] as usize;
+        InEdgesIter {
+            sources: &self.in_sources[lo..hi],
+            weights: &self.in_weights[lo..hi],
+            pos: 0,
+        }
+    }
+
+    /// The weight of edge `v → u`, or `None` if no such edge exists.
+    ///
+    /// `O(log out_degree(v))` via binary search on the sorted out-row.
+    pub fn edge_weight(&self, v: ItemId, u: ItemId) -> Option<f64> {
+        let i = v.index();
+        let lo = self.out_offsets[i] as usize;
+        let hi = self.out_offsets[i + 1] as usize;
+        let row = &self.out_targets[lo..hi];
+        row.binary_search(&u)
+            .ok()
+            .map(|pos| self.out_weights[lo + pos])
+    }
+
+    /// Whether edge `v → u` exists.
+    #[inline]
+    pub fn has_edge(&self, v: ItemId, u: ItemId) -> bool {
+        self.edge_weight(v, u).is_some()
+    }
+
+    /// Sum of outgoing edge weights of `v`.
+    ///
+    /// In the Normalized variant this is at most 1 (each consumer considers
+    /// at most one alternative).
+    pub fn out_weight_sum(&self, v: ItemId) -> f64 {
+        let i = v.index();
+        let lo = self.out_offsets[i] as usize;
+        let hi = self.out_offsets[i + 1] as usize;
+        self.out_weights[lo..hi].iter().sum()
+    }
+
+    /// Iterates all edges of the graph in `(source, target)` order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.node_ids().flat_map(move |v| {
+            self.out_edges(v)
+                .map(move |(u, w)| Edge::new(v, u, w))
+        })
+    }
+
+    /// Resolves a label back to its id via linear scan.
+    ///
+    /// Intended for tests and small graphs; adapt pipelines keep their own
+    /// label maps.
+    pub fn find_by_label(&self, label: &str) -> Option<ItemId> {
+        let labels = self.labels.as_ref()?;
+        labels
+            .iter()
+            .position(|l| l == label)
+            .map(ItemId::from_index)
+    }
+
+    /// Approximate resident memory of the CSR arrays in bytes, excluding
+    /// labels. Useful for capacity planning in scalability experiments.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_weights.len() * size_of::<f64>()
+            + (self.out_offsets.len() + self.in_offsets.len()) * size_of::<u32>()
+            + (self.out_targets.len() + self.in_sources.len()) * size_of::<ItemId>()
+            + (self.out_weights.len() + self.in_weights.len()) * size_of::<f64>()
+    }
+}
+
+/// Iterator over `(target, weight)` pairs of a node's out-edges.
+#[derive(Clone, Debug)]
+pub struct OutEdgesIter<'a> {
+    targets: &'a [ItemId],
+    weights: &'a [f64],
+    pos: usize,
+}
+
+impl<'a> Iterator for OutEdgesIter<'a> {
+    type Item = (ItemId, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.targets.len() {
+            let item = (self.targets[self.pos], self.weights[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.targets.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OutEdgesIter<'_> {}
+
+/// Iterator over `(source, weight)` pairs of a node's in-edges.
+#[derive(Clone, Debug)]
+pub struct InEdgesIter<'a> {
+    sources: &'a [ItemId],
+    weights: &'a [f64],
+    pos: usize,
+}
+
+impl<'a> Iterator for InEdgesIter<'a> {
+    type Item = (ItemId, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.sources.len() {
+            let item = (self.sources[self.pos], self.weights[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.sources.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for InEdgesIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    use super::*;
+
+    fn diamond() -> PreferenceGraph {
+        // a -> b (0.5), a -> c (0.25), b -> c (1.0), d isolated
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.4);
+        let bb = b.add_node(0.3);
+        let c = b.add_node(0.2);
+        let _d = b.add_node(0.1);
+        b.add_edge(a, bb, 0.5).unwrap();
+        b.add_edge(a, c, 0.25).unwrap();
+        b.add_edge(bb, c, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let (a, b, c, d) = (
+            ItemId::new(0),
+            ItemId::new(1),
+            ItemId::new(2),
+            ItemId::new(3),
+        );
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.out_degree(b), 1);
+        assert_eq!(g.out_degree(c), 0);
+        assert_eq!(g.in_degree(c), 2);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.in_degree(d), 0);
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_out_degree(), 2);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = diamond();
+        let (a, b, c) = (ItemId::new(0), ItemId::new(1), ItemId::new(2));
+        assert_eq!(g.edge_weight(a, b), Some(0.5));
+        assert_eq!(g.edge_weight(a, c), Some(0.25));
+        assert_eq!(g.edge_weight(b, c), Some(1.0));
+        assert_eq!(g.edge_weight(c, a), None);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+    }
+
+    #[test]
+    fn out_and_in_iterators_sorted() {
+        let g = diamond();
+        let a = ItemId::new(0);
+        let c = ItemId::new(2);
+        let outs: Vec<_> = g.out_edges(a).collect();
+        assert_eq!(outs, vec![(ItemId::new(1), 0.5), (ItemId::new(2), 0.25)]);
+        let ins: Vec<_> = g.in_edges(c).collect();
+        assert_eq!(ins, vec![(ItemId::new(0), 0.25), (ItemId::new(1), 1.0)]);
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert_eq!(g.in_edges(c).len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_covers_everything() {
+        let g = diamond();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], Edge::new(ItemId::new(0), ItemId::new(1), 0.5));
+    }
+
+    #[test]
+    fn out_weight_sum() {
+        let g = diamond();
+        assert!((g.out_weight_sum(ItemId::new(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(g.out_weight_sum(ItemId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn total_node_weight_is_one() {
+        let g = diamond();
+        assert!((g.total_node_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node_labeled(0.7, "iphone-silver");
+        let y = b.add_node_labeled(0.3, "iphone-gold");
+        b.add_edge(x, y, 0.5).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_labels());
+        assert_eq!(g.label(x), Some("iphone-silver"));
+        assert_eq!(g.find_by_label("iphone-gold"), Some(y));
+        assert_eq!(g.find_by_label("nope"), None);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = diamond();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Strongly-typed item identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, zero-based identifier for an item (node) in a
+/// [`PreferenceGraph`](crate::PreferenceGraph).
+///
+/// Ids are assigned contiguously by [`GraphBuilder`](crate::GraphBuilder) in
+/// insertion order, so they double as indices into the graph's internal
+/// arrays. The backing type is `u32`: the paper's largest dataset has ~1.9M
+/// items, and four billion items is comfortably beyond any real catalog.
+///
+/// `ItemId` intentionally does **not** implement arithmetic; it is an opaque
+/// handle. Use [`ItemId::index`] when an array index is required.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ItemId(u32);
+
+impl ItemId {
+    /// Creates an id from a raw `u32` value.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        ItemId(raw)
+    }
+
+    /// Creates an id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ItemId(u32::try_from(index).expect("item index exceeds u32::MAX"))
+    }
+
+    /// The raw `u32` value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ItemId({})", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for ItemId {
+    fn from(raw: u32) -> Self {
+        ItemId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = ItemId::new(17);
+        assert_eq!(id.raw(), 17);
+        assert_eq!(id.index(), 17);
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        let id = ItemId::from_index(123_456);
+        assert_eq!(id.index(), 123_456);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = ItemId::from_index(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ItemId::new(1) < ItemId::new(2));
+        assert_eq!(ItemId::new(5), ItemId::from(5u32));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", ItemId::new(3)), "3");
+        assert_eq!(format!("{:?}", ItemId::new(3)), "ItemId(3)");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let id = ItemId::new(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42");
+        let back: ItemId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

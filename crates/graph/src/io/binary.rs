@@ -1,0 +1,299 @@
+//! Compact binary serialization for large graphs.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      4 bytes  b"PCG1"
+//! flags      1 byte   bit 0: labels present
+//! n          8 bytes  node count
+//! m          8 bytes  edge count
+//! weights    n * 8    node weights (f64)
+//! sources    m * 4    edge sources (u32), sorted by (source, target)
+//! targets    m * 4    edge targets (u32)
+//! eweights   m * 8    edge weights (f64)
+//! labels     only if flag set: per node, u32 length + UTF-8 bytes
+//! checksum   8 bytes  FNV-1a 64 over everything before it
+//! ```
+//!
+//! The checksum catches truncation and bit rot; semantic validity is
+//! re-checked by the builder on load.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+use super::LoadOptions;
+
+const MAGIC: &[u8; 4] = b"PCG1";
+const FLAG_LABELS: u8 = 1;
+
+/// Incremental FNV-1a 64-bit hasher.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// A writer that hashes everything it forwards.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: Fnv1a::new(),
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that hashes everything it yields.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: Fnv1a::new(),
+        }
+    }
+    fn read_exact_hashed(&mut self, buf: &mut [u8]) -> Result<(), GraphError> {
+        self.inner.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+    fn read_u8(&mut self) -> Result<u8, GraphError> {
+        let mut b = [0u8; 1];
+        self.read_exact_hashed(&mut b)?;
+        Ok(b[0])
+    }
+    fn read_u32(&mut self) -> Result<u32, GraphError> {
+        let mut b = [0u8; 4];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn read_u64(&mut self) -> Result<u64, GraphError> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn read_f64(&mut self) -> Result<f64, GraphError> {
+        let mut b = [0u8; 8];
+        self.read_exact_hashed(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+/// Writes `g` to `path` in the binary format.
+pub fn write_binary(g: &PreferenceGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    let mut w = HashingWriter::new(BufWriter::new(file));
+
+    w.write_all(MAGIC)?;
+    let flags = if g.has_labels() { FLAG_LABELS } else { 0 };
+    w.write_all(&[flags])?;
+    w.write_all(&(g.node_count() as u64).to_le_bytes())?;
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    for &weight in g.node_weights() {
+        w.write_all(&weight.to_le_bytes())?;
+    }
+    for e in g.edges() {
+        w.write_all(&e.source.raw().to_le_bytes())?;
+    }
+    for e in g.edges() {
+        w.write_all(&e.target.raw().to_le_bytes())?;
+    }
+    for e in g.edges() {
+        w.write_all(&e.weight.to_le_bytes())?;
+    }
+    if g.has_labels() {
+        for v in g.node_ids() {
+            let label = g.label(v).unwrap_or("");
+            w.write_all(&(label.len() as u32).to_le_bytes())?;
+            w.write_all(label.as_bytes())?;
+        }
+    }
+    let checksum = w.hash.0;
+    w.inner.write_all(&checksum.to_le_bytes())?;
+    w.inner.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`], verifying the checksum.
+pub fn read_binary(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+    let file = File::open(path)?;
+    let mut r = HashingReader::new(BufReader::new(file));
+
+    let mut magic = [0u8; 4];
+    r.read_exact_hashed(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse {
+            line: None,
+            message: format!("bad magic {magic:?}, not a PCG1 file"),
+        });
+    }
+    let flags = r.read_u8()?;
+    let n = r.read_u64()? as usize;
+    let m = r.read_u64()? as usize;
+    if n > u32::MAX as usize || m > u32::MAX as usize {
+        return Err(GraphError::CapacityExceeded {
+            what: "binary file declares more than u32::MAX nodes or edges",
+        });
+    }
+
+    let mut weights = Vec::with_capacity(n);
+    for _ in 0..n {
+        weights.push(r.read_f64()?);
+    }
+    let mut sources = Vec::with_capacity(m);
+    for _ in 0..m {
+        sources.push(r.read_u32()?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(r.read_u32()?);
+    }
+    let mut eweights = Vec::with_capacity(m);
+    for _ in 0..m {
+        eweights.push(r.read_f64()?);
+    }
+    let labels: Option<Vec<String>> = if flags & FLAG_LABELS != 0 {
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r.read_u32()? as usize;
+            let mut bytes = vec![0u8; len];
+            r.read_exact_hashed(&mut bytes)?;
+            labels.push(String::from_utf8(bytes).map_err(|e| GraphError::Parse {
+                line: None,
+                message: format!("label is not UTF-8: {e}"),
+            })?);
+        }
+        Some(labels)
+    } else {
+        None
+    };
+
+    let expected = r.hash.0;
+    let mut checksum_bytes = [0u8; 8];
+    r.inner.read_exact(&mut checksum_bytes)?;
+    let stored = u64::from_le_bytes(checksum_bytes);
+    if stored != expected {
+        return Err(GraphError::Parse {
+            line: None,
+            message: format!("checksum mismatch: stored {stored:#x}, computed {expected:#x}"),
+        });
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, m)
+        .allow_self_loops(opts.allow_self_loops)
+        .skip_weight_sum_check(!opts.strict_weight_sum);
+    match labels {
+        Some(labels) => {
+            for (weight, label) in weights.into_iter().zip(labels) {
+                b.add_node_labeled(weight, label);
+            }
+        }
+        None => {
+            for weight in weights {
+                b.add_node(weight);
+            }
+        }
+    }
+    for i in 0..m {
+        b.add_edge(ItemId::new(sources[i]), ItemId::new(targets[i]), eweights[i])?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::{figure1, figure3, tiny};
+
+    use super::*;
+
+    fn tmppath(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pcover-bin-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        for (i, g) in [figure1(), figure3(), tiny()].into_iter().enumerate() {
+            let path = tmppath(&format!("g{i}.pcg"));
+            write_binary(&g, &path).unwrap();
+            let back = read_binary(&path, &LoadOptions::default()).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmppath("badmagic.pcg");
+        std::fs::write(&path, b"NOPE").unwrap();
+        let err = read_binary(&path, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let path = tmppath("trunc.pcg");
+        write_binary(&figure1(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_binary(&path, &LoadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let path = tmppath("corrupt.pcg");
+        write_binary(&figure1(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a low mantissa bit inside the second node weight (weights
+        // start at byte 21); the value stays in-range so only the checksum
+        // can catch the corruption.
+        bytes[32] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_binary(&path, &LoadOptions::default()).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn binary_smaller_than_json() {
+        let g = figure1();
+        let path = tmppath("size.pcg");
+        write_binary(&g, &path).unwrap();
+        let bin_size = std::fs::metadata(&path).unwrap().len() as usize;
+        let json_size = crate::io::json::to_json_string(&g).len();
+        assert!(bin_size < json_size, "binary {bin_size} >= json {json_size}");
+    }
+}

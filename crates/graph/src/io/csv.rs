@@ -1,0 +1,228 @@
+//! CSV serialization: `nodes.csv` + `edges.csv`.
+//!
+//! The dialect is deliberately minimal — comma-separated, header row, no
+//! quoting (labels containing commas or newlines are rejected on write).
+//! This matches what e-commerce data pipelines typically exchange and keeps
+//! the reader dependency-free.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+use super::LoadOptions;
+
+/// Writes `g` as `nodes.csv` (`id,weight,label`) and `edges.csv`
+/// (`source,target,weight`) inside `dir`, creating the directory if needed.
+pub fn write_csv(g: &PreferenceGraph, dir: impl AsRef<Path>) -> Result<(), GraphError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let mut nodes = BufWriter::new(File::create(dir.join("nodes.csv"))?);
+    writeln!(nodes, "id,weight,label")?;
+    for v in g.node_ids() {
+        let label = g.label(v).unwrap_or("");
+        if label.contains(',') || label.contains('\n') || label.contains('\r') {
+            return Err(GraphError::Parse {
+                line: None,
+                message: format!("label of node {v} contains a comma or newline: {label:?}"),
+            });
+        }
+        writeln!(nodes, "{},{},{}", v.raw(), g.node_weight(v), label)?;
+    }
+    nodes.flush()?;
+
+    let mut edges = BufWriter::new(File::create(dir.join("edges.csv"))?);
+    writeln!(edges, "source,target,weight")?;
+    for e in g.edges() {
+        writeln!(edges, "{},{},{}", e.source.raw(), e.target.raw(), e.weight)?;
+    }
+    edges.flush()?;
+    Ok(())
+}
+
+/// Reads a graph previously written by [`write_csv`] from `dir`.
+///
+/// Node ids must be dense `0..n` (any order within the file); edges may
+/// reference only declared nodes.
+pub fn read_csv(dir: impl AsRef<Path>, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+    let dir = dir.as_ref();
+
+    // Pass 1: nodes.
+    let nodes_file = BufReader::new(File::open(dir.join("nodes.csv"))?);
+    let mut rows: Vec<(u32, f64, String)> = Vec::new();
+    for (lineno, line) in nodes_file.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            expect_header(&line, "id,weight,label", lineno)?;
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let id: u32 = parse_field(parts.next(), "id", lineno)?;
+        let weight: f64 = parse_field(parts.next(), "weight", lineno)?;
+        let label = parts.next().unwrap_or("").to_owned();
+        rows.push((id, weight, label));
+    }
+    rows.sort_unstable_by_key(|r| r.0);
+    for (expect, row) in rows.iter().enumerate() {
+        if row.0 as usize != expect {
+            return Err(GraphError::Parse {
+                line: None,
+                message: format!("node ids must be dense 0..n; missing or duplicate id {expect}"),
+            });
+        }
+    }
+
+    let any_label = rows.iter().any(|r| !r.2.is_empty());
+    let mut b = GraphBuilder::with_capacity(rows.len(), 0)
+        .allow_self_loops(opts.allow_self_loops)
+        .skip_weight_sum_check(!opts.strict_weight_sum);
+    for (_, weight, label) in rows {
+        if any_label {
+            b.add_node_labeled(weight, label);
+        } else {
+            b.add_node(weight);
+        }
+    }
+
+    // Pass 2: edges.
+    let edges_file = BufReader::new(File::open(dir.join("edges.csv"))?);
+    for (lineno, line) in edges_file.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            expect_header(&line, "source,target,weight", lineno)?;
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ',');
+        let source: u32 = parse_field(parts.next(), "source", lineno)?;
+        let target: u32 = parse_field(parts.next(), "target", lineno)?;
+        let weight: f64 = parse_field(parts.next(), "weight", lineno)?;
+        b.add_edge(ItemId::new(source), ItemId::new(target), weight)?;
+    }
+
+    b.build()
+}
+
+fn expect_header(line: &str, expected: &str, lineno: usize) -> Result<(), GraphError> {
+    if line.trim() != expected {
+        return Err(GraphError::Parse {
+            line: Some(lineno + 1),
+            message: format!("expected header {expected:?}, found {line:?}"),
+        });
+    }
+    Ok(())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    name: &str,
+    lineno: usize,
+) -> Result<T, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line: Some(lineno + 1),
+        message: format!("missing field {name}"),
+    })?;
+    raw.trim().parse().map_err(|_| GraphError::Parse {
+        line: Some(lineno + 1),
+        message: format!("cannot parse field {name} from {raw:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::{figure1, tiny};
+
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pcover-csv-test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let dir = tmpdir("fig1");
+        let g = figure1();
+        write_csv(&g, &dir).unwrap();
+        let back = read_csv(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_without_labels() {
+        let dir = tmpdir("nolabel");
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.7);
+        let c = b.add_node(0.3);
+        b.add_edge(a, c, 0.1).unwrap();
+        let g = b.build().unwrap();
+        write_csv(&g, &dir).unwrap();
+        let back = read_csv(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn rejects_comma_in_label() {
+        let dir = tmpdir("badlabel");
+        let mut b = GraphBuilder::new();
+        b.add_node_labeled(1.0, "oops, a comma");
+        let g = b.build().unwrap();
+        assert!(matches!(
+            write_csv(&g, &dir),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let dir = tmpdir("sparse");
+        std::fs::write(dir.join("nodes.csv"), "id,weight,label\n0,0.5,\n2,0.5,\n").unwrap();
+        std::fs::write(dir.join("edges.csv"), "source,target,weight\n").unwrap();
+        assert!(matches!(
+            read_csv(&dir, &LoadOptions::default()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let dir = tmpdir("badheader");
+        std::fs::write(dir.join("nodes.csv"), "identifier,w\n").unwrap();
+        std::fs::write(dir.join("edges.csv"), "source,target,weight\n").unwrap();
+        let err = read_csv(&dir, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: Some(1), .. }));
+    }
+
+    #[test]
+    fn rejects_unparseable_weight() {
+        let dir = tmpdir("badweight");
+        std::fs::write(dir.join("nodes.csv"), "id,weight,label\n0,abc,\n").unwrap();
+        std::fs::write(dir.join("edges.csv"), "source,target,weight\n").unwrap();
+        let err = read_csv(&dir, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: Some(2), .. }));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let dir = tmpdir("blank");
+        let g = tiny();
+        write_csv(&g, &dir).unwrap();
+        // Append trailing blank lines to both files.
+        for f in ["nodes.csv", "edges.csv"] {
+            let p = dir.join(f);
+            let mut content = std::fs::read_to_string(&p).unwrap();
+            content.push_str("\n\n");
+            std::fs::write(&p, content).unwrap();
+        }
+        let back = read_csv(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,156 @@
+//! Graphviz DOT export for visual inspection of (small) preference graphs.
+//!
+//! Produces the style of the paper's Figure 1: node labels carry the demand
+//! percentage, edge labels the acceptance probability, and an optional
+//! retained set is highlighted (doubled ellipse + bold edges into it), as
+//! in the Figure 2 architecture sketch.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::{GraphError, ItemId, PreferenceGraph};
+
+/// Rendering options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Nodes to highlight as retained.
+    pub retained: Vec<ItemId>,
+    /// Skip edges below this weight (decluttering dense graphs).
+    pub min_edge_weight: f64,
+    /// Graph name in the DOT header.
+    pub name: Option<String>,
+}
+
+/// Renders the graph as a DOT document.
+pub fn to_dot(g: &PreferenceGraph, opts: &DotOptions) -> String {
+    let mut retained = vec![false; g.node_count()];
+    for &v in &opts.retained {
+        if v.index() < retained.len() {
+            retained[v.index()] = true;
+        }
+    }
+
+    let mut out = String::new();
+    let name = opts.name.as_deref().unwrap_or("preference_graph");
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontname=\"Helvetica\"];");
+    for v in g.node_ids() {
+        let label = match g.label(v) {
+            Some(l) if !l.is_empty() => l.to_owned(),
+            _ => format!("#{}", v.raw()),
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{:.1}%\"{}];",
+            v.raw(),
+            escape(&label),
+            g.node_weight(v) * 100.0,
+            if retained[v.index()] {
+                ", peripheries=2, style=filled, fillcolor=\"#e8f4e8\""
+            } else {
+                ""
+            }
+        );
+    }
+    for e in g.edges() {
+        if e.weight < opts.min_edge_weight {
+            continue;
+        }
+        let bold = retained[e.target.index()];
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{:.2}\"{}];",
+            e.source.raw(),
+            e.target.raw(),
+            e.weight,
+            if bold { ", penwidth=2" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Writes the DOT document to a file.
+pub fn write_dot(
+    g: &PreferenceGraph,
+    path: impl AsRef<Path>,
+    opts: &DotOptions,
+) -> Result<(), GraphError> {
+    let mut f = File::create(path)?;
+    f.write_all(to_dot(g, opts).as_bytes())?;
+    Ok(())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::{figure1, figure1_ids};
+
+    use super::*;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let g = figure1();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph preference_graph {"));
+        for label in ["A", "B", "C", "D", "E"] {
+            assert!(dot.contains(&format!("label=\"{label}\\n")), "{label}");
+        }
+        // 4 edges rendered.
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn retained_nodes_highlighted() {
+        let (g, ids) = figure1_ids();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                retained: vec![ids.b, ids.d],
+                ..DotOptions::default()
+            },
+        );
+        assert_eq!(dot.matches("peripheries=2").count(), 2);
+        // Edges into retained nodes are bold: A->B, C->B, E->D.
+        assert_eq!(dot.matches("penwidth=2").count(), 3);
+    }
+
+    #[test]
+    fn min_weight_filters_edges() {
+        let g = figure1();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                min_edge_weight: 0.95,
+                ..DotOptions::default()
+            },
+        );
+        // Only the weight-1.0 edges B->C and C->B survive.
+        assert_eq!(dot.matches(" -> ").count(), 2);
+    }
+
+    #[test]
+    fn labels_escaped() {
+        let mut b = crate::GraphBuilder::new();
+        b.add_node_labeled(1.0, "tricky \"quote\"");
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("tricky \\\"quote\\\""));
+    }
+
+    #[test]
+    fn file_write() {
+        let dir = std::env::temp_dir().join("pcover-dot");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.dot");
+        write_dot(&figure1(), &path, &DotOptions::default()).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("digraph"));
+    }
+}

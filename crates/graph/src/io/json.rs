@@ -1,0 +1,177 @@
+//! JSON serialization of preference graphs.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Edge, GraphBuilder, GraphError, PreferenceGraph};
+
+use super::LoadOptions;
+
+/// The JSON document shape: exploded node and edge lists.
+///
+/// CSR internals are deliberately not serialized — the document stays stable
+/// across representation changes, and readers revalidate through the
+/// builder.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphDto {
+    /// Node weights, indexed by id.
+    pub node_weights: Vec<f64>,
+    /// Optional labels, parallel to `node_weights`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub labels: Option<Vec<String>>,
+    /// All edges.
+    pub edges: Vec<Edge>,
+}
+
+impl GraphDto {
+    /// Snapshots a graph into its document form.
+    pub fn from_graph(g: &PreferenceGraph) -> Self {
+        GraphDto {
+            node_weights: g.node_weights().to_vec(),
+            labels: g
+                .has_labels()
+                .then(|| g.node_ids().map(|v| g.label(v).unwrap_or("").to_owned()).collect()),
+            edges: g.edges().collect(),
+        }
+    }
+
+    /// Rebuilds (and revalidates) the graph.
+    pub fn into_graph(self, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+        if let Some(labels) = &self.labels {
+            if labels.len() != self.node_weights.len() {
+                return Err(GraphError::Parse {
+                    line: None,
+                    message: format!(
+                        "labels length {} does not match node count {}",
+                        labels.len(),
+                        self.node_weights.len()
+                    ),
+                });
+            }
+        }
+        let mut b = GraphBuilder::with_capacity(self.node_weights.len(), self.edges.len())
+            .allow_self_loops(opts.allow_self_loops)
+            .skip_weight_sum_check(!opts.strict_weight_sum);
+        match self.labels {
+            Some(labels) => {
+                for (w, l) in self.node_weights.into_iter().zip(labels) {
+                    b.add_node_labeled(w, l);
+                }
+            }
+            None => {
+                for w in self.node_weights {
+                    b.add_node(w);
+                }
+            }
+        }
+        for e in self.edges {
+            b.add_edge(e.source, e.target, e.weight)?;
+        }
+        b.build()
+    }
+}
+
+/// Serializes `g` to a JSON string.
+pub fn to_json_string(g: &PreferenceGraph) -> String {
+    serde_json::to_string(&GraphDto::from_graph(g)).expect("graph DTOs always serialize")
+}
+
+/// Parses a graph from a JSON string.
+pub fn from_json_str(s: &str, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+    let dto: GraphDto = serde_json::from_str(s).map_err(|e| GraphError::Parse {
+        line: Some(e.line()),
+        message: e.to_string(),
+    })?;
+    dto.into_graph(opts)
+}
+
+/// Writes `g` as JSON to `path`.
+pub fn write_json(g: &PreferenceGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    serde_json::to_writer(&mut w, &GraphDto::from_graph(g)).map_err(|e| GraphError::Parse {
+        line: None,
+        message: e.to_string(),
+    })?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a JSON graph from `path`.
+pub fn read_json(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let dto: GraphDto = serde_json::from_reader(reader).map_err(|e| GraphError::Parse {
+        line: Some(e.line()),
+        message: e.to_string(),
+    })?;
+    dto.into_graph(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::{figure1, figure3, tiny};
+
+    use super::*;
+
+    #[test]
+    fn string_roundtrip_preserves_graph() {
+        for g in [figure1(), figure3(), tiny()] {
+            let s = to_json_string(&g);
+            let back = from_json_str(&s, &LoadOptions::default()).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("pcover-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.json");
+        let g = figure1();
+        write_json(&g, &path).unwrap();
+        let back = read_json(&path, &LoadOptions::default()).unwrap();
+        assert_eq!(back, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = from_json_str("{not json", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn invalid_weights_rejected_on_load() {
+        let s = r#"{"node_weights": [0.5, 1.5], "edges": []}"#;
+        let err = from_json_str(s, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidNodeWeight { .. }));
+    }
+
+    #[test]
+    fn weight_sum_enforced_unless_lax() {
+        let s = r#"{"node_weights": [0.5, 0.1], "edges": []}"#;
+        assert!(from_json_str(s, &LoadOptions::default()).is_err());
+        let lax = LoadOptions {
+            strict_weight_sum: false,
+            ..LoadOptions::default()
+        };
+        assert!(from_json_str(s, &lax).is_ok());
+    }
+
+    #[test]
+    fn mismatched_labels_rejected() {
+        let s = r#"{"node_weights": [1.0], "labels": ["a", "b"], "edges": []}"#;
+        let err = from_json_str(s, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_json("/nonexistent/nope.json", &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

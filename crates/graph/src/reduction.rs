@@ -1,0 +1,389 @@
+//! The approximation-preserving reductions of Theorems 3.1 and 4.1.
+//!
+//! * `NPC_k → VC_k` and `VC_k → NPC_k` (Theorem 3.1): the Normalized
+//!   Preference Cover problem is equivalent to Max Vertex Cover on an
+//!   undirected multigraph with self-edges, where covering a set of vertices
+//!   collects the weight of all incident edges.
+//! * `DS_k → IPC_k` (Theorem 4.1): Directed Max Dominating Set reduces to
+//!   the Independent variant by reversing edges, assigning weight 1 to every
+//!   edge and `1/n` to every node.
+//!
+//! These reductions are not on the production solving path (the greedy
+//! solver works on preference graphs directly), but they are invaluable as
+//! *test oracles*: for any vertex set the objective values must agree
+//! exactly, and the property-test suite checks that on random instances.
+
+use serde::{Deserialize, Serialize};
+
+use crate::transform::complete_with_self_loops;
+use crate::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+
+/// An undirected edge of a [`VcInstance`]. Self-edges (`u == v`) are allowed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VcEdge {
+    /// One endpoint.
+    pub u: ItemId,
+    /// The other endpoint (`u` itself for a self-edge).
+    pub v: ItemId,
+    /// Positive edge weight.
+    pub weight: f64,
+}
+
+/// A Max Vertex Cover (`VC_k`) instance: an undirected multigraph with
+/// positive edge weights and self-edges, per Definition 2.8 of the paper.
+///
+/// The objective of a vertex set `S` is the total weight of edges incident
+/// to `S`, each edge counted once.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VcInstance {
+    /// Number of vertices; ids are `0..n`.
+    pub n: usize,
+    /// The multiset of edges. Parallel edges are kept separate (the paper
+    /// notes combining them is equivalent but analyzes them separately).
+    pub edges: Vec<VcEdge>,
+}
+
+impl VcInstance {
+    /// Total weight of all edges — an upper bound on any cover.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// The cover weight of `selected` (indexed by vertex id): the sum of
+    /// weights of edges with at least one endpoint selected.
+    pub fn cover_weight(&self, selected: &[bool]) -> f64 {
+        assert_eq!(selected.len(), self.n, "selection mask has wrong length");
+        self.edges
+            .iter()
+            .filter(|e| selected[e.u.index()] || selected[e.v.index()])
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Convenience wrapper taking vertex ids instead of a mask.
+    pub fn cover_weight_of(&self, selected: &[ItemId]) -> f64 {
+        let mut mask = vec![false; self.n];
+        for &v in selected {
+            mask[v.index()] = true;
+        }
+        self.cover_weight(&mask)
+    }
+}
+
+/// Reduces an `NPC_k` instance to a `VC_k` instance (Theorem 3.1, forward
+/// direction).
+///
+/// Steps: complete every node's out-weight to 1 with a self-loop, drop
+/// orientation, and scale each edge `(v, u)` from `W(v, u)` to
+/// `W(v) · W(v, u)`. For any vertex set `S`, `cover_weight(S)` of the result
+/// equals `C(S)` of the input under the Normalized semantics.
+pub fn npc_to_vck(g: &PreferenceGraph) -> Result<VcInstance, GraphError> {
+    let completed = complete_with_self_loops(g)?;
+    let mut edges = Vec::with_capacity(completed.edge_count());
+    for v in completed.node_ids() {
+        let wv = completed.node_weight(v);
+        for (u, w) in completed.out_edges(v) {
+            let weight = wv * w;
+            if weight > 0.0 {
+                edges.push(VcEdge { u: v, v: u, weight });
+            }
+        }
+    }
+    Ok(VcInstance {
+        n: completed.node_count(),
+        edges,
+    })
+}
+
+/// Reduces a `VC_k` instance to an `NPC_k` instance (Theorem 3.1, reverse
+/// direction).
+///
+/// Orientation is chosen as given (`u → v` for every [`VcEdge`]); for each
+/// node the outgoing weights are divided by their sum `M_v`, the node weight
+/// is set to `M_v`, and finally all node weights are normalized by the total
+/// `N = Σ M_v` so they form a distribution. The cover of any `S` in the
+/// result is `cover_weight(S) / N` of the input, so approximation ratios
+/// carry over unchanged.
+///
+/// Returns the preference graph together with the normalization constant `N`.
+pub fn vck_to_npc(inst: &VcInstance) -> Result<(PreferenceGraph, f64), GraphError> {
+    if inst.n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut out_sum = vec![0.0f64; inst.n];
+    for e in &inst.edges {
+        if e.u.index() >= inst.n || e.v.index() >= inst.n {
+            return Err(GraphError::UnknownNode {
+                node: if e.u.index() >= inst.n { e.u } else { e.v },
+            });
+        }
+        if !e.weight.is_finite() || e.weight <= 0.0 {
+            return Err(GraphError::InvalidEdgeWeight {
+                source: e.u,
+                target: e.v,
+                weight: e.weight,
+            });
+        }
+        out_sum[e.u.index()] += e.weight;
+    }
+    let total: f64 = out_sum.iter().sum();
+    if total <= 0.0 {
+        return Err(GraphError::EmptyGraph);
+    }
+
+    let mut b = GraphBuilder::with_capacity(inst.n, inst.edges.len())
+        .allow_self_loops(true)
+        .normalize_node_weights(true)
+        // Parallel edges in the multigraph merge by weight addition, which
+        // preserves the per-set cover exactly.
+        .duplicate_edge_policy(crate::DuplicateEdgePolicy::SumClamped);
+    for m in &out_sum {
+        b.add_node(*m);
+    }
+    for e in &inst.edges {
+        let m = out_sum[e.u.index()];
+        b.add_edge(e.u, e.v, (e.weight / m).min(1.0))?;
+    }
+    Ok((b.build()?, total))
+}
+
+/// A Directed Max Dominating Set (`DS_k`) instance (Definition 2.7): pick
+/// `k` vertices maximizing the number of vertices dominated, where `S`
+/// dominates itself and every vertex with an **incoming** edge from `S`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DsInstance {
+    /// Number of vertices; ids are `0..n`.
+    pub n: usize,
+    /// Directed edges `(from, to)`.
+    pub edges: Vec<(ItemId, ItemId)>,
+}
+
+impl DsInstance {
+    /// Number of vertices dominated by `selected` (mask indexed by id).
+    pub fn dominated_count(&self, selected: &[bool]) -> usize {
+        assert_eq!(selected.len(), self.n, "selection mask has wrong length");
+        let mut dominated = selected.to_vec();
+        for &(from, to) in &self.edges {
+            if selected[from.index()] {
+                dominated[to.index()] = true;
+            }
+        }
+        dominated.iter().filter(|&&d| d).count()
+    }
+
+    /// Convenience wrapper taking vertex ids instead of a mask.
+    pub fn dominated_count_of(&self, selected: &[ItemId]) -> usize {
+        let mut mask = vec![false; self.n];
+        for &v in selected {
+            mask[v.index()] = true;
+        }
+        self.dominated_count(&mask)
+    }
+}
+
+/// Reduces a `DS_k` instance to an `IPC_k` instance (Theorem 4.1).
+///
+/// Edge orientations are **reversed**, every edge gets weight 1 and every
+/// node weight `1/n`. For any vertex set `S`, the number of vertices `S`
+/// dominates in the input equals `n · C(S)` in the output under the
+/// Independent semantics.
+pub fn dsk_to_ipc(inst: &DsInstance) -> Result<PreferenceGraph, GraphError> {
+    if inst.n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut b = GraphBuilder::with_capacity(inst.n, inst.edges.len())
+        // Parallel edges in the DS instance are meaningless duplicates.
+        .duplicate_edge_policy(crate::DuplicateEdgePolicy::KeepFirst);
+    let w = 1.0 / inst.n as f64;
+    for _ in 0..inst.n {
+        b.add_node(w);
+    }
+    for &(from, to) in &inst.edges {
+        if from == to {
+            // A self-edge dominates its own vertex, which selection already
+            // does; it carries no information for the reduction.
+            continue;
+        }
+        b.add_edge(to, from, 1.0)?;
+    }
+    // 1/n rounding can leave the sum slightly off 1; normalize explicitly.
+    let g = b.normalize_node_weights(true).build()?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::examples::figure1_ids;
+
+    use super::*;
+
+    /// Normalized cover computed from first principles (Definition 2.2),
+    /// independent of the solver crate.
+    fn npc_cover(g: &PreferenceGraph, selected: &[bool]) -> f64 {
+        let mut c = 0.0;
+        for v in g.node_ids() {
+            if selected[v.index()] {
+                c += g.node_weight(v);
+            } else {
+                let covered: f64 = g
+                    .out_edges(v)
+                    .filter(|(u, _)| selected[u.index()] && *u != v)
+                    .map(|(_, w)| w)
+                    .sum();
+                c += g.node_weight(v) * covered;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn npc_to_vck_preserves_cover_on_figure1() {
+        let (g, ids) = figure1_ids();
+        let inst = npc_to_vck(&g).unwrap();
+        // Total edge weight equals total node weight (each node's out-sum,
+        // after completion, is exactly 1 and each edge is scaled by W(v)).
+        assert!((inst.total_weight() - 1.0).abs() < 1e-9);
+
+        for sel_ids in [
+            vec![],
+            vec![ids.b],
+            vec![ids.b, ids.d],
+            vec![ids.a, ids.b],
+            vec![ids.a, ids.b, ids.c, ids.d, ids.e],
+        ] {
+            let mut mask = vec![false; g.node_count()];
+            for &v in &sel_ids {
+                mask[v.index()] = true;
+            }
+            let lhs = npc_cover(&g, &mask);
+            let rhs = inst.cover_weight(&mask);
+            assert!(
+                (lhs - rhs).abs() < 1e-9,
+                "selection {sel_ids:?}: NPC {lhs} vs VC {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn vck_to_npc_preserves_scaled_cover() {
+        // Hand-built VC instance with a self-edge and a parallel pair.
+        let e = |u: u32, v: u32, w: f64| VcEdge {
+            u: ItemId::new(u),
+            v: ItemId::new(v),
+            weight: w,
+        };
+        let inst = VcInstance {
+            n: 4,
+            edges: vec![e(0, 1, 2.0), e(1, 2, 1.0), e(2, 1, 0.5), e(3, 3, 1.5)],
+        };
+        let (g, n_const) = vck_to_npc(&inst).unwrap();
+        assert!((n_const - 5.0).abs() < 1e-12);
+        assert!((g.total_node_weight() - 1.0).abs() < 1e-9);
+
+        for sel in [
+            vec![false, false, false, false],
+            vec![true, false, false, false],
+            vec![false, true, false, false],
+            vec![false, false, true, true],
+            vec![true, true, true, true],
+        ] {
+            let vc = inst.cover_weight(&sel);
+            let npc = npc_cover(&g, &sel);
+            assert!(
+                (npc - vc / n_const).abs() < 1e-9,
+                "selection {sel:?}: NPC {npc} vs VC/N {}",
+                vc / n_const
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_npc_vck_npc_preserves_cover() {
+        let (g, _) = figure1_ids();
+        let inst = npc_to_vck(&g).unwrap();
+        let (g2, n_const) = vck_to_npc(&inst).unwrap();
+        // The paper observes the roundtrip reproduces the same instance up
+        // to normalization; covers must agree for every selection.
+        assert_eq!(g2.node_count(), g.node_count());
+        for bits in 0u32..(1 << g.node_count()) {
+            let sel: Vec<bool> = (0..g.node_count()).map(|i| bits >> i & 1 == 1).collect();
+            let c1 = npc_cover(&g, &sel);
+            let c2 = npc_cover(&g2, &sel);
+            // g had total weight 1, inst total weight 1, so N == 1 and the
+            // covers must match exactly (up to float error).
+            assert!((n_const - 1.0).abs() < 1e-9);
+            assert!((c1 - c2).abs() < 1e-9, "bits {bits:b}: {c1} vs {c2}");
+        }
+    }
+
+    #[test]
+    fn ds_domination_counts() {
+        let id = ItemId::new;
+        let inst = DsInstance {
+            n: 4,
+            edges: vec![(id(0), id(1)), (id(0), id(2)), (id(3), id(0))],
+        };
+        assert_eq!(inst.dominated_count_of(&[id(0)]), 3); // 0, 1, 2
+        assert_eq!(inst.dominated_count_of(&[id(3)]), 2); // 3, 0
+        assert_eq!(inst.dominated_count_of(&[]), 0);
+        assert_eq!(inst.dominated_count_of(&[id(0), id(3)]), 4);
+    }
+
+    #[test]
+    fn dsk_to_ipc_reverses_and_scales() {
+        let id = ItemId::new;
+        let inst = DsInstance {
+            n: 4,
+            edges: vec![(id(0), id(1)), (id(0), id(2)), (id(3), id(0))],
+        };
+        let g = dsk_to_ipc(&inst).unwrap();
+        // Edge 0->1 in DS becomes 1->0 in IPC.
+        assert_eq!(g.edge_weight(id(1), id(0)), Some(1.0));
+        assert_eq!(g.edge_weight(id(0), id(1)), None);
+        assert!((g.node_weight(id(0)) - 0.25).abs() < 1e-12);
+
+        // For singleton retained sets and Independent semantics, C(S) is
+        // (1 + out-coverage) / n; check {0}: covers itself plus 1 and 2
+        // (in-edges into 0 from 1 and 2 with weight 1 each).
+        let covered_by_0: f64 = 0.25
+            + g.in_edges(id(0))
+                .map(|(u, w)| g.node_weight(u) * w)
+                .sum::<f64>();
+        assert!((covered_by_0 - 0.75).abs() < 1e-12);
+        assert_eq!(inst.dominated_count_of(&[id(0)]), 3);
+    }
+
+    #[test]
+    fn dsk_self_edges_are_dropped() {
+        let id = ItemId::new;
+        let inst = DsInstance {
+            n: 2,
+            edges: vec![(id(0), id(0)), (id(0), id(1))],
+        };
+        let g = dsk_to_ipc(&inst).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(id(1), id(0)), Some(1.0));
+    }
+
+    #[test]
+    fn vck_rejects_invalid_input() {
+        let e = |u: u32, v: u32, w: f64| VcEdge {
+            u: ItemId::new(u),
+            v: ItemId::new(v),
+            weight: w,
+        };
+        assert!(vck_to_npc(&VcInstance { n: 0, edges: vec![] }).is_err());
+        assert!(vck_to_npc(&VcInstance {
+            n: 2,
+            edges: vec![e(0, 5, 1.0)]
+        })
+        .is_err());
+        assert!(vck_to_npc(&VcInstance {
+            n: 2,
+            edges: vec![e(0, 1, -1.0)]
+        })
+        .is_err());
+        // No edges at all: total weight 0 -> no distribution.
+        assert!(vck_to_npc(&VcInstance { n: 2, edges: vec![] }).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Post-hoc validation of preference graphs.
+//!
+//! [`GraphBuilder`](crate::GraphBuilder) already rejects malformed input at
+//! construction time; this module re-checks invariants on *existing* graphs
+//! (e.g. after deserialization from an untrusted file, or after transforms)
+//! and reports all findings at once instead of failing on the first.
+
+use crate::{ItemId, PreferenceGraph, WEIGHT_EPSILON};
+
+/// Tunable thresholds for [`validate`].
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationOptions {
+    /// Tolerance for the node-weight sum and normalized out-sum checks.
+    pub epsilon: f64,
+    /// Check the Normalized variant invariant (out-weight sums ≤ 1).
+    pub check_normalized: bool,
+    /// Treat self-loops as issues (they are inert w.r.t. cover but usually
+    /// indicate an adaptation bug).
+    pub reject_self_loops: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            epsilon: WEIGHT_EPSILON,
+            check_normalized: false,
+            reject_self_loops: true,
+        }
+    }
+}
+
+/// A single validation finding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationIssue {
+    /// A node weight outside `[0, 1]` or non-finite.
+    NodeWeightOutOfRange {
+        /// Offending node.
+        node: ItemId,
+        /// Its weight.
+        weight: f64,
+    },
+    /// An edge weight outside `(0, 1]` or non-finite.
+    EdgeWeightOutOfRange {
+        /// Edge source.
+        source: ItemId,
+        /// Edge target.
+        target: ItemId,
+        /// Its weight.
+        weight: f64,
+    },
+    /// Node weights do not sum to 1 within tolerance.
+    WeightSumMismatch {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// A node's out-weight sum exceeds 1 (Normalized variant check).
+    OutSumExceedsOne {
+        /// Offending node.
+        node: ItemId,
+        /// Its out-weight sum.
+        sum: f64,
+    },
+    /// A self-loop edge.
+    SelfLoop {
+        /// The node carrying the loop.
+        node: ItemId,
+    },
+}
+
+/// The outcome of [`validate`]: every issue found, in deterministic order.
+#[derive(Clone, Debug, Default)]
+pub struct ValidationReport {
+    /// All findings, ordered by check then node id.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// True when no issues were found.
+    pub fn is_valid(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Checks all invariants of `g` under `opts` and returns every violation.
+pub fn validate(g: &PreferenceGraph, opts: &ValidationOptions) -> ValidationReport {
+    let mut report = ValidationReport::default();
+
+    for v in g.node_ids() {
+        let w = g.node_weight(v);
+        if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+            report
+                .issues
+                .push(ValidationIssue::NodeWeightOutOfRange { node: v, weight: w });
+        }
+    }
+
+    let sum = g.total_node_weight();
+    if (sum - 1.0).abs() > opts.epsilon {
+        report.issues.push(ValidationIssue::WeightSumMismatch { sum });
+    }
+
+    for v in g.node_ids() {
+        for (u, w) in g.out_edges(v) {
+            if !w.is_finite() || w <= 0.0 || w > 1.0 {
+                report.issues.push(ValidationIssue::EdgeWeightOutOfRange {
+                    source: v,
+                    target: u,
+                    weight: w,
+                });
+            }
+            if opts.reject_self_loops && u == v {
+                report.issues.push(ValidationIssue::SelfLoop { node: v });
+            }
+        }
+        if opts.check_normalized {
+            let s = g.out_weight_sum(v);
+            if s > 1.0 + opts.epsilon {
+                report
+                    .issues
+                    .push(ValidationIssue::OutSumExceedsOne { node: v, sum: s });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    use super::*;
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.6);
+        let c = b.add_node(0.4);
+        b.add_edge(a, c, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let report = validate(&g, &ValidationOptions::default());
+        assert!(report.is_valid(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn normalized_check_flags_oversum() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0.5);
+        let c = b.add_node(0.3);
+        let d = b.add_node(0.2);
+        b.add_edge(a, c, 0.9).unwrap();
+        b.add_edge(a, d, 0.9).unwrap();
+        let g = b.build().unwrap();
+
+        let lax = validate(&g, &ValidationOptions::default());
+        assert!(lax.is_valid());
+
+        let strict = validate(
+            &g,
+            &ValidationOptions {
+                check_normalized: true,
+                ..ValidationOptions::default()
+            },
+        );
+        assert_eq!(strict.issues.len(), 1);
+        assert!(matches!(
+            strict.issues[0],
+            ValidationIssue::OutSumExceedsOne { node, .. } if node == a
+        ));
+    }
+
+    #[test]
+    fn self_loops_flagged_by_default_only() {
+        let mut b = GraphBuilder::new().allow_self_loops(true);
+        let a = b.add_node(1.0);
+        b.add_edge(a, a, 0.4).unwrap();
+        let g = b.build().unwrap();
+
+        let default = validate(&g, &ValidationOptions::default());
+        assert!(matches!(default.issues[..], [ValidationIssue::SelfLoop { .. }]));
+
+        let lax = validate(
+            &g,
+            &ValidationOptions {
+                reject_self_loops: false,
+                ..ValidationOptions::default()
+            },
+        );
+        assert!(lax.is_valid());
+    }
+
+    #[test]
+    fn weight_sum_mismatch_detected() {
+        let mut b = GraphBuilder::new().skip_weight_sum_check(true);
+        b.add_node(0.4);
+        b.add_node(0.3);
+        let g = b.build().unwrap();
+        let report = validate(&g, &ValidationOptions::default());
+        assert!(matches!(
+            report.issues[..],
+            [ValidationIssue::WeightSumMismatch { .. }]
+        ));
+    }
+}

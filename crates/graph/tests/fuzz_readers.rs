@@ -1,0 +1,76 @@
+//! Robustness: the graph readers must return errors — never panic — on
+//! arbitrary garbage, truncations and mutations of valid files.
+
+use proptest::prelude::*;
+
+use pcover_graph::examples::figure1;
+use pcover_graph::io::{binary, csv, json, LoadOptions};
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pcover-fuzz");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn binary_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let path = tmpfile("garbage.pcg");
+        std::fs::write(&path, &bytes).unwrap();
+        // Any outcome but a panic is fine; garbage essentially never forms
+        // a valid checksummed file.
+        let _ = binary::read_binary(&path, &LoadOptions::default());
+    }
+
+    #[test]
+    fn binary_reader_never_panics_on_mutations(pos in 0usize..200, flip in 1u8..=255) {
+        let path = tmpfile("mutated.pcg");
+        binary::write_binary(&figure1(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= flip;
+        std::fs::write(&path, &bytes).unwrap();
+        if let Ok(g) = binary::read_binary(&path, &LoadOptions::default()) {
+            // A mutation that still parses must have hit a byte the format
+            // ignores — impossible here (everything is checksummed), so a
+            // success must reproduce the original graph... which can only
+            // happen if the flip cancelled itself. Reaching this branch at
+            // all with a real mutation would be a checksum bug.
+            prop_assert_eq!(g, figure1());
+        }
+    }
+
+    #[test]
+    fn json_reader_never_panics_on_garbage(s in "\\PC{0,200}") {
+        let _ = json::from_json_str(&s, &LoadOptions::default());
+    }
+
+    #[test]
+    fn json_reader_never_panics_on_structured_noise(
+        weights in proptest::collection::vec(any::<f64>(), 0..8),
+        edges in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<f64>()), 0..8),
+    ) {
+        // Structurally valid JSON with semantically wild values.
+        let doc = serde_json::json!({
+            "node_weights": weights,
+            "edges": edges
+                .iter()
+                .map(|(s, t, w)| serde_json::json!({"source": s, "target": t, "weight": w}))
+                .collect::<Vec<_>>(),
+        });
+        let _ = json::from_json_str(&doc.to_string(), &LoadOptions::default());
+    }
+
+    #[test]
+    fn csv_reader_never_panics_on_garbage(nodes in "\\PC{0,200}", edges in "\\PC{0,200}") {
+        let dir = std::env::temp_dir()
+            .join("pcover-fuzz-csv")
+            .join(format!("{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("nodes.csv"), &nodes).unwrap();
+        std::fs::write(dir.join("edges.csv"), &edges).unwrap();
+        let _ = csv::read_csv(&dir, &LoadOptions::default());
+    }
+}

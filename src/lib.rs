@@ -1,0 +1,85 @@
+//! # preference-cover
+//!
+//! A complete Rust implementation of **"Inventory Reduction via Maximal
+//! Coverage in E-Commerce"** (Gershtein, Milo, Novgorodov — EDBT 2020): the
+//! Preference Cover problem, its Independent (`IPC_k`) and Normalized
+//! (`NPC_k`) variants, the scalable greedy solver family, the Data
+//! Adaptation Engine that builds preference graphs from clickstreams, and
+//! synthetic data generation standing in for the paper's private datasets.
+//!
+//! This crate is a facade re-exporting the workspace's subcrates under one
+//! roof:
+//!
+//! * [`graph`] — the preference-graph substrate ([`pcover_graph`]).
+//! * [`solver`] — cover functions, greedy/lazy/parallel solvers, baselines,
+//!   brute force, minimization, extensions ([`pcover_core`]).
+//! * [`clickstream`] — session model and IO ([`pcover_clickstream`]).
+//! * [`datagen`] — synthetic catalogs, sessions and graphs
+//!   ([`pcover_datagen`]).
+//! * [`adapt`] — clickstream → graph construction and variant diagnostics
+//!   ([`pcover_adapt`]).
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use preference_cover::prelude::*;
+//!
+//! // The paper's Figure 1 graph: five items, greedy retains B then D and
+//! // covers 87.3% of requests with 2 of 5 items.
+//! let g = preference_cover::graph::examples::figure1();
+//! let report = greedy::solve::<Normalized>(&g, 2).unwrap();
+//! assert!((report.cover - 0.873).abs() < 1e-9);
+//!
+//! // End to end: synthesize a clickstream, build the graph, solve.
+//! let (catalog_cfg, session_cfg) = DatasetProfile::YC.configs(Scale::Fraction(0.002), 42);
+//! let (_, sessions) = generate_clickstream(&catalog_cfg, &session_cfg);
+//! let adapted = adapt(&sessions, &AdaptOptions::default()).unwrap();
+//! let report = lazy::solve::<Independent>(&adapted.graph, 20).unwrap();
+//! assert!(report.cover > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pcover_adapt::{adapt, AdaptOptions, AdaptReport, Adapted};
+
+/// The preference-graph substrate (re-export of [`pcover_graph`]).
+pub mod graph {
+    pub use pcover_graph::*;
+}
+
+/// Solvers and cover functions (re-export of [`pcover_core`]).
+pub mod solver {
+    pub use pcover_core::*;
+}
+
+/// Clickstream model and IO (re-export of [`pcover_clickstream`]).
+pub mod clickstream {
+    pub use pcover_clickstream::*;
+}
+
+/// Synthetic data generation (re-export of [`pcover_datagen`]).
+pub mod datagen {
+    pub use pcover_datagen::*;
+}
+
+/// Adaptation engine and diagnostics (re-export of [`pcover_adapt`]).
+pub mod adaptation {
+    pub use pcover_adapt::*;
+}
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use pcover_adapt::diagnostics::{diagnose, DiagnosticThresholds, Recommendation};
+    pub use pcover_adapt::{adapt, AdaptOptions, Adapted};
+    pub use pcover_clickstream::{Clickstream, Session};
+    pub use pcover_core::{
+        baselines, brute_force, greedy, lazy, local_search, minimize, parallel, stochastic,
+        streaming, CoverModel, Independent, Normalized, SolveReport, Variant,
+    };
+    pub use pcover_datagen::behavior::BehaviorModel;
+    pub use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+    pub use pcover_datagen::profiles::{DatasetProfile, Scale};
+    pub use pcover_datagen::sessions::{generate_clickstream, SessionConfig};
+    pub use pcover_graph::{GraphBuilder, GraphStats, ItemId, PreferenceGraph};
+}

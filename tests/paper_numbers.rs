@@ -1,0 +1,121 @@
+//! Every concrete number the paper quotes, verified end to end through the
+//! public facade API.
+
+use preference_cover::prelude::*;
+use preference_cover::solver::brute_force::{self, BruteForceOptions};
+use preference_cover::solver::bounds;
+
+#[test]
+fn example_1_1_and_3_2_all_numbers() {
+    let g = preference_cover::graph::examples::figure1();
+
+    // "A is the best selling item (purchased by 33% of customers) while D
+    // is the least sold (6%)".
+    let weights: Vec<f64> = g.node_weights().to_vec();
+    let max = weights.iter().cloned().fold(f64::MIN, f64::max);
+    let min = weights.iter().cloned().fold(f64::MAX, f64::min);
+    assert!((max - 0.33).abs() < 1e-12);
+    assert!((min - 0.06).abs() < 1e-12);
+
+    for run_normalized in [true, false] {
+        let (r, label) = if run_normalized {
+            (greedy::solve::<Normalized>(&g, 2).unwrap(), "normalized")
+        } else {
+            (greedy::solve::<Independent>(&g, 2).unwrap(), "independent")
+        };
+        // Example 3.2: first pick B at 66%, final cover 87.3%.
+        assert!((r.trajectory[0] - 0.66).abs() < 1e-9, "{label}");
+        assert!((r.cover - 0.873).abs() < 1e-9, "{label}");
+        // Names: B is node 1, D is node 3.
+        assert_eq!(r.order, vec![ItemId::new(1), ItemId::new(3)], "{label}");
+    }
+
+    // "Selecting the two best-sold items, A and B, is likely to satisfy
+    // about 77% of the customers."
+    let naive = baselines::top_k_weight::<Normalized>(&g, 2).unwrap();
+    assert!((naive.cover - 0.77).abs() < 1e-9);
+
+    // "...which in this case is also the optimal possible pair."
+    let bf = brute_force::solve::<Normalized>(&g, 2, &BruteForceOptions::default()).unwrap();
+    assert!((bf.cover - 0.873).abs() < 1e-9);
+}
+
+#[test]
+fn figure_2_walkthrough_coverage_percentages() {
+    // "The coverage of the non-retained item C is also 100% ... The
+    // coverage of items A and E is 67% and 90%."
+    let (g, ids) = preference_cover::graph::examples::figure1_ids();
+    let r = greedy::solve::<Normalized>(&g, 2).unwrap();
+    assert!((r.coverage_of(&g, ids.c) - 1.0).abs() < 1e-9);
+    assert!((r.coverage_of(&g, ids.a) - 2.0 / 3.0).abs() < 1e-9);
+    assert!((r.coverage_of(&g, ids.e) - 0.9).abs() < 1e-9);
+}
+
+#[test]
+fn figure_3_graph_construction() {
+    // The five iPhone sessions of Figure 3a produce exactly the Figure 3b
+    // graph; built here through the public adapt() API.
+    let sessions = Clickstream::new(vec![
+        Session::new(1, vec![3], 3),
+        Session::new(2, vec![3, 1], 3),
+        Session::new(3, vec![1, 2], 1),
+        Session::new(4, vec![1, 3], 1),
+        Session::new(5, vec![2, 3], 2),
+    ]);
+    let adapted = adapt(
+        &sessions,
+        &AdaptOptions {
+            variant: Variant::Normalized,
+            ..AdaptOptions::default()
+        },
+    )
+    .unwrap();
+    let g = &adapted.graph;
+    let silver = adapted.node_of(1).unwrap();
+    let gold = adapted.node_of(2).unwrap();
+    let gray = adapted.node_of(3).unwrap();
+    assert!((g.node_weight(silver) - 0.4).abs() < 1e-12);
+    assert!((g.node_weight(gold) - 0.2).abs() < 1e-12);
+    assert!((g.node_weight(gray) - 0.4).abs() < 1e-12);
+    assert_eq!(g.edge_weight(silver, gold), Some(0.5));
+    assert_eq!(g.edge_weight(silver, gray), Some(0.5));
+    assert_eq!(g.edge_weight(gray, silver), Some(0.5));
+    assert_eq!(g.edge_weight(gold, gray), Some(1.0));
+
+    // "It is clear that the Normalized variant is a good fit, since no
+    // session implies more than one alternative."
+    let d = diagnose(&sessions, &DiagnosticThresholds { min_sessions_per_item: 1, ..Default::default() });
+    assert_eq!(d.recommendation, Recommendation::Normalized);
+    assert_eq!(d.single_alt_fraction, 1.0);
+}
+
+#[test]
+fn table_1_greedy_column() {
+    // Greedy bound: max{1 - 1/e, 1 - (1 - k/n)^2}.
+    let e = 1.0 - 1.0 / std::f64::consts::E;
+    assert!((bounds::greedy_ratio_ipc() - e).abs() < 1e-12);
+    // Crossover at 1 - 1/sqrt(e) ≈ 0.39 (the table's "≈0.39").
+    assert!((bounds::quadratic_crossover() - 0.39347).abs() < 1e-4);
+    // "for k >= 0.74n it is the best known guarantee, exceeding a 0.93
+    // factor".
+    assert!(bounds::greedy_ratio_npc(0.74) > 0.93);
+    let t = bounds::table1();
+    assert_eq!(t.len(), 5);
+}
+
+#[test]
+fn table_2_profile_constants() {
+    // The Table 2 row constants drive the generator profiles.
+    assert_eq!(DatasetProfile::PE.full_sessions(), 10_782_918);
+    assert_eq!(DatasetProfile::PE.full_items(), 1_921_701);
+    assert_eq!(DatasetProfile::PE.full_edges(), 9_250_131);
+    assert_eq!(DatasetProfile::PF.full_sessions(), 8_630_541);
+    assert_eq!(DatasetProfile::PM.full_items(), 1_396_674);
+    assert_eq!(DatasetProfile::YC.full_edges(), 249_008);
+}
+
+#[test]
+fn brute_force_subset_count_quote() {
+    // "even for n = 30 and k = 15, there are 155M possible solutions"
+    assert_eq!(brute_force::subset_count(30, 15), 155_117_520);
+}

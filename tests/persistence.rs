@@ -1,0 +1,75 @@
+//! Cross-format persistence: a graph survives every serialization format
+//! with solve-identical results, and reports survive JSON.
+
+use preference_cover::graph::io::{binary, csv, json, LoadOptions};
+use preference_cover::prelude::*;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pcover-persistence").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn test_graph() -> PreferenceGraph {
+    generate_graph(&GraphGenConfig {
+        nodes: 400,
+        avg_out_degree: 4,
+        seed: 77,
+        ..GraphGenConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn solve_results_identical_across_formats() {
+    let g = test_graph();
+    let reference = lazy::solve::<Independent>(&g, 40).unwrap();
+
+    let dir = tmpdir("formats");
+    let json_path = dir.join("g.json");
+    let bin_path = dir.join("g.pcg");
+    let csv_dir = dir.join("csv");
+    json::write_json(&g, &json_path).unwrap();
+    binary::write_binary(&g, &bin_path).unwrap();
+    csv::write_csv(&g, &csv_dir).unwrap();
+
+    let opts = LoadOptions::default();
+    for (label, loaded) in [
+        ("json", json::read_json(&json_path, &opts).unwrap()),
+        ("binary", binary::read_binary(&bin_path, &opts).unwrap()),
+        ("csv", csv::read_csv(&csv_dir, &opts).unwrap()),
+    ] {
+        assert_eq!(loaded, g, "{label} roundtrip changed the graph");
+        let r = lazy::solve::<Independent>(&loaded, 40).unwrap();
+        assert_eq!(r.order, reference.order, "{label} changed the solution");
+        assert!((r.cover - reference.cover).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn solve_report_json_roundtrip() {
+    let g = test_graph();
+    let r = greedy::solve::<Normalized>(&g, 10).unwrap();
+    let json = serde_json::to_string(&r).unwrap();
+    let back: SolveReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.order, r.order);
+    assert_eq!(back.trajectory, r.trajectory);
+    assert_eq!(back.cover, r.cover);
+    assert_eq!(back.variant, r.variant);
+}
+
+#[test]
+fn clickstream_jsonl_roundtrip_preserves_adaptation() {
+    let (catalog_cfg, session_cfg) = DatasetProfile::YC.configs(Scale::Fraction(0.002), 3);
+    let (_, sessions) = generate_clickstream(&catalog_cfg, &session_cfg);
+    let dir = tmpdir("clickstream");
+    let path = dir.join("cs.jsonl");
+    preference_cover::clickstream::io::write_jsonl(&sessions, &path).unwrap();
+    let back = preference_cover::clickstream::io::read_jsonl(&path).unwrap();
+    assert_eq!(back, sessions);
+
+    let a = adapt(&sessions, &AdaptOptions::default()).unwrap();
+    let b = adapt(&back, &AdaptOptions::default()).unwrap();
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.external_ids, b.external_ids);
+}

@@ -1,0 +1,122 @@
+//! Theory cross-checks at the workspace level: the reductions of Theorems
+//! 3.1 and 4.1 against the actual solvers, on realistic generated graphs.
+
+use preference_cover::graph::reduction::{dsk_to_ipc, npc_to_vck, DsInstance};
+use preference_cover::prelude::*;
+use preference_cover::solver::brute_force::{self, BruteForceOptions};
+use preference_cover::solver::{cover_value, maxvc};
+
+#[test]
+fn npc_greedy_equals_vck_greedy_on_generated_graphs() {
+    for seed in 0..5 {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 60,
+            avg_out_degree: 3,
+            normalized: true,
+            seed,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        for k in [1, 5, 20] {
+            maxvc::verify_equivalence(&g, k).unwrap_or_else(|e| {
+                panic!("seed {seed}, k {k}: {e}");
+            });
+        }
+    }
+}
+
+#[test]
+fn npc_cover_equals_vck_cover_for_arbitrary_sets() {
+    let g = generate_graph(&GraphGenConfig {
+        nodes: 40,
+        normalized: true,
+        seed: 11,
+        ..GraphGenConfig::default()
+    })
+    .unwrap();
+    let inst = npc_to_vck(&g).unwrap();
+    // A spread of deterministic pseudo-random selections.
+    for salt in 0..20u32 {
+        let mask: Vec<bool> = (0..g.node_count())
+            .map(|i| (i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 3 == 0)
+            .collect();
+        let npc = cover_value::<Normalized>(&g, &mask);
+        let vc = inst.cover_weight(&mask);
+        assert!((npc - vc).abs() < 1e-9, "salt {salt}: {npc} vs {vc}");
+    }
+}
+
+#[test]
+fn dsk_reduction_scales_domination_by_n() {
+    // Build a random DS instance, reduce to IPC, compare objectives over
+    // all singleton and pair selections.
+    let n = 12usize;
+    let edges: Vec<(ItemId, ItemId)> = (0..n as u32)
+        .flat_map(|i| {
+            [(i, (i * 7 + 3) % 12), (i, (i * 5 + 1) % 12)]
+                .into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| (ItemId::new(a), ItemId::new(b)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let inst = DsInstance { n, edges };
+    let g = dsk_to_ipc(&inst).unwrap();
+
+    for i in 0..n {
+        for j in i..n {
+            let sel: Vec<ItemId> = if i == j {
+                vec![ItemId::from_index(i)]
+            } else {
+                vec![ItemId::from_index(i), ItemId::from_index(j)]
+            };
+            let dominated = inst.dominated_count_of(&sel);
+            let mut mask = vec![false; n];
+            for &v in &sel {
+                mask[v.index()] = true;
+            }
+            let cover = cover_value::<Independent>(&g, &mask);
+            assert!(
+                (cover * n as f64 - dominated as f64).abs() < 1e-9,
+                "selection {sel:?}: n*C = {} vs dominated = {dominated}",
+                cover * n as f64
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_respects_both_variant_bounds_on_generated_graphs() {
+    for seed in 20..24 {
+        let g = generate_graph(&GraphGenConfig {
+            nodes: 14,
+            avg_out_degree: 3,
+            normalized: true,
+            seed,
+            ..GraphGenConfig::default()
+        })
+        .unwrap();
+        let n = g.node_count();
+        for k in [2, n / 2, (3 * n) / 4] {
+            let bf_i =
+                brute_force::solve::<Independent>(&g, k, &BruteForceOptions::default()).unwrap();
+            let gr_i = greedy::solve::<Independent>(&g, k).unwrap();
+            assert!(
+                gr_i.cover >= (1.0 - 1.0 / std::f64::consts::E) * bf_i.cover - 1e-9,
+                "seed {seed} k {k} independent"
+            );
+
+            let bf_n =
+                brute_force::solve::<Normalized>(&g, k, &BruteForceOptions::default()).unwrap();
+            let gr_n = greedy::solve::<Normalized>(&g, k).unwrap();
+            let bound = preference_cover::solver::bounds::greedy_ratio_npc(k as f64 / n as f64);
+            assert!(
+                gr_n.cover >= bound * bf_n.cover - 1e-9,
+                "seed {seed} k {k} normalized: {} < {} * {}",
+                gr_n.cover,
+                bound,
+                bf_n.cover
+            );
+        }
+    }
+}
