@@ -12,6 +12,8 @@
 //! convention that a constant indicator (zero entropy) contributes 0 —
 //! a variable with no variation demonstrates no dependence.
 
+// lint: allow-file(no-index) — indices come from ItemId::index() against arrays sized to the
+// graph's node_count, in bounds by construction.
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -121,7 +123,10 @@ pub fn weighted_mean_pairwise_nmi(
     // Group sessions by purchased item.
     let mut by_item: HashMap<ExternalItemId, Vec<Vec<ExternalItemId>>> = HashMap::new();
     for s in &cs.sessions {
-        by_item.entry(s.purchase).or_default().push(s.alternatives());
+        by_item
+            .entry(s.purchase)
+            .or_default()
+            .push(s.alternatives());
     }
 
     let mut weighted_sum = 0.0f64;

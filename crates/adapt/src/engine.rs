@@ -1,5 +1,7 @@
 //! Clickstream → preference graph construction.
 
+// lint: allow-file(no-index) — indices come from ItemId::index() against arrays sized to the
+// graph's node_count, in bounds by construction.
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -171,6 +173,7 @@ pub fn adapt(cs: &Clickstream, opts: &AdaptOptions) -> Result<Adapted, GraphErro
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_clickstream::Session;
     use pcover_graph::examples::figure3;

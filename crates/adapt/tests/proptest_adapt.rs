@@ -12,8 +12,8 @@ use pcover_core::Variant;
 fn arb_clickstream(max_sessions: usize) -> impl Strategy<Value = Clickstream> {
     proptest::collection::vec(
         (
-            1u64..30,                                     // purchase
-            proptest::collection::vec(1u64..30, 0..5),    // clicks
+            1u64..30,                                  // purchase
+            proptest::collection::vec(1u64..30, 0..5), // clicks
         ),
         1..=max_sessions,
     )

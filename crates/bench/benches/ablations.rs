@@ -9,6 +9,8 @@
 //! * **Dual-CSR vs on-the-fly in-edge scan** — the reason the graph stores
 //!   both adjacency directions.
 
+#![allow(clippy::unwrap_used)] // bench harness: panicking on setup failure is the right behavior
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -30,13 +32,13 @@ fn bench_lazy_vs_plain(c: &mut Criterion) {
     let g = test_graph(4_000);
     let mut group = c.benchmark_group("lazy_vs_plain");
     for k in [20usize, 100, 400] {
-        group.bench_function(format!("plain_k{k}"), |b| {
+        group.bench_function(&format!("plain_k{k}"), |b| {
             b.iter(|| black_box(greedy::solve::<Independent>(&g, k).unwrap().cover))
         });
-        group.bench_function(format!("lazy_k{k}"), |b| {
+        group.bench_function(&format!("lazy_k{k}"), |b| {
             b.iter(|| black_box(lazy::solve::<Independent>(&g, k).unwrap().cover))
         });
-        group.bench_function(format!("partitioned_k{k}"), |b| {
+        group.bench_function(&format!("partitioned_k{k}"), |b| {
             b.iter(|| {
                 black_box(
                     pcover_core::partitioned::solve::<Independent>(&g, k)

@@ -5,6 +5,8 @@
 //! analysis counts; the Independent variant does one extra multiply per
 //! in-edge, which should be visible but small.
 
+#![allow(clippy::unwrap_used)] // bench harness: panicking on setup failure is the right behavior
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,8 @@
 //! Data-path benchmarks: session generation, graph adaptation (the
 //! offline phase the paper excludes from solver timings) and graph IO.
 
+#![allow(clippy::unwrap_used)] // bench harness: panicking on setup failure is the right behavior
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -82,7 +84,13 @@ fn bench_graph_io(c: &mut Criterion) {
         b.iter(|| json::write_json(&g, &json_path).unwrap())
     });
     group.bench_function("read_json", |b| {
-        b.iter(|| black_box(json::read_json(&json_path, &LoadOptions::default()).unwrap().edge_count()))
+        b.iter(|| {
+            black_box(
+                json::read_json(&json_path, &LoadOptions::default())
+                    .unwrap()
+                    .edge_count(),
+            )
+        })
     });
     group.bench_function("write_binary", |b| {
         b.iter(|| binary::write_binary(&g, &bin_path).unwrap())

@@ -1,6 +1,8 @@
 //! Whole-solver benchmarks: the greedy family and the baselines on a
 //! mid-size graph — the per-algorithm cost behind Figures 4b/4c.
 
+#![allow(clippy::unwrap_used)] // bench harness: panicking on setup failure is the right behavior
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -36,7 +38,13 @@ fn bench_solvers(c: &mut Criterion) {
         b.iter(|| black_box(baselines::top_k_weight::<Independent>(&g, k).unwrap().cover))
     });
     group.bench_function("topk_coverage", |b| {
-        b.iter(|| black_box(baselines::top_k_coverage::<Independent>(&g, k).unwrap().cover))
+        b.iter(|| {
+            black_box(
+                baselines::top_k_coverage::<Independent>(&g, k)
+                    .unwrap()
+                    .cover,
+            )
+        })
     });
     group.bench_function("random_best_of_10", |b| {
         b.iter(|| {

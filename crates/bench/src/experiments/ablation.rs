@@ -15,7 +15,11 @@ use crate::Opts;
 
 /// Runs the algorithm comparison.
 pub fn run(opts: &Opts) -> String {
-    let (n, k) = if opts.full { (100_000, 2000) } else { (20_000, 400) };
+    let (n, k) = if opts.full {
+        (100_000, 2000)
+    } else {
+        (20_000, 400)
+    };
     let g = generate_graph(&GraphGenConfig {
         nodes: n,
         avg_out_degree: 5,
@@ -35,14 +39,23 @@ pub fn run(opts: &Opts) -> String {
             fmt_duration(time),
         ]);
     };
-    push("Greedy (plain, paper)", plain.cover, plain.gain_evaluations, plain_time);
+    push(
+        "Greedy (plain, paper)",
+        plain.cover,
+        plain.gain_evaluations,
+        plain_time,
+    );
 
     let (lz, time) = timed(|| lazy::solve::<Independent>(&g, k).expect("valid k"));
     push("Greedy (lazy)", lz.cover, lz.gain_evaluations, time);
 
-    let ((par, _), time) =
-        timed(|| parallel::solve::<Independent>(&g, k, 4).expect("valid k"));
-    push("Greedy (parallel x4)", par.cover, par.gain_evaluations, time);
+    let ((par, _), time) = timed(|| parallel::solve::<Independent>(&g, k, 4).expect("valid k"));
+    push(
+        "Greedy (parallel x4)",
+        par.cover,
+        par.gain_evaluations,
+        time,
+    );
 
     let (part, time) =
         timed(|| pcover_core::partitioned::solve::<Independent>(&g, k).expect("valid k"));
@@ -64,7 +77,12 @@ pub fn run(opts: &Opts) -> String {
         )
         .expect("valid k")
     });
-    push("Stochastic greedy (eps=0.05)", st.cover, st.gain_evaluations, time);
+    push(
+        "Stochastic greedy (eps=0.05)",
+        st.cover,
+        st.gain_evaluations,
+        time,
+    );
 
     let (sv, time) = timed(|| {
         streaming::solve::<Independent>(&g, k, &streaming::SieveOptions { epsilon: 0.1 })

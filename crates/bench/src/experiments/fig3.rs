@@ -55,7 +55,10 @@ pub fn run(_opts: &Opts) -> String {
             format!("{:.2}", g.node_weight(v)),
             format!("{paper:.2}"),
         ]);
-        assert!((g.node_weight(v) - paper).abs() < 1e-12, "node weight mismatch");
+        assert!(
+            (g.node_weight(v) - paper).abs() < 1e-12,
+            "node weight mismatch"
+        );
     }
     out.push_str(&nodes.render());
 
@@ -66,8 +69,8 @@ pub fn run(_opts: &Opts) -> String {
         (SPACE_GRAY, SILVER, 0.5),
         (GOLD, SPACE_GRAY, 1.0),
     ] {
-        let fv = adapted.node_of(from).unwrap();
-        let tv = adapted.node_of(to).unwrap();
+        let fv = adapted.node_of(from).expect("node exists");
+        let tv = adapted.node_of(to).expect("node exists");
         let w = g.edge_weight(fv, tv).expect("edge exists");
         edges.row([
             format!("{} -> {}", label(from), label(to)),

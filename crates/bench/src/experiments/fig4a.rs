@@ -29,7 +29,11 @@ pub fn run(opts: &Opts) -> String {
     for &k in &ks {
         let bf = brute_force::solve::<Normalized>(&g, k, &bf_opts).expect("small instance");
         let gr = greedy::solve::<Normalized>(&g, k).expect("valid k");
-        let ratio = if bf.cover > 0.0 { gr.cover / bf.cover } else { 1.0 };
+        let ratio = if bf.cover > 0.0 {
+            gr.cover / bf.cover
+        } else {
+            1.0
+        };
         worst_ratio = worst_ratio.min(ratio);
         let bound = pcover_core::bounds::greedy_ratio_npc(k as f64 / n as f64);
         assert!(

@@ -22,17 +22,24 @@ pub fn run(opts: &Opts) -> String {
     let g = &adapted.graph;
     let n = g.node_count();
 
-    let mut t = Table::new(["k/n", "k", "Greedy", "TopK-C", "TopK-W", "Random(best of 10)"]);
+    let mut t = Table::new([
+        "k/n",
+        "k",
+        "Greedy",
+        "TopK-C",
+        "TopK-W",
+        "Random(best of 10)",
+    ]);
     let mut greedy_always_on_top = true;
     for tenth in [1usize, 3, 5, 7, 9] {
         let k = (n * tenth / 10).max(1);
         let gr = lazy::solve::<Independent>(g, k).expect("valid k");
         let tc = baselines::top_k_coverage::<Independent>(g, k).expect("valid k");
         let tw = baselines::top_k_weight::<Independent>(g, k).expect("valid k");
-        let rnd =
-            baselines::random_best_of::<Independent>(g, k, opts.seed, 10).expect("valid k");
-        greedy_always_on_top &=
-            gr.cover >= tc.cover - 1e-9 && gr.cover >= tw.cover - 1e-9 && gr.cover >= rnd.cover - 1e-9;
+        let rnd = baselines::random_best_of::<Independent>(g, k, opts.seed, 10).expect("valid k");
+        greedy_always_on_top &= gr.cover >= tc.cover - 1e-9
+            && gr.cover >= tw.cover - 1e-9
+            && gr.cover >= rnd.cover - 1e-9;
         t.row([
             format!("{}%", tenth * 10),
             k.to_string(),

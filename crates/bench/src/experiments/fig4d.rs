@@ -81,7 +81,8 @@ pub fn run(opts: &Opts) -> String {
         })
         .collect();
 
-    let mut out = String::from("## Figure 4d — scalability of Greedy over graph size (PE-style graphs)\n\n");
+    let mut out =
+        String::from("## Figure 4d — scalability of Greedy over graph size (PE-style graphs)\n\n");
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nscaling steps: {}\n(paper: near-linear runtime growth in n at fixed k; lazy greedy is\n\

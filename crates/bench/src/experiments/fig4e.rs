@@ -22,7 +22,11 @@ use crate::Opts;
 
 /// Runs the thread sweep.
 pub fn run(opts: &Opts) -> String {
-    let (n, k) = if opts.full { (200_000, 1000) } else { (50_000, 250) };
+    let (n, k) = if opts.full {
+        (200_000, 1000)
+    } else {
+        (50_000, 250)
+    };
     let g = generate_graph(&GraphGenConfig {
         nodes: n,
         avg_out_degree: 5,
@@ -60,10 +64,12 @@ pub fn run(opts: &Opts) -> String {
     ]);
     let paper_points = [(1, 1.0), (4, 3.7), (8, 7.0), (16, 12.5), (32, 20.0)];
     for &(threads, paper) in &paper_points {
-        let ((report, stats), wall) = timed(|| {
-            parallel::solve::<Independent>(&g, k, threads).expect("valid k")
-        });
-        assert_eq!(report.order, one_thread.order, "thread count changed the result");
+        let ((report, stats), wall) =
+            timed(|| parallel::solve::<Independent>(&g, k, threads).expect("valid k"));
+        assert_eq!(
+            report.order, one_thread.order,
+            "thread count changed the result"
+        );
         t.row([
             threads.to_string(),
             fmt_duration(wall),
@@ -73,9 +79,7 @@ pub fn run(opts: &Opts) -> String {
         ]);
     }
 
-    let mut out = format!(
-        "## Figure 4e — parallelizability (n = {n}, k = {k}, Independent)\n\n"
-    );
+    let mut out = format!("## Figure 4e — parallelizability (n = {n}, k = {k}, Independent)\n\n");
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nT1 = {}, measured serial (AddNode) share = {:.1}%\n\

@@ -62,6 +62,9 @@ mod tests {
             seed: 5,
             ..Opts::default()
         });
-        assert!(out.contains("greedy smallest at every threshold: true"), "{out}");
+        assert!(
+            out.contains("greedy smallest at every threshold: true"),
+            "{out}"
+        );
     }
 }

@@ -2,23 +2,33 @@
 
 pub mod ablation;
 pub mod fig3;
-pub mod mccm;
-pub mod variantfit;
 pub mod fig4a;
 pub mod fig4b;
 pub mod fig4c;
 pub mod fig4d;
 pub mod fig4e;
 pub mod fig4f;
+pub mod mccm;
 pub mod table1;
 pub mod table2;
+pub mod variantfit;
 
 use crate::Opts;
 
 /// All experiment ids, in paper order.
 pub const ALL: &[&str] = &[
-    "table1", "table2", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
-    "ablation", "mccm", "variantfit",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "ablation",
+    "mccm",
+    "variantfit",
 ];
 
 /// Runs one experiment by id, returning its report text.

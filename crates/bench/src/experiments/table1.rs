@@ -27,9 +27,8 @@ pub fn run(_opts: &Opts) -> String {
             row.best_known.to_string(),
         ]);
     }
-    let mut out = String::from(
-        "## Table 1 — greedy vs best-known approximation ratios for VC_k / NPC_k\n\n",
-    );
+    let mut out =
+        String::from("## Table 1 — greedy vs best-known approximation ratios for VC_k / NPC_k\n\n");
     out.push_str(&t.render());
     out.push_str(&format!(
         "\ncrossover where the quadratic term overtakes 1 - 1/e: k/n = {:.4} (paper: ~0.39)\n\

@@ -52,7 +52,11 @@ pub fn run(opts: &Opts) -> String {
     let mut out = String::from("## Table 2 — datasets (synthetic reproduction)\n\n");
     out.push_str(&format!(
         "scale: {}\n\n",
-        if opts.full { "full (paper scale)".to_string() } else { "1% of paper scale".to_string() }
+        if opts.full {
+            "full (paper scale)".to_string()
+        } else {
+            "1% of paper scale".to_string()
+        }
     ));
     out.push_str(&t.render());
     out.push_str(

@@ -75,6 +75,9 @@ mod tests {
             seed: 42,
             ..Opts::default()
         });
-        assert!(out.contains("all profiles classified as in the paper: true"), "{out}");
+        assert!(
+            out.contains("all profiles classified as in the paper: true"),
+            "{out}"
+        );
     }
 }

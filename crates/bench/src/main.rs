@@ -1,5 +1,8 @@
 //! The `experiments` binary: regenerate any table or figure of the paper.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use pcover_bench::{experiments, Opts};
@@ -29,13 +32,10 @@ fn main() {
             "--full" => opts.full = true,
             "--seed" => {
                 i += 1;
-                opts.seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("error: --seed needs an integer");
-                        std::process::exit(2);
-                    });
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 i += 1;

@@ -71,9 +71,9 @@ impl Args {
 
     /// A parsed required option.
     pub fn required_parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
-        self.required(key)?
-            .parse()
-            .map_err(|_| CliError(format!("cannot parse --{key} value {:?}", self.required(key).unwrap())))
+        let raw = self.required(key)?;
+        raw.parse()
+            .map_err(|_| CliError(format!("cannot parse --{key} value {raw:?}")))
     }
 
     /// A parsed optional option with a default.

@@ -11,8 +11,8 @@ use pcover_adapt::{adapt, AdaptOptions};
 use pcover_clickstream::{io as cs_io, Clickstream};
 use pcover_core::brute_force::BruteForceOptions;
 use pcover_core::{
-    baselines, brute_force, greedy, lazy, minimize, parallel, CoverModel, Independent,
-    Normalized, SolveReport, Variant,
+    baselines, brute_force, greedy, lazy, minimize, parallel, CoverModel, Independent, Normalized,
+    SolveReport, Variant,
 };
 use pcover_datagen::profiles::{DatasetProfile, Scale};
 use pcover_datagen::sessions::generate_clickstream;
@@ -101,13 +101,18 @@ fn parse_variant(args: &Args) -> Result<Variant, CliError> {
 
 fn generate(args: &Args) -> Result<String, CliError> {
     let profile_raw = args.required("profile")?;
-    let profile = DatasetProfile::parse(profile_raw)
-        .ok_or_else(|| CliError(format!("unknown profile {profile_raw:?}; use PE, PF, PM or YC")))?;
+    let profile = DatasetProfile::parse(profile_raw).ok_or_else(|| {
+        CliError(format!(
+            "unknown profile {profile_raw:?}; use PE, PF, PM or YC"
+        ))
+    })?;
     let scale = match args.optional("scale") {
         None => Scale::Fraction(0.01),
         Some("full") => Scale::Full,
         Some(raw) => Scale::Fraction(raw.parse().map_err(|_| {
-            CliError(format!("cannot parse --scale value {raw:?} (number or `full`)"))
+            CliError(format!(
+                "cannot parse --scale value {raw:?} (number or `full`)"
+            ))
         })?),
     };
     let seed: u64 = args.parse_or("seed", 42)?;
@@ -157,7 +162,10 @@ fn diagnose_cmd(args: &Args) -> Result<String, CliError> {
             );
         }
         None => {
-            let _ = writeln!(out, "weighted mean pairwise NMI:  n/a (no multi-alternative items)");
+            let _ = writeln!(
+                out,
+                "weighted mean pairwise NMI:  n/a (no multi-alternative items)"
+            );
         }
     }
     let _ = writeln!(out, "recommended variant:         {:?}", d.recommendation);
@@ -433,7 +441,15 @@ mod tests {
         let graph = tmp("pipeline-graph.json");
 
         let out = run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.005", "--seed", "7", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.005",
+            "--seed",
+            "7",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         assert!(out.contains("generated"), "{out}");
@@ -442,7 +458,13 @@ mod tests {
         assert!(out.contains("recommended variant"), "{out}");
 
         let out = run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
         ])
         .unwrap();
         assert!(out.contains("adapted"), "{out}");
@@ -451,14 +473,27 @@ mod tests {
         assert!(out.contains("nodes:"), "{out}");
 
         let out = run_tokens(&[
-            "solve", "--graph", &graph, "--k", "50", "--variant", "independent",
-            "--algorithm", "lazy",
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "50",
+            "--variant",
+            "independent",
+            "--algorithm",
+            "lazy",
         ])
         .unwrap();
         assert!(out.contains("retained 50"), "{out}");
 
         let out = run_tokens(&[
-            "minimize", "--graph", &graph, "--threshold", "0.5", "--variant", "independent",
+            "minimize",
+            "--graph",
+            &graph,
+            "--threshold",
+            "0.5",
+            "--variant",
+            "independent",
         ])
         .unwrap();
         assert!(out.contains("smallest greedy set"), "{out}");
@@ -470,15 +505,35 @@ mod tests {
         let graph = tmp("report-graph.json");
         let report = tmp("report-out.json");
         run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.003", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.003",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "normalized", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "normalized",
+            "--out",
+            &graph,
         ])
         .unwrap();
         run_tokens(&[
-            "solve", "--graph", &graph, "--k", "10", "--variant", "normalized", "--out", &report,
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "10",
+            "--variant",
+            "normalized",
+            "--out",
+            &report,
         ])
         .unwrap();
         let parsed: pcover_core::SolveReport =
@@ -491,24 +546,52 @@ mod tests {
         let sessions = tmp("algos.jsonl");
         let graph = tmp("algos-graph.json");
         run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.001", "--seed", "3", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.001",
+            "--seed",
+            "3",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
         ])
         .unwrap();
         for algo in ["greedy", "lazy", "parallel", "topk-w", "topk-c", "random"] {
             let out = run_tokens(&[
-                "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
-                "--algorithm", algo,
+                "solve",
+                "--graph",
+                &graph,
+                "--k",
+                "5",
+                "--variant",
+                "independent",
+                "--algorithm",
+                algo,
             ])
             .unwrap();
             assert!(out.contains("retained 5"), "algorithm {algo}: {out}");
         }
         assert!(run_tokens(&[
-            "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
-            "--algorithm", "nope",
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "5",
+            "--variant",
+            "independent",
+            "--algorithm",
+            "nope",
         ])
         .is_err());
     }
@@ -518,17 +601,38 @@ mod tests {
         let sessions = tmp("ext-algos.jsonl");
         let graph = tmp("ext-algos-graph.json");
         run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.001", "--seed", "4", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.001",
+            "--seed",
+            "4",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
         ])
         .unwrap();
         for algo in ["stochastic", "sieve", "local-search", "partitioned"] {
             let out = run_tokens(&[
-                "solve", "--graph", &graph, "--k", "5", "--variant", "independent",
-                "--algorithm", algo,
+                "solve",
+                "--graph",
+                &graph,
+                "--k",
+                "5",
+                "--variant",
+                "independent",
+                "--algorithm",
+                algo,
             ])
             .unwrap();
             assert!(out.contains("retained"), "algorithm {algo}: {out}");
@@ -542,27 +646,62 @@ mod tests {
         let report = tmp("repair-report.json");
         let dot = tmp("repair.dot");
         run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.002", "--seed", "8", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.002",
+            "--seed",
+            "8",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
         ])
         .unwrap();
         run_tokens(&[
-            "solve", "--graph", &graph, "--k", "10", "--variant", "independent", "--out", &report,
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "10",
+            "--variant",
+            "independent",
+            "--out",
+            &report,
         ])
         .unwrap();
 
         let out = run_tokens(&[
-            "repair", "--graph", &graph, "--report", &report, "--variant", "independent",
-            "--max-changes", "2",
+            "repair",
+            "--graph",
+            &graph,
+            "--report",
+            &report,
+            "--variant",
+            "independent",
+            "--max-changes",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("repaired solution of 10 items"), "{out}");
 
         let out = run_tokens(&[
-            "export-dot", "--graph", &graph, "--out", &dot, "--report", &report,
+            "export-dot",
+            "--graph",
+            &graph,
+            "--out",
+            &dot,
+            "--report",
+            &report,
         ])
         .unwrap();
         assert!(out.contains("wrote DOT"), "{out}");
@@ -600,7 +739,13 @@ mod tests {
         )
         .unwrap();
         let out = run_tokens(&[
-            "delta", "--graph", &graph, "--changes", &changes, "--out", &updated,
+            "delta",
+            "--graph",
+            &graph,
+            "--changes",
+            &changes,
+            "--out",
+            &updated,
         ])
         .unwrap();
         assert!(out.contains("applied 2 changes"), "{out}");
@@ -614,7 +759,13 @@ mod tests {
     #[test]
     fn bad_variant_is_rejected() {
         let err = run_tokens(&[
-            "adapt", "--input", "x.jsonl", "--variant", "bogus", "--out", "y.json",
+            "adapt",
+            "--input",
+            "x.jsonl",
+            "--variant",
+            "bogus",
+            "--out",
+            "y.json",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("variant"));
@@ -630,40 +781,73 @@ mod tests {
         let sessions = tmp("errs.jsonl");
         let graph = tmp("errs-graph.json");
         run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "0.001", "--out", &sessions,
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.001",
+            "--out",
+            &sessions,
         ])
         .unwrap();
         run_tokens(&[
-            "adapt", "--input", &sessions, "--variant", "independent", "--out", &graph,
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
         ])
         .unwrap();
         let err = run_tokens(&[
-            "solve", "--graph", &graph, "--k", "999999", "--variant", "independent",
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "999999",
+            "--variant",
+            "independent",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("exceeds"), "{err}");
 
         // Unparseable k.
         let err = run_tokens(&[
-            "solve", "--graph", &graph, "--k", "many", "--variant", "independent",
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "many",
+            "--variant",
+            "independent",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("--k"), "{err}");
 
         // Threshold outside [0, 1].
         let err = run_tokens(&[
-            "minimize", "--graph", &graph, "--threshold", "1.5", "--variant", "independent",
+            "minimize",
+            "--graph",
+            &graph,
+            "--threshold",
+            "1.5",
+            "--variant",
+            "independent",
         ])
         .unwrap_err();
         assert!(err.to_string().contains("1.5"), "{err}");
 
         // Bad scale and profile for generate.
+        assert!(run_tokens(&["generate", "--profile", "ZZ", "--out", "x.jsonl"]).is_err());
         assert!(run_tokens(&[
-            "generate", "--profile", "ZZ", "--out", "x.jsonl"
-        ])
-        .is_err());
-        assert!(run_tokens(&[
-            "generate", "--profile", "YC", "--scale", "nope", "--out", "x.jsonl"
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "nope",
+            "--out",
+            "x.jsonl"
         ])
         .is_err());
     }
@@ -672,7 +856,14 @@ mod tests {
     fn yoochoose_format_generation() {
         let base = tmp("ycgen.dat");
         let out = run_tokens(&[
-            "generate", "--profile", "PM", "--scale", "0.001", "--out", &base, "--format",
+            "generate",
+            "--profile",
+            "PM",
+            "--scale",
+            "0.001",
+            "--out",
+            &base,
+            "--format",
             "yoochoose",
         ])
         .unwrap();

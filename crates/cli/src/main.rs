@@ -1,10 +1,19 @@
 //! The `pcover` binary: parse, dispatch, print.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use pcover_cli::args::Args;
 use pcover_cli::commands;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--help` looks like an option, which the grammar forbids before the
+    // subcommand; honor it here so `pcover --help` behaves like `pcover help`.
+    if raw.first().is_some_and(|a| a == "--help" || a == "-h") {
+        print!("{}", commands::HELP);
+        return;
+    }
     let args = match Args::parse(raw) {
         Ok(args) => args,
         Err(e) => {

@@ -1,5 +1,7 @@
 //! Clickstream containers and dataset statistics.
 
+// lint: allow-file(no-index) — session and item positions are produced by the ingest
+// pipeline against vectors it sized itself, in bounds by construction.
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -117,15 +119,16 @@ impl ClickstreamStats {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use super::*;
 
     fn sample() -> Clickstream {
         Clickstream::new(vec![
-            Session::new(1, vec![10, 20], 10),        // 1 alternative (20)
-            Session::new(2, vec![10, 20, 30], 30),    // 2 alternatives
-            Session::new(3, vec![], 10),              // 0 alternatives
-            Session::new(4, vec![40], 10),            // 1 alternative
+            Session::new(1, vec![10, 20], 10),     // 1 alternative (20)
+            Session::new(2, vec![10, 20, 30], 30), // 2 alternatives
+            Session::new(3, vec![], 10),           // 0 alternatives
+            Session::new(4, vec![40], 10),         // 1 alternative
         ])
     }
 

@@ -7,6 +7,8 @@
 //! "cases where a consumer is looking to purchase several items ... are
 //! modeled as separate sessions").
 
+// lint: allow-file(no-index) — session and item positions are produced by the ingest
+// pipeline against vectors it sized itself, in bounds by construction.
 use crate::{Clickstream, ExternalItemId, Session};
 
 /// A raw session as read from logs: clicks plus zero or more purchases.

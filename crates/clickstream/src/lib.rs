@@ -29,5 +29,5 @@ mod session;
 pub mod filter;
 pub mod io;
 
-pub use dataset::{ClickstreamStats, Clickstream};
+pub use dataset::{Clickstream, ClickstreamStats};
 pub use session::{ExternalItemId, Session};

@@ -28,7 +28,11 @@ fn arb_raw_sessions(max: usize) -> impl Strategy<Value = Vec<RawSession>> {
 
 fn arb_clickstream(max: usize) -> impl Strategy<Value = Clickstream> {
     proptest::collection::vec(
-        (1u64..10_000, proptest::collection::vec(1u64..200, 0..6), 1u64..200),
+        (
+            1u64..10_000,
+            proptest::collection::vec(1u64..200, 0..6),
+            1u64..200,
+        ),
         0..=max,
     )
     .prop_map(|raw| {

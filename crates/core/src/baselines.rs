@@ -7,6 +7,9 @@
 //! weight / coverage; draw order for Random), which is what the
 //! complementary-problem adaptation binary-searches over (Figure 4f).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use rand::seq::index::sample;
@@ -85,17 +88,14 @@ pub fn random_best_of<M: CoverModel>(
             best = Some(r);
         }
     }
-    Ok(best.expect("attempts > 0"))
+    best.ok_or_else(|| SolveError::internal("best_of_random called with zero attempts"))
 }
 
 /// All node ids sorted by `(weight desc, id asc)` — the TopK-W ranking.
 pub fn rank_by_weight(g: &PreferenceGraph) -> Vec<ItemId> {
     let mut ids: Vec<ItemId> = g.node_ids().collect();
     ids.sort_by(|&x, &y| {
-        g.node_weight(y)
-            .partial_cmp(&g.node_weight(x))
-            .expect("weights are finite")
-            .then(x.cmp(&y))
+        crate::float::cmp_gain(g.node_weight(y), g.node_weight(x)).then(x.cmp(&y))
     });
     ids
 }
@@ -113,11 +113,7 @@ pub fn rank_by_singleton_coverage(g: &PreferenceGraph) -> Vec<ItemId> {
         // Either model works at I ≡ 0; pick Normalized for definiteness.
         .map(|v| (empty.gain::<crate::Normalized>(g, v), v))
         .collect();
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("gains are finite")
-            .then(a.1.cmp(&b.1))
-    });
+    scored.sort_by(|a, b| crate::float::cmp_gain(b.0, a.0).then(a.1.cmp(&b.1)));
     scored.into_iter().map(|(_, v)| v).collect()
 }
 
@@ -256,9 +252,7 @@ mod tests {
     fn evaluate_selection_validates() {
         let (g, ids) = figure1_ids();
         assert!(evaluate_selection::<Normalized>(&g, &[ids.b, ids.b]).is_err());
-        assert!(
-            evaluate_selection::<Normalized>(&g, &[pcover_graph::ItemId::new(40)]).is_err()
-        );
+        assert!(evaluate_selection::<Normalized>(&g, &[pcover_graph::ItemId::new(40)]).is_err());
         let r = evaluate_selection::<Normalized>(&g, &[ids.b, ids.d]).unwrap();
         assert!((r.cover - 0.873).abs() < 1e-9);
     }

@@ -148,7 +148,11 @@ mod tests {
         assert!((t[4].greedy_value - t[4].best_known_value).abs() < 1e-12);
         // Greedy never claims more than best-known anywhere.
         for row in &t {
-            assert!(row.greedy_value <= row.best_known_value + 1e-12, "{}", row.range);
+            assert!(
+                row.greedy_value <= row.best_known_value + 1e-12,
+                "{}",
+                row.range
+            );
         }
     }
 }

@@ -174,6 +174,7 @@ fn item_cover_of_mask<M: CoverModel>(g: &PreferenceGraph, mask: u64) -> Vec<f64>
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_graph::examples::figure1_ids;
     use pcover_graph::GraphBuilder;
@@ -248,7 +249,9 @@ mod tests {
             let mut b = GraphBuilder::new()
                 .normalize_node_weights(true)
                 .duplicate_edge_policy(pcover_graph::DuplicateEdgePolicy::Max);
-            let ids: Vec<_> = (0..n).map(|_| b.add_node(rng.random_range(1.0..20.0))).collect();
+            let ids: Vec<_> = (0..n)
+                .map(|_| b.add_node(rng.random_range(1.0..20.0)))
+                .collect();
             for &v in &ids {
                 for _ in 0..2 {
                     let u = ids[rng.random_range(0..n)];

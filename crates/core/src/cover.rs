@@ -1,6 +1,9 @@
 //! The cover function `C(·)` — from-scratch evaluation and the incremental
 //! `I`-array state shared by all greedy solvers.
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::variant::CoverModel;
@@ -158,6 +161,7 @@ impl CoverState {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_graph::examples::{figure1_ids, figure3_ids};
     use pcover_graph::GraphBuilder;

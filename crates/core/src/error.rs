@@ -47,6 +47,23 @@ pub enum SolveError {
         /// What was wrong with the prefix.
         message: String,
     },
+    /// A solver invariant that should hold by construction was violated.
+    /// Reaching this is a bug in the solver, not bad input; it exists so
+    /// library code can propagate the condition instead of panicking
+    /// mid-batch (see the `no-expect`/`no-panic` lint rules).
+    Internal {
+        /// Which invariant failed.
+        message: String,
+    },
+}
+
+impl SolveError {
+    /// Builds an [`SolveError::Internal`] from any displayable reason.
+    pub fn internal(message: impl Into<String>) -> Self {
+        SolveError::Internal {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -75,6 +92,9 @@ impl fmt::Display for SolveError {
             }
             SolveError::ZeroThreads => write!(f, "thread count must be at least 1"),
             SolveError::InvalidPrefix { message } => write!(f, "invalid prefix: {message}"),
+            SolveError::Internal { message } => {
+                write!(f, "internal solver invariant violated: {message}")
+            }
         }
     }
 }

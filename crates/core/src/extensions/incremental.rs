@@ -16,6 +16,9 @@
 //! `max_changes = k` degenerates to a fresh solve; `max_changes = 0` keeps
 //! the old set and merely re-reports its (new) cover.
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::baselines::evaluate_selection;
@@ -86,11 +89,7 @@ pub fn repair<M: CoverModel>(
     }
     // Lowest leave-one-out value first; ties toward larger id (keep older,
     // smaller-id items for stability).
-    scored.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("covers are finite")
-            .then(b.1.cmp(&a.1))
-    });
+    scored.sort_by(|a, b| crate::float::cmp_gain(a.0, b.0).then(b.1.cmp(&a.1)));
     let evicted: Vec<ItemId> = scored[..evict_count].iter().map(|&(_, v)| v).collect();
     let keep: Vec<ItemId> = old_solution
         .iter()

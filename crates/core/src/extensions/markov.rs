@@ -22,6 +22,9 @@
 //! captures nearly all of the MC-optimal value while being orders of
 //! magnitude cheaper (each MC gain evaluation solves a linear system).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use pcover_graph::{ItemId, PreferenceGraph};
@@ -104,7 +107,11 @@ impl MarkovChoiceModel {
     /// Solves `p_i = [i ∈ S] + [i ∉ S] Σ_j ρ_ij p_j` by Gauss-Seidel
     /// iteration; converges geometrically at the chain's abandonment rate.
     pub fn assortment_value(&self, selected: &[bool], opts: &MarkovOptions) -> f64 {
-        assert_eq!(selected.len(), self.len(), "selection mask has wrong length");
+        assert_eq!(
+            selected.len(),
+            self.len(),
+            "selection mask has wrong length"
+        );
         let n = self.len();
         let mut p = vec![0.0f64; n];
         for (i, &sel) in selected.iter().enumerate() {
@@ -180,15 +187,16 @@ pub fn greedy_assortment(
             selected[v] = false;
             evaluations += 1;
             let gain = value - current;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (gain, v) = best.expect("k <= n guarantees a candidate");
+        let Some((gain, v)) = best else {
+            return Err(SolveError::internal(
+                "markov greedy found no candidate despite k <= n",
+            ));
+        };
         selected[v] = true;
         current += gain;
         order.push(ItemId::from_index(v));
@@ -242,6 +250,7 @@ pub fn greedy_assortment(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_graph::examples::figure1_ids;
     use pcover_graph::transform::{transitive_closure, PathCombination};
@@ -359,7 +368,10 @@ mod tests {
         let v = model.assortment_value(&mask, &MarkovOptions::default());
         assert!((v - 1.0).abs() < 1e-9);
         let empty = vec![false; g.node_count()];
-        assert_eq!(model.assortment_value(&empty, &MarkovOptions::default()), 0.0);
+        assert_eq!(
+            model.assortment_value(&empty, &MarkovOptions::default()),
+            0.0
+        );
     }
 
     #[test]

@@ -70,15 +70,16 @@ pub fn solve_with_prefix<M: CoverModel>(
             }
             let gain = state.gain::<M>(g, v);
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (_, chosen) = best.expect("k <= n guarantees a candidate");
+        let Some((_, chosen)) = best else {
+            return Err(SolveError::internal(
+                "pinned greedy found no candidate despite k <= n",
+            ));
+        };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
     }

@@ -16,6 +16,9 @@
 //! feasibility constraint layered on top (infeasible combinations are
 //! rejected up front).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use pcover_graph::{ItemId, PreferenceGraph};
@@ -139,15 +142,16 @@ pub fn solve<M: CoverModel>(
             }
             let gain = state.gain::<M>(g, v);
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (_, chosen) = best.expect("validated: category has enough items");
+        let Some((_, chosen)) = best else {
+            return Err(SolveError::internal(
+                "quota phase 1 found no candidate; quota validation should prevent this",
+            ));
+        };
         state.add_node::<M>(g, chosen);
         taken[cat] += 1;
         trajectory.push(state.cover());
@@ -166,15 +170,16 @@ pub fn solve<M: CoverModel>(
             }
             let gain = state.gain::<M>(g, v);
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (_, chosen) = best.expect("validated: capacity >= k");
+        let Some((_, chosen)) = best else {
+            return Err(SolveError::internal(
+                "quota phase 2 found no candidate; capacity validation should prevent this",
+            ));
+        };
         taken[quotas.category_of[chosen.index()] as usize] += 1;
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());

@@ -13,6 +13,9 @@
 //! unmodified greedy, keeping all guarantees (the objective is still
 //! monotone submodular; scaling node weights preserves that structure).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use pcover_graph::{GraphBuilder, GraphError, PreferenceGraph};
 
 use crate::report::SolveReport;

@@ -1,0 +1,95 @@
+//! The float-comparison discipline for cover and gain values.
+//!
+//! Cover values and marginal gains are `f64` accumulations; comparing them
+//! with raw `==`/`!=` is either meaningless (rounding noise) or — where
+//! exactness *is* intended, as in the deterministic greedy tie-break — a
+//! decision that deserves a named, total-order home. This module is the
+//! single approved site for such comparisons: `cargo run -p xtask -- lint`
+//! (rule `float-eq`) flags raw `==`/`!=` on cover/gain values anywhere else
+//! in the workspace.
+
+use std::cmp::Ordering;
+
+/// Default absolute tolerance when comparing cover values that were computed
+/// along different code paths (incremental vs from-scratch, parallel vs
+/// sequential). Matches the tolerance used throughout the test suite.
+pub const COVER_TOL: f64 = 1e-9;
+
+/// Approximate equality under an explicit absolute tolerance.
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Approximate equality of two cover values at [`COVER_TOL`].
+#[inline]
+#[must_use]
+pub fn cover_eq(a: f64, b: f64) -> bool {
+    approx_eq(a, b, COVER_TOL)
+}
+
+/// Deterministic total order on gains. Gains produced by the solvers are
+/// finite and non-negative, for which `total_cmp` agrees with the IEEE
+/// partial order while never needing an `unwrap`/`expect` on a
+/// `partial_cmp` result.
+#[inline]
+#[must_use]
+pub fn cmp_gain(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// The canonical greedy argmax tie-break: candidate `(gain, v)` replaces the
+/// incumbent `best` iff its gain is strictly larger, or exactly equal with a
+/// smaller node id. Exact equality (not a tolerance) is deliberate — it is
+/// what makes every solver variant (plain, lazy, parallel, partitioned)
+/// select bit-identical sets, which the determinism tests assert. Generic
+/// over the id type because some solvers work on raw `usize` indices and
+/// others on `ItemId`.
+#[inline]
+#[must_use]
+pub fn improves_argmax<V: Ord + Copy>(gain: f64, v: V, best: Option<(f64, V)>) -> bool {
+    match best {
+        None => true,
+        Some((bg, bv)) => match cmp_gain(gain, bg) {
+            Ordering::Greater => true,
+            Ordering::Equal => v < bv,
+            Ordering::Less => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcover_graph::ItemId;
+
+    fn id(i: u32) -> ItemId {
+        ItemId::new(i)
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(cover_eq(0.5, 0.5 + 1e-10));
+        assert!(!cover_eq(0.5, 0.5 + 1e-6));
+    }
+
+    #[test]
+    fn cmp_gain_totally_orders_finite_gains() {
+        assert_eq!(cmp_gain(0.2, 0.1), Ordering::Greater);
+        assert_eq!(cmp_gain(0.1, 0.2), Ordering::Less);
+        assert_eq!(cmp_gain(0.25, 0.25), Ordering::Equal);
+    }
+
+    #[test]
+    fn argmax_prefers_larger_gain_then_smaller_id() {
+        assert!(improves_argmax(0.5, id(3), None));
+        assert!(improves_argmax(0.6, id(3), Some((0.5, id(1)))));
+        assert!(!improves_argmax(0.4, id(0), Some((0.5, id(1)))));
+        // Exact tie: smaller id wins.
+        assert!(improves_argmax(0.5, id(0), Some((0.5, id(1)))));
+        assert!(!improves_argmax(0.5, id(2), Some((0.5, id(1)))));
+    }
+}

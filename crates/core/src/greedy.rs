@@ -7,6 +7,9 @@
 //! Ties are broken toward the smallest node id, so results are fully
 //! deterministic and comparable across the greedy family.
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use pcover_graph::{ItemId, PreferenceGraph};
@@ -51,15 +54,16 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
             }
             let gain = state.gain::<M>(g, v);
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (_, chosen) = best.expect("k <= n guarantees a candidate");
+        let Some((_, chosen)) = best else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
     }
@@ -129,15 +133,16 @@ pub fn solve_low_memory_normalized(
                 }
             }
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (gain, chosen) = best.expect("k <= n guarantees a candidate");
+        let Some((gain, chosen)) = best else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
         in_set[chosen.index()] = true;
         order.push(chosen);
         cover += gain;
@@ -187,6 +192,7 @@ fn state_into_parts(state: CoverState) -> (Vec<ItemId>, Vec<f64>) {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_graph::examples::{figure1_ids, figure3_ids};
     use pcover_graph::GraphBuilder;

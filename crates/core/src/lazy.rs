@@ -41,7 +41,7 @@ struct Entry {
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.gain == other.gain && self.node == other.node
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Entry {}
@@ -49,10 +49,9 @@ impl Eq for Entry {}
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap: larger gain first; among equal gains, smaller id first.
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are finite")
-            .then_with(|| other.node.cmp(&self.node))
+        // The total order on gains lives in `float` (the approved site for
+        // exact float comparison), and never panics on the heap path.
+        crate::float::cmp_gain(self.gain, other.gain).then_with(|| other.node.cmp(&self.node))
     }
 }
 impl PartialOrd for Entry {
@@ -127,7 +126,11 @@ fn solve_impl<M: CoverModel>(
             break;
         }
         loop {
-            let top = heap.pop().expect("heap holds all non-retained nodes");
+            let Some(top) = heap.pop() else {
+                return Err(SolveError::internal(
+                    "lazy heap exhausted before k selections",
+                ));
+            };
             if state.contains(top.node) {
                 continue;
             }
@@ -187,7 +190,9 @@ mod tests {
     fn random_graph(n: usize, avg_deg: usize, seed: u64) -> pcover_graph::PreferenceGraph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut b = GraphBuilder::new().normalize_node_weights(true);
-        let ids: Vec<ItemId> = (0..n).map(|_| b.add_node(rng.random_range(1.0..100.0))).collect();
+        let ids: Vec<ItemId> = (0..n)
+            .map(|_| b.add_node(rng.random_range(1.0..100.0)))
+            .collect();
         for &v in &ids {
             for _ in 0..avg_deg {
                 let u = ids[rng.random_range(0..n)];

@@ -55,6 +55,7 @@ pub mod baselines;
 pub mod bounds;
 pub mod brute_force;
 pub mod extensions;
+pub mod float;
 pub mod greedy;
 pub mod lazy;
 pub mod local_search;

@@ -12,6 +12,9 @@
 //! this a cheap quality knob for small/medium instances and a useful
 //! upper-bound probe in experiments.
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use pcover_graph::{ItemId, PreferenceGraph};
@@ -95,21 +98,18 @@ pub fn refine<M: CoverModel>(
                 (state.gain::<M>(g, v), v)
             })
             .collect();
-        ins.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains finite").then(a.1.cmp(&b.1)));
+        ins.sort_by(|a, b| crate::float::cmp_gain(b.0, a.0).then(a.1.cmp(&b.1)));
         ins.truncate(8); // the most promising insertions
 
         // Rank removals by leave-one-out loss (cheapest first).
-        let mut outs: Vec<(f64, usize)> = (0..current.len())
-            .map(|i| {
-                let mut without: Vec<ItemId> = current.clone();
-                without.remove(i);
-                let c = evaluate_selection::<M>(g, &without)
-                    .expect("subset of a valid selection")
-                    .cover;
-                (current_cover - c, i)
-            })
-            .collect();
-        outs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("losses finite").then(a.1.cmp(&b.1)));
+        let mut outs: Vec<(f64, usize)> = Vec::with_capacity(current.len());
+        for i in 0..current.len() {
+            let mut without: Vec<ItemId> = current.clone();
+            without.remove(i);
+            let c = evaluate_selection::<M>(g, &without)?.cover;
+            outs.push((current_cover - c, i));
+        }
+        outs.sort_by(|a, b| crate::float::cmp_gain(a.0, b.0).then(a.1.cmp(&b.1)));
         outs.truncate(8); // the cheapest removals
 
         let mut best_swap: Option<(f64, usize, ItemId)> = None;
@@ -199,7 +199,8 @@ mod tests {
         }
         let g = b.build().unwrap();
         let rnd = baselines::random::<Independent>(&g, 8, 123).unwrap();
-        let refined = refine::<Independent>(&g, &rnd.order, &LocalSearchOptions::default()).unwrap();
+        let refined =
+            refine::<Independent>(&g, &rnd.order, &LocalSearchOptions::default()).unwrap();
         assert!(refined.report.cover >= rnd.cover);
         let gr = greedy::solve::<Independent>(&g, 8).unwrap();
         // Local search from random should close most of the gap to greedy.

@@ -6,8 +6,11 @@
 //! instance; this module implements that `VC_k` greedy independently so the
 //! test suite can verify the claim end-to-end.
 
-use pcover_graph::{ItemId, PreferenceGraph};
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use pcover_graph::reduction::VcInstance;
+use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::SolveError;
 
@@ -56,15 +59,16 @@ pub fn greedy(inst: &VcInstance, k: usize) -> Result<VcSolution, SolveError> {
                 .filter(|&&e| !edge_covered[e])
                 .map(|&e| inst.edges[e].weight)
                 .sum();
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let (gain, v) = best.expect("k <= n guarantees a candidate");
+        let Some((gain, v)) = best else {
+            return Err(SolveError::internal(
+                "vertex-cover greedy found no candidate despite k <= n",
+            ));
+        };
         selected[v] = true;
         for &e in &incident[v] {
             edge_covered[e] = true;
@@ -85,10 +89,7 @@ pub fn greedy(inst: &VcInstance, k: usize) -> Result<VcSolution, SolveError> {
 ///
 /// Returns the shared order. Used by tests; exposed for the experiment
 /// harness's sanity section.
-pub fn verify_equivalence(
-    g: &PreferenceGraph,
-    k: usize,
-) -> Result<Vec<ItemId>, SolveError> {
+pub fn verify_equivalence(g: &PreferenceGraph, k: usize) -> Result<Vec<ItemId>, SolveError> {
     let npc = crate::greedy::solve::<crate::Normalized>(g, k)?;
     let inst = pcover_graph::reduction::npc_to_vck(g).map_err(|_| SolveError::InvalidPrefix {
         message: "reduction failed".into(),
@@ -172,7 +173,9 @@ mod tests {
         for _ in 0..10 {
             let n = rng.random_range(4..15);
             let mut b = GraphBuilder::new().normalize_node_weights(true);
-            let ids: Vec<_> = (0..n).map(|_| b.add_node(rng.random_range(1.0..10.0))).collect();
+            let ids: Vec<_> = (0..n)
+                .map(|_| b.add_node(rng.random_range(1.0..10.0)))
+                .collect();
             // Keep out-sums <= 1 by giving each node at most 2 edges of
             // weight <= 0.5.
             for &v in &ids {
@@ -200,7 +203,10 @@ mod tests {
 
     #[test]
     fn k_too_large() {
-        let inst = VcInstance { n: 3, edges: vec![] };
+        let inst = VcInstance {
+            n: 3,
+            edges: vec![],
+        };
         assert!(greedy(&inst, 4).is_err());
     }
 }

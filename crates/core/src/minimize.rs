@@ -8,6 +8,9 @@
 //! adapted by binary search over their ranking prefix (Section 5.4,
 //! Figure 4f).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::baselines::{rank_by_singleton_coverage, rank_by_weight};

@@ -19,6 +19,9 @@
 //!
 //! [`greedy::solve`]: crate::greedy::solve
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -98,7 +101,7 @@ pub fn solve<M: CoverModel>(
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("thread pool construction cannot fail for positive sizes");
+        .map_err(|e| SolveError::internal(format!("thread pool construction failed: {e}")))?;
 
     let mut state = CoverState::new(n);
     let mut trajectory = Vec::with_capacity(k);
@@ -152,7 +155,11 @@ pub fn solve<M: CoverModel>(
                 }
             }
         }
-        let (_, chosen) = best.expect("k <= n guarantees a candidate");
+        let Some((_, chosen)) = best else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
     }
@@ -187,7 +194,9 @@ mod tests {
         let mut b = GraphBuilder::new()
             .normalize_node_weights(true)
             .duplicate_edge_policy(pcover_graph::DuplicateEdgePolicy::Max);
-        let ids: Vec<ItemId> = (0..n).map(|_| b.add_node(rng.random_range(1.0..50.0))).collect();
+        let ids: Vec<ItemId> = (0..n)
+            .map(|_| b.add_node(rng.random_range(1.0..50.0)))
+            .collect();
         for &v in &ids {
             for _ in 0..3 {
                 let u = ids[rng.random_range(0..n)];

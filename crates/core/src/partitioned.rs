@@ -10,6 +10,9 @@
 //! graph — a second parallelism axis on top of the per-iteration scan
 //! parallelism of [`parallel`](crate::parallel).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -86,24 +89,19 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
         gain_evaluations += seq.len() as u64;
         sequences.push(seq.into_iter());
     }
-    let mut heads: Vec<Option<(f64, ItemId)>> =
-        sequences.iter_mut().map(|s| s.next()).collect();
+    let mut heads: Vec<Option<(f64, ItemId)>> = sequences.iter_mut().map(|s| s.next()).collect();
     let mut merged: Vec<ItemId> = Vec::with_capacity(k);
     while merged.len() < k {
         let best = heads
             .iter()
             .enumerate()
             .filter_map(|(i, h)| h.map(|(gain, v)| (gain, std::cmp::Reverse(v), i)))
-            .max_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("gains are finite")
-                    .then(a.1.cmp(&b.1))
-            });
-        let Some((_, _, idx)) = best else {
+            .max_by(|a, b| crate::float::cmp_gain(a.0, b.0).then(a.1.cmp(&b.1)));
+        let Some((_, std::cmp::Reverse(v), idx)) = best else {
             break; // fewer than k nodes exist across sequences (k <= n
                    // guards this, but stay defensive)
         };
-        merged.push(heads[idx].expect("selected head exists").1);
+        merged.push(v);
         heads[idx] = sequences[idx].next();
     }
 
@@ -126,8 +124,8 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
 /// Induced subgraph that keeps original node weights (no renormalization),
 /// used so per-component gains equal their full-graph values.
 fn induced_preserving_weights(g: &PreferenceGraph, nodes: &[ItemId]) -> PreferenceGraph {
-    let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2)
-        .skip_weight_sum_check(true);
+    let mut b =
+        GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2).skip_weight_sum_check(true);
     // nodes are ascending, so binary search gives the local id.
     for &v in nodes {
         b.add_node(g.node_weight(v));
@@ -140,10 +138,11 @@ fn induced_preserving_weights(g: &PreferenceGraph, nodes: &[ItemId]) -> Preferen
                     ItemId::from_index(local_tgt),
                     w,
                 )
-                .expect("weights come from a valid graph");
+                .expect("weights come from a valid graph"); // lint: allow(no-expect) — re-adding edges the parent graph already validated
             }
         }
     }
+    // lint: allow(no-expect) — builder input is a projection of an already-built graph
     b.build().expect("component subgraph is valid")
 }
 

@@ -1,6 +1,9 @@
 //! Solve reports: the ordered solution plus the metadata the paper's system
 //! returns alongside it (Figure 2's "retained items + coverage" output).
 
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
@@ -137,6 +140,7 @@ impl SolveReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use super::*;
 

@@ -87,20 +87,21 @@ pub fn solve<M: CoverModel>(
             }
             let gain = state.gain::<M>(g, v);
             gain_evaluations += 1;
-            let better = match best {
-                None => true,
-                Some((bg, bv)) => gain > bg || (gain == bg && v < bv),
-            };
+            let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
         let chosen = match best {
             Some((_, v)) => v,
-            None => g
-                .node_ids()
-                .find(|&v| !state.contains(v))
-                .expect("k <= n guarantees a leftover node"),
+            None => match g.node_ids().find(|&v| !state.contains(v)) {
+                Some(v) => v,
+                None => {
+                    return Err(SolveError::internal(
+                        "stochastic round found no leftover node despite k <= n",
+                    ))
+                }
+            },
         };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());

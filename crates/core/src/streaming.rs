@@ -84,10 +84,7 @@ pub fn solve<M: CoverModel>(
             CoverState::new(n).gain::<M>(g, v)
         })
         .collect();
-    let m = singleton_values
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let m = singleton_values.iter().cloned().fold(0.0f64, f64::max);
     if m <= 0.0 {
         // Degenerate graph (all weights zero): nothing to cover.
         return Ok(finish::<M>(
@@ -122,14 +119,12 @@ pub fn solve<M: CoverModel>(
     }
 
     // Best sieve wins.
-    let (_, best) = sieves
+    let Some((_, best)) = sieves
         .into_iter()
-        .max_by(|a, b| {
-            a.1.cover()
-                .partial_cmp(&b.1.cover())
-                .expect("covers are finite")
-        })
-        .expect("at least one sieve exists");
+        .max_by(|a, b| crate::float::cmp_gain(a.1.cover(), b.1.cover()))
+    else {
+        return Err(SolveError::internal("sieve streaming built no thresholds"));
+    };
 
     // Reconstruct the trajectory by replaying the selected order.
     let mut replay = CoverState::new(n);
@@ -149,6 +144,7 @@ pub fn solve<M: CoverModel>(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use pcover_graph::examples::figure1_ids;
     use pcover_graph::{GraphBuilder, ItemId};

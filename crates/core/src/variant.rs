@@ -119,6 +119,7 @@ impl CoverModel for Normalized {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use super::*;
 

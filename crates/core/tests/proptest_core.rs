@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use pcover_core::brute_force::{self, BruteForceOptions};
 use pcover_core::{
-    baselines, cover_value, greedy, lazy, minimize, parallel, CoverModel, CoverState,
-    Independent, Normalized,
+    baselines, cover_value, greedy, lazy, minimize, parallel, CoverModel, CoverState, Independent,
+    Normalized,
 };
 use pcover_graph::{DuplicateEdgePolicy, GraphBuilder, ItemId, PreferenceGraph};
 
@@ -18,10 +18,8 @@ fn arb_graph(max_nodes: usize, normalized: bool) -> impl Strategy<Value = Prefer
         .prop_flat_map(move |n| {
             let weights = proptest::collection::vec(1u32..100, n);
             let max_w = if normalized { 0.45 } else { 1.0 };
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 0.01f64..=max_w),
-                0..(n * 2).min(48),
-            );
+            let edges =
+                proptest::collection::vec((0..n, 0..n, 0.01f64..=max_w), 0..(n * 2).min(48));
             (Just(n), weights, edges)
         })
         .prop_map(move |(n, weights, edges)| {

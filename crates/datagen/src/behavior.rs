@@ -7,6 +7,8 @@
 //! the same way the paper classifies PE/PF/YC (Independent) and PM
 //! (Normalized).
 
+// lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
+// 0..len by the seeded RNG, in bounds by construction.
 use rand::{Rng, RngExt};
 
 use crate::sampling::AliasTable;

@@ -1,5 +1,7 @@
 //! Synthetic item catalogs: items, categories and substitute affinities.
 
+// lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
+// 0..len by the seeded RNG, in bounds by construction.
 use rand::{Rng, RngExt};
 
 use crate::sampling::zipf_weights;
@@ -58,8 +60,7 @@ impl Catalog {
     pub fn generate<R: Rng + ?Sized>(config: &CatalogConfig, rng: &mut R) -> Self {
         assert!(config.items > 0, "catalog needs at least one item");
         assert!(
-            config.min_category_size >= 1
-                && config.min_category_size <= config.max_category_size,
+            config.min_category_size >= 1 && config.min_category_size <= config.max_category_size,
             "invalid category size bounds"
         );
 
@@ -192,10 +193,7 @@ mod tests {
     #[test]
     fn popularity_is_permuted_not_sorted() {
         let c = catalog(300, 4);
-        let sorted = c
-            .popularity
-            .windows(2)
-            .all(|w| w[0] >= w[1]);
+        let sorted = c.popularity.windows(2).all(|w| w[0] >= w[1]);
         assert!(!sorted, "popularity should not be in rank order");
     }
 
@@ -211,13 +209,10 @@ mod tests {
             assert!(aff > 0.0 && aff <= 1.0 / 2.0f64.sqrt()); // distance >= 1
         }
         // Immediate neighbor has the highest affinity.
-        let max = subs.iter().cloned().fold((0u64, 0.0f64), |acc, x| {
-            if x.1 > acc.1 {
-                x
-            } else {
-                acc
-            }
-        });
+        let max = subs
+            .iter()
+            .cloned()
+            .fold((0u64, 0.0f64), |acc, x| if x.1 > acc.1 { x } else { acc });
         assert_eq!(max.0.abs_diff(item), 1);
     }
 

@@ -8,6 +8,8 @@
 //! the adaptation pipeline yields — Zipf node weights, category-local edges
 //! with distance-decaying weights — directly in `O(n · degree)`.
 
+// lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
+// 0..len by the seeded RNG, in bounds by construction.
 use rand::{RngExt, SeedableRng};
 
 use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
@@ -67,8 +69,8 @@ pub fn generate_graph(config: &GraphGenConfig) -> Result<PreferenceGraph, GraphE
         perm.swap(i, j);
     }
 
-    let mut b = GraphBuilder::with_capacity(n, n * config.avg_out_degree)
-        .normalize_node_weights(true);
+    let mut b =
+        GraphBuilder::with_capacity(n, n * config.avg_out_degree).normalize_node_weights(true);
     for i in 0..n {
         b.add_node(ranked[perm[i]]);
     }

@@ -1,6 +1,8 @@
 //! Discrete sampling primitives: Zipf weight vectors and Walker's alias
 //! method for `O(1)` draws from arbitrary discrete distributions.
 
+// lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
+// 0..len by the seeded RNG, in bounds by construction.
 use rand::{Rng, RngExt};
 
 /// Unnormalized-then-normalized Zipf weights: `w_i ∝ 1 / (i + 1)^s`.

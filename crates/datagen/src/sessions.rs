@@ -1,5 +1,7 @@
 //! Session simulation: catalog + behavior model → synthetic clickstream.
 
+// lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
+// 0..len by the seeded RNG, in bounds by construction.
 use rand::SeedableRng;
 
 use pcover_clickstream::{Clickstream, Session};

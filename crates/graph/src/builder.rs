@@ -1,5 +1,8 @@
 //! Mutable construction of [`PreferenceGraph`]s with validation.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use crate::{Edge, GraphError, ItemId, PreferenceGraph, WEIGHT_EPSILON};
 
 /// What to do when the same directed edge `(source, target)` is added more
@@ -139,7 +142,12 @@ impl GraphBuilder {
     ///
     /// Fails fast on invalid weights, unknown endpoints and disallowed
     /// self-loops; duplicate edges are resolved at build time.
-    pub fn add_edge(&mut self, source: ItemId, target: ItemId, weight: f64) -> Result<(), GraphError> {
+    pub fn add_edge(
+        &mut self,
+        source: ItemId,
+        target: ItemId,
+        weight: f64,
+    ) -> Result<(), GraphError> {
         if source.index() >= self.node_weights.len() {
             return Err(GraphError::UnknownNode { node: source });
         }
@@ -204,8 +212,7 @@ impl GraphBuilder {
 
         // Resolve duplicate edges. Sort by (source, target); duplicates are
         // adjacent afterwards.
-        self.edges
-            .sort_unstable_by_key(|e| (e.source, e.target));
+        self.edges.sort_unstable_by_key(|e| (e.source, e.target));
         let mut resolved: Vec<Edge> = Vec::with_capacity(self.edges.len());
         for e in self.edges.drain(..) {
             match resolved.last_mut() {
@@ -485,10 +492,7 @@ mod tests {
         b.add_edge(ids[2], ids[4], 0.2).unwrap();
         let g = b.build().unwrap();
         let ins: Vec<_> = g.in_edges(ids[4]).collect();
-        assert_eq!(
-            ins,
-            vec![(ids[0], 0.1), (ids[2], 0.2), (ids[3], 0.3)]
-        );
+        assert_eq!(ins, vec![(ids[0], 0.1), (ids[2], 0.2), (ids[3], 0.3)]);
     }
 
     #[test]

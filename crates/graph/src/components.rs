@@ -7,6 +7,9 @@
 //! partitioned solver in `pcover-core` exploits this to solve components
 //! independently and merge their greedy sequences.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use crate::{ItemId, PreferenceGraph};
 
 /// The component decomposition: a dense component id per node.
@@ -97,22 +100,10 @@ mod tests {
         let (g, ids) = figure1_ids();
         let c = weakly_connected_components(&g);
         assert_eq!(c.count, 2);
-        assert_eq!(
-            c.component_of[ids.a.index()],
-            c.component_of[ids.b.index()]
-        );
-        assert_eq!(
-            c.component_of[ids.b.index()],
-            c.component_of[ids.c.index()]
-        );
-        assert_eq!(
-            c.component_of[ids.d.index()],
-            c.component_of[ids.e.index()]
-        );
-        assert_ne!(
-            c.component_of[ids.a.index()],
-            c.component_of[ids.d.index()]
-        );
+        assert_eq!(c.component_of[ids.a.index()], c.component_of[ids.b.index()]);
+        assert_eq!(c.component_of[ids.b.index()], c.component_of[ids.c.index()]);
+        assert_eq!(c.component_of[ids.d.index()], c.component_of[ids.e.index()]);
+        assert_ne!(c.component_of[ids.a.index()], c.component_of[ids.d.index()]);
         assert_eq!(c.largest(), 3);
         let members = c.members();
         assert_eq!(members[0], vec![ids.a, ids.b, ids.c]);

@@ -8,6 +8,9 @@
 //! graph (the CSR representation is immutable by design, so application
 //! costs one rebuild pass, `O(n + m + |delta|)`).
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -102,8 +105,10 @@ pub fn apply(g: &PreferenceGraph, delta: &GraphDelta) -> Result<PreferenceGraph,
         .map(|v| g.label(v).unwrap_or("").to_owned())
         .collect();
     let mut any_label = g.has_labels();
-    let mut edges: HashMap<(ItemId, ItemId), f64> =
-        g.edges().map(|e| ((e.source, e.target), e.weight)).collect();
+    let mut edges: HashMap<(ItemId, ItemId), f64> = g
+        .edges()
+        .map(|e| ((e.source, e.target), e.weight))
+        .collect();
     let mut delisted: Vec<bool> = vec![false; weights.len()];
 
     let check_node = |node: ItemId, len: usize| -> Result<(), GraphError> {
@@ -170,8 +175,8 @@ pub fn apply(g: &PreferenceGraph, delta: &GraphDelta) -> Result<PreferenceGraph,
     }
     edges.retain(|(s, t), _| !delisted[s.index()] && !delisted[t.index()]);
 
-    let mut b = GraphBuilder::with_capacity(weights.len(), edges.len())
-        .normalize_node_weights(true);
+    let mut b =
+        GraphBuilder::with_capacity(weights.len(), edges.len()).normalize_node_weights(true);
     for (i, w) in weights.iter().enumerate() {
         if any_label {
             b.add_node_labeled(*w, labels[i].clone());
@@ -188,6 +193,7 @@ pub fn apply(g: &PreferenceGraph, delta: &GraphDelta) -> Result<PreferenceGraph,
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use crate::examples::figure1_ids;
 
@@ -279,12 +285,13 @@ mod tests {
         let (g, ids) = figure1_ids();
         // Delist then re-weight: the later change wins for the weight, but
         // incident edges stay dropped (delist marked them).
-        let delta = GraphDelta::new()
-            .push(Change::Delist { node: ids.b })
-            .push(Change::SetNodeWeight {
-                node: ids.b,
-                weight: 0.22,
-            });
+        let delta =
+            GraphDelta::new()
+                .push(Change::Delist { node: ids.b })
+                .push(Change::SetNodeWeight {
+                    node: ids.b,
+                    weight: 0.22,
+                });
         let g2 = apply(&g, &delta).unwrap();
         assert!(g2.node_weight(ids.b) > 0.0);
         assert_eq!(g2.edge_weight(ids.a, ids.b), None);
@@ -332,7 +339,9 @@ mod tests {
     #[test]
     fn delta_serde_roundtrip() {
         let delta = GraphDelta::new()
-            .push(Change::Delist { node: ItemId::new(1) })
+            .push(Change::Delist {
+                node: ItemId::new(1),
+            })
             .push(Change::AddNode {
                 weight: 0.5,
                 label: Some("new".into()),

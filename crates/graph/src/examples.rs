@@ -3,6 +3,8 @@
 //! These are used throughout the test suite as oracles with hand-checkable
 //! numbers, and in the documentation examples.
 
+// lint: allow-file(no-expect) — hard-coded example graphs with statically valid
+// weights/edges; a build failure here is a bug in the builder, not runtime input.
 use crate::{GraphBuilder, ItemId, PreferenceGraph};
 
 /// Node ids of the Figure 1 graph in label order `A..E`.
@@ -103,8 +105,12 @@ pub fn figure3_ids() -> (PreferenceGraph, Figure3Ids) {
     let gold = builder.add_node_labeled(0.2, "iphone8-256-gold");
     let space_gray = builder.add_node_labeled(0.4, "iphone8-256-space-gray");
     builder.add_edge(silver, gold, 0.5).expect("valid edge");
-    builder.add_edge(silver, space_gray, 0.5).expect("valid edge");
-    builder.add_edge(space_gray, silver, 0.5).expect("valid edge");
+    builder
+        .add_edge(silver, space_gray, 0.5)
+        .expect("valid edge");
+    builder
+        .add_edge(space_gray, silver, 0.5)
+        .expect("valid edge");
     builder.add_edge(gold, space_gray, 1.0).expect("valid edge");
     let g = builder
         .build_normalized()

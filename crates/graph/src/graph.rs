@@ -1,5 +1,8 @@
 //! The immutable compressed-sparse-row preference graph.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use crate::{Edge, ItemId};
 
 /// An immutable weighted directed preference graph in compressed sparse row
@@ -109,7 +112,10 @@ impl PreferenceGraph {
     /// Maximum in-degree `D` over all nodes — the degree bound in the
     /// paper's `O(nkD)` greedy complexity.
     pub fn max_in_degree(&self) -> usize {
-        self.node_ids().map(|v| self.in_degree(v)).max().unwrap_or(0)
+        self.node_ids()
+            .map(|v| self.in_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum out-degree over all nodes.
@@ -180,10 +186,8 @@ impl PreferenceGraph {
 
     /// Iterates all edges of the graph in `(source, target)` order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.node_ids().flat_map(move |v| {
-            self.out_edges(v)
-                .map(move |(u, w)| Edge::new(v, u, w))
-        })
+        self.node_ids()
+            .flat_map(move |v| self.out_edges(v).map(move |(u, w)| Edge::new(v, u, w)))
     }
 
     /// Resolves a label back to its id via linear scan.
@@ -272,6 +276,7 @@ impl<'a> Iterator for InEdgesIter<'a> {
 impl ExactSizeIterator for InEdgesIter<'_> {}
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exactly-representable constants
 mod tests {
     use crate::GraphBuilder;
 

@@ -32,6 +32,7 @@ impl ItemId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // lint: allow(no-expect) — the overflow panic is this method's documented contract (see # Panics)
         ItemId(u32::try_from(index).expect("item index exceeds u32::MAX"))
     }
 

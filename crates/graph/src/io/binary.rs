@@ -18,6 +18,9 @@
 //! The checksum catches truncation and bit rot; semantic validity is
 //! re-checked by the builder on load.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -146,7 +149,10 @@ pub fn write_binary(g: &PreferenceGraph, path: impl AsRef<Path>) -> Result<(), G
 }
 
 /// Reads a graph written by [`write_binary`], verifying the checksum.
-pub fn read_binary(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+pub fn read_binary(
+    path: impl AsRef<Path>,
+    opts: &LoadOptions,
+) -> Result<PreferenceGraph, GraphError> {
     let file = File::open(path)?;
     let mut r = HashingReader::new(BufReader::new(file));
 
@@ -226,7 +232,11 @@ pub fn read_binary(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<Prefere
         }
     }
     for i in 0..m {
-        b.add_edge(ItemId::new(sources[i]), ItemId::new(targets[i]), eweights[i])?;
+        b.add_edge(
+            ItemId::new(sources[i]),
+            ItemId::new(targets[i]),
+            eweights[i],
+        )?;
     }
     b.build()
 }
@@ -294,6 +304,9 @@ mod tests {
         write_binary(&g, &path).unwrap();
         let bin_size = std::fs::metadata(&path).unwrap().len() as usize;
         let json_size = crate::io::json::to_json_string(&g).len();
-        assert!(bin_size < json_size, "binary {bin_size} >= json {json_size}");
+        assert!(
+            bin_size < json_size,
+            "binary {bin_size} >= json {json_size}"
+        );
     }
 }

@@ -175,10 +175,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_node_labeled(1.0, "oops, a comma");
         let g = b.build().unwrap();
-        assert!(matches!(
-            write_csv(&g, &dir),
-            Err(GraphError::Parse { .. })
-        ));
+        assert!(matches!(write_csv(&g, &dir), Err(GraphError::Parse { .. })));
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! retained set is highlighted (doubled ellipse + bold edges into it), as
 //! in the Figure 2 architecture sketch.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::Write as _;

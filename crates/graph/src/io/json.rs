@@ -31,9 +31,11 @@ impl GraphDto {
     pub fn from_graph(g: &PreferenceGraph) -> Self {
         GraphDto {
             node_weights: g.node_weights().to_vec(),
-            labels: g
-                .has_labels()
-                .then(|| g.node_ids().map(|v| g.label(v).unwrap_or("").to_owned()).collect()),
+            labels: g.has_labels().then(|| {
+                g.node_ids()
+                    .map(|v| g.label(v).unwrap_or("").to_owned())
+                    .collect()
+            }),
             edges: g.edges().collect(),
         }
     }
@@ -76,6 +78,7 @@ impl GraphDto {
 
 /// Serializes `g` to a JSON string.
 pub fn to_json_string(g: &PreferenceGraph) -> String {
+    // lint: allow(no-expect) — GraphDto is a plain tree of strings/numbers; serialization cannot fail
     serde_json::to_string(&GraphDto::from_graph(g)).expect("graph DTOs always serialize")
 }
 
@@ -101,7 +104,10 @@ pub fn write_json(g: &PreferenceGraph, path: impl AsRef<Path>) -> Result<(), Gra
 }
 
 /// Reads a JSON graph from `path`.
-pub fn read_json(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<PreferenceGraph, GraphError> {
+pub fn read_json(
+    path: impl AsRef<Path>,
+    opts: &LoadOptions,
+) -> Result<PreferenceGraph, GraphError> {
     let file = File::open(path)?;
     let reader = BufReader::new(file);
     let dto: GraphDto = serde_json::from_reader(reader).map_err(|e| GraphError::Parse {

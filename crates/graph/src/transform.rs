@@ -1,11 +1,12 @@
 //! Graph transforms: normalization, reversal, subgraphs, self-loop
 //! completion and browse-graph transitive closure.
 
+// lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
+// per-node/per-edge array is sized to node_count/edge_count, so accesses are in
+// bounds by construction.
 use std::collections::HashMap;
 
-use crate::{
-    DuplicateEdgePolicy, GraphBuilder, GraphError, ItemId, PreferenceGraph,
-};
+use crate::{DuplicateEdgePolicy, GraphBuilder, GraphError, ItemId, PreferenceGraph};
 
 /// Returns a copy of `g` with node weights rescaled to sum to exactly 1.
 ///
@@ -123,8 +124,7 @@ pub fn top_n_by_weight(g: &PreferenceGraph, n: usize) -> Result<Subgraph, GraphE
     // Sort by descending weight, then ascending id for determinism.
     ids.sort_by(|&x, &y| {
         g.node_weight(y)
-            .partial_cmp(&g.node_weight(x))
-            .expect("weights are finite")
+            .total_cmp(&g.node_weight(x))
             .then(x.cmp(&y))
     });
     ids.truncate(n.min(ids.len()));

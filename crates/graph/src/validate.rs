@@ -96,7 +96,9 @@ pub fn validate(g: &PreferenceGraph, opts: &ValidationOptions) -> ValidationRepo
 
     let sum = g.total_node_weight();
     if (sum - 1.0).abs() > opts.epsilon {
-        report.issues.push(ValidationIssue::WeightSumMismatch { sum });
+        report
+            .issues
+            .push(ValidationIssue::WeightSumMismatch { sum });
     }
 
     for v in g.node_ids() {
@@ -177,7 +179,10 @@ mod tests {
         let g = b.build().unwrap();
 
         let default = validate(&g, &ValidationOptions::default());
-        assert!(matches!(default.issues[..], [ValidationIssue::SelfLoop { .. }]));
+        assert!(matches!(
+            default.issues[..],
+            [ValidationIssue::SelfLoop { .. }]
+        ));
 
         let lax = validate(
             &g,

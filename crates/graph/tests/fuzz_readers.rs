@@ -1,6 +1,8 @@
 //! Robustness: the graph readers must return errors — never panic — on
 //! arbitrary garbage, truncations and mutations of valid files.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use proptest::prelude::*;
 
 use pcover_graph::examples::figure1;

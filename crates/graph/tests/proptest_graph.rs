@@ -17,10 +17,7 @@ fn arb_graph(max_nodes: usize) -> impl Strategy<Value = PreferenceGraph> {
     (2..=max_nodes)
         .prop_flat_map(|n| {
             let weights = proptest::collection::vec(1u32..1000, n);
-            let edges = proptest::collection::vec(
-                (0..n, 0..n, 0.01f64..=1.0),
-                0..(n * 3).min(64),
-            );
+            let edges = proptest::collection::vec((0..n, 0..n, 0.01f64..=1.0), 0..(n * 3).min(64));
             (Just(n), weights, edges)
         })
         .prop_map(|(_n, weights, edges)| {

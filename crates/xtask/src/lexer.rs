@@ -1,0 +1,440 @@
+//! A small, purpose-built Rust lexer.
+//!
+//! The lint rules only need a token stream that is *reliable about what is
+//! code and what is not*: string literals, char literals, lifetimes, and
+//! comments must never be mistaken for operators or identifiers, because the
+//! rules pattern-match on token shapes (`.` `unwrap` `(`, `==` near a
+//! `cover`-like identifier, and so on). Full fidelity on numeric literal
+//! grammar is *not* required — a float split across two tokens is harmless
+//! here — so the lexer stays ~200 lines instead of a full libsyntax clone.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`cover`, `fn`, `unwrap`, ...).
+    Ident,
+    /// An operator or other punctuation (`==`, `.`, `::`, `#`, ...).
+    Op,
+    /// An opening bracket: `(`, `[`, or `{`.
+    Open,
+    /// A closing bracket: `)`, `]`, or `}`.
+    Close,
+    /// A literal: string, raw string, byte string, char, or number.
+    Lit,
+    /// A lifetime such as `'a` (kept distinct so `'a` is never read as an
+    /// unterminated char literal).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text of the token (for `Lit`, possibly abbreviated to
+    /// its opening delimiter — rules never inspect literal contents).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on. Line
+/// waivers are parsed out of these.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//`/`/*` delimiters, trimmed.
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated literals or comments simply
+/// consume the rest of the file, which is the useful behavior for a linter
+/// (the compiler proper will reject such a file anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_lit(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => self.operator(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let from = self.i + 2;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[from.min(self.i)..self.i])
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment {
+            line: start_line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let from = self.i + 2;
+        self.i += 2;
+        let mut depth = 1usize;
+        let mut end = self.b.len();
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = self.i;
+                        self.i += 2;
+                        break;
+                    }
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[from.min(end)..end.min(self.b.len())])
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment {
+            line: start_line,
+            text,
+        });
+    }
+
+    /// Ordinary (non-raw) string literal, with escape handling.
+    fn string_lit(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Lit, "\"..\"", line);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let is_lifetime = matches!(next, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            let from = self.i;
+            self.i += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+            let text = String::from_utf8_lossy(&self.b[from..self.i]).to_string();
+            self.push(TokKind::Lifetime, &text, line);
+            return;
+        }
+        // Char literal: 'x', '\n', '\u{1F600}'.
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    // Unterminated; bail at end of line.
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Lit, "'..'", line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`, and raw
+    /// identifiers `r#ident`. Returns true (having consumed input) when the
+    /// `r`/`b` at the cursor introduced one of those forms; false leaves the
+    /// cursor untouched so the caller lexes a plain identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c = self.b[self.i];
+        let mut j = self.i + 1;
+        if c == b'b' && self.b.get(j) == Some(&b'r') {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        match self.b.get(j) {
+            Some(b'"') => {
+                // Raw or byte(-raw) string: scan for `"` followed by
+                // `hashes` hash marks. Plain b"..." (hashes == 0, no `r`)
+                // still supports escapes, but `\"` inside it would just
+                // terminate the scan one char early and resync at the next
+                // quote — acceptable for a linter, and byte strings are
+                // rare in this workspace.
+                let raw = c == b'r' || self.b.get(self.i + 1) == Some(&b'r');
+                self.i = j + 1;
+                while self.i < self.b.len() {
+                    match self.b[self.i] {
+                        b'\n' => {
+                            self.line += 1;
+                            self.i += 1;
+                        }
+                        b'\\' if !raw => self.i += 2,
+                        b'"' => {
+                            let mut k = 0usize;
+                            while k < hashes && self.b.get(self.i + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                self.i += 1 + hashes;
+                                break;
+                            }
+                            self.i += 1;
+                        }
+                        _ => self.i += 1,
+                    }
+                }
+                self.push(TokKind::Lit, "r\"..\"", line);
+                true
+            }
+            Some(b'\'') if c == b'b' && hashes == 0 => {
+                // Byte char literal b'x'.
+                self.i = j;
+                self.char_or_lifetime();
+                true
+            }
+            Some(&d) if hashes == 1 && (d == b'_' || d.is_ascii_alphabetic()) && c == b'r' => {
+                // Raw identifier r#ident: lex as the identifier itself.
+                self.i = j;
+                self.ident();
+                true
+            }
+            _ => {
+                // Plain identifier starting with r/b.
+                self.ident();
+                true
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let from = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.i += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[from..self.i]).to_string();
+        self.push(TokKind::Ident, &text, line);
+    }
+
+    /// Numbers, loosely: digits/letters/underscores, plus a `.` only when a
+    /// digit follows (so `0..n` lexes as `0` `..` `n`). Exponent signs are
+    /// NOT consumed; `1e-9` lexes as `1e` `-` `9`, which no rule cares
+    /// about.
+    fn number(&mut self) {
+        let line = self.line;
+        let from = self.i;
+        loop {
+            match self.peek(0) {
+                Some(c) if c == b'_' || c.is_ascii_alphanumeric() => self.i += 1,
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => self.i += 1,
+                _ => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[from..self.i]).to_string();
+        self.push(TokKind::Lit, &text, line);
+    }
+
+    fn operator(&mut self) {
+        let line = self.line;
+        let c = self.b[self.i];
+        match c {
+            b'(' | b'[' | b'{' => {
+                self.push(
+                    TokKind::Open,
+                    std::str::from_utf8(&[c]).unwrap_or("?"),
+                    line,
+                );
+                self.i += 1;
+            }
+            b')' | b']' | b'}' => {
+                self.push(
+                    TokKind::Close,
+                    std::str::from_utf8(&[c]).unwrap_or("?"),
+                    line,
+                );
+                self.i += 1;
+            }
+            _ => {
+                const THREE: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+                const TWO: [&str; 18] = [
+                    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=",
+                    "/=", "%=", "^=", "&=", "|=",
+                ];
+                let rest = &self.b[self.i..];
+                let take = THREE
+                    .iter()
+                    .find(|op| rest.starts_with(op.as_bytes()))
+                    .map(|op| op.len())
+                    .or_else(|| {
+                        TWO.iter()
+                            .find(|op| rest.starts_with(op.as_bytes()))
+                            .map(|op| op.len())
+                    })
+                    .unwrap_or(1);
+                let text = String::from_utf8_lossy(&rest[..take.min(rest.len())]).to_string();
+                self.push(TokKind::Op, &text, line);
+                self.i += take;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn operators_use_maximal_munch() {
+        assert_eq!(
+            texts("a == b != c => d .. e"),
+            ["a", "==", "b", "!=", "c", "=>", "d", "..", "e"]
+        );
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let lx = lex("let x = 1; // lint: allow(no-unwrap) — trusted\n/* block\ncomment */ y");
+        assert_eq!(lx.comments.len(), 2);
+        assert_eq!(lx.comments[0].line, 1);
+        assert!(lx.comments[0].text.contains("allow(no-unwrap)"));
+        assert_eq!(lx.comments[1].line, 2);
+        assert!(lx.tokens.iter().all(|t| t.text != "block"));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("y"));
+        assert_eq!(lx.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn string_contents_do_not_leak_tokens() {
+        let lx = lex(r#"let s = "a == b // not a comment"; t"#);
+        assert!(lx.comments.is_empty());
+        assert!(!lx.tokens.iter().any(|t| t.text == "=="));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("t"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lx = lex(r##"let s = r#"has "quotes" and == inside"#; next"##);
+        assert!(!lx.tokens.iter().any(|t| t.text == "=="));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("next"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lx.tokens.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_swallow_dots() {
+        assert_eq!(texts("0..n"), ["0", "..", "n"]);
+        assert_eq!(texts("1.5 + 2"), ["1.5", "+", "2"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lx = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Workspace static analysis: lint rules the compiler and clippy cannot
+//! express, because they encode *this* project's correctness invariants.
+//!
+//! Run as `cargo run -p xtask -- lint` (see [`walk`] and the `xtask` binary
+//! for the driver). The engine is three layers, each independently
+//! unit-tested:
+//!
+//! - [`lexer`] — a small Rust tokenizer that is exact about comments,
+//!   strings, chars, and lifetimes, so rules never fire inside non-code;
+//! - [`rules`] — the four rule visitors plus the waiver machinery;
+//! - [`report`] — the machine-readable JSON report consumed by CI.
+//!
+//! Why these rules exist (the solver invariants they protect):
+//!
+//! 1. **`float-eq`** — cover values and marginal gains are `f64`
+//!    accumulations; exact `==`/`!=` on them is how tie-breaking bugs and
+//!    platform-dependent output sneak in. The only approved site is
+//!    `pcover_core::float`, which packages the *deliberate* exact
+//!    comparisons (the deterministic argmax tie-break) behind named
+//!    functions.
+//! 2. **`no-unwrap`/`no-expect`/`no-panic`/`no-index`** — library crates
+//!    must propagate `SolveError` instead of aborting; a panicking solver
+//!    can take down a batch pipeline mid-run. Waivers exist because some
+//!    indexing is genuinely invariant-backed (dense `ItemId` indices), but
+//!    each waiver must carry its reviewed reason.
+//! 3. **`crate-header`** — every crate root must pin
+//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]` *in the file*,
+//!    so the guarantee survives even when a crate is built outside the
+//!    workspace (where `[workspace.lints]` would not apply).
+//! 4. **`ambient-entropy`** — solver crates must be reproducible from
+//!    explicit seeds; `thread_rng`/`SystemTime::now` make "same input, same
+//!    output" silently false.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;

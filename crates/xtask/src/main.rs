@@ -1,0 +1,155 @@
+//! The `xtask` binary: workspace automation. Currently one subcommand,
+//! `lint`, the custom static-analysis pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{report, rules, walk};
+
+const USAGE: &str = "\
+xtask — workspace automation for preference-cover
+
+USAGE: cargo run -p xtask -- lint [--json] [--report <path>] [--root <dir>]
+
+SUBCOMMANDS:
+    lint    Run the custom static-analysis pass over every workspace .rs
+            file. Exit code 0 when clean, 1 when violations are found,
+            2 on usage or I/O errors.
+
+OPTIONS (lint):
+    --json           Print the machine-readable JSON report to stdout
+                     instead of human-readable diagnostics.
+    --report <path>  Additionally write the JSON report to <path>
+                     (for CI artifact upload).
+    --root <dir>     Lint the tree rooted at <dir> instead of the
+                     workspace root (used by the lint's own tests).
+
+RULES: float-eq, no-unwrap, no-expect, no-panic, no-index, crate-header,
+ambient-entropy (plus waiver-form for malformed waivers).
+Waive a finding with `// lint: allow(<rule>) — <reason>` on the offending
+line (or the line above), or `// lint: allow-file(<rule>) — <reason>` for a
+whole file. The reason is mandatory.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Default lint root: the workspace root, two levels above this crate's
+/// manifest, so `cargo run -p xtask -- lint` works from any directory.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut root = workspace_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--report" => match it.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --report needs a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let files = match walk::rust_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("error: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut violations: Vec<rules::Violation> = Vec::new();
+    let mut waivers_used = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = walk::relative(&root, file);
+        let outcome = rules::lint_source(&rel, &src);
+        waivers_used += outcome.waivers_used;
+        violations.extend(outcome.violations);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let json_doc = report::to_json(
+        &root.display().to_string(),
+        files.len(),
+        waivers_used,
+        &violations,
+    );
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, &json_doc) {
+            eprintln!("error: cannot write report to {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{json_doc}");
+    } else {
+        for v in &violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "xtask lint: {} violation(s), {} waived, {} files scanned",
+            violations.len(),
+            waivers_used,
+            files.len()
+        );
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,98 @@
+//! Machine-readable JSON report for CI.
+//!
+//! Hand-rolled emission (the engine has zero dependencies); the shape is
+//! stable and versioned via the `schema` field:
+//!
+//! ```json
+//! {
+//!   "schema": "xtask-lint/1",
+//!   "root": ".",
+//!   "files_scanned": 123,
+//!   "waivers_used": 4,
+//!   "clean": false,
+//!   "violations": [
+//!     {"rule": "no-unwrap", "file": "crates/core/src/x.rs", "line": 10,
+//!      "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::Violation;
+
+/// Escapes a string for a JSON string literal body.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as a JSON document (trailing newline included).
+pub fn to_json(
+    root: &str,
+    files_scanned: usize,
+    waivers_used: usize,
+    violations: &[Violation],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"xtask-lint/1\",\n");
+    out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"waivers_used\": {waivers_used},\n"));
+    out.push_str(&format!("  \"clean\": {},\n", violations.is_empty()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_shape() {
+        let v = vec![Violation {
+            rule: "no-unwrap",
+            file: "crates/core/src/a.rs".to_string(),
+            line: 7,
+            message: "say \"no\"\nplease".to_string(),
+        }];
+        let j = to_json(".", 3, 1, &v);
+        assert!(j.contains("\"schema\": \"xtask-lint/1\""));
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("say \\\"no\\\"\\nplease"));
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let j = to_json(".", 10, 0, &[]);
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"violations\": []"));
+    }
+}

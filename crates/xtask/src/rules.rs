@@ -1,0 +1,685 @@
+//! The four lint rules and the waiver machinery.
+//!
+//! Rules (names are what waivers must reference):
+//!
+//! | rule | what it rejects | where |
+//! |------|-----------------|-------|
+//! | `float-eq` | `==`/`!=` with a cover/gain-like identifier nearby | everywhere except the approved helper module |
+//! | `no-unwrap`, `no-expect`, `no-panic`, `no-index` | `.unwrap()`, `.expect(..)`, `panic!`, slice indexing | library crates, outside `#[cfg(test)]` |
+//! | `crate-header` | crate roots missing `#![forbid(unsafe_code)]` / `#![warn(missing_docs)]` | every crate root |
+//! | `ambient-entropy` | `thread_rng`, `from_entropy`, `SystemTime::now` | solver crates |
+//!
+//! Waivers are comments: `// lint: allow(<rule>) — <reason>` waives the same
+//! line and the next line; `// lint: allow-file(<rule>) — <reason>` waives a
+//! whole file. A waiver without a reason is itself a violation
+//! (`waiver-form`): the reason IS the point.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// All rule names, for validating waivers and for `--help`.
+pub const RULES: [&str; 8] = [
+    "float-eq",
+    "no-unwrap",
+    "no-expect",
+    "no-panic",
+    "no-index",
+    "crate-header",
+    "ambient-entropy",
+    "waiver-form",
+];
+
+/// One diagnostic: rule, location, human message.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// How a file participates in each rule, decided purely from its
+/// workspace-relative path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// Library-crate source (rule 2: no-unwrap/no-expect/no-panic/no-index).
+    pub lib_scope: bool,
+    /// Solver-crate source (rule 4: ambient-entropy).
+    pub solver_scope: bool,
+    /// A crate root (rule 3: crate-header).
+    pub crate_root: bool,
+    /// The approved float-comparison helper module (exempt from rule 1).
+    pub float_approved: bool,
+}
+
+/// Library crates whose `src/` trees must not unwrap/expect/panic/index.
+const LIB_CRATES: [&str; 5] = ["graph", "core", "clickstream", "datagen", "adapt"];
+
+/// Solver crates that must stay free of ambient entropy: everything they
+/// produce is required to be reproducible from explicit seeds.
+const SOLVER_CRATES: [&str; 3] = ["core", "graph", "adapt"];
+
+/// The one module allowed to compare cover/gain floats exactly.
+const FLOAT_APPROVED: [&str; 1] = ["crates/core/src/float.rs"];
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileClass {
+    let mut fc = FileClass {
+        float_approved: FLOAT_APPROVED.contains(&rel),
+        ..FileClass::default()
+    };
+    for c in LIB_CRATES {
+        if rel.starts_with(&format!("crates/{c}/src/")) {
+            fc.lib_scope = true;
+        }
+    }
+    for c in SOLVER_CRATES {
+        if rel.starts_with(&format!("crates/{c}/src/")) {
+            fc.solver_scope = true;
+        }
+    }
+    if rel == "src/lib.rs" || rel == "src/main.rs" {
+        fc.crate_root = true;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let mut parts = rest.split('/');
+        let _crate_name = parts.next();
+        let tail: Vec<&str> = parts.collect();
+        if tail == ["src", "lib.rs"] || tail == ["src", "main.rs"] {
+            fc.crate_root = true;
+        }
+    }
+    fc
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Violations that survived waiver matching.
+    pub violations: Vec<Violation>,
+    /// Count of violations suppressed by a waiver.
+    pub waivers_used: usize,
+}
+
+/// A parsed waiver comment.
+#[derive(Debug)]
+struct Waiver {
+    rules: Vec<String>,
+    line: u32,
+    file_level: bool,
+}
+
+/// Parses waivers out of comments; malformed waivers become `waiver-form`
+/// violations.
+fn parse_waivers(
+    rel: &str,
+    comments: &[crate::lexer::Comment],
+    violations: &mut Vec<Violation>,
+) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) cannot carry waivers:
+        // they are documentation (and may legitimately *describe* the
+        // waiver syntax, as this module's own docs do).
+        if c.text.starts_with(['/', '!', '*']) {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "lint:".len()..].trim_start();
+        let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            violations.push(Violation {
+                rule: "waiver-form",
+                file: rel.to_string(),
+                line: c.line,
+                message: format!(
+                    "unrecognized lint directive `{}`; use `lint: allow(<rule>) — <reason>`",
+                    c.text
+                ),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            violations.push(Violation {
+                rule: "waiver-form",
+                file: rel.to_string(),
+                line: c.line,
+                message: "waiver is missing the closing `)` after the rule list".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let bad: Vec<&String> = rules
+            .iter()
+            .filter(|r| !RULES.contains(&r.as_str()))
+            .collect();
+        if rules.is_empty() || !bad.is_empty() {
+            violations.push(Violation {
+                rule: "waiver-form",
+                file: rel.to_string(),
+                line: c.line,
+                message: format!(
+                    "waiver names unknown rule(s) {:?}; known rules: {}",
+                    bad,
+                    RULES.join(", ")
+                ),
+            });
+            continue;
+        }
+        // The reason is everything after the `)`, minus a leading dash of
+        // any flavor. It must be non-empty: a waiver is a reviewed decision,
+        // and the reason is where the review lives.
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        if reason.is_empty() {
+            violations.push(Violation {
+                rule: "waiver-form",
+                file: rel.to_string(),
+                line: c.line,
+                message: format!(
+                    "waiver for {:?} has no reason; write `lint: allow({}) — <why this is sound>`",
+                    rules,
+                    rules.join(", ")
+                ),
+            });
+            continue;
+        }
+        waivers.push(Waiver {
+            rules,
+            line: c.line,
+            file_level,
+        });
+    }
+    waivers
+}
+
+/// Marks, for each token, whether it is inside test-only code: a block
+/// introduced under `#[cfg(test)]` / `#[test]` (but not `#[cfg(not(test))]`).
+fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut brace_depth: i64 = 0;
+    // Brace depth at which the active test region's `{` was opened; tokens
+    // are in-test while this is set. Only the outermost region matters.
+    let mut region_open_depth: Option<i64> = None;
+    // A test-marking attribute was seen and we are waiting for the `{` of
+    // the item it decorates.
+    let mut pending = false;
+    // `(`/`[` nesting between the attribute and its item's `{`, so a `;`
+    // inside e.g. `fn t(x: [u8; 2])` does not cancel the pending attr.
+    let mut pending_paren_depth: i64 = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // `#` `[` ... `]`: an outer attribute. Scan its identifiers (no
+        // need while already inside a region — everything is masked there).
+        if region_open_depth.is_none()
+            && t.text == "#"
+            && tokens.get(i + 1).is_some_and(|n| n.text == "[")
+        {
+            let mut j = i + 2;
+            let mut bd = 1i64;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && bd > 0 {
+                match tokens[j].kind {
+                    TokKind::Open if tokens[j].text == "[" => bd += 1,
+                    TokKind::Close if tokens[j].text == "]" => bd -= 1,
+                    TokKind::Ident => idents.push(&tokens[j].text),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let mentions_test = idents.contains(&"test");
+            let negated = idents.contains(&"not");
+            if mentions_test && !negated {
+                pending = true;
+                pending_paren_depth = 0;
+            }
+            i = j;
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => {
+                if pending {
+                    region_open_depth = Some(brace_depth);
+                    pending = false;
+                }
+                brace_depth += 1;
+            }
+            "}" => {
+                brace_depth -= 1;
+                if region_open_depth == Some(brace_depth) {
+                    // The closing brace itself still belongs to the region.
+                    mask[i] = true;
+                    region_open_depth = None;
+                }
+            }
+            "(" | "[" if pending => pending_paren_depth += 1,
+            ")" | "]" if pending => pending_paren_depth -= 1,
+            // `#[cfg(test)] use foo;` — attribute on a braceless item.
+            ";" if pending && pending_paren_depth == 0 => pending = false,
+            _ => {}
+        }
+        if region_open_depth.is_some() {
+            mask[i] = true;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Rust keywords that can legally precede `[` without it being an index
+/// expression (`let [a, b] = ..`, `if let [x] = ..`, `ref mut`, ...).
+const KEYWORDS: [&str; 35] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Identifier fragments that mark a float as a cover/gain value for rule 1.
+const FLOAT_NAMES: [&str; 2] = ["cover", "gain"];
+
+fn names_cover_value(ident: &str) -> bool {
+    let lower = ident.to_ascii_lowercase();
+    FLOAT_NAMES.iter().any(|n| lower.contains(n))
+}
+
+/// Lints one file given its workspace-relative path and contents.
+pub fn lint_source(rel: &str, src: &str) -> LintOutcome {
+    let fc = classify(rel);
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mut raw: Vec<Violation> = Vec::new();
+    let mut outcome = LintOutcome::default();
+
+    let waivers = parse_waivers(rel, &lexed.comments, &mut outcome.violations);
+    let in_test = test_region_mask(tokens);
+
+    // Rule 1: float-eq — `==`/`!=` with a cover/gain identifier in the same
+    // expression neighborhood (stop the scan at statement/block boundaries).
+    if !fc.float_approved {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokKind::Op || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            let boundary = |tok: &Tok| matches!(tok.text.as_str(), ";" | "{" | "}" | ",");
+            let mut nearby = Vec::new();
+            for tok in tokens[..i].iter().rev().take(6) {
+                if boundary(tok) {
+                    break;
+                }
+                if tok.kind == TokKind::Ident {
+                    nearby.push(tok.text.as_str());
+                }
+            }
+            for tok in tokens.iter().skip(i + 1).take(6) {
+                if boundary(tok) {
+                    break;
+                }
+                if tok.kind == TokKind::Ident {
+                    nearby.push(tok.text.as_str());
+                }
+            }
+            if let Some(name) = nearby.iter().find(|n| names_cover_value(n)) {
+                raw.push(Violation {
+                    rule: "float-eq",
+                    file: rel.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "exact `{}` on cover/gain value `{name}`; use pcover_core::float \
+                         (approx_eq/cmp_gain/improves_argmax) instead",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // Rule 2: no-unwrap / no-expect / no-panic / no-index in library crates,
+    // outside test code.
+    if fc.lib_scope {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+            let next = tokens.get(i + 1);
+            if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+                let is_call =
+                    prev.is_some_and(|p| p.text == ".") && next.is_some_and(|n| n.text == "(");
+                if is_call {
+                    let rule = if t.text == "unwrap" {
+                        "no-unwrap"
+                    } else {
+                        "no-expect"
+                    };
+                    raw.push(Violation {
+                        rule,
+                        file: rel.to_string(),
+                        line: t.line,
+                        message: format!(
+                            ".{}() in library code; propagate a SolveError (or waive with \
+                             `lint: allow({rule}) — <reason>`)",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            if t.kind == TokKind::Ident && t.text == "panic" && next.is_some_and(|n| n.text == "!")
+            {
+                raw.push(Violation {
+                    rule: "no-panic",
+                    file: rel.to_string(),
+                    line: t.line,
+                    message: "panic! in library code; return an error instead".to_string(),
+                });
+            }
+            if t.kind == TokKind::Open && t.text == "[" {
+                let indexes = prev.is_some_and(|p| match p.kind {
+                    TokKind::Ident => !KEYWORDS.contains(&p.text.as_str()),
+                    TokKind::Close => p.text == ")" || p.text == "]",
+                    _ => false,
+                });
+                if indexes {
+                    raw.push(Violation {
+                        rule: "no-index",
+                        file: rel.to_string(),
+                        line: t.line,
+                        message: "slice indexing can panic; use .get()/.get_mut() or waive \
+                                  with a bounds argument"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Rule 3: crate-header — crate roots must carry both inner attributes.
+    if fc.crate_root {
+        let has_inner = |want: [&str; 2]| -> bool {
+            tokens.windows(3).enumerate().any(|(i, w)| {
+                w[0].text == "#" && w[1].text == "!" && w[2].text == "[" && {
+                    let mut bd = 1i64;
+                    let mut idents = Vec::new();
+                    let mut j = i + 3;
+                    while j < tokens.len() && bd > 0 {
+                        match tokens[j].text.as_str() {
+                            "[" => bd += 1,
+                            "]" => bd -= 1,
+                            _ => {
+                                if tokens[j].kind == TokKind::Ident {
+                                    idents.push(tokens[j].text.as_str());
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    want.iter().all(|w| idents.contains(w))
+                }
+            })
+        };
+        if !has_inner(["forbid", "unsafe_code"]) {
+            raw.push(Violation {
+                rule: "crate-header",
+                file: rel.to_string(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+        if !has_inner(["warn", "missing_docs"]) && !has_inner(["deny", "missing_docs"]) {
+            raw.push(Violation {
+                rule: "crate-header",
+                file: rel.to_string(),
+                line: 1,
+                message: "crate root is missing `#![warn(missing_docs)]`".to_string(),
+            });
+        }
+    }
+
+    // Rule 4: ambient-entropy — solver crates must be seed-deterministic.
+    if fc.solver_scope {
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let flagged = match t.text.as_str() {
+                "thread_rng" | "from_entropy" => true,
+                "SystemTime" => {
+                    tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                        && tokens.get(i + 2).is_some_and(|n| n.text == "now")
+                }
+                _ => false,
+            };
+            if flagged {
+                raw.push(Violation {
+                    rule: "ambient-entropy",
+                    file: rel.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` introduces ambient entropy in a solver crate; take an explicit \
+                         seed (StdRng::seed_from_u64) so runs are reproducible",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    // Waiver matching: a file-level waiver covers its rule everywhere; a
+    // line waiver covers its own line and the line below it.
+    for v in raw {
+        let waived = waivers.iter().any(|w| {
+            w.rules.iter().any(|r| r == v.rule)
+                && (w.file_level || w.line == v.line || w.line + 1 == v.line)
+        });
+        if waived {
+            outcome.waivers_used += 1;
+        } else {
+            outcome.violations.push(v);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/fake.rs";
+
+    fn rules_of(outcome: &LintOutcome) -> Vec<&'static str> {
+        outcome.violations.iter().map(|v| v.rule).collect()
+    }
+
+    // ------------------------------------------------------------ float-eq
+    #[test]
+    fn float_eq_flags_exact_compare_on_gain() {
+        let out = lint_source(LIB, "fn f(gain: f64, best: f64) -> bool { gain == best }");
+        assert_eq!(rules_of(&out), ["float-eq"]);
+    }
+
+    #[test]
+    fn float_eq_flags_ne_on_cover() {
+        let out = lint_source(
+            "tests/x.rs",
+            "fn f(c: f64, cover: f64) -> bool { c != cover }",
+        );
+        assert_eq!(rules_of(&out), ["float-eq"]);
+    }
+
+    #[test]
+    fn float_eq_ignores_unrelated_identifiers_and_strings() {
+        let out = lint_source(LIB, "fn f(a: u32, b: u32) -> bool { a == b }");
+        assert!(out.violations.is_empty());
+        let out = lint_source(LIB, r#"fn f(cmd: &str) -> bool { cmd == "cover" }"#);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn float_eq_allows_the_approved_module() {
+        let out = lint_source(
+            "crates/core/src/float.rs",
+            "fn eq(gain: f64, other_gain: f64) -> bool { gain == other_gain }",
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn float_eq_window_stops_at_statement_boundary() {
+        // `cover` is in a previous statement; the comparison itself is
+        // integer-only and must not be flagged.
+        let out = lint_source(
+            LIB,
+            "fn f(cover: f64, i: usize) { let c = cover; if i == 0 {} }",
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    // ------------------------------------------------------------- rule 2
+    #[test]
+    fn unwrap_flagged_in_lib_code() {
+        let out = lint_source(LIB, "fn f(v: Option<u32>) -> u32 { v.unwrap() }");
+        assert_eq!(rules_of(&out), ["no-unwrap"]);
+    }
+
+    #[test]
+    fn unwrap_fine_outside_lib_scope_and_in_tests() {
+        let cli = lint_source(
+            "crates/cli/src/x.rs",
+            "fn f(v: Option<u32>) -> u32 { v.unwrap() }",
+        );
+        assert!(cli.violations.is_empty());
+        let test = lint_source(
+            LIB,
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}",
+        );
+        assert!(test.violations.is_empty(), "{:?}", test.violations);
+    }
+
+    #[test]
+    fn unwrap_like_names_not_flagged() {
+        let out = lint_source(LIB, "fn f(v: Option<u32>) -> u32 { v.unwrap_or(0) }");
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn expect_and_panic_flagged() {
+        let out = lint_source(LIB, "fn f(v: Option<u32>) -> u32 { v.expect(\"set\") }");
+        assert_eq!(rules_of(&out), ["no-expect"]);
+        let out = lint_source(LIB, "fn f() { panic!(\"boom\"); }");
+        assert_eq!(rules_of(&out), ["no-panic"]);
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_array_literals_or_attrs() {
+        let out = lint_source(LIB, "fn f(v: &[u32], i: usize) -> u32 { v[i] }");
+        assert_eq!(rules_of(&out), ["no-index"]);
+        let out = lint_source(
+            LIB,
+            "#[derive(Debug)]\nstruct S;\nfn f() -> [u32; 2] { let a = [1, 2]; a }",
+        );
+        // `a` in the tail position is returned, not indexed; the literal
+        // `[1, 2]` follows `=`.
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        let out = lint_source(LIB, "fn f() { let [a, b] = [1, 2]; let _ = (a, b); }");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn chained_indexing_after_call_flagged() {
+        let out = lint_source(LIB, "fn f(v: Vec<Vec<u32>>) -> u32 { v.clone()[0][1] }");
+        assert_eq!(rules_of(&out), ["no-index", "no-index"]);
+    }
+
+    // ------------------------------------------------------------- waivers
+    #[test]
+    fn line_waiver_suppresses_same_and_next_line() {
+        let same = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // lint: allow(no-unwrap) — checked by caller";
+        let out = lint_source(LIB, same);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.waivers_used, 1);
+        let above = "// lint: allow(no-unwrap) — invariant: always Some here\nfn f(v: Option<u32>) -> u32 { v.unwrap() }";
+        let out = lint_source(LIB, above);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.waivers_used, 1);
+    }
+
+    #[test]
+    fn file_waiver_covers_whole_file_but_only_its_rule() {
+        let src =
+            "// lint: allow-file(no-index) — indices come from GraphBuilder, always in bounds\n\
+                   fn f(v: &[u32]) -> u32 { v[0] + v[1] }\n\
+                   fn g(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        let out = lint_source(LIB, src);
+        assert_eq!(rules_of(&out), ["no-unwrap"]);
+        assert_eq!(out.waivers_used, 2);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let out = lint_source(LIB, "fn f() {} // lint: allow(no-unwrap)");
+        assert_eq!(rules_of(&out), ["waiver-form"]);
+    }
+
+    #[test]
+    fn waiver_with_unknown_rule_is_a_violation() {
+        let out = lint_source(LIB, "fn f() {} // lint: allow(no-such-rule) — whatever");
+        assert_eq!(rules_of(&out), ["waiver-form"]);
+    }
+
+    // ------------------------------------------------------- crate-header
+    #[test]
+    fn crate_root_missing_headers_flagged() {
+        let out = lint_source("crates/core/src/lib.rs", "//! Docs.\npub fn f() {}\n");
+        assert_eq!(rules_of(&out), ["crate-header", "crate-header"]);
+    }
+
+    #[test]
+    fn crate_root_with_headers_clean_and_non_roots_exempt() {
+        let good = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        let out = lint_source("crates/core/src/lib.rs", good);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        let out = lint_source("crates/core/src/greedy.rs", "pub fn f() {}\n");
+        assert!(out.violations.is_empty());
+    }
+
+    // --------------------------------------------------- ambient-entropy
+    #[test]
+    fn thread_rng_and_system_time_flagged_in_solver_crates() {
+        let out = lint_source(LIB, "fn f() { let mut rng = thread_rng(); }");
+        assert_eq!(rules_of(&out), ["ambient-entropy"]);
+        let out = lint_source(
+            "crates/graph/src/x.rs",
+            "fn f() { let t = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(rules_of(&out), ["ambient-entropy"]);
+    }
+
+    #[test]
+    fn seeded_rng_and_instant_are_fine_and_datagen_exempt() {
+        let out = lint_source(
+            LIB,
+            "fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); let t = Instant::now(); }",
+        );
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        let out = lint_source(
+            "crates/datagen/src/x.rs",
+            "fn f() { let rng = thread_rng(); }",
+        );
+        assert!(out.violations.is_empty());
+    }
+}

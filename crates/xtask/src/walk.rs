@@ -1,0 +1,76 @@
+//! Source-tree walking: find every workspace `.rs` file to lint.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names that are never part of the linted workspace source:
+/// build output, vendored dependency stand-ins, VCS metadata, and the lint
+/// integration tests' planted fixture trees.
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+/// Recursively collects all `.rs` files under `root`, skipping
+/// [`SKIP_DIRS`], sorted by path for deterministic reports.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The path of `file` relative to `root`, with forward slashes (the form
+/// [`crate::rules::classify`] expects).
+pub fn relative(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_uses_forward_slashes() {
+        let root = Path::new("/repo");
+        let file = Path::new("/repo/crates/core/src/lib.rs");
+        assert_eq!(relative(root, file), "crates/core/src/lib.rs");
+    }
+
+    #[test]
+    fn walk_skips_vendor_and_target() {
+        let tmp = std::env::temp_dir().join(format!("xtask-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fs::create_dir_all(tmp.join("src")).expect("mkdir");
+        fs::create_dir_all(tmp.join("vendor/dep/src")).expect("mkdir");
+        fs::create_dir_all(tmp.join("target/debug")).expect("mkdir");
+        fs::write(tmp.join("src/lib.rs"), "pub fn f() {}\n").expect("write");
+        fs::write(tmp.join("vendor/dep/src/lib.rs"), "pub fn g() {}\n").expect("write");
+        fs::write(tmp.join("target/debug/gen.rs"), "pub fn h() {}\n").expect("write");
+        let files = rust_files(&tmp).expect("walk");
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("src/lib.rs"));
+        let _ = fs::remove_dir_all(&tmp);
+    }
+}

@@ -1,0 +1,28 @@
+//! Clean fixture: a fake crate root that satisfies every lint rule,
+//! including one properly waived violation (to test waiver accounting).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Tolerance-based comparison: the approved pattern for cover floats.
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// Propagates instead of unwrapping.
+pub fn take(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+/// A justified waiver: suppressed and counted in `waivers_used`.
+pub fn head(xs: &[u32]) -> u32 {
+    xs[0] // lint: allow(no-index) — callers are required to pass non-empty slices
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! Planted-violation fixture: a fake crate root that trips every lint rule.
+//! This tree is never compiled; it exists so the integration tests can
+//! assert that `xtask lint` finds all of these and exits non-zero.
+// Missing #![forbid(unsafe_code)] and #![warn(missing_docs)] -> crate-header x2.
+
+pub fn tie_break(gain: f64, best_gain: f64) -> bool {
+    // float-eq: exact comparison on a gain value.
+    gain == best_gain
+}
+
+pub fn cover_changed(cover: f64, old_cover: f64) -> bool {
+    // float-eq: != flavor.
+    cover != old_cover
+}
+
+pub fn take(v: Option<u32>) -> u32 {
+    // no-unwrap.
+    v.unwrap()
+}
+
+pub fn take_loudly(v: Option<u32>) -> u32 {
+    // no-expect.
+    v.expect("present")
+}
+
+pub fn boom() {
+    // no-panic.
+    panic!("library code must not panic");
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    // no-index.
+    xs[0]
+}
+
+pub fn seed() -> u64 {
+    // ambient-entropy (x2: thread_rng and SystemTime::now).
+    let _rng = thread_rng();
+    std::time::SystemTime::now();
+    0
+}
+
+// lint: allow(no-unwrap)
+pub fn waived_badly(v: Option<u32>) -> u32 {
+    // The waiver above has no reason -> waiver-form (and the unwrap on the
+    // next line is NOT suppressed by a malformed waiver).
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        // Not flagged: inside #[cfg(test)].
+        Some(1).unwrap();
+    }
+}

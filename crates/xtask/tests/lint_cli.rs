@@ -1,0 +1,168 @@
+//! End-to-end tests of the `xtask` binary: exit codes, usage text, and the
+//! JSON report, driven over planted-violation and clean fixture trees via
+//! `std::process::Command`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xtask(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask")
+}
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for args in [&["--help"][..], &["help"][..], &["lint", "--help"][..]] {
+        let out = xtask(args);
+        assert!(out.status.success(), "{args:?} should exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("USAGE:"), "{args:?} missing usage");
+        assert!(text.contains("lint"), "{args:?} missing subcommand docs");
+    }
+}
+
+#[test]
+fn unknown_subcommand_and_missing_args_exit_2() {
+    let out = xtask(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = xtask(&[]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = xtask(&["lint", "--root"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = xtask(&["lint", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = xtask(&["lint", "--root", "/no/such/dir/exists"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn clean_fixture_tree_exits_zero_and_counts_waivers() {
+    let out = xtask(&["lint", "--json", "--root", &fixture("clean")]);
+    assert_eq!(out.status.code(), Some(0), "clean tree must lint clean");
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        report.get("schema").and_then(|v| v.as_str()),
+        Some("xtask-lint/1")
+    );
+    assert_eq!(
+        report.get("clean").map(std::string::ToString::to_string),
+        Some("true".to_string())
+    );
+    assert_eq!(
+        report
+            .get("waivers_used")
+            .and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        report
+            .get("files_scanned")
+            .and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
+fn planted_fixture_tree_exits_nonzero_with_every_rule() {
+    let out = xtask(&["lint", "--json", "--root", &fixture("planted")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "planted tree must fail the lint"
+    );
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let violations = report
+        .get("violations")
+        .and_then(serde_json::Value::as_array)
+        .expect("violations array");
+    let rules: Vec<&str> = violations
+        .iter()
+        .filter_map(|v| v.get("rule").and_then(serde_json::Value::as_str))
+        .collect();
+    for expected in [
+        "float-eq",
+        "no-unwrap",
+        "no-expect",
+        "no-panic",
+        "no-index",
+        "crate-header",
+        "ambient-entropy",
+        "waiver-form",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "missing rule {expected} in {rules:?}"
+        );
+    }
+    // Both float-eq plants (== and !=), both entropy plants, both headers.
+    assert_eq!(rules.iter().filter(|r| **r == "float-eq").count(), 2);
+    assert_eq!(rules.iter().filter(|r| **r == "ambient-entropy").count(), 2);
+    assert_eq!(rules.iter().filter(|r| **r == "crate-header").count(), 2);
+    // The #[cfg(test)] unwrap must NOT be flagged: exactly 2 unwraps planted
+    // outside tests.
+    assert_eq!(rules.iter().filter(|r| **r == "no-unwrap").count(), 2);
+    // Every violation carries file + line + message.
+    for v in violations {
+        assert!(v.get("file").and_then(serde_json::Value::as_str).is_some());
+        assert!(v
+            .get("line")
+            .and_then(serde_json::Value::as_u64)
+            .is_some_and(|l| l > 0));
+        assert!(v
+            .get("message")
+            .and_then(serde_json::Value::as_str)
+            .is_some_and(|m| !m.is_empty()));
+    }
+}
+
+#[test]
+fn report_flag_writes_json_file() {
+    let path = std::env::temp_dir().join(format!("xtask-report-{}.json", std::process::id()));
+    let out = xtask(&[
+        "lint",
+        "--root",
+        &fixture("planted"),
+        "--report",
+        &path.display().to_string(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // Human output on stdout, JSON in the file.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[no-unwrap]"));
+    let written = std::fs::read_to_string(&path).expect("report file written");
+    let report: serde_json::Value = serde_json::from_str(&written).expect("valid JSON report");
+    assert_eq!(
+        report.get("clean").map(std::string::ToString::to_string),
+        Some("false".to_string())
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn lint_of_this_workspace_is_clean() {
+    // The acceptance gate: the real workspace passes its own lint. Uses the
+    // default root (the workspace root, resolved from the manifest dir).
+    let out = xtask(&["lint"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace lint failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -80,8 +80,7 @@ fn main() {
         .copied()
         .filter(|&v| !(v == q1.order[3] || v == q1.order[7]))
         .collect();
-    let stale_report =
-        evaluate_selection::<Independent>(&g2, &stale).expect("valid selection");
+    let stale_report = evaluate_selection::<Independent>(&g2, &stale).expect("valid selection");
     println!(
         "\ndo nothing:      cover {:.3}% with 0 new stock movements",
         stale_report.cover * 100.0
@@ -98,11 +97,7 @@ fn main() {
 
     // Full re-optimization: the ceiling, at maximal churn.
     let fresh = lazy::solve::<Independent>(&g2, k).expect("valid k");
-    let kept: usize = fresh
-        .order
-        .iter()
-        .filter(|v| stale.contains(v))
-        .count();
+    let kept: usize = fresh.order.iter().filter(|v| stale.contains(v)).count();
     println!(
         "re-optimize all: cover {:.3}% but only {} of {} old items kept ({} swapped)",
         fresh.cover * 100.0,

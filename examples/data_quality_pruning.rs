@@ -48,7 +48,9 @@ fn main() {
 
     // Revenue-weighted: make a random 10% of items premium (5x revenue) and
     // re-optimize for expected revenue instead of sales count.
-    let revenues: Vec<f64> = (0..n).map(|i| if i % 10 == 0 { 5.0 } else { 1.0 }).collect();
+    let revenues: Vec<f64> = (0..n)
+        .map(|i| if i % 10 == 0 { 5.0 } else { 1.0 })
+        .collect();
     let rev = revenue::solve::<Independent>(g, &revenues, keep).expect("valid revenue weights");
     println!(
         "\nrevenue-weighted objective: {:.3}% of attainable revenue retained \
@@ -59,8 +61,8 @@ fn main() {
 
     // Pinned items: contracts force the first 20 item ids to stay.
     let pins: Vec<ItemId> = (0..20u32).map(ItemId::new).collect();
-    let constrained = pinned::solve_with_prefix::<Independent>(g, &pins, keep)
-        .expect("valid pinned prefix");
+    let constrained =
+        pinned::solve_with_prefix::<Independent>(g, &pins, keep).expect("valid pinned prefix");
     println!(
         "\nwith 20 contractual must-keep items pinned: {:.3}% of demand served \
          (unconstrained: {:.3}%)",

@@ -31,7 +31,10 @@ fn main() {
         "diagnostics: <=1-alt fraction {:.3}, NMI {:?} -> {:?}",
         diagnosis.single_alt_fraction, diagnosis.weighted_mean_nmi, diagnosis.recommendation
     );
-    let variant = diagnosis.recommendation.variant().unwrap_or(Variant::Independent);
+    let variant = diagnosis
+        .recommendation
+        .variant()
+        .unwrap_or(Variant::Independent);
 
     // 3. Data Adaptation Engine: clickstream -> preference graph.
     let adapted = adapt(
@@ -75,7 +78,10 @@ fn main() {
     for percent in [1, 2, 5] {
         let kp = g.node_count() * percent / 100;
         if let Some((_, cover)) = smart.prefix(kp) {
-            println!("  {percent:>2}% of catalog -> {:.2}% of requests", cover * 100.0);
+            println!(
+                "  {percent:>2}% of catalog -> {:.2}% of requests",
+                cover * 100.0
+            );
         }
     }
 

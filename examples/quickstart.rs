@@ -68,7 +68,11 @@ fn main() {
             "  {}  {:>5.1}%{}",
             g.label(v).unwrap_or("?"),
             smart.coverage_of(&g, v) * 100.0,
-            if smart.order.contains(&v) { "  (retained)" } else { "" }
+            if smart.order.contains(&v) {
+                "  (retained)"
+            } else {
+                ""
+            }
         );
     }
 

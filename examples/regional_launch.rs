@@ -40,7 +40,10 @@ fn main() {
         g.node_count()
     );
 
-    println!("{:>9} | {:>8} | {:>8} | {:>8}", "threshold", "Greedy", "TopK-C", "TopK-W");
+    println!(
+        "{:>9} | {:>8} | {:>8} | {:>8}",
+        "threshold", "Greedy", "TopK-C", "TopK-W"
+    );
     println!("{:->9}-+-{:->8}-+-{:->8}-+-{:->8}", "", "", "", "");
     for threshold in [0.5, 0.6, 0.7, 0.8, 0.9] {
         let gr = minimize::greedy_min_cover::<Normalized>(g, threshold).expect("reachable");

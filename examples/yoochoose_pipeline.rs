@@ -25,7 +25,10 @@ fn main() {
         let (catalog_cfg, session_cfg) = DatasetProfile::YC.configs(Scale::Fraction(0.02), 15);
         let (_, cs) = generate_clickstream(&catalog_cfg, &session_cfg);
         cs_io::write_yoochoose(&cs, &clicks, &buys).expect("write synthetic files");
-        println!("(no files given; synthesized YooChoose-format data in {})\n", dir.display());
+        println!(
+            "(no files given; synthesized YooChoose-format data in {})\n",
+            dir.display()
+        );
         (
             clicks.to_string_lossy().into_owned(),
             buys.to_string_lossy().into_owned(),
@@ -67,7 +70,10 @@ fn main() {
         g.edge_count()
     );
 
-    println!("{:>6} | {:>8} | {:>8} | {:>8}", "k/n", "Greedy", "TopK-C", "TopK-W");
+    println!(
+        "{:>6} | {:>8} | {:>8} | {:>8}",
+        "k/n", "Greedy", "TopK-C", "TopK-W"
+    );
     for tenth in [1, 3, 5, 7, 9] {
         let k = g.node_count() * tenth / 10;
         let gr = lazy::solve::<Independent>(g, k).expect("valid k");

@@ -2,6 +2,8 @@
 //! artifacts at every stage — generation, adaptation, solving, reports.
 //! Experiment reproducibility (EXPERIMENTS.md) rests on this.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use preference_cover::graph::io::json;
 use preference_cover::prelude::*;
 

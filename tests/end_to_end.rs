@@ -1,6 +1,8 @@
 //! Full-pipeline integration tests: generate → diagnose → adapt → solve →
 //! minimize, across profiles and variants.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use preference_cover::prelude::*;
 use preference_cover::solver::minimize;
 
@@ -62,9 +64,24 @@ fn greedy_beats_baselines_on_generated_data() {
     let tw = baselines::top_k_weight::<Independent>(g, k).unwrap();
     let tc = baselines::top_k_coverage::<Independent>(g, k).unwrap();
     let rnd = baselines::random_best_of::<Independent>(g, k, 6, 10).unwrap();
-    assert!(gr.cover > tw.cover, "greedy {} vs TopK-W {}", gr.cover, tw.cover);
-    assert!(gr.cover > tc.cover, "greedy {} vs TopK-C {}", gr.cover, tc.cover);
-    assert!(gr.cover > rnd.cover, "greedy {} vs Random {}", gr.cover, rnd.cover);
+    assert!(
+        gr.cover > tw.cover,
+        "greedy {} vs TopK-W {}",
+        gr.cover,
+        tw.cover
+    );
+    assert!(
+        gr.cover > tc.cover,
+        "greedy {} vs TopK-C {}",
+        gr.cover,
+        tc.cover
+    );
+    assert!(
+        gr.cover > rnd.cover,
+        "greedy {} vs Random {}",
+        gr.cover,
+        rnd.cover
+    );
     // Random, ignoring popularity entirely, does far worse (Figure 4c).
     assert!(rnd.cover < 0.8 * gr.cover);
 }

@@ -1,6 +1,8 @@
 //! Workspace integration tests for the beyond-paper extensions, exercised
 //! together on realistic generated data.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use preference_cover::graph::components::weakly_connected_components;
 use preference_cover::graph::delta::{apply, Change, GraphDelta};
 use preference_cover::prelude::*;

@@ -1,9 +1,11 @@
 //! Every concrete number the paper quotes, verified end to end through the
 //! public facade API.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use preference_cover::prelude::*;
-use preference_cover::solver::brute_force::{self, BruteForceOptions};
 use preference_cover::solver::bounds;
+use preference_cover::solver::brute_force::{self, BruteForceOptions};
 
 #[test]
 fn example_1_1_and_3_2_all_numbers() {
@@ -84,9 +86,15 @@ fn figure_3_graph_construction() {
 
     // "It is clear that the Normalized variant is a good fit, since no
     // session implies more than one alternative."
-    let d = diagnose(&sessions, &DiagnosticThresholds { min_sessions_per_item: 1, ..Default::default() });
+    let d = diagnose(
+        &sessions,
+        &DiagnosticThresholds {
+            min_sessions_per_item: 1,
+            ..Default::default()
+        },
+    );
     assert_eq!(d.recommendation, Recommendation::Normalized);
-    assert_eq!(d.single_alt_fraction, 1.0);
+    assert!((d.single_alt_fraction - 1.0).abs() < 1e-12);
 }
 
 #[test]

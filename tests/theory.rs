@@ -1,6 +1,8 @@
 //! Theory cross-checks at the workspace level: the reductions of Theorems
 //! 3.1 and 4.1 against the actual solvers, on realistic generated graphs.
 
+#![allow(clippy::unwrap_used)] // integration tests: panicking on setup failure is the right behavior
+
 use preference_cover::graph::reduction::{dsk_to_ipc, npc_to_vck, DsInstance};
 use preference_cover::prelude::*;
 use preference_cover::solver::brute_force::{self, BruteForceOptions};

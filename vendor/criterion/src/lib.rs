@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`iter`/`finish`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately simple
+//! measurement loop: a short warm-up, then `sample_size` timed iterations,
+//! reporting min/mean/max per iteration on stdout. No statistics, plots,
+//! or baselines; the point is that `cargo bench` compiles, runs, and prints
+//! usable numbers without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` (the real crate
+/// deprecates its own copy in favor of the std one).
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(id, sample_size, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op in the stand-in; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size + 1),
+        sample_size,
+    };
+    f(&mut bencher);
+    // Drop the warm-up sample if the routine ran at all.
+    let timed: &[Duration] = if bencher.samples.len() > 1 {
+        &bencher.samples[1..]
+    } else {
+        &bencher.samples
+    };
+    if timed.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    let total: Duration = timed.iter().sum();
+    let mean = total / timed.len() as u32;
+    let min = timed.iter().min().expect("nonempty");
+    let max = timed.iter().max().expect("nonempty");
+    println!(
+        "  {label}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+        timed.len()
+    );
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once as warm-up, then `sample_size` timed iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..=self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, in either the list or the
+/// `name/config/targets` form the real crate accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

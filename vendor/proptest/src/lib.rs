@@ -1,0 +1,532 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This vendored replacement keeps the property-test
+//! *surface* the workspace uses — the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, `Strategy` with `prop_map`/`prop_flat_map`,
+//! `Just`, ranges and tuples as strategies, `any::<T>()`,
+//! `collection::vec`, `\PC{lo,hi}` string patterns, and the
+//! `prop_assert*`/`prop_assume!` macros — while simplifying the machinery:
+//!
+//! * cases are generated from a deterministic per-test seed (FNV-1a of the
+//!   test name), so every run explores the same inputs and CI is stable;
+//! * failing cases are **not shrunk** — the panic message reports the case
+//!   number so the failure is reproducible by construction;
+//! * no regression-file persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{RngCore, RngExt, SampleRange, SeedableRng};
+
+/// The RNG driving case generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Seeds the per-test RNG from the test's name (FNV-1a 64-bit).
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from every generated value and draws from
+    /// it: dependent generation.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; gives up (panics) after 1000
+    /// consecutive rejections, like real proptest's filter exhaustion.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 rejections: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// `&str` patterns as string strategies. Supports exactly the shape the
+/// workspace uses — `\PC{lo,hi}`: a string of `lo..=hi` printable
+/// (non-control) characters, drawn from a pool mixing ASCII with multi-byte
+/// code points to stress UTF-8 handling. Other regexes are rejected loudly.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', ',', ';', ':', '"', '\\', '\'', '{', '}',
+            '[', ']', '(', ')', '.', '-', '_', '/', '#', '!', '?', '=', '+', '*', '&', 'é', 'ß',
+            '中', '😀', '\u{2028}',
+        ];
+        let (lo, hi) = self
+            .strip_prefix("\\PC{")
+            .and_then(|rest| rest.strip_suffix('}'))
+            .and_then(|body| body.split_once(','))
+            .and_then(|(lo, hi)| Some((lo.parse::<usize>().ok()?, hi.parse::<usize>().ok()?)))
+            .unwrap_or_else(|| {
+                panic!(
+                    "vendored proptest only supports \\PC{{lo,hi}} string patterns, got {self:?}"
+                )
+            });
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| POOL[rng.random_range(0..POOL.len())])
+            .collect()
+    }
+}
+
+/// Types with a default "anything" strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats of wildly varying magnitude and sign (mirroring real
+    /// proptest's default, which also excludes NaN and infinities).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        loop {
+            let candidate = f64::from_bits(rng.next_u64());
+            if candidate.is_finite() {
+                return candidate;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T`: unconstrained values.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length.
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The common imports: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Why a single generated case did not pass: either its precondition failed
+/// (`Reject`, the case is skipped) or an assertion failed (`Fail`, the test
+/// panics). Helper functions called from [`proptest!`] bodies can return
+/// `Result<(), TestCaseError>` and use `?` to propagate either outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's precondition did not hold; skip it without failing.
+    Reject(String),
+    /// The case violated the property under test.
+    Fail(String),
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(why) => write!(f, "case rejected: {why}"),
+            TestCaseError::Fail(why) => write!(f, "case failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Asserts a condition inside a property; accepts `format!`-style context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Skips the current case when its precondition does not hold. Expands to
+/// an early `return Err(TestCaseError::Reject(..))`, so it works both
+/// directly inside a [`proptest!`] body (which runs in a closure returning
+/// `Result<(), TestCaseError>`) and in helper functions with that return
+/// type.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng_for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $pat = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    // Each case runs in a closure returning
+                    // Result<(), TestCaseError> so bodies can use `?` on
+                    // helpers and prop_assume! can early-return a Reject
+                    // (which skips the case). Cases are deterministic, so a
+                    // failing case is reconstructible from the test name.
+                    let _ = __case;
+                    // The immediately-invoked closure is the point: it gives
+                    // `$body` a `?`-compatible scope without a helper fn.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__why)) => {
+                            panic!("property failed: {}", __why)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::rng_for_test;
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut a = rng_for_test("x");
+        let mut b = rng_for_test("x");
+        let sa: Vec<u64> = (0..5)
+            .map(|_| Strategy::generate(&(0u64..100), &mut a))
+            .collect();
+        let sb: Vec<u64> = (0..5)
+            .map(|_| Strategy::generate(&(0u64..100), &mut b))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, (a, b) in (0usize..4, 0.5f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((0.5..1.0).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn flat_map_vec_sizes(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn helper_with_question_mark(n in 0u32..10) {
+            fn helper(n: u32) -> Result<(), crate::TestCaseError> {
+                prop_assume!(n > 0);
+                prop_assert!(n < 10);
+                Ok(())
+            }
+            helper(n)?;
+        }
+
+        #[test]
+        fn string_pattern(s in "\\PC{0,20}") {
+            prop_assert!(s.chars().count() <= 20);
+            prop_assert!(s.chars().all(|c| c != '\u{0}'));
+        }
+
+        #[test]
+        fn mapped_just(v in Just(7u8).prop_map(|x| x + 1)) {
+            prop_assert_eq!(v, 8);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the real `rayon` cannot
+//! be fetched. This vendored replacement exposes the surface the workspace
+//! uses — `prelude::*` parallel iterators over slices and a
+//! `ThreadPoolBuilder`/`ThreadPool::install` pair — and executes everything
+//! **sequentially** on the calling thread.
+//!
+//! Sequential execution is semantically safe here by design: the workspace's
+//! parallel solver is required to be *bit-identical* to its sequential
+//! counterpart (see `pcover-core::parallel`), so an order-preserving
+//! sequential fallback produces exactly the same results, only without the
+//! wall-clock speedup. Work-statistics instrumentation is unaffected because
+//! it is keyed by chunk slot, not by OS thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// The rayon prelude: import to get `par_iter` and the iterator adapters.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+/// An order-preserving "parallel" iterator, backed by a sequential one.
+#[derive(Clone, Debug)]
+pub struct ParIter<I> {
+    inner: I,
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+/// Conversion into a [`ParIter`] over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+/// Parallel chunking of slices.
+pub trait ParallelSlice<T> {
+    /// Iterates over contiguous chunks of at most `size` elements.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(size),
+        }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.as_slice().iter(),
+        }
+    }
+}
+
+/// The adapter surface of rayon's `ParallelIterator`, mapped onto the
+/// underlying sequential iterator. Order is always preserved.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item;
+    /// The underlying sequential iterator.
+    type Inner: Iterator<Item = Self::Item>;
+
+    /// Unwraps to the sequential iterator.
+    fn into_seq(self) -> Self::Inner;
+
+    /// Maps each item.
+    fn map<F, R>(self, f: F) -> ParIter<std::iter::Map<Self::Inner, F>>
+    where
+        F: FnMut(Self::Item) -> R,
+    {
+        ParIter {
+            inner: self.into_seq().map(f),
+        }
+    }
+
+    /// Keeps items matching the predicate.
+    fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<Self::Inner, F>>
+    where
+        F: FnMut(&Self::Item) -> bool,
+    {
+        ParIter {
+            inner: self.into_seq().filter(f),
+        }
+    }
+
+    /// Collects into any `FromIterator` collection (rayon's
+    /// `FromParallelIterator` equivalent).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.into_seq().sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+
+    /// Applies `f` to every item.
+    fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+        self.into_seq().for_each(f)
+    }
+
+    /// Folds with `identity` per "thread" then reduces; sequential here, so
+    /// it is a plain fold.
+    fn reduce<ID, F>(self, identity: ID, op: F) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        F: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    /// Minimum by comparator (first minimum, as rayon guarantees for
+    /// `min_by` on an ordered iterator).
+    fn min_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.into_seq().min_by(f)
+    }
+
+    /// Maximum by comparator.
+    fn max_by<F>(self, f: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering,
+    {
+        self.into_seq().max_by(f)
+    }
+}
+
+impl<I: Iterator> ParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type Inner = I;
+    fn into_seq(self) -> I {
+        self.inner
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The sequential stand-in can
+/// never fail to build, so this is uninhabited in practice.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a default builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested worker count (advisory only: execution is
+    /// sequential).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the sequential stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A "thread pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Number of workers the pool was configured with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` "inside" the pool: sequentially, on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v = vec![3usize, 1, 4, 1, 5];
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let out = pool.install(|| (0..10usize).into_par_iter().sum::<usize>());
+        assert_eq!(out, 45);
+    }
+
+    #[test]
+    fn filter_and_reduce() {
+        let v = vec![1u64, 2, 3, 4, 5, 6];
+        let evens: Vec<u64> = v.par_iter().filter(|&&x| x % 2 == 0).map(|&x| x).collect();
+        assert_eq!(evens, vec![2, 4, 6]);
+        let total = v.into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 21);
+    }
+}

@@ -1,0 +1,423 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. This vendored replacement keeps serde's *user-facing* shape —
+//! `#[derive(Serialize, Deserialize)]`, `serde::{Serialize, Deserialize}`
+//! bounds, `#[serde(transparent)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "...")]` — but swaps the streaming
+//! serializer architecture for a simple tree model: every value serializes
+//! to a [`Content`] tree, and deserializes from one. The companion vendored
+//! `serde_json` turns `Content` trees into JSON text and back.
+//!
+//! The JSON data shapes produced are the same as real serde's defaults
+//! (structs as maps in field order, unit enum variants as strings, struct
+//! variants externally tagged, `Duration` as `{"secs", "nanos"}`), so files
+//! written by a real-serde build parse under this one and vice versa.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization tree: the data model every value maps to.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (preferred for unsigned sources).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human description of the tree node, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves to a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the tree into a value.
+    fn from_content(c: Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(b),
+            other => Err(DeError::expected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: Content) -> Result<Self, DeError> {
+                let wide: i64 = match c {
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError(format!("integer {v} out of range")))?,
+                    Content::I64(v) => v,
+                    other => return Err(DeError::expected("integer", &other)),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(DeError::expected("number", &other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError::expected("string", &other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the parsed string to obtain a `'static` lifetime. Real serde
+    /// borrows from the input instead; the workspace only round-trips small
+    /// tables of static labels, so the leak is bounded and acceptable for
+    /// the offline stand-in.
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+            other => Err(DeError::expected("string", &other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(DeError::expected("single-character string", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.into_iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let expect = [$($n),+].len();
+                        if items.len() != expect {
+                            return Err(DeError(format!(
+                                "expected a sequence of {expect} elements, found {}",
+                                items.len()
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($($t::from_content(
+                            it.next().unwrap_or(Content::Null)
+                        )?,)+))
+                    }
+                    other => Err(DeError::expected("tuple sequence", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V>
+where
+    K: fmt::Display,
+{
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_owned(), Content::U64(self.as_secs())),
+            (
+                "nanos".to_owned(),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_content(c: Content) -> Result<Self, DeError> {
+        let mut m = match c {
+            Content::Map(m) => m,
+            other => return Err(DeError::expected("{secs, nanos} map", &other)),
+        };
+        let secs: u64 = take_field(&mut m, "secs")?;
+        let nanos: u32 = take_field(&mut m, "nanos")?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+/// Removes `key` from a decoded map and deserializes it. Used by derived
+/// `Deserialize` impls; a missing key is an error.
+pub fn take_field<T: Deserialize>(m: &mut Vec<(String, Content)>, key: &str) -> Result<T, DeError> {
+    match m.iter().position(|(k, _)| k == key) {
+        Some(i) => T::from_content(m.remove(i).1),
+        None => Err(DeError(format!("missing field `{key}`"))),
+    }
+}
+
+/// Like [`take_field`], but a missing key yields `T::default()` — the
+/// implementation of `#[serde(default)]`.
+pub fn take_field_or_default<T: Deserialize + Default>(
+    m: &mut Vec<(String, Content)>,
+    key: &str,
+) -> Result<T, DeError> {
+    match m.iter().position(|(k, _)| k == key) {
+        Some(i) => T::from_content(m.remove(i).1),
+        None => Ok(T::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(17u32.to_content()), Ok(17));
+        assert_eq!(i64::from_content((-3i64).to_content()), Ok(-3));
+        assert_eq!(f64::from_content(0.5f64.to_content()), Ok(0.5));
+        assert_eq!(bool::from_content(true.to_content()), Ok(true));
+        assert_eq!(
+            String::from_content("hé".to_owned().to_content()),
+            Ok("hé".to_owned())
+        );
+    }
+
+    #[test]
+    fn options_use_null() {
+        assert_eq!(Option::<u64>::from_content(Content::Null), Ok(None));
+        assert_eq!(None::<u64>.to_content(), Content::Null);
+        assert_eq!(Some(4u64).to_content(), Content::U64(4));
+    }
+
+    #[test]
+    fn integer_range_errors() {
+        assert!(u8::from_content(Content::U64(300)).is_err());
+        assert!(u32::from_content(Content::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn tuples_and_vecs() {
+        let v = vec![(1u32, 2u32, 0.5f64)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u32, u32, f64)>::from_content(c), Ok(v));
+    }
+
+    #[test]
+    fn duration_shape_matches_real_serde() {
+        let d = std::time::Duration::new(3, 250);
+        let c = d.to_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("secs".to_owned(), Content::U64(3)),
+                ("nanos".to_owned(), Content::U64(250)),
+            ])
+        );
+        assert_eq!(std::time::Duration::from_content(c), Ok(d));
+    }
+}

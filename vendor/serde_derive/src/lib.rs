@@ -1,0 +1,555 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored serde's `Serialize`/`Deserialize` (a tree-model
+//! pair of traits, see `vendor/serde`) for the item shapes this workspace
+//! actually uses:
+//!
+//! * structs with named fields (maps in declaration order),
+//! * newtype / `#[serde(transparent)]` tuple structs (delegate to inner),
+//! * tuple structs of arity ≥ 2 (sequences),
+//! * enums with unit variants (strings) and struct variants (externally
+//!   tagged maps), matching real serde's default representation.
+//!
+//! Field attributes understood: `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Container attribute:
+//! `#[serde(transparent)]`. Anything else — generics, tuple enum variants,
+//! unknown serde attributes — produces a `compile_error!` naming the gap,
+//! so unsupported shapes fail loudly at compile time rather than silently
+//! misbehaving at run time.
+//!
+//! `syn`/`quote` are unavailable offline, so parsing walks the raw
+//! `proc_macro::TokenStream`; code generation builds a source string and
+//! re-parses it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct; `usize` is the arity. Arity 1 (and `transparent`)
+    /// delegates to the inner value, larger arities map to sequences.
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match parse_item(&tokens) {
+        Ok((name, shape)) => {
+            let code = match which {
+                Trait::Serialize => gen_serialize(&name, &shape),
+                Trait::Deserialize => gen_deserialize(&name, &shape),
+            };
+            match code.parse() {
+                Ok(ts) => ts,
+                Err(e) => compile_error(&format!(
+                    "serde_derive (vendored): generated code failed to parse: {e}"
+                )),
+            }
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Consumes leading attributes starting at `*i`, recording serde flags.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize, attrs: &mut FieldAttrs) -> Result<(), String> {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_attr_body(g.stream(), attrs)?;
+                *i += 2;
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Parses the inside of one `#[...]`; non-serde attributes are ignored.
+fn parse_attr_body(body: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(g)))
+            if name.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            parse_serde_args(g.stream(), attrs)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Parses `default`, `transparent`, `skip_serializing_if = "path"` lists.
+/// `transparent` is recorded by reusing the `default` slot on a container
+/// sentinel — see `parse_item`, which passes a dedicated accumulator.
+fn parse_serde_args(args: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unsupported serde attribute token `{other}`")),
+        };
+        i += 1;
+        let mut value: Option<String> = None;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                match toks.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let raw = lit.to_string();
+                        value = Some(raw.trim_matches('"').to_owned());
+                        i += 1;
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected string literal after `{key} =`, found {other:?}"
+                        ))
+                    }
+                }
+            }
+        }
+        match (key.as_str(), value) {
+            ("default", None) => attrs.default = true,
+            ("transparent", None) => attrs.default = true,
+            ("skip_serializing_if", Some(path)) => attrs.skip_serializing_if = Some(path),
+            (other, _) => {
+                return Err(format!(
+                    "vendored serde_derive does not support `#[serde({other}...)]`"
+                ))
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Result<(String, Shape), String> {
+    let mut i = 0;
+    let mut container = FieldAttrs::default();
+    skip_attrs(tokens, &mut i, &mut container)?;
+    let transparent = container.default;
+    skip_visibility(tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::Named(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                let arity = if transparent { 1 } else { arity };
+                Ok((name, Shape::Tuple(arity)))
+            }
+            _ => Err(format!(
+                "vendored serde_derive does not support unit struct `{name}`"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, capturing serde attributes.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&toks, &mut i, &mut attrs)?;
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let fname = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{fname}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&toks, &mut i);
+        fields.push(Field { name: fname, attrs });
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts tuple-struct fields (top-level commas + 1).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        // Each skip_type advances to a top-level comma or the end.
+        let mut attrs = FieldAttrs::default();
+        let _ = skip_attrs(&toks, &mut i, &mut attrs);
+        let mut j = i;
+        skip_visibility(&toks, &mut j);
+        i = j;
+        skip_type(&toks, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&toks, &mut i, &mut attrs)?;
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "vendored serde_derive does not support tuple enum variant `{vname}`"
+                ));
+            }
+            _ => None,
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn push_field_ser(out: &mut String, field: &Field, access: &str) {
+    let n = &field.name;
+    if let Some(skip) = &field.attrs.skip_serializing_if {
+        out.push_str(&format!(
+            "if !({skip})(&{access}{n}) {{ \
+             __m.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_content(&{access}{n}))); }}\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_content(&{access}{n})));\n"
+        ));
+    }
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut b = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                push_field_ser(&mut b, f, "self.");
+            }
+            b.push_str("::serde::Content::Map(__m)\n");
+            b
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)\n".to_owned(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])\n", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bind: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            // Bindings from the match arm are references.
+                            let n = &f.name;
+                            if let Some(skip) = &f.attrs.skip_serializing_if {
+                                inner.push_str(&format!(
+                                    "if !({skip})({n}) {{ \
+                                     __m.push((::std::string::String::from(\"{n}\"), \
+                                     ::serde::Serialize::to_content({n}))); }}\n"
+                                ));
+                            } else {
+                                inner.push_str(&format!(
+                                    "__m.push((::std::string::String::from(\"{n}\"), \
+                                     ::serde::Serialize::to_content({n})));\n"
+                                ));
+                            }
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Content::Map(__m))])\n}}\n",
+                            binds = bind.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let n = &f.name;
+                let take = if f.attrs.default {
+                    "take_field_or_default"
+                } else {
+                    "take_field"
+                };
+                inits.push_str(&format!("{n}: ::serde::{take}(&mut __m, \"{n}\")?,\n"));
+            }
+            format!(
+                "let mut __m = match __c {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"map for struct {name}\", &other)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))\n")
+        }
+        Shape::Tuple(arity) => {
+            let mut elems = String::new();
+            for _ in 0..*arity {
+                elems.push_str(
+                    "::serde::Deserialize::from_content(\
+                     __it.next().unwrap_or(::serde::Content::Null))?,\n",
+                );
+            }
+            format!(
+                "let __items = match __c {{\n\
+                 ::serde::Content::Seq(v) => v,\n\
+                 other => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"sequence for tuple struct {name}\", &other)),\n\
+                 }};\n\
+                 if __items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"expected {arity} elements for {name}, found {{}}\", __items.len())));\n\
+                 }}\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({elems}))\n"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let n = &f.name;
+                            let take = if f.attrs.default {
+                                "take_field_or_default"
+                            } else {
+                                "take_field"
+                            };
+                            inits.push_str(&format!("{n}: ::serde::{take}(&mut __m, \"{n}\")?,\n"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __m = match __inner {{\n\
+                             ::serde::Content::Map(m) => m,\n\
+                             other => return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\
+                             \"map for variant {vn} of {name}\", &other)),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(mut __outer) => {{\n\
+                 if __outer.len() != 1 {{\n\
+                 return ::std::result::Result::Err(::serde::DeError(\
+                 ::std::string::String::from(\
+                 \"expected single-key map for enum {name}\")));\n\
+                 }}\n\
+                 let (__tag, __inner) = __outer.remove(0);\n\
+                 let _ = &__inner;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", &other)),\n\
+                 }}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: ::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
