@@ -59,6 +59,31 @@ pub fn improves_argmax<V: Ord + Copy>(gain: f64, v: V, best: Option<(f64, V)>) -
     }
 }
 
+/// Compensated (Neumaier) summation over a fixed iteration order.
+///
+/// This is the audited accumulation helper the `par-argmax`/
+/// `par-float-accum` audit rules point parallel code at: gather partial
+/// results into a deterministically ordered collection (e.g. indexed by
+/// chunk slot), then reduce them here sequentially. The compensation term
+/// keeps the result faithful even when magnitudes differ wildly, and the
+/// single fixed order is what makes "same input, same output" hold across
+/// thread counts.
+#[must_use]
+pub fn sum_stable<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut compensation = 0.0f64;
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            compensation += (sum - t) + v;
+        } else {
+            compensation += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + compensation
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +116,22 @@ mod tests {
         // Exact tie: smaller id wins.
         assert!(improves_argmax(0.5, id(0), Some((0.5, id(1)))));
         assert!(!improves_argmax(0.5, id(2), Some((0.5, id(1)))));
+    }
+
+    #[test]
+    fn sum_stable_recovers_cancelled_terms() {
+        // Naive left-to-right summation loses the 1.0 entirely here;
+        // Neumaier compensation keeps it.
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(sum_stable(xs).to_bits(), 2.0f64.to_bits());
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(naive.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn sum_stable_matches_naive_on_benign_input() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.125).collect();
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(sum_stable(xs.iter().copied()).to_bits(), naive.to_bits());
     }
 }

@@ -34,6 +34,10 @@ use crate::report::{Algorithm, SolveReport};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
+/// Per-chunk scan result: the chunk's argmax candidate (if any item was
+/// evaluable), plus its operation and gain-evaluation counts.
+type ChunkResult = (Option<(f64, ItemId)>, u64, u64);
+
 /// Work accounting for one parallel solve.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkStats {
@@ -116,13 +120,14 @@ pub fn solve<M: CoverModel>(
         .collect();
 
     for _ in 0..k {
-        // Scan: each chunk yields (best gain, best id, ops, evals).
-        let chunk_results: Vec<(f64, Option<ItemId>, u64, u64)> = pool.install(|| {
+        // Scan: each chunk yields (best (gain, id), ops, evals). The
+        // in-chunk argmax goes through the audited tie-break so every
+        // solver variant selects identically.
+        let chunk_results: Vec<ChunkResult> = pool.install(|| {
             ranges
                 .par_iter()
                 .map(|&(lo, hi)| {
-                    let mut best_gain = f64::NEG_INFINITY;
-                    let mut best_node: Option<ItemId> = None;
+                    let mut best: Option<(f64, ItemId)> = None;
                     let mut ops = 0u64;
                     let mut evals = 0u64;
                     for raw in lo..hi {
@@ -133,24 +138,24 @@ pub fn solve<M: CoverModel>(
                         let gain = state.gain::<M>(g, v);
                         evals += 1;
                         ops += 1 + g.in_degree(v) as u64;
-                        if gain > best_gain {
-                            best_gain = gain;
-                            best_node = Some(v);
+                        if crate::float::improves_argmax(gain, v, best) {
+                            best = Some((gain, v));
                         }
                     }
-                    (best_gain, best_node, ops, evals)
+                    (best, ops, evals)
                 })
                 .collect()
         });
 
-        // Reduce: same tie-break as plain greedy (chunks are in ascending
-        // id order, so `>` keeps the smallest id among equal gains).
+        // Reduce: the same `(gain desc, id asc)` tie-break, which is
+        // commutative over the per-chunk winners — chunk order cannot
+        // change the selection.
         let mut best: Option<(f64, ItemId)> = None;
-        for (slot, (gain, node, ops, evals)) in chunk_results.into_iter().enumerate() {
+        for (slot, (chunk_best, ops, evals)) in chunk_results.into_iter().enumerate() {
             per_thread_ops[slot] += ops;
             gain_evaluations += evals;
-            if let Some(v) = node {
-                if best.is_none_or(|(bg, _)| gain > bg) {
+            if let Some((gain, v)) = chunk_best {
+                if crate::float::improves_argmax(gain, v, best) {
                     best = Some((gain, v));
                 }
             }

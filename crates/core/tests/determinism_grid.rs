@@ -1,0 +1,140 @@
+//! Determinism regression grid: the dynamic counterpart of the static
+//! `par-argmax`/`par-float-accum` audit rules.
+//!
+//! For a grid of seeds × cover model (IPC, NPC) × budget `k`, the parallel
+//! solver (across several thread counts) and the partitioned solver must
+//! return **bit-identical** output to sequential greedy: same retained set
+//! in the same selection order, the same cover to the last mantissa bit,
+//! and the same per-step trajectory. Any drift — a changed tie-break, a
+//! reordered float reduction — fails here even when it is far below any
+//! tolerance, because the paper's parallelization claim (Section 4.2) is
+//! *identical* output, not *approximately equal* output.
+
+use rand::{RngExt, SeedableRng};
+
+use pcover_core::{
+    greedy, parallel, partitioned, CoverModel, Independent, Normalized, SolveReport,
+};
+use pcover_graph::{DuplicateEdgePolicy, GraphBuilder, ItemId, PreferenceGraph};
+
+const SEEDS: [u64; 4] = [0, 1, 7, 42];
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// One connected-ish random graph: every node gets a few out-edges.
+fn random_graph(n: usize, seed: u64) -> PreferenceGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new()
+        .normalize_node_weights(true)
+        .duplicate_edge_policy(DuplicateEdgePolicy::Max);
+    let ids: Vec<ItemId> = (0..n)
+        .map(|_| b.add_node(rng.random_range(1.0..50.0)))
+        .collect();
+    for &v in &ids {
+        for _ in 0..3 {
+            let u = ids[rng.random_range(0..n)];
+            if u != v {
+                b.add_edge(v, u, rng.random_range(0.05..0.95))
+                    .expect("edge endpoints exist");
+            }
+        }
+    }
+    b.build().expect("valid graph")
+}
+
+/// A graph of disjoint clusters, so the partitioned solver actually has
+/// several components to merge.
+fn clustered_graph(clusters: usize, cluster_size: usize, seed: u64) -> PreferenceGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new()
+        .normalize_node_weights(true)
+        .duplicate_edge_policy(DuplicateEdgePolicy::Max);
+    let ids: Vec<ItemId> = (0..clusters * cluster_size)
+        .map(|_| b.add_node(rng.random_range(1.0..50.0)))
+        .collect();
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for i in 0..cluster_size {
+            for _ in 0..2 {
+                let j = rng.random_range(0..cluster_size);
+                if i != j {
+                    b.add_edge(ids[base + i], ids[base + j], rng.random_range(0.05..0.95))
+                        .expect("edge endpoints exist");
+                }
+            }
+        }
+    }
+    b.build().expect("valid graph")
+}
+
+/// Bit-identity assertion between two solve reports. `assert_eq!` on the
+/// raw bit patterns, so -0.0 vs 0.0 or a 1-ulp drift fails loudly with the
+/// offending context in the message.
+fn assert_bit_identical(seq: &SolveReport, other: &SolveReport, ctx: &str) {
+    assert_eq!(seq.order, other.order, "retained set drifted: {ctx}");
+    assert_eq!(
+        seq.cover.to_bits(),
+        other.cover.to_bits(),
+        "cover not bit-identical ({} vs {}): {ctx}",
+        seq.cover,
+        other.cover
+    );
+    let seq_traj: Vec<u64> = seq.trajectory.iter().map(|c| c.to_bits()).collect();
+    let other_traj: Vec<u64> = other.trajectory.iter().map(|c| c.to_bits()).collect();
+    assert_eq!(seq_traj, other_traj, "trajectory drifted: {ctx}");
+}
+
+fn run_grid<M: CoverModel>(model_name: &str, g: &PreferenceGraph, graph_name: &str) {
+    let n = g.node_count();
+    for k in [1, 2, n / 4, n / 2, n] {
+        let k = k.max(1);
+        let seq = greedy::solve::<M>(g, k).expect("sequential greedy");
+        for threads in THREADS {
+            let (par, _) = parallel::solve::<M>(g, k, threads).expect("parallel greedy");
+            assert_bit_identical(
+                &seq,
+                &par,
+                &format!("{graph_name} {model_name} k={k} threads={threads}"),
+            );
+        }
+        let part = partitioned::solve::<M>(g, k).expect("partitioned greedy");
+        assert_bit_identical(
+            &seq,
+            &part,
+            &format!("{graph_name} {model_name} k={k} partitioned"),
+        );
+    }
+}
+
+#[test]
+fn parallel_and_partitioned_match_greedy_on_random_graphs() {
+    for seed in SEEDS {
+        let g = random_graph(60, seed);
+        run_grid::<Independent>("IPC", &g, &format!("random(seed={seed})"));
+        run_grid::<Normalized>("NPC", &g, &format!("random(seed={seed})"));
+    }
+}
+
+#[test]
+fn parallel_and_partitioned_match_greedy_on_clustered_graphs() {
+    // Disjoint components exercise the partitioned solver's k-way merge:
+    // per-component greedy sequences must interleave back into exactly the
+    // global greedy order.
+    for seed in SEEDS {
+        let g = clustered_graph(6, 10, seed);
+        run_grid::<Independent>("IPC", &g, &format!("clustered(seed={seed})"));
+        run_grid::<Normalized>("NPC", &g, &format!("clustered(seed={seed})"));
+    }
+}
+
+#[test]
+fn thread_count_never_changes_output() {
+    // Same graph, same k, every thread count: one canonical answer.
+    let g = random_graph(45, 3);
+    for k in [5, 20] {
+        let (base, _) = parallel::solve::<Normalized>(&g, k, 1).expect("single thread");
+        for threads in [2, 4, 5, 16] {
+            let (par, _) = parallel::solve::<Normalized>(&g, k, threads).expect("parallel");
+            assert_bit_identical(&base, &par, &format!("k={k} threads={threads}"));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Public-API surface snapshots (`api-drift` rule).
+//!
+//! Every crate's plain-`pub` item surface is rendered to a normalized,
+//! sorted text listing and compared against the committed snapshot in
+//! `crates/xtask/api/<crate>.txt`. Drift fails the audit until the
+//! snapshot is regenerated with `cargo run -p xtask -- audit --bless` —
+//! so a solver API change is always a deliberate, reviewable diff, never a
+//! side effect.
+//!
+//! The listing format is one line per item:
+//! `<kind> <module-path> <normalized decl>` — e.g.
+//! `fn greedy::solve pub fn solve ( g : & Graph , k : usize ) -> Result < Solution , SolveError >`.
+//! Lines are sorted and deduplicated, so formatting or reordering of the
+//! source never shows up as drift; only the declared surface does.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::ast::FileAst;
+use crate::callgraph::{crate_key, file_modules};
+
+/// Per-file input: workspace-relative path plus its parsed item index.
+pub struct SnapshotInput<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// The file's parsed items.
+    pub ast: &'a FileAst,
+}
+
+/// Directory (relative to the workspace root) holding the snapshots.
+pub const SNAPSHOT_DIR: &str = "crates/xtask/api";
+
+/// Renders the current public surface: crate key → sorted listing (one
+/// trailing newline; empty surfaces render to an empty string).
+pub fn render(files: &[SnapshotInput<'_>]) -> BTreeMap<String, String> {
+    let mut per_crate: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in files {
+        let Some(ck) = crate_key(f.rel) else { continue };
+        let fmods = file_modules(f.rel);
+        let lines = per_crate.entry(ck).or_default();
+        for item in &f.ast.pub_items {
+            let path = if fmods.is_empty() {
+                item.path.clone()
+            } else if item.path.is_empty() {
+                fmods.join("::")
+            } else {
+                format!("{}::{}", fmods.join("::"), item.path)
+            };
+            lines.push(format!("{} {} {}", item.kind, path, item.decl));
+        }
+    }
+    per_crate
+        .into_iter()
+        .map(|(ck, mut lines)| {
+            lines.sort_unstable();
+            lines.dedup();
+            let mut body = lines.join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            (ck, body)
+        })
+        .collect()
+}
+
+/// One detected divergence between the rendered surface and a snapshot.
+#[derive(Clone, Debug)]
+pub struct Drift {
+    /// Crate key the drift belongs to.
+    pub crate_key: String,
+    /// Snapshot path relative to the workspace root.
+    pub snapshot: String,
+    /// Human-readable summary of the divergence.
+    pub detail: String,
+}
+
+/// Compares the rendered surface against the committed snapshots.
+///
+/// Reports: a missing snapshot file, a snapshot for a crate that no longer
+/// exists, and per-line additions/removals (capped, so a wholesale rewrite
+/// stays readable).
+pub fn check(root: &Path, rendered: &BTreeMap<String, String>) -> Vec<Drift> {
+    let mut out = Vec::new();
+    for (ck, body) in rendered {
+        let snap_rel = format!("{SNAPSHOT_DIR}/{ck}.txt");
+        let snap_path = root.join(&snap_rel);
+        let committed = match fs::read_to_string(&snap_path) {
+            Ok(s) => s,
+            Err(_) => {
+                out.push(Drift {
+                    crate_key: ck.clone(),
+                    snapshot: snap_rel,
+                    detail: format!(
+                        "no committed API snapshot for crate `{ck}` — run `cargo run -p xtask -- audit --bless`"
+                    ),
+                });
+                continue;
+            }
+        };
+        if committed == *body {
+            continue;
+        }
+        out.push(Drift {
+            crate_key: ck.clone(),
+            snapshot: snap_rel,
+            detail: diff_summary(&committed, body),
+        });
+    }
+    // Snapshots whose crate vanished are stale state in-repo.
+    if let Ok(entries) = fs::read_dir(root.join(SNAPSHOT_DIR)) {
+        let mut names: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        names.sort();
+        for p in names {
+            let Some(stem) = p.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if p.extension().and_then(|e| e.to_str()) == Some("txt") && !rendered.contains_key(stem)
+            {
+                out.push(Drift {
+                    crate_key: stem.to_string(),
+                    snapshot: format!("{SNAPSHOT_DIR}/{stem}.txt"),
+                    detail: format!(
+                        "snapshot exists for crate `{stem}` but the crate has no public surface — delete it or re-bless"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Writes the rendered surface over the committed snapshots. Returns the
+/// workspace-relative paths written.
+pub fn bless(root: &Path, rendered: &BTreeMap<String, String>) -> io::Result<Vec<String>> {
+    let dir = root.join(SNAPSHOT_DIR);
+    fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    for (ck, body) in rendered {
+        let rel = format!("{SNAPSHOT_DIR}/{ck}.txt");
+        fs::write(root.join(&rel), body)?;
+        written.push(rel);
+    }
+    Ok(written)
+}
+
+/// Line-set diff summary: `+added / -removed` with up to three examples of
+/// each, enough to identify the drifting item without dumping the file.
+fn diff_summary(committed: &str, current: &str) -> String {
+    let old: Vec<&str> = committed.lines().collect();
+    let new: Vec<&str> = current.lines().collect();
+    let added: Vec<&str> = new.iter().filter(|l| !old.contains(l)).copied().collect();
+    let removed: Vec<&str> = old.iter().filter(|l| !new.contains(l)).copied().collect();
+    let mut parts = Vec::new();
+    if !added.is_empty() {
+        parts.push(format!("+{} (e.g. {})", added.len(), examples(&added)));
+    }
+    if !removed.is_empty() {
+        parts.push(format!("-{} (e.g. {})", removed.len(), examples(&removed)));
+    }
+    if parts.is_empty() {
+        // Same line set, different order/whitespace — still a mismatch the
+        // bless step will normalize away.
+        parts.push("snapshot not in normalized form — re-bless".to_string());
+    }
+    format!(
+        "public surface drifted: {} — review, then `cargo run -p xtask -- audit --bless`",
+        parts.join(", ")
+    )
+}
+
+fn examples(lines: &[&str]) -> String {
+    lines
+        .iter()
+        .take(3)
+        .map(|l| format!("`{}`", truncate(l, 80)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn truncate(s: &str, max: usize) -> &str {
+    match s.char_indices().nth(max) {
+        Some((i, _)) => &s[..i],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::lex;
+
+    fn render_one(rel: &str, src: &str) -> BTreeMap<String, String> {
+        let lexed = lex(src);
+        let parsed = ast::parse(&lexed.tokens);
+        render(&[SnapshotInput { rel, ast: &parsed }])
+    }
+
+    #[test]
+    fn render_is_sorted_and_module_qualified() {
+        let out = render_one(
+            "crates/core/src/greedy.rs",
+            "pub fn zeta() {}\npub fn alpha(x: u32) -> u32 { x }\n",
+        );
+        let body = out.get("core").expect("core surface");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("fn greedy::alpha "));
+        assert!(lines[1].starts_with("fn greedy::zeta "));
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn non_crate_files_and_private_items_excluded() {
+        let out = render_one(
+            "crates/core/tests/api.rs",
+            "pub fn visible_in_tests_only() {}\n",
+        );
+        assert!(out.is_empty());
+        let out = render_one("crates/core/src/lib.rs", "pub(crate) fn hidden() {}\n");
+        assert_eq!(out.get("core").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn check_reports_missing_and_drift_and_clean() {
+        let dir = std::env::temp_dir().join(format!("xtask-api-snap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        let rendered = render_one("crates/core/src/lib.rs", "pub fn solve() {}\n");
+        // Missing snapshot file.
+        let drifts = check(&dir, &rendered);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("no committed API snapshot"));
+        // Bless, then clean.
+        let written = bless(&dir, &rendered).expect("bless");
+        assert_eq!(written, ["crates/xtask/api/core.txt"]);
+        assert!(check(&dir, &rendered).is_empty());
+        // Drift: surface gains an item.
+        let grown = render_one(
+            "crates/core/src/lib.rs",
+            "pub fn solve() {}\npub fn extra() {}\n",
+        );
+        let drifts = check(&dir, &grown);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].detail.contains("+1"), "{}", drifts[0].detail);
+        // Stale snapshot for a vanished crate.
+        std::fs::write(dir.join(SNAPSHOT_DIR).join("ghost.txt"), "fn x\n").expect("write");
+        let drifts = check(&dir, &rendered);
+        assert!(drifts.iter().any(|d| d.crate_key == "ghost"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

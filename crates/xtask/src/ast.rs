@@ -1,0 +1,614 @@
+//! A lightweight item parser on top of [`crate::lexer`].
+//!
+//! The audit rules need *items* — which functions exist, what is `pub`,
+//! which impl block a method lives in, where a body starts and ends — not a
+//! full expression tree. This module recovers exactly that from the token
+//! stream: a scope-stack parse that records function items (with body token
+//! ranges for the call-graph scan) and the public surface (for the API
+//! snapshot). The environment vendors no `syn`, so the parser is
+//! self-contained; it is deliberately conservative, and the audit rules
+//! that consume it are written to tolerate its over-approximations.
+//!
+//! What it understands: `mod` nesting (inline only), `impl` blocks (self
+//! type, including `impl Trait for Type`), `trait` blocks, `fn` items with
+//! modifiers (`pub`, `const`, `async`, `unsafe`, `extern "C"`), and the
+//! item kinds that constitute a crate's public surface (`struct`, `enum`,
+//! `union`, `trait`, `const`, `static`, `type`, `use`, `mod`, `fn`).
+//! What it deliberately ignores: struct field lists, trait-impl method
+//! signatures (not independently `pub`), macro definitions' bodies, and
+//! const-generic braces in signatures (absent from this workspace).
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::test_region_mask;
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` self type the function is a method of, if any.
+    pub qual: Option<String>,
+    /// Inline `mod` path from the file root down to the item.
+    pub module_path: Vec<String>,
+    /// True when declared with a plain `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// True when every enclosing inline `mod` is itself plain `pub`.
+    pub mods_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `[start, end)` of the signature (from `fn` to the body
+    /// brace or the trailing `;`, exclusive).
+    pub sig: (usize, usize),
+    /// Token range `[open, close]` of the body braces, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// True when the item sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+impl FnInfo {
+    /// The 1-based line span covered by the body (empty range when there is
+    /// no body).
+    pub fn body_lines(&self, tokens: &[Tok]) -> (u32, u32) {
+        match self.body {
+            Some((open, close)) => {
+                let lo = tokens.get(open).map_or(self.line, |t| t.line);
+                let hi = tokens.get(close).map_or(self.line, |t| t.line);
+                (lo, hi)
+            }
+            None => (self.line, self.line),
+        }
+    }
+}
+
+/// One public item for the API snapshot.
+#[derive(Clone, Debug)]
+pub struct PubItem {
+    /// Item kind keyword (`fn`, `struct`, `use`, ...).
+    pub kind: &'static str,
+    /// Module-qualified path within the file (inline `mod`s and the impl
+    /// self type for methods), `::`-joined; empty at the file root.
+    pub path: String,
+    /// Normalized declaration head: signature tokens joined by single
+    /// spaces (no bodies, no struct fields).
+    pub decl: String,
+    /// 1-based line of the declaring keyword.
+    pub line: u32,
+}
+
+/// The parsed shape of one file.
+#[derive(Debug, Default)]
+pub struct FileAst {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnInfo>,
+    /// Every `pub` item visible from outside the crate, in source order.
+    pub pub_items: Vec<PubItem>,
+}
+
+#[derive(Clone, Debug)]
+enum Scope {
+    Mod { name: String, is_pub: bool },
+    Impl { self_ty: String },
+    Trait { name: String },
+    Block,
+}
+
+/// Fn modifiers that may sit between `pub` and `fn`.
+const FN_MODIFIERS: [&str; 4] = ["const", "async", "unsafe", "extern"];
+
+/// Parses one file's token stream into its item index.
+pub fn parse(tokens: &[Tok]) -> FileAst {
+    let in_test = test_region_mask(tokens);
+    let mut out = FileAst::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Open && t.text == "{" {
+            scopes.push(Scope::Block);
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Close && t.text == "}" {
+            scopes.pop();
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" if next_is_ident(tokens, i) => {
+                let name = tokens[i + 1].text.clone();
+                let is_pub = plain_pub_before(tokens, i);
+                match tokens.get(i + 2).map(|t| t.text.as_str()) {
+                    Some("{") => {
+                        record_pub(
+                            &mut out,
+                            tokens,
+                            &scopes,
+                            &in_test,
+                            i,
+                            "mod",
+                            &name,
+                            i,
+                            i + 2,
+                        );
+                        scopes.push(Scope::Mod { name, is_pub });
+                        i += 3;
+                    }
+                    _ => {
+                        // `mod name;` — out-of-line module, declaration only.
+                        record_pub(
+                            &mut out,
+                            tokens,
+                            &scopes,
+                            &in_test,
+                            i,
+                            "mod",
+                            &name,
+                            i,
+                            i + 2,
+                        );
+                        i += 2;
+                    }
+                }
+            }
+            "impl" => {
+                let (self_ty, open) = impl_self_type(tokens, i);
+                match open {
+                    Some(open) => {
+                        scopes.push(Scope::Impl { self_ty });
+                        i = open + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            "trait" if next_is_ident(tokens, i) => {
+                let name = tokens[i + 1].text.clone();
+                // Scan to the trait body `{` (or `;` for `trait X = ..;`).
+                let mut j = i + 2;
+                let mut depth = 0i64;
+                while j < tokens.len() {
+                    match tokens[j].kind {
+                        TokKind::Open if tokens[j].text == "{" && depth == 0 => break,
+                        TokKind::Open => depth += 1,
+                        TokKind::Close => depth -= 1,
+                        TokKind::Op if tokens[j].text == ";" && depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                record_pub(&mut out, tokens, &scopes, &in_test, i, "trait", &name, i, j);
+                if tokens.get(j).is_some_and(|t| t.text == "{") {
+                    scopes.push(Scope::Trait { name });
+                    i = j + 1;
+                } else {
+                    i = j.saturating_add(1);
+                }
+            }
+            "fn" if next_is_ident(tokens, i) => {
+                let name = tokens[i + 1].text.clone();
+                let (body, end) = fn_body_range(tokens, i);
+                let sig_end = body.map_or(end, |(open, _)| open);
+                let qual = scopes.iter().rev().find_map(|s| match s {
+                    Scope::Impl { self_ty } => Some(self_ty.clone()),
+                    Scope::Trait { name } => Some(name.clone()),
+                    _ => None,
+                });
+                let module_path: Vec<String> = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod { name, .. } => Some(name.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let is_pub = plain_pub_before(tokens, i);
+                let info = FnInfo {
+                    name: name.clone(),
+                    qual,
+                    module_path,
+                    is_pub,
+                    mods_pub: mods_all_pub(&scopes),
+                    line: t.line,
+                    sig: (i, sig_end),
+                    body,
+                    in_test: in_test.get(i).copied().unwrap_or(false),
+                };
+                record_pub(
+                    &mut out, tokens, &scopes, &in_test, i, "fn", &name, i, sig_end,
+                );
+                out.fns.push(info);
+                match body {
+                    Some((open, _)) => {
+                        // Walk into the body so nested items are found.
+                        scopes.push(Scope::Block);
+                        i = open + 1;
+                    }
+                    None => i = end.saturating_add(1),
+                }
+            }
+            "struct" | "enum" | "union" if next_is_ident(tokens, i) => {
+                let kind: &'static str = match t.text.as_str() {
+                    "struct" => "struct",
+                    "enum" => "enum",
+                    _ => "union",
+                };
+                let name = tokens[i + 1].text.clone();
+                // Head ends at the first `{` or `;` outside nesting; the
+                // field/variant body is skipped wholesale (fields are not
+                // items, and the snapshot records declarations only).
+                let mut j = i + 2;
+                let mut depth = 0i64;
+                while j < tokens.len() {
+                    match tokens[j].kind {
+                        TokKind::Open if tokens[j].text == "{" && depth == 0 => break,
+                        TokKind::Open => depth += 1,
+                        TokKind::Close => depth -= 1,
+                        TokKind::Op if tokens[j].text == ";" && depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                record_pub(&mut out, tokens, &scopes, &in_test, i, kind, &name, i, j);
+                if tokens.get(j).is_some_and(|t| t.text == "{") {
+                    i = skip_balanced(tokens, j);
+                } else {
+                    i = j.saturating_add(1);
+                }
+            }
+            "const" | "static" | "type"
+                if next_is_ident(tokens, i) && tokens[i + 1].text != "fn" =>
+            {
+                let kind: &'static str = match t.text.as_str() {
+                    "const" => "const",
+                    "static" => "static",
+                    _ => "type",
+                };
+                let name = tokens[i + 1].text.clone();
+                let j = scan_to_semi(tokens, i + 2);
+                record_pub(&mut out, tokens, &scopes, &in_test, i, kind, &name, i, j);
+                i = j.saturating_add(1);
+            }
+            "use" => {
+                let j = scan_to_semi(tokens, i + 1);
+                if plain_pub_before(tokens, i) {
+                    record_pub(&mut out, tokens, &scopes, &in_test, i, "use", "", i, j);
+                }
+                i = j.saturating_add(1);
+            }
+            "macro_rules" => {
+                // `macro_rules! name { .. }` — skip the whole definition so
+                // its token soup never reads as items.
+                let mut j = i + 1;
+                while j < tokens.len() && tokens[j].text != "{" {
+                    j += 1;
+                }
+                i = skip_balanced(tokens, j);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn next_is_ident(tokens: &[Tok], i: usize) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+}
+
+fn mods_all_pub(scopes: &[Scope]) -> bool {
+    scopes.iter().all(|s| match s {
+        Scope::Mod { is_pub, .. } => *is_pub,
+        _ => true,
+    })
+}
+
+/// True when the item keyword at `i` is preceded by a plain `pub`
+/// (skipping fn modifiers and an `extern "C"` ABI string, but rejecting
+/// restricted `pub(crate)` / `pub(super)` / `pub(in ..)`).
+fn plain_pub_before(tokens: &[Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        let p = &tokens[j - 1];
+        let is_modifier = p.kind == TokKind::Ident && FN_MODIFIERS.contains(&p.text.as_str());
+        let is_abi = p.kind == TokKind::Lit; // the "C" in `extern "C"`
+        if is_modifier || is_abi {
+            j -= 1;
+            continue;
+        }
+        if p.kind == TokKind::Ident && p.text == "pub" {
+            return true;
+        }
+        // `pub ( crate )` — the `)` sits right before the keyword chain.
+        if p.kind == TokKind::Close && p.text == ")" {
+            return false; // restricted visibility is never plain pub
+        }
+        return false;
+    }
+    false
+}
+
+/// From the `fn` keyword at `i`, finds the body brace range (or the
+/// terminating `;` for body-less trait declarations). Returns
+/// `(body_range, end_index)` where `end_index` is the `;` when there is no
+/// body.
+fn fn_body_range(tokens: &[Tok], i: usize) -> (Option<(usize, usize)>, usize) {
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Open if tokens[j].text == "{" && depth == 0 => {
+                let close = match_close(tokens, j);
+                return (Some((j, close)), close);
+            }
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Op if tokens[j].text == ";" && depth == 0 => return (None, j),
+            _ => {}
+        }
+        j += 1;
+    }
+    (None, tokens.len().saturating_sub(1))
+}
+
+/// Index of the bracket that closes the opener at `open` (any of `(`/`[`/
+/// `{`); the last token when unbalanced.
+fn match_close(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index just past the balanced group opening at `open`.
+fn skip_balanced(tokens: &[Tok], open: usize) -> usize {
+    if open >= tokens.len() {
+        return tokens.len();
+    }
+    match_close(tokens, open) + 1
+}
+
+fn scan_to_semi(tokens: &[Tok], from: usize) -> usize {
+    let mut j = from;
+    let mut depth = 0i64;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Open => depth += 1,
+            TokKind::Close => depth -= 1,
+            TokKind::Op if tokens[j].text == ";" && depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Extracts the self type of an `impl` block starting at `i` and the index
+/// of its opening `{`. Handles `impl<G> Type`, `impl Trait for Type`, and
+/// references/paths; generic argument lists are skipped so `impl Foo<Bar>`
+/// names `Foo`, not `Bar`.
+fn impl_self_type(tokens: &[Tok], i: usize) -> (String, Option<usize>) {
+    let mut j = i + 1;
+    let mut last_ident: Option<String> = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match t.text.as_str() {
+            "<" => {
+                // Skip a balanced angle section (`->` is its own token, so
+                // it cannot close this).
+                let mut angle = 1i64;
+                j += 1;
+                while j < tokens.len() && angle > 0 {
+                    match tokens[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                continue;
+            }
+            "for" => {
+                last_ident = None;
+                j += 1;
+                continue;
+            }
+            "where" | "{" => break,
+            _ => {
+                if t.kind == TokKind::Ident && t.text != "dyn" && t.text != "mut" {
+                    last_ident = Some(t.text.clone());
+                }
+                j += 1;
+            }
+        }
+    }
+    // Find the `{` (j is at it, or at `where` — scan on).
+    while j < tokens.len() && tokens[j].text != "{" {
+        j += 1;
+    }
+    let open = (j < tokens.len()).then_some(j);
+    (last_ident.unwrap_or_default(), open)
+}
+
+/// Records a pub item when the declaring keyword is plain-`pub`, every
+/// enclosing inline mod is pub, and the item is not test-only code.
+#[allow(clippy::too_many_arguments)] // internal helper: one call shape, tightly scoped
+fn record_pub(
+    out: &mut FileAst,
+    tokens: &[Tok],
+    scopes: &[Scope],
+    in_test: &[bool],
+    kw: usize,
+    kind: &'static str,
+    name: &str,
+    decl_from: usize,
+    decl_to: usize,
+) {
+    if !plain_pub_before(tokens, kw) || !mods_all_pub(scopes) {
+        return;
+    }
+    if in_test.get(kw).copied().unwrap_or(false) {
+        return;
+    }
+    let mut path: Vec<String> = scopes
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Mod { name, .. } => Some(name.clone()),
+            Scope::Impl { self_ty } => Some(self_ty.clone()),
+            Scope::Trait { name } => Some(name.clone()),
+            Scope::Block => None,
+        })
+        .collect();
+    if !name.is_empty() {
+        path.push(name.to_string());
+    }
+    let decl = tokens[decl_from..decl_to.min(tokens.len())]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    out.pub_items.push(PubItem {
+        kind,
+        path: path.join("::"),
+        decl,
+        line: tokens.get(kw).map_or(1, |t| t.line),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileAst {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_fns_with_bodies_and_visibility() {
+        let ast = parse_src(
+            "pub fn a() { b(); }\nfn b() {}\npub(crate) fn c() {}\npub const fn d() -> u32 { 4 }",
+        );
+        let names: Vec<(&str, bool)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub))
+            .collect();
+        assert_eq!(
+            names,
+            [("a", true), ("b", false), ("c", false), ("d", true)]
+        );
+        assert!(ast.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn impl_methods_get_their_self_type() {
+        let ast = parse_src(
+            "struct S;\nimpl S { pub fn m(&self) {} }\n\
+             impl<T: Clone> Wrapper<T> { fn n() {} }\n\
+             impl Display for S { fn fmt(&self) {} }",
+        );
+        let quals: Vec<(String, Option<String>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.qual.clone()))
+            .collect();
+        assert_eq!(quals[0], ("m".into(), Some("S".into())));
+        assert_eq!(quals[1], ("n".into(), Some("Wrapper".into())));
+        assert_eq!(quals[2], ("fmt".into(), Some("S".into())));
+    }
+
+    #[test]
+    fn module_nesting_and_test_regions() {
+        let ast = parse_src(
+            "pub mod outer { mod inner { pub fn hidden() {} } pub fn shown() {} }\n\
+             #[cfg(test)] mod tests { pub fn t() {} }",
+        );
+        let shown = ast.fns.iter().find(|f| f.name == "shown").expect("shown");
+        assert_eq!(shown.module_path, ["outer"]);
+        assert!(shown.mods_pub);
+        let hidden = ast.fns.iter().find(|f| f.name == "hidden").expect("hidden");
+        assert!(!hidden.mods_pub);
+        let t = ast.fns.iter().find(|f| f.name == "t").expect("t");
+        assert!(t.in_test);
+        // Pub surface: shown only (hidden is in a private mod, t is test).
+        let paths: Vec<&str> = ast.pub_items.iter().map(|p| p.path.as_str()).collect();
+        assert!(paths.contains(&"outer::shown"));
+        assert!(!paths.iter().any(|p| p.contains("hidden")));
+        assert!(!paths.iter().any(|p| p.contains("::t")));
+    }
+
+    #[test]
+    fn pub_surface_covers_item_kinds() {
+        let ast = parse_src(
+            "pub struct S { x: u32 }\npub enum E { A }\npub trait T { fn m(&self); }\n\
+             pub const C: u32 = 1;\npub static ST: u32 = 2;\npub type Alias = u32;\n\
+             pub use inner::{a, b};\npub mod m {}\nstruct Private;",
+        );
+        let kinds: Vec<&str> = ast.pub_items.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            ["struct", "enum", "trait", "const", "static", "type", "use", "mod"]
+        );
+        assert!(!ast.pub_items.iter().any(|p| p.path.contains("Private")));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let ast = parse_src("pub type F = fn(u32) -> u32;\npub fn real(f: fn() -> u32) {}");
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "real");
+    }
+
+    #[test]
+    fn trait_decl_without_body_recorded() {
+        let ast = parse_src("trait T { fn decl(&self); fn with_default(&self) {} }");
+        let decl = ast.fns.iter().find(|f| f.name == "decl").expect("decl");
+        assert!(decl.body.is_none());
+        assert_eq!(decl.qual.as_deref(), Some("T"));
+        let with = ast
+            .fns
+            .iter()
+            .find(|f| f.name == "with_default")
+            .expect("with_default");
+        assert!(with.body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_found() {
+        let ast = parse_src("fn outer() { fn inner() {} inner(); }");
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+    }
+
+    #[test]
+    fn signatures_are_normalized_token_joins() {
+        let ast = parse_src("pub fn solve<M: Model>(g: &Graph, k: usize) -> Result<R, E> { x }");
+        let item = &ast.pub_items[0];
+        assert_eq!(
+            item.decl,
+            "fn solve < M : Model > ( g : & Graph , k : usize ) -> Result < R , E >"
+        );
+    }
+
+    #[test]
+    fn body_line_spans() {
+        let src = "fn a() {\n  x();\n  y();\n}\n";
+        let ast = parse_src(src);
+        let toks = lex(src).tokens;
+        assert_eq!(ast.fns[0].body_lines(&toks), (1, 4));
+    }
+}

@@ -1,0 +1,537 @@
+//! Intra-workspace call graph and panic reachability.
+//!
+//! Built on the item index from [`crate::ast`]: one node per `fn` item in
+//! crate `src/` trees, edges from call expressions in function bodies. Name
+//! resolution is deliberately conservative (a call may resolve to several
+//! same-named candidates; unresolvable names are treated as external), so
+//! the reachability analysis over-approximates — which is the correct
+//! direction for a "a public solver entry point can never panic" gate.
+//! False positives are waivable (`panic-path`); false negatives would be
+//! silent, so ambiguity always resolves toward *more* edges.
+//!
+//! Panic **sources** are the unwaived panic-family lint findings
+//! (`no-unwrap`/`no-expect`/`no-panic`/`no-index`) mapped to their
+//! enclosing function. A waived site is a reviewed decision and does not
+//! poison its callers; `assert!` is likewise excluded — the workspace
+//! treats asserts as documented contracts (`# Panics` sections), not
+//! reachable aborts.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ast::FileAst;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::KEYWORDS;
+
+/// Per-file input to the graph build.
+pub struct FileInput<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel: &'a str,
+    /// The file's code tokens.
+    pub tokens: &'a [Tok],
+    /// The file's parsed item index.
+    pub ast: &'a FileAst,
+    /// Unwaived panic-family findings: `(line, rule)` pairs.
+    pub panic_sites: Vec<(u32, &'static str)>,
+}
+
+/// A panic site attributed to a function.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Workspace-relative file of the construct.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The lint rule that identified it (`no-unwrap`, ...).
+    pub rule: &'static str,
+}
+
+/// One function node.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Crate key: the directory name under `crates/`, or `root` for the
+    /// top-level `src/` tree.
+    pub crate_key: String,
+    /// Function name.
+    pub name: String,
+    /// Impl/trait self type for methods.
+    pub qual: Option<String>,
+    /// File-level module path (from the path under `src/`) plus inline mods.
+    pub module: Vec<String>,
+    /// Part of the crate's public surface (plain `pub`, pub mods, not test).
+    pub is_pub_surface: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Unwaived panic sites inside this function's body.
+    pub sites: Vec<Site>,
+    /// Resolved callee node indices.
+    pub calls: Vec<usize>,
+}
+
+impl FnNode {
+    /// Display name: `Type::name` for methods, `module::name` otherwise.
+    pub fn display(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None if self.module.is_empty() => self.name.clone(),
+            None => format!("{}::{}", self.module.join("::"), self.name),
+        }
+    }
+}
+
+/// A shortest call path from a public function to a panic site.
+#[derive(Clone, Debug)]
+pub struct PanicPath {
+    /// File of the offending public function.
+    pub file: String,
+    /// Line of its `fn` keyword.
+    pub line: u32,
+    /// Display names along the path, entry first, panicking fn last.
+    pub chain: Vec<String>,
+    /// The panic site the path ends in.
+    pub site: Site,
+}
+
+/// The built call graph with panic-distance annotations.
+pub struct CallGraph {
+    /// All function nodes, in deterministic (file, source) order.
+    pub nodes: Vec<FnNode>,
+    dist: Vec<Option<u32>>,
+    next_hop: Vec<Option<usize>>,
+}
+
+/// Derives the crate key for a workspace-relative path, when the file is
+/// part of a crate's library source tree.
+pub fn crate_key(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let mut parts = rest.split('/');
+        let name = parts.next()?;
+        if parts.next() == Some("src") {
+            return Some(name.to_string());
+        }
+        return None;
+    }
+    if rel.starts_with("src/") {
+        return Some("root".to_string());
+    }
+    None
+}
+
+/// The file-level module path of a crate source file: path segments under
+/// `src/`, with `lib.rs`/`main.rs`/`mod.rs` contributing nothing.
+pub fn file_modules(rel: &str) -> Vec<String> {
+    let under_src = rel.split_once("src/").map(|(_, tail)| tail).unwrap_or(rel);
+    let mut mods: Vec<String> = under_src.split('/').map(str::to_string).collect();
+    if let Some(last) = mods.pop() {
+        let stem = last.strip_suffix(".rs").unwrap_or(&last);
+        if stem != "lib" && stem != "main" && stem != "mod" {
+            mods.push(stem.to_string());
+        }
+    }
+    mods
+}
+
+/// Builds the graph: nodes from every `fn` item in crate `src/` files,
+/// edges from call/method-call expressions, panic sites attributed to their
+/// innermost enclosing function.
+pub fn build(files: &[FileInput<'_>]) -> CallGraph {
+    let mut nodes: Vec<FnNode> = Vec::new();
+    // (file index, fn index within file) -> node, for body scans.
+    let mut spans: Vec<(usize, usize, usize)> = Vec::new(); // (file_idx, ast fn idx, node idx)
+
+    for (fi, f) in files.iter().enumerate() {
+        let Some(ck) = crate_key(f.rel) else { continue };
+        let fmods = file_modules(f.rel);
+        for (ai, func) in f.ast.fns.iter().enumerate() {
+            if func.in_test {
+                continue;
+            }
+            let mut module = fmods.clone();
+            module.extend(func.module_path.iter().cloned());
+            let node = FnNode {
+                file: f.rel.to_string(),
+                crate_key: ck.clone(),
+                name: func.name.clone(),
+                qual: func.qual.clone(),
+                module,
+                is_pub_surface: func.is_pub && func.mods_pub,
+                line: func.line,
+                sites: Vec::new(),
+                calls: Vec::new(),
+            };
+            spans.push((fi, ai, nodes.len()));
+            nodes.push(node);
+        }
+    }
+
+    // Attribute panic sites to the innermost fn whose body lines contain
+    // them (innermost = smallest line span).
+    for &(fi, ai, ni) in &spans {
+        let f = &files[fi];
+        let func = &f.ast.fns[ai];
+        let (lo, hi) = func.body_lines(f.tokens);
+        for &(line, rule) in &f.panic_sites {
+            if line < lo || line > hi {
+                continue;
+            }
+            let innermost = spans
+                .iter()
+                .filter(|&&(ofi, oai, _)| {
+                    ofi == fi && {
+                        let (olo, ohi) = f.ast.fns[oai].body_lines(f.tokens);
+                        line >= olo && line <= ohi
+                    }
+                })
+                .min_by_key(|&&(_, oai, _)| {
+                    let (olo, ohi) = f.ast.fns[oai].body_lines(f.tokens);
+                    ohi - olo
+                })
+                .map(|&(_, _, oni)| oni);
+            if innermost == Some(ni) {
+                nodes[ni].sites.push(Site {
+                    file: f.rel.to_string(),
+                    line,
+                    rule,
+                });
+            }
+        }
+    }
+
+    // Name indices for resolution.
+    let mut by_crate_name: HashMap<(String, String), Vec<usize>> = HashMap::new();
+    let mut methods_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        by_crate_name
+            .entry((n.crate_key.clone(), n.name.clone()))
+            .or_default()
+            .push(ni);
+        if n.qual.is_some() {
+            methods_by_name.entry(n.name.clone()).or_default().push(ni);
+        }
+    }
+
+    // Edge extraction.
+    for &(fi, ai, ni) in &spans {
+        let f = &files[fi];
+        let Some((open, close)) = f.ast.fns[ai].body else {
+            continue;
+        };
+        let own_crate = nodes[ni].crate_key.clone();
+        let mut targets: Vec<usize> = Vec::new();
+        for c in calls_in(&f.tokens[open..=close.min(f.tokens.len().saturating_sub(1))]) {
+            resolve(
+                &c,
+                &own_crate,
+                &nodes,
+                &by_crate_name,
+                &methods_by_name,
+                &mut targets,
+            );
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|&t| t != ni); // self-recursion adds nothing
+        nodes[ni].calls = targets;
+    }
+
+    // Reverse BFS from all panic-carrying fns: shortest distance toward a
+    // panic, plus the next hop for path reconstruction.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (u, n) in nodes.iter().enumerate() {
+        for &v in &n.calls {
+            rev[v].push(u);
+        }
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; nodes.len()];
+    let mut next_hop: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if !n.sites.is_empty() {
+            dist[i] = Some(0);
+            queue.push_back(i);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[cur].unwrap_or(0);
+        for &caller in &rev[cur] {
+            if dist[caller].is_none() {
+                dist[caller] = Some(d + 1);
+                next_hop[caller] = Some(cur);
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    CallGraph {
+        nodes,
+        dist,
+        next_hop,
+    }
+}
+
+#[derive(Debug)]
+struct Call {
+    name: String,
+    quals: Vec<String>,
+    is_method: bool,
+}
+
+/// Scans a body token slice for call expressions: `name(..)`,
+/// `path::name(..)`, `name::<T>(..)`, and `.method(..)`. Macro invocations
+/// (`name!(..)`) are skipped — the panic-bearing macros are already direct
+/// sites via the lint pass.
+fn calls_in(tokens: &[Tok]) -> Vec<Call> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|n| n.text.as_str());
+        let is_call = match next {
+            Some("(") => true,
+            Some("::") if tokens.get(i + 2).is_some_and(|n| n.text == "<") => {
+                // Turbofish: `name::<T>(` — find the matching `>`.
+                let mut angle = 1i64;
+                let mut j = i + 3;
+                while j < tokens.len() && angle > 0 {
+                    match tokens[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                tokens.get(j).is_some_and(|n| n.text == "(")
+            }
+            _ => false,
+        };
+        if !is_call {
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].text == ".";
+        let mut quals = Vec::new();
+        if !is_method {
+            let mut j = i;
+            while j >= 2 && tokens[j - 1].text == "::" && tokens[j - 2].kind == TokKind::Ident {
+                quals.push(tokens[j - 2].text.clone());
+                j -= 2;
+            }
+            quals.reverse();
+        }
+        out.push(Call {
+            name: t.text.clone(),
+            quals,
+            is_method,
+        });
+    }
+    out
+}
+
+/// Maps a `pcover_x` path segment to its crate key.
+fn crate_of_segment(seg: &str) -> Option<String> {
+    seg.strip_prefix("pcover_").map(str::to_string)
+}
+
+fn resolve(
+    call: &Call,
+    own_crate: &str,
+    nodes: &[FnNode],
+    by_crate_name: &HashMap<(String, String), Vec<usize>>,
+    methods_by_name: &HashMap<String, Vec<usize>>,
+    targets: &mut Vec<usize>,
+) {
+    if call.is_method {
+        // Methods resolve across the whole workspace: the receiver's type
+        // is unknown, and only workspace methods matter for reachability.
+        if let Some(cands) = methods_by_name.get(&call.name) {
+            targets.extend(cands.iter().copied());
+        }
+        return;
+    }
+    // Free/path call: determine the target crate from an explicit
+    // `pcover_x::` prefix; `crate::`/`self::`/`super::` and bare calls stay
+    // in the caller's crate.
+    let target_crate = call
+        .quals
+        .iter()
+        .find_map(|q| crate_of_segment(q))
+        .unwrap_or_else(|| own_crate.to_string());
+    let Some(cands) = by_crate_name.get(&(target_crate, call.name.clone())) else {
+        return; // external (std, vendored deps) — cannot panic-source here
+    };
+    // Prefer candidates matching the innermost qualifier (a module name or
+    // an impl type, e.g. `lazy::solve` or `ItemId::from_index`); fall back
+    // to all same-named candidates when nothing matches — ambiguity must
+    // over-approximate, never drop edges.
+    let hint =
+        call.quals.iter().rev().find(|q| {
+            !matches!(q.as_str(), "crate" | "self" | "super") && !q.starts_with("pcover_")
+        });
+    if let Some(hint) = hint {
+        let filtered: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                nodes[i].qual.as_deref() == Some(hint.as_str())
+                    || nodes[i].module.iter().any(|m| m == hint)
+            })
+            .collect();
+        if !filtered.is_empty() {
+            targets.extend(filtered);
+            return;
+        }
+    }
+    targets.extend(cands.iter().copied());
+}
+
+impl CallGraph {
+    /// Every public-surface function of `crate_key` that can transitively
+    /// reach an unwaived panic site, with its shortest call path.
+    pub fn panic_reachable_pubs(&self, crate_key: &str) -> Vec<PanicPath> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.is_pub_surface || n.crate_key != crate_key {
+                continue;
+            }
+            let Some(_) = self.dist[i] else { continue };
+            let mut chain = vec![n.display()];
+            let mut cur = i;
+            while let Some(nx) = self.next_hop[cur] {
+                chain.push(self.nodes[nx].display());
+                cur = nx;
+            }
+            let site = match self.nodes[cur].sites.first() {
+                Some(s) => s.clone(),
+                None => continue, // defensive: dist implies a site exists
+            };
+            out.push(PanicPath {
+                file: n.file.clone(),
+                line: n.line,
+                chain,
+                site,
+            });
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::lex;
+
+    type TestFile<'a> = (&'a str, &'a str, Vec<(u32, &'static str)>);
+
+    fn graph_of(files: &[TestFile<'_>]) -> CallGraph {
+        let lexed: Vec<_> = files.iter().map(|(_, src, _)| lex(src)).collect();
+        let asts: Vec<_> = lexed.iter().map(|l| ast::parse(&l.tokens)).collect();
+        let inputs: Vec<FileInput<'_>> = files
+            .iter()
+            .zip(lexed.iter())
+            .zip(asts.iter())
+            .map(|(((rel, _, sites), l), a)| FileInput {
+                rel,
+                tokens: &l.tokens,
+                ast: a,
+                panic_sites: sites.clone(),
+            })
+            .collect();
+        build(&inputs)
+    }
+
+    #[test]
+    fn three_deep_indirect_panic_reports_full_chain() {
+        let src = "pub fn entry() { helper_a(); }\n\
+                   fn helper_a() { helper_b(); }\n\
+                   fn helper_b(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![(3, "no-unwrap")])]);
+        let paths = g.panic_reachable_pubs("core");
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].chain, ["entry", "helper_a", "helper_b"]);
+        assert_eq!(paths[0].site.line, 3);
+        assert_eq!(paths[0].site.rule, "no-unwrap");
+    }
+
+    #[test]
+    fn waived_sites_do_not_poison_callers() {
+        // Same shape, but no unwaived site reported by the lint pass.
+        let src = "pub fn entry() { helper_a(); }\n\
+                   fn helper_a(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![])]);
+        assert!(g.panic_reachable_pubs("core").is_empty());
+    }
+
+    #[test]
+    fn private_fns_are_not_reported_even_when_reachable() {
+        let src = "fn private_entry() { boom(); }\nfn boom() { panic!(\"x\") }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![(2, "no-panic")])]);
+        assert!(g.panic_reachable_pubs("core").is_empty());
+    }
+
+    #[test]
+    fn cross_crate_qualified_calls_resolve() {
+        let core = "pub fn entry() { pcover_graph::validate::check(); }\n";
+        let graph = "pub fn check(xs: &[u32]) -> u32 { xs[0] }\n";
+        let g = graph_of(&[
+            ("crates/core/src/lib.rs", core, vec![]),
+            ("crates/graph/src/validate.rs", graph, vec![(1, "no-index")]),
+        ]);
+        let paths = g.panic_reachable_pubs("core");
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].chain, ["entry", "validate::check"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_to_workspace_methods() {
+        let src = "pub struct S;\n\
+                   impl S { fn danger(&self) { panic!(\"x\") } }\n\
+                   pub fn entry(s: &S) { s.danger(); }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![(2, "no-panic")])]);
+        let paths = g.panic_reachable_pubs("core");
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].chain, ["entry", "S::danger"]);
+    }
+
+    #[test]
+    fn shortest_path_wins() {
+        // entry can reach the panic via a 1-hop and a 2-hop route; the
+        // report must use the 1-hop one.
+        let src = "pub fn entry() { direct(); indirect(); }\n\
+                   fn indirect() { direct(); }\n\
+                   fn direct() { panic!(\"x\") }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![(3, "no-panic")])]);
+        let paths = g.panic_reachable_pubs("core");
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].chain, ["entry", "direct"]);
+    }
+
+    #[test]
+    fn test_fns_and_macro_invocations_ignored() {
+        let src = "pub fn entry() { println!(\"fine\"); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { boom(); }\n}\n\
+                   fn boom() { panic!(\"x\") }\n";
+        let g = graph_of(&[("crates/core/src/lib.rs", src, vec![(6, "no-panic")])]);
+        assert!(g.panic_reachable_pubs("core").is_empty());
+    }
+
+    #[test]
+    fn crate_key_and_file_modules() {
+        assert_eq!(
+            crate_key("crates/core/src/greedy.rs").as_deref(),
+            Some("core")
+        );
+        assert_eq!(crate_key("src/lib.rs").as_deref(), Some("root"));
+        assert_eq!(crate_key("crates/core/tests/x.rs"), None);
+        assert_eq!(crate_key("examples/foo.rs"), None);
+        assert_eq!(file_modules("crates/core/src/lib.rs"), Vec::<String>::new());
+        assert_eq!(file_modules("crates/core/src/greedy.rs"), ["greedy"]);
+        assert_eq!(
+            file_modules("crates/core/src/extensions/markov.rs"),
+            ["extensions", "markov"]
+        );
+        assert_eq!(file_modules("crates/graph/src/io/mod.rs"), ["io"]);
+    }
+}

@@ -164,13 +164,24 @@ impl Lexer<'_> {
         });
     }
 
+    /// Skips one escape sequence (`\x`). An escaped newline — the `\` line
+    /// continuation inside string literals — still advances the line
+    /// counter; missing that shifted every subsequent token's line and
+    /// mis-aimed line-based waivers.
+    fn skip_escape(&mut self) {
+        if self.peek(1) == Some(b'\n') {
+            self.line += 1;
+        }
+        self.i += 2;
+    }
+
     /// Ordinary (non-raw) string literal, with escape handling.
     fn string_lit(&mut self) {
         let line = self.line;
         self.i += 1;
         while self.i < self.b.len() {
             match self.b[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => self.skip_escape(),
                 b'\n' => {
                     self.line += 1;
                     self.i += 1;
@@ -208,7 +219,7 @@ impl Lexer<'_> {
         self.i += 1;
         while self.i < self.b.len() {
             match self.b[self.i] {
-                b'\\' => self.i += 2,
+                b'\\' => self.skip_escape(),
                 b'\'' => {
                     self.i += 1;
                     break;
@@ -255,7 +266,7 @@ impl Lexer<'_> {
                             self.line += 1;
                             self.i += 1;
                         }
-                        b'\\' if !raw => self.i += 2,
+                        b'\\' if !raw => self.skip_escape(),
                         b'"' => {
                             let mut k = 0usize;
                             while k < hashes && self.b.get(self.i + 1 + k) == Some(&b'#') {
@@ -436,5 +447,63 @@ mod tests {
         let lx = lex("a\nb\n\nc");
         let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_honest() {
+        // A literal newline inside a string, then a `\` line continuation:
+        // the token after the strings must land on the right line, or every
+        // line-based waiver below a long message string aims wrong.
+        let lx = lex("let a = \"one\ntwo\";\nlet b = \"cont \\\n inued\";\nafter");
+        let after = lx
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("token after strings");
+        assert_eq!(after.line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lx = lex("/* outer /* inner */ still outer */ code");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("still outer"));
+        assert_eq!(lx.tokens.len(), 1);
+        assert_eq!(lx.tokens[0].text, "code");
+        // And line counting survives newlines inside the nesting.
+        let lx = lex("/* a\n/* b\n*/\n*/\nx");
+        assert_eq!(lx.tokens[0].line, 5);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let lx = lex(r#"let s = b"== not ops"; let c = b'x'; tail"#);
+        assert!(!lx.tokens.iter().any(|t| t.text == "=="));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("tail"));
+        // Raw byte string with hashes and embedded quotes.
+        let lx = lex(r###"let s = br#"has " and == inside"#; tail"###);
+        assert!(!lx.tokens.iter().any(|t| t.text == "=="));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("tail"));
+    }
+
+    #[test]
+    fn raw_string_newlines_count_toward_lines() {
+        let lx = lex("let s = r#\"a\nb\nc\"#;\nnext");
+        let next = lx
+            .tokens
+            .iter()
+            .find(|t| t.text == "next")
+            .expect("token after raw string");
+        assert_eq!(next.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let lx = lex("let r#type = 1; r#match");
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.text == "type" && t.kind == TokKind::Ident));
+        assert_eq!(lx.tokens.last().map(|t| t.text.as_str()), Some("match"));
     }
 }

@@ -34,6 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api_snapshot;
+pub mod ast;
+pub mod audit_rules;
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;

@@ -1,43 +1,56 @@
-//! The `xtask` binary: workspace automation. Currently one subcommand,
-//! `lint`, the custom static-analysis pass.
+//! The `xtask` binary: workspace automation. Two subcommands — `lint`,
+//! the lexical static-analysis pass, and `audit`, the semantic pass
+//! (panic reachability, parallel-determinism rules, waiver hygiene, and
+//! public-API snapshots).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::{report, rules, walk};
+use xtask::{audit_rules, report, rules, walk};
 
 const USAGE: &str = "\
 xtask — workspace automation for preference-cover
 
-USAGE: cargo run -p xtask -- lint [--json] [--report <path>] [--root <dir>]
+USAGE: cargo run -p xtask -- <lint|audit> [--json] [--report <path>] [--root <dir>]
 
 SUBCOMMANDS:
-    lint    Run the custom static-analysis pass over every workspace .rs
-            file. Exit code 0 when clean, 1 when violations are found,
-            2 on usage or I/O errors.
+    lint     Lexical static-analysis pass over every workspace .rs file.
+             Exit code 0 when clean, 1 when violations are found, 2 on
+             usage or I/O errors.
+    audit    Semantic pass: panic reachability from public pcover_core
+             functions, determinism rules inside rayon regions, waiver
+             hygiene, and public-API snapshot drift. Same exit codes.
 
-OPTIONS (lint):
+OPTIONS (both):
     --json           Print the machine-readable JSON report to stdout
                      instead of human-readable diagnostics.
     --report <path>  Additionally write the JSON report to <path>
                      (for CI artifact upload).
-    --root <dir>     Lint the tree rooted at <dir> instead of the
-                     workspace root (used by the lint's own tests).
+    --root <dir>     Analyze the tree rooted at <dir> instead of the
+                     workspace root (used by the passes' own tests).
 
-RULES: float-eq, no-unwrap, no-expect, no-panic, no-index, crate-header,
-ambient-entropy (plus waiver-form for malformed waivers).
+OPTIONS (audit):
+    --bless          Regenerate the public-API snapshots under
+                     crates/xtask/api/ instead of diffing against them.
+
+RULES (lint): float-eq, no-unwrap, no-expect, no-panic, no-index,
+crate-header, ambient-entropy (plus waiver-form for malformed waivers).
+RULES (audit): panic-path, par-argmax, par-float-accum, par-shared-state,
+stale-waiver, shadowed-waiver, api-drift.
 Waive a finding with `// lint: allow(<rule>) — <reason>` on the offending
 line (or the line above), or `// lint: allow-file(<rule>) — <reason>` for a
-whole file. The reason is mandatory.
+whole file. The reason is mandatory. The hygiene and drift rules are not
+waivable.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("audit") => audit(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -54,8 +67,8 @@ fn main() -> ExitCode {
     }
 }
 
-/// Default lint root: the workspace root, two levels above this crate's
-/// manifest, so `cargo run -p xtask -- lint` works from any directory.
+/// Default analysis root: the workspace root, two levels above this
+/// crate's manifest, so `cargo run -p xtask -- lint` works from anywhere.
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -63,88 +76,109 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("."))
 }
 
-fn lint(args: &[String]) -> ExitCode {
-    let mut json = false;
-    let mut report_path: Option<PathBuf> = None;
-    let mut root = workspace_root();
+/// Options shared by both subcommands.
+struct CommonOpts {
+    json: bool,
+    report_path: Option<PathBuf>,
+    root: PathBuf,
+    bless: bool,
+}
+
+/// Parses the shared flag set; `allow_bless` gates the audit-only flag.
+fn parse_opts(args: &[String], allow_bless: bool) -> Result<CommonOpts, ExitCode> {
+    let mut opts = CommonOpts {
+        json: false,
+        report_path: None,
+        root: workspace_root(),
+        bless: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => opts.json = true,
+            "--bless" if allow_bless => opts.bless = true,
             "--report" => match it.next() {
-                Some(p) => report_path = Some(PathBuf::from(p)),
+                Some(p) => opts.report_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("error: --report needs a path argument");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
             "--root" => match it.next() {
-                Some(p) => root = PathBuf::from(p),
+                Some(p) => opts.root = PathBuf::from(p),
                 None => {
                     eprintln!("error: --root needs a directory argument");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
             "--help" | "-h" => {
                 print!("{USAGE}");
-                return ExitCode::SUCCESS;
+                return Err(ExitCode::SUCCESS);
             }
             other => {
                 eprintln!("error: unknown option `{other}`\n");
                 eprint!("{USAGE}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
+    Ok(opts)
+}
 
-    let files = match walk::rust_files(&root) {
+/// Reads every workspace `.rs` file under `root` as `(relative, source)`.
+fn load_files(root: &Path) -> Result<Vec<(String, String)>, ExitCode> {
+    let files = match walk::rust_files(root) {
         Ok(files) => files,
         Err(e) => {
             eprintln!("error: cannot walk {}: {e}", root.display());
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-
-    let mut violations: Vec<rules::Violation> = Vec::new();
-    let mut waivers_used = 0usize;
+    let mut out = Vec::with_capacity(files.len());
     for file in &files {
-        let src = match std::fs::read_to_string(file) {
-            Ok(src) => src,
+        match std::fs::read_to_string(file) {
+            Ok(src) => out.push((walk::relative(root, file), src)),
             Err(e) => {
                 eprintln!("error: cannot read {}: {e}", file.display());
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
-        };
-        let rel = walk::relative(&root, file);
-        let outcome = rules::lint_source(&rel, &src);
-        waivers_used += outcome.waivers_used;
-        violations.extend(outcome.violations);
+        }
     }
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
 
+/// Emits the report (stdout/file) and maps violations to the exit code.
+fn finish(
+    pass: &str,
+    opts: &CommonOpts,
+    files_scanned: usize,
+    waivers_used: usize,
+    violations: &[rules::Violation],
+) -> ExitCode {
     let json_doc = report::to_json(
-        &root.display().to_string(),
-        files.len(),
+        pass,
+        &opts.root.display().to_string(),
+        files_scanned,
         waivers_used,
-        &violations,
+        violations,
     );
-    if let Some(path) = &report_path {
+    if let Some(path) = &opts.report_path {
         if let Err(e) = std::fs::write(path, &json_doc) {
             eprintln!("error: cannot write report to {}: {e}", path.display());
             return ExitCode::from(2);
         }
     }
-    if json {
+    if opts.json {
         print!("{json_doc}");
     } else {
-        for v in &violations {
+        for v in violations {
             println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
         }
         println!(
-            "xtask lint: {} violation(s), {} waived, {} files scanned",
+            "xtask {pass}: {} violation(s), {} waived, {} files scanned",
             violations.len(),
             waivers_used,
-            files.len()
+            files_scanned
         );
     }
     if violations.is_empty() {
@@ -152,4 +186,52 @@ fn lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args, false) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let files = match load_files(&opts.root) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let mut violations: Vec<rules::Violation> = Vec::new();
+    let mut waivers_used = 0usize;
+    for (rel, src) in &files {
+        let outcome = rules::lint_source(rel, src);
+        waivers_used += outcome.waivers_used;
+        violations.extend(outcome.violations);
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    finish("lint", &opts, files.len(), waivers_used, &violations)
+}
+
+fn audit(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args, true) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let files = match load_files(&opts.root) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let inputs: Vec<audit_rules::AuditFile> = files
+        .into_iter()
+        .map(|(rel, src)| audit_rules::AuditFile { rel, src })
+        .collect();
+    let outcome = audit_rules::run(&opts.root, &inputs, opts.bless);
+    if !outcome.blessed.is_empty() && !opts.json {
+        for path in &outcome.blessed {
+            println!("blessed {path}");
+        }
+    }
+    finish(
+        "audit",
+        &opts,
+        inputs.len(),
+        outcome.waivers_used,
+        &outcome.violations,
+    )
 }

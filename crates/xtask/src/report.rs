@@ -1,11 +1,14 @@
 //! Machine-readable JSON report for CI.
 //!
 //! Hand-rolled emission (the engine has zero dependencies); the shape is
-//! stable and versioned via the `schema` field:
+//! stable and versioned via the `schema` field. Schema `xtask-lint/2`
+//! added the `pass` field (`"lint"` or `"audit"`) so one consumer can
+//! ingest both passes' artifacts:
 //!
 //! ```json
 //! {
-//!   "schema": "xtask-lint/1",
+//!   "schema": "xtask-lint/2",
+//!   "pass": "lint",
 //!   "root": ".",
 //!   "files_scanned": 123,
 //!   "waivers_used": 4,
@@ -37,7 +40,9 @@ fn esc(s: &str) -> String {
 }
 
 /// Renders the full report as a JSON document (trailing newline included).
+/// `pass` names the producing pass: `"lint"` or `"audit"`.
 pub fn to_json(
+    pass: &str,
     root: &str,
     files_scanned: usize,
     waivers_used: usize,
@@ -45,7 +50,8 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"xtask-lint/1\",\n");
+    out.push_str("  \"schema\": \"xtask-lint/2\",\n");
+    out.push_str(&format!("  \"pass\": \"{}\",\n", esc(pass)));
     out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"waivers_used\": {waivers_used},\n"));
@@ -82,8 +88,9 @@ mod tests {
             line: 7,
             message: "say \"no\"\nplease".to_string(),
         }];
-        let j = to_json(".", 3, 1, &v);
-        assert!(j.contains("\"schema\": \"xtask-lint/1\""));
+        let j = to_json("lint", ".", 3, 1, &v);
+        assert!(j.contains("\"schema\": \"xtask-lint/2\""));
+        assert!(j.contains("\"pass\": \"lint\""));
         assert!(j.contains("\"files_scanned\": 3"));
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("say \\\"no\\\"\\nplease"));
@@ -91,7 +98,8 @@ mod tests {
 
     #[test]
     fn empty_report_is_clean() {
-        let j = to_json(".", 10, 0, &[]);
+        let j = to_json("audit", ".", 10, 0, &[]);
+        assert!(j.contains("\"pass\": \"audit\""));
         assert!(j.contains("\"clean\": true"));
         assert!(j.contains("\"violations\": []"));
     }

@@ -17,7 +17,11 @@
 use crate::lexer::{lex, Tok, TokKind};
 
 /// All rule names, for validating waivers and for `--help`.
-pub const RULES: [&str; 8] = [
+///
+/// The first eight are the lexical `lint` pass (PR 1); the rest belong to
+/// the semantic `audit` pass (see [`crate::audit_rules`]). Waivers may name
+/// any of them — the two passes share one waiver grammar.
+pub const RULES: [&str; 15] = [
     "float-eq",
     "no-unwrap",
     "no-expect",
@@ -26,6 +30,25 @@ pub const RULES: [&str; 8] = [
     "crate-header",
     "ambient-entropy",
     "waiver-form",
+    // audit pass (semantic) rules:
+    "panic-path",
+    "par-argmax",
+    "par-float-accum",
+    "par-shared-state",
+    "stale-waiver",
+    "shadowed-waiver",
+    "api-drift",
+];
+
+/// The audit rules that findings can be waived for. `stale-waiver`,
+/// `shadowed-waiver`, and `api-drift` are deliberately *not* waivable: a
+/// waiver about waivers would defeat the hygiene check, and API drift is
+/// resolved by blessing the snapshot, not by silencing the diff.
+pub const WAIVABLE_AUDIT_RULES: [&str; 4] = [
+    "panic-path",
+    "par-argmax",
+    "par-float-accum",
+    "par-shared-state",
 ];
 
 /// One diagnostic: rule, location, human message.
@@ -105,16 +128,28 @@ pub struct LintOutcome {
 }
 
 /// A parsed waiver comment.
-#[derive(Debug)]
-struct Waiver {
-    rules: Vec<String>,
-    line: u32,
-    file_level: bool,
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule names the waiver suppresses.
+    pub rules: Vec<String>,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// True for `allow-file(..)` (whole-file scope), false for `allow(..)`
+    /// (same line and the next line).
+    pub file_level: bool,
+}
+
+impl Waiver {
+    /// Whether this waiver suppresses a finding of `rule` at `line`.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule)
+            && (self.file_level || self.line == line || self.line + 1 == line)
+    }
 }
 
 /// Parses waivers out of comments; malformed waivers become `waiver-form`
 /// violations.
-fn parse_waivers(
+pub fn parse_waivers(
     rel: &str,
     comments: &[crate::lexer::Comment],
     violations: &mut Vec<Violation>,
@@ -209,7 +244,7 @@ fn parse_waivers(
 
 /// Marks, for each token, whether it is inside test-only code: a block
 /// introduced under `#[cfg(test)]` / `#[test]` (but not `#[cfg(not(test))]`).
-fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut brace_depth: i64 = 0;
     // Brace depth at which the active test region's `{` was opened; tokens
@@ -283,7 +318,7 @@ fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
 
 /// Rust keywords that can legally precede `[` without it being an index
 /// expression (`let [a, b] = ..`, `if let [x] = ..`, `ref mut`, ...).
-const KEYWORDS: [&str; 35] = [
+pub(crate) const KEYWORDS: [&str; 35] = [
     "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
     "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
     "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
@@ -293,20 +328,43 @@ const KEYWORDS: [&str; 35] = [
 /// Identifier fragments that mark a float as a cover/gain value for rule 1.
 const FLOAT_NAMES: [&str; 2] = ["cover", "gain"];
 
-fn names_cover_value(ident: &str) -> bool {
+pub(crate) fn names_cover_value(ident: &str) -> bool {
     let lower = ident.to_ascii_lowercase();
     FLOAT_NAMES.iter().any(|n| lower.contains(n))
 }
 
 /// Lints one file given its workspace-relative path and contents.
 pub fn lint_source(rel: &str, src: &str) -> LintOutcome {
-    let fc = classify(rel);
     let lexed = lex(src);
+    lint_lexed(rel, &lexed)
+}
+
+/// Lints an already-lexed file (the audit pass lexes once and shares).
+pub fn lint_lexed(rel: &str, lexed: &crate::lexer::Lexed) -> LintOutcome {
+    let mut outcome = LintOutcome::default();
+    let waivers = parse_waivers(rel, &lexed.comments, &mut outcome.violations);
+    let raw = raw_violations(rel, lexed);
+
+    // Waiver matching: a file-level waiver covers its rule everywhere; a
+    // line waiver covers its own line and the line below it.
+    for v in raw {
+        if waivers.iter().any(|w| w.covers(v.rule, v.line)) {
+            outcome.waivers_used += 1;
+        } else {
+            outcome.violations.push(v);
+        }
+    }
+    outcome
+}
+
+/// The four lexical rule families, **before** waiver matching. The audit
+/// pass uses this both as the panic-site inventory for reachability and as
+/// the ground truth for waiver-hygiene (a waiver with no raw finding under
+/// it is stale).
+pub fn raw_violations(rel: &str, lexed: &crate::lexer::Lexed) -> Vec<Violation> {
+    let fc = classify(rel);
     let tokens = &lexed.tokens;
     let mut raw: Vec<Violation> = Vec::new();
-    let mut outcome = LintOutcome::default();
-
-    let waivers = parse_waivers(rel, &lexed.comments, &mut outcome.violations);
     let in_test = test_region_mask(tokens);
 
     // Rule 1: float-eq — `==`/`!=` with a cover/gain identifier in the same
@@ -479,20 +537,7 @@ pub fn lint_source(rel: &str, src: &str) -> LintOutcome {
         }
     }
 
-    // Waiver matching: a file-level waiver covers its rule everywhere; a
-    // line waiver covers its own line and the line below it.
-    for v in raw {
-        let waived = waivers.iter().any(|w| {
-            w.rules.iter().any(|r| r == v.rule)
-                && (w.file_level || w.line == v.line || w.line + 1 == v.line)
-        });
-        if waived {
-            outcome.waivers_used += 1;
-        } else {
-            outcome.violations.push(v);
-        }
-    }
-    outcome
+    raw
 }
 
 #[cfg(test)]

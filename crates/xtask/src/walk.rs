@@ -1,16 +1,29 @@
-//! Source-tree walking: find every workspace `.rs` file to lint.
+//! Source-tree walking: find every workspace `.rs` file to analyze.
+//!
+//! Skipping is **by explicit policy**, not by luck of the invocation
+//! directory: [`SKIP_DIRS`] names are pruned at every depth of the walk,
+//! so a violation planted anywhere under `target/` or `vendor/` can never
+//! reach the lint or audit passes no matter where the binary is run from.
+//! The `vendored` fixture tree plus a process-level test in
+//! `tests/audit_cli.rs` pin this behavior.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directory names that are never part of the linted workspace source:
-/// build output, vendored dependency stand-ins, VCS metadata, and the lint
-/// integration tests' planted fixture trees.
-const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+/// Directory names that are never part of the analyzed workspace source,
+/// wherever they appear in the tree:
+///
+/// - `target` — build output (generated code is rustc's problem);
+/// - `vendor` — vendored third-party dependencies, which are not held to
+///   this workspace's invariants and must never fail its gates;
+/// - `.git` — VCS metadata;
+/// - `fixtures` — the integration tests' planted-violation trees, which
+///   exist precisely to contain violations.
+pub const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
 
-/// Recursively collects all `.rs` files under `root`, skipping
-/// [`SKIP_DIRS`], sorted by path for deterministic reports.
+/// Recursively collects all `.rs` files under `root`, pruning
+/// [`SKIP_DIRS`] at every level, sorted by path for deterministic reports.
 pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     collect(root, &mut out)?;
@@ -71,6 +84,27 @@ mod tests {
         let files = rust_files(&tmp).expect("walk");
         assert_eq!(files.len(), 1);
         assert!(files[0].ends_with("src/lib.rs"));
+        let _ = fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn skip_dirs_pruned_at_any_depth() {
+        // The policy applies wherever the name appears, not just at the
+        // top level — a nested crate's own target/ or vendor/ is skipped
+        // too.
+        let tmp = std::env::temp_dir().join(format!("xtask-walk-deep-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fs::create_dir_all(tmp.join("crates/sub/vendor/dep/src")).expect("mkdir");
+        fs::create_dir_all(tmp.join("crates/sub/src")).expect("mkdir");
+        fs::write(tmp.join("crates/sub/src/lib.rs"), "pub fn f() {}\n").expect("write");
+        fs::write(
+            tmp.join("crates/sub/vendor/dep/src/lib.rs"),
+            "pub fn g() { Some(1).unwrap(); }\n",
+        )
+        .expect("write");
+        let files = rust_files(&tmp).expect("walk");
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("crates/sub/src/lib.rs"));
         let _ = fs::remove_dir_all(&tmp);
     }
 }

@@ -1,0 +1,151 @@
+//! End-to-end tests of `xtask audit`: each rule family fires on the
+//! planted fixture tree and stays silent on the clean one, violations in
+//! `vendor/`/`target/` are never reported, and the real workspace audits
+//! clean (the acceptance gate).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xtask(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask")
+}
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn report_of(out: &Output) -> serde_json::Value {
+    serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON report")
+}
+
+fn rules_of(report: &serde_json::Value) -> Vec<String> {
+    report
+        .get("violations")
+        .and_then(serde_json::Value::as_array)
+        .expect("violations array")
+        .iter()
+        .filter_map(|v| v.get("rule").and_then(serde_json::Value::as_str))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn planted_tree_fires_every_audit_rule_family() {
+    let out = xtask(&["audit", "--json", "--root", &fixture("audit_planted")]);
+    assert_eq!(out.status.code(), Some(1), "planted tree must fail audit");
+    let report = report_of(&out);
+    assert_eq!(
+        report.get("schema").and_then(|v| v.as_str()),
+        Some("xtask-lint/2")
+    );
+    assert_eq!(report.get("pass").and_then(|v| v.as_str()), Some("audit"));
+    let rules = rules_of(&report);
+    for expected in [
+        "panic-path",
+        "par-argmax",
+        "par-float-accum",
+        "par-shared-state",
+        "stale-waiver",
+        "shadowed-waiver",
+        "api-drift",
+    ] {
+        assert!(
+            rules.contains(&expected.to_string()),
+            "missing {expected} in {rules:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_path_reports_the_three_deep_chain() {
+    let out = xtask(&["audit", "--json", "--root", &fixture("audit_planted")]);
+    let report = report_of(&out);
+    let panic_msgs: Vec<&str> = report
+        .get("violations")
+        .and_then(serde_json::Value::as_array)
+        .expect("violations array")
+        .iter()
+        .filter(|v| v.get("rule").and_then(|r| r.as_str()) == Some("panic-path"))
+        .filter_map(|v| v.get("message").and_then(serde_json::Value::as_str))
+        .collect();
+    assert_eq!(panic_msgs.len(), 1, "exactly the one planted chain");
+    // The full call path, entry first, and the concrete site with its rule.
+    assert!(
+        panic_msgs[0].contains("entry -> mid -> deep"),
+        "chain missing from: {}",
+        panic_msgs[0]
+    );
+    assert!(panic_msgs[0].contains("crates/core/src/lib.rs:18"));
+    assert!(panic_msgs[0].contains("no-unwrap"));
+}
+
+#[test]
+fn clean_tree_audits_clean() {
+    let out = xtask(&["audit", "--json", "--root", &fixture("audit_clean")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must audit clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let report = report_of(&out);
+    assert_eq!(
+        report.get("clean").map(std::string::ToString::to_string),
+        Some("true".to_string())
+    );
+}
+
+#[test]
+fn vendored_and_target_violations_are_not_reported() {
+    // The vendored tree plants float-eq and par-argmax violations inside
+    // `vendor/` and `target/`; both passes must skip them by policy.
+    for pass in ["lint", "audit"] {
+        let out = xtask(&[pass, "--json", "--root", &fixture("vendored")]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{pass} must skip vendor/ and target/:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let report = report_of(&out);
+        assert_eq!(
+            report.get("clean").map(std::string::ToString::to_string),
+            Some("true".to_string())
+        );
+        // Only the one real file is scanned — the planted ones never even
+        // reach the analyzers.
+        assert_eq!(
+            report
+                .get("files_scanned")
+                .and_then(serde_json::Value::as_u64),
+            Some(1),
+            "{pass} scanned skipped directories"
+        );
+    }
+}
+
+#[test]
+fn bless_is_rejected_for_lint() {
+    let out = xtask(&["lint", "--bless"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn audit_of_this_workspace_is_clean() {
+    // The acceptance gate: the real workspace passes its own audit, with
+    // the committed API snapshots up to date.
+    let out = xtask(&["audit"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace audit failed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

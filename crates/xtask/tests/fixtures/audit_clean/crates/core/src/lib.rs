@@ -1,0 +1,32 @@
+//! Clean audit fixture: panic-free public surface, a justified live
+//! waiver, and rayon usage that routes through helper calls instead of raw
+//! comparisons or shared state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rayon::prelude::*;
+
+/// Errors propagate; nothing panics.
+pub fn take(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+/// A justified, live waiver: the construct is real and suppressed.
+pub fn head(xs: &[u32]) -> u32 {
+    xs[0] // lint: allow(no-index) — callers are required to pass non-empty slices
+}
+
+/// Integer-only parallel work: no float accumulation, no shared state, and
+/// the per-item map carries no comparisons.
+pub fn doubled(xs: &[u64]) -> Vec<u64> {
+    xs.par_iter().map(|x| x * 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::take(Some(1)).unwrap(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Planted audit fixture, crate root: a 3-deep indirect panic chain from a
+//! public entry point, plus a stale and a shadowed waiver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Public entry point; panics only three calls deep (panic-path must
+/// report the whole `entry -> mid -> deep` chain).
+pub fn entry(v: Option<u32>) -> u32 {
+    mid(v)
+}
+
+fn mid(v: Option<u32>) -> u32 {
+    deep(v)
+}
+
+fn deep(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// lint: allow(no-expect) — stale: nothing on the next line expects anymore
+/// Once called `.expect(..)`; the waiver above outlived the refactor.
+pub fn settled(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,31 @@
+//! Planted audit fixture, parallel module: every determinism rule fires
+//! inside rayon regions, and a line waiver is shadowed by the file waiver.
+
+// lint: allow-file(no-index) — fixture pretends ids are dense
+use rayon::prelude::*;
+
+/// Raw argmax comparison inside a rayon closure (par-argmax).
+pub fn pick(gains: &[f64], best_gain: f64) -> usize {
+    gains
+        .par_iter()
+        .map(|gain| usize::from(*gain > best_gain))
+        .sum()
+}
+
+/// Float accumulation into a captured local (par-float-accum) and a lock
+/// used for aggregation (par-shared-state).
+pub fn total(gains: &[f64], shared: &std::sync::Mutex<f64>) -> f64 {
+    let mut cover_total = 0.0f64;
+    gains.par_iter().for_each(|g| cover_total += *g);
+    gains
+        .par_iter()
+        .for_each(|g| *shared.lock().unwrap_or_else(|e| e.into_inner()) += *g);
+    cover_total
+}
+
+/// Indexing under a line waiver that the `allow-file` above already
+/// covers (shadowed-waiver).
+pub fn head(xs: &[f64]) -> f64 {
+    // lint: allow(no-index) — shadowed: the allow-file covers this
+    xs[0]
+}

@@ -1,0 +1,10 @@
+//! Walker-policy fixture root: clean by itself; the violations live in
+//! `vendor/` and `target/`, which the walker must skip by policy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The only real code in this tree.
+pub fn fine() -> u32 {
+    1
+}

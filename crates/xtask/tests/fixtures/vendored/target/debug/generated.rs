@@ -1,0 +1,4 @@
+// Build output: must be skipped by the walker.
+pub fn generated(cover: f64) -> bool {
+    cover == 0.0
+}
