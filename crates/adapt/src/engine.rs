@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use pcover_clickstream::{Clickstream, ExternalItemId};
-use pcover_core::Variant;
+use pcover_core::{SolveCtx, SolveError, SolveReport, SolverSpec, Variant};
 use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
 
 /// Options for [`adapt`].
@@ -74,6 +74,24 @@ impl Adapted {
             .binary_search(&external)
             .ok()
             .map(ItemId::from_index)
+    }
+
+    /// Solves the adapted graph with a registry solver under the variant
+    /// this graph was built for — the end-to-end Figure 2 path
+    /// (clickstream → graph → retained set) in one call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the solver's [`SolveError`], including
+    /// [`SolveError::UnsupportedVariant`] when the spec cannot run under
+    /// the adaptation variant.
+    pub fn solve(
+        &self,
+        spec: &SolverSpec,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        spec.solve(self.report.variant, &self.graph, k, ctx)
     }
 }
 
@@ -367,6 +385,41 @@ mod tests {
     #[test]
     fn empty_clickstream_rejected() {
         assert!(adapt(&Clickstream::default(), &AdaptOptions::default()).is_err());
+    }
+
+    #[test]
+    fn adapted_solve_routes_through_the_registry() {
+        use pcover_core::{Registry, SolveCtx, SolverConfig};
+
+        let cs = figure3_sessions();
+        let adapted = adapt(
+            &cs,
+            &AdaptOptions {
+                variant: Variant::Normalized,
+                ..AdaptOptions::default()
+            },
+        )
+        .unwrap();
+        let registry = Registry::builtin();
+        let spec = registry.get("greedy").unwrap();
+        let mut ctx = SolveCtx::new(SolverConfig::default());
+        let report = adapted.solve(spec, 2, &mut ctx).unwrap();
+        assert_eq!(report.k(), 2);
+        assert_eq!(report.variant, Variant::Normalized);
+        assert!(report.cover > 0.0);
+
+        // A Normalized-only solver works here because the graph was built
+        // under the Normalized rule...
+        let maxvc = registry.get("maxvc").unwrap();
+        let vc = adapted.solve(maxvc, 2, &mut ctx).unwrap();
+        assert!((vc.cover - report.cover).abs() < 1e-9);
+
+        // ...and an Independent-built graph reports the mismatch.
+        let ind = adapt(&cs, &AdaptOptions::default()).unwrap();
+        assert!(matches!(
+            ind.solve(maxvc, 2, &mut ctx),
+            Err(SolveError::UnsupportedVariant { .. })
+        ));
     }
 
     #[test]

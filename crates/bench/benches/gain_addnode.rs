@@ -10,7 +10,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use pcover_core::{CoverState, Independent, Normalized};
+use pcover_core::{
+    greedy, CoverState, Independent, NoopObserver, Normalized, SolveCtx, SolverConfig,
+};
 use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
 use pcover_graph::{ItemId, PreferenceGraph};
 
@@ -82,9 +84,45 @@ fn bench_add_node(c: &mut Criterion) {
     group.finish();
 }
 
+/// Zero-cost-observer check for the solver-trait refactor: greedy through
+/// the pre-refactor free function vs through the `Solver` path with no
+/// observer and with an attached `NoopObserver`. The emit hooks are
+/// `#[inline]` no-ops when no observer is attached, so all three must
+/// measure the same within noise (see this crate's README).
+fn bench_observer_overhead(c: &mut Criterion) {
+    let g = test_graph();
+    let k = 200;
+    let mut group = c.benchmark_group("observer_overhead");
+    group.bench_function("greedy_free_fn", |b| {
+        b.iter(|| black_box(greedy::solve::<Independent>(&g, k).unwrap().cover))
+    });
+    group.bench_function("greedy_solver_no_observer", |b| {
+        b.iter(|| {
+            let mut ctx = SolveCtx::new(SolverConfig::default());
+            black_box(
+                greedy::solve_with::<Independent>(&g, k, &mut ctx)
+                    .unwrap()
+                    .cover,
+            )
+        })
+    });
+    group.bench_function("greedy_solver_noop_observer", |b| {
+        b.iter(|| {
+            let mut noop = NoopObserver;
+            let mut ctx = SolveCtx::with_observer(SolverConfig::default(), &mut noop);
+            black_box(
+                greedy::solve_with::<Independent>(&g, k, &mut ctx)
+                    .unwrap()
+                    .cover,
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_gain, bench_add_node
+    targets = bench_gain, bench_add_node, bench_observer_overhead
 }
 criterion_main!(benches);

@@ -5,10 +5,9 @@
 //! coverage is "very close to optimal". Default scale uses `n = 20`
 //! (`--full` uses the paper's 30) on a synthetic YC-profile subset.
 
-use pcover_core::brute_force::{self, BruteForceOptions};
-use pcover_core::{greedy, Normalized};
+use pcover_core::{SolverConfig, Variant};
 
-use crate::util::{small_yc_instance, Table};
+use crate::util::{small_yc_instance, solve_named, Table};
 use crate::Opts;
 
 /// Runs the coverage comparison.
@@ -20,15 +19,16 @@ pub fn run(opts: &Opts) -> String {
     } else {
         vec![2, 4, 6, 8, 10]
     };
-    let bf_opts = BruteForceOptions {
+    let config = SolverConfig {
         max_subsets: 200_000_000,
+        ..SolverConfig::default()
     };
 
     let mut t = Table::new(["k", "BF (optimal)", "Greedy", "ratio", "bound"]);
     let mut worst_ratio = 1.0f64;
     for &k in &ks {
-        let bf = brute_force::solve::<Normalized>(&g, k, &bf_opts).expect("small instance");
-        let gr = greedy::solve::<Normalized>(&g, k).expect("valid k");
+        let bf = solve_named("bf", Variant::Normalized, &g, k, config);
+        let gr = solve_named("greedy", Variant::Normalized, &g, k, config);
         let ratio = if bf.cover > 0.0 {
             gr.cover / bf.cover
         } else {

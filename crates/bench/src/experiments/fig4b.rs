@@ -5,10 +5,9 @@
 //! combinatorially in `k` while Greedy stays in the microsecond range on
 //! the same instance.
 
-use pcover_core::brute_force::{self, BruteForceOptions};
-use pcover_core::{greedy, Normalized};
+use pcover_core::{brute_force, SolverConfig, Variant};
 
-use crate::util::{fmt_duration, small_yc_instance, timed, Table};
+use crate::util::{fmt_duration, small_yc_instance, solve_named, timed, Table};
 use crate::Opts;
 
 /// Runs the timing comparison.
@@ -20,16 +19,16 @@ pub fn run(opts: &Opts) -> String {
     } else {
         vec![2, 4, 6, 8, 10]
     };
-    let bf_opts = BruteForceOptions {
+    let config = SolverConfig {
         max_subsets: 200_000_000,
+        ..SolverConfig::default()
     };
 
     let mut t = Table::new(["k", "subsets", "BF time", "Greedy time", "BF/Greedy"]);
     let mut last_speedup = 0.0f64;
     for &k in &ks {
-        let (bf, bf_time) =
-            timed(|| brute_force::solve::<Normalized>(&g, k, &bf_opts).expect("small instance"));
-        let (gr, gr_time) = timed(|| greedy::solve::<Normalized>(&g, k).expect("valid k"));
+        let (bf, bf_time) = timed(|| solve_named("bf", Variant::Normalized, &g, k, config));
+        let (gr, gr_time) = timed(|| solve_named("greedy", Variant::Normalized, &g, k, config));
         // Both produce valid covers; keep the optimizer honest.
         assert!(gr.cover <= bf.cover + 1e-9);
         last_speedup = bf_time.as_secs_f64() / gr_time.as_secs_f64().max(1e-9);

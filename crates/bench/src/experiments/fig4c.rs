@@ -5,10 +5,10 @@
 //! respectively, cover overlaps and alternatives); Random (best of 10)
 //! far below.
 
-use pcover_core::{baselines, lazy, Independent, Variant};
+use pcover_core::{SolverConfig, Variant};
 use pcover_datagen::profiles::{DatasetProfile, Scale};
 
-use crate::util::{adapted_profile, Table};
+use crate::util::{adapted_profile, solve_named, Table};
 use crate::Opts;
 
 /// Runs the four-way coverage comparison.
@@ -30,13 +30,17 @@ pub fn run(opts: &Opts) -> String {
         "TopK-W",
         "Random(best of 10)",
     ]);
+    let config = SolverConfig {
+        seed: opts.seed,
+        ..SolverConfig::default()
+    };
     let mut greedy_always_on_top = true;
     for tenth in [1usize, 3, 5, 7, 9] {
         let k = (n * tenth / 10).max(1);
-        let gr = lazy::solve::<Independent>(g, k).expect("valid k");
-        let tc = baselines::top_k_coverage::<Independent>(g, k).expect("valid k");
-        let tw = baselines::top_k_weight::<Independent>(g, k).expect("valid k");
-        let rnd = baselines::random_best_of::<Independent>(g, k, opts.seed, 10).expect("valid k");
+        let gr = solve_named("lazy", Variant::Independent, g, k, config);
+        let tc = solve_named("topk-c", Variant::Independent, g, k, config);
+        let tw = solve_named("topk-w", Variant::Independent, g, k, config);
+        let rnd = solve_named("random", Variant::Independent, g, k, config);
         greedy_always_on_top &= gr.cover >= tc.cover - 1e-9
             && gr.cover >= tw.cover - 1e-9
             && gr.cover >= rnd.cover - 1e-9;

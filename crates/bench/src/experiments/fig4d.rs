@@ -11,10 +11,10 @@
 //! laptop run in seconds; `--full` uses the paper's exact sizes and
 //! `k = 5000`.
 
-use pcover_core::{greedy, lazy, Independent};
+use pcover_core::{SolverConfig, Variant};
 use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
 
-use crate::util::{fmt_duration, timed, Table};
+use crate::util::{fmt_duration, solve_named, timed, Table};
 use crate::Opts;
 
 /// Runs the size sweep.
@@ -46,11 +46,13 @@ pub fn run(opts: &Opts) -> String {
             })
             .expect("valid config")
         });
-        let (lz, lazy_time) = timed(|| lazy::solve::<Independent>(&g, k).expect("valid k"));
+        let config = SolverConfig::default();
+        let (lz, lazy_time) = timed(|| solve_named("lazy", Variant::Independent, &g, k, config));
         times.push(lazy_time.as_secs_f64());
         // The plain O(nkD) scan is only affordable at the smallest size.
         let plain_cell = if n == sizes[0] {
-            let (pl, plain_time) = timed(|| greedy::solve::<Independent>(&g, k).expect("valid k"));
+            let (pl, plain_time) =
+                timed(|| solve_named("greedy", Variant::Independent, &g, k, config));
             assert!((pl.cover - lz.cover).abs() < 1e-9, "lazy must match plain");
             fmt_duration(plain_time)
         } else {

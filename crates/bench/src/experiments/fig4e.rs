@@ -37,6 +37,7 @@ pub fn run(opts: &Opts) -> String {
 
     // Baseline: one thread.
     let ((one_thread, _), t1) =
+        // lint: allow(solver-dispatch) — needs the WorkStats side channel the registry's uniform SolveReport omits
         timed(|| parallel::solve::<Independent>(&g, k, 1).expect("valid k"));
 
     // The serial fraction: replaying the chosen order through AddNode is
@@ -65,6 +66,7 @@ pub fn run(opts: &Opts) -> String {
     let paper_points = [(1, 1.0), (4, 3.7), (8, 7.0), (16, 12.5), (32, 20.0)];
     for &(threads, paper) in &paper_points {
         let ((report, stats), wall) =
+            // lint: allow(solver-dispatch) — needs the WorkStats side channel the registry's uniform SolveReport omits
             timed(|| parallel::solve::<Independent>(&g, k, threads).expect("valid k"));
         assert_eq!(
             report.order, one_thread.order,

@@ -16,11 +16,11 @@
 //! shortcut is the only option at millions of items).
 
 use pcover_core::extensions::markov::{greedy_assortment, MarkovChoiceModel, MarkovOptions};
-use pcover_core::{greedy, Normalized};
+use pcover_core::{SolverConfig, Variant};
 use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
 use pcover_graph::transform::{transitive_closure, PathCombination};
 
-use crate::util::{fmt_duration, timed, Table};
+use crate::util::{fmt_duration, solve_named, timed, Table};
 use crate::Opts;
 
 /// Runs the comparison.
@@ -54,8 +54,15 @@ pub fn run(opts: &Opts) -> String {
     for k in [n / 20, n / 10, n / 4] {
         let (exact, exact_time) =
             timed(|| greedy_assortment(&model, k, &mc_opts).expect("valid k"));
-        let (one_hop, one_hop_time) =
-            timed(|| greedy::solve::<Normalized>(&closed, k).expect("valid k"));
+        let (one_hop, one_hop_time) = timed(|| {
+            solve_named(
+                "greedy",
+                Variant::Normalized,
+                &closed,
+                k,
+                SolverConfig::default(),
+            )
+        });
         // Evaluate the one-hop solution under the exact objective.
         let one_hop_mc_value = model.assortment_value_of(&one_hop.order, &mc_opts);
         let ratio = one_hop_mc_value / exact.cover.max(1e-12);

@@ -3,9 +3,10 @@
 use std::time::{Duration, Instant};
 
 use pcover_adapt::{adapt, AdaptOptions, Adapted};
-use pcover_core::Variant;
+use pcover_core::{Registry, SolveCtx, SolveReport, SolverConfig, Variant};
 use pcover_datagen::profiles::{DatasetProfile, Scale};
 use pcover_datagen::sessions::generate_clickstream;
+use pcover_graph::PreferenceGraph;
 
 /// A simple fixed-width markdown-ish table builder.
 #[derive(Debug, Default)]
@@ -57,6 +58,24 @@ impl Table {
         let _ = ncols;
         out
     }
+}
+
+/// Runs a built-in registry solver by CLI name. The experiment harness
+/// routes through the registry so a solver rename or removal fails loudly
+/// here instead of silently dropping out of the sweeps.
+pub fn solve_named(
+    name: &str,
+    variant: Variant,
+    g: &PreferenceGraph,
+    k: usize,
+    config: SolverConfig,
+) -> SolveReport {
+    let registry = Registry::builtin();
+    let spec = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("solver {name:?} not in the registry"));
+    spec.solve(variant, g, k, &mut SolveCtx::new(config))
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"))
 }
 
 /// Times a closure, returning its result and the elapsed wall time.

@@ -9,41 +9,49 @@ use std::path::Path;
 use pcover_adapt::diagnostics::{diagnose, DiagnosticThresholds};
 use pcover_adapt::{adapt, AdaptOptions};
 use pcover_clickstream::{io as cs_io, Clickstream};
-use pcover_core::brute_force::BruteForceOptions;
 use pcover_core::{
-    baselines, brute_force, greedy, lazy, minimize, parallel, CoverModel, Independent, Normalized,
-    SolveReport, Variant,
+    minimize, Independent, Normalized, Observer, ProgressObserver, Registry, RoundStats, SolveCtx,
+    SolveReport, SolverConfig, SolverSpec, TraceObserver, Variant,
 };
 use pcover_datagen::profiles::{DatasetProfile, Scale};
 use pcover_datagen::sessions::generate_clickstream;
 use pcover_graph::io::{json as graph_json, LoadOptions};
-use pcover_graph::{GraphStats, PreferenceGraph};
+use pcover_graph::{GraphStats, ItemId, PreferenceGraph};
 
 use crate::args::Args;
 use crate::CliError;
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line against the built-in solver registry.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    run_with_registry(args, &Registry::builtin())
+}
+
+/// Dispatches with an explicit solver [`Registry`], so embedders (and
+/// tests) can register additional solvers and have them reachable from
+/// `solve --algorithm`, help text, and error suggestions without touching
+/// this crate.
+pub fn run_with_registry(args: &Args, registry: &Registry) -> Result<String, CliError> {
     match args.command.as_str() {
         "generate" => generate(args),
         "diagnose" => diagnose_cmd(args),
         "adapt" => adapt_cmd(args),
         "stats" => stats_cmd(args),
-        "solve" => solve_cmd(args),
+        "solve" => solve_cmd(args, registry),
         "minimize" => minimize_cmd(args),
         "repair" => repair_cmd(args),
         "export-dot" => export_dot_cmd(args),
         "closure" => closure_cmd(args),
         "delta" => delta_cmd(args),
-        "help" | "--help" => Ok(HELP.to_owned()),
+        "help" | "--help" => Ok(help_with(registry)),
         other => Err(CliError(format!(
             "unknown subcommand {other:?}; try `pcover help`"
         ))),
     }
 }
 
-/// Usage text.
-pub const HELP: &str = "\
+/// Usage text template; the `--algorithm` list is spliced in from the
+/// registry so help can never drift from the accepted set.
+const HELP_TEMPLATE: &str = "\
 pcover — inventory reduction via maximal coverage (EDBT 2020)
 
 USAGE: pcover <subcommand> [--option value]...
@@ -60,10 +68,11 @@ SUBCOMMANDS
   stats     --graph graph.json
             Print graph statistics.
   solve     --graph graph.json --k K --variant independent|normalized
-            [--algorithm greedy|lazy|parallel|partitioned|bf|topk-w|topk-c|
-                         random|stochastic|sieve|local-search]
-            [--threads N] [--seed S] [--top 10] [--out report.json]
+            [--algorithm NAME] [--threads N] [--seed S] [--top 10]
+            [--out report.json] [--trace trace.json] [--progress]
             Select the k items maximizing cover (Preference Cover Solver).
+            Algorithms:
+{algorithms}
   minimize  --graph graph.json --threshold 0.8
             --variant independent|normalized
             Smallest retained set reaching the cover threshold.
@@ -81,6 +90,24 @@ SUBCOMMANDS
   delta     --graph graph.json --changes delta.json --out new-graph.json
             Apply a JSON batch of demand/edge/delisting changes.
 ";
+
+/// Usage text for the built-in registry.
+pub fn help() -> String {
+    help_with(&Registry::builtin())
+}
+
+/// Usage text with the `--algorithm` list derived from `registry`.
+pub fn help_with(registry: &Registry) -> String {
+    let mut algorithms = String::new();
+    for spec in registry.specs() {
+        let _ = writeln!(
+            algorithms,
+            "              {:<13} {}",
+            spec.name, spec.description
+        );
+    }
+    HELP_TEMPLATE.replace("{algorithms}\n", &algorithms)
+}
 
 fn load_clickstream(path: &str) -> Result<Clickstream, CliError> {
     cs_io::read_jsonl(path).map_err(CliError::from_display)
@@ -217,38 +244,58 @@ fn stats_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn solve_with<M: CoverModel>(
+/// Forwards observer events to two observers (e.g. trace file + progress).
+struct Tee<'a>(&'a mut dyn Observer, &'a mut dyn Observer);
+
+impl Observer for Tee<'_> {
+    fn on_select(&mut self, iter: usize, item: ItemId, gain: f64, cover: f64) {
+        self.0.on_select(iter, item, gain, cover);
+        self.1.on_select(iter, item, gain, cover);
+    }
+
+    fn on_round_stats(&mut self, stats: &RoundStats) {
+        self.0.on_round_stats(stats);
+        self.1.on_round_stats(stats);
+    }
+}
+
+/// Runs a registry solver with the observers requested on the command line:
+/// `--trace PATH` records the per-iteration event stream to a JSON file and
+/// `--progress` streams selections to stderr; both may be active at once.
+fn run_solver(
+    spec: &SolverSpec,
+    variant: Variant,
     g: &PreferenceGraph,
     k: usize,
-    algorithm: &str,
-    threads: usize,
-    seed: u64,
+    config: SolverConfig,
+    trace_path: Option<&str>,
+    progress: bool,
 ) -> Result<SolveReport, CliError> {
-    let report = match algorithm {
-        "greedy" => greedy::solve::<M>(g, k),
-        "lazy" => lazy::solve::<M>(g, k),
-        "parallel" => parallel::solve::<M>(g, k, threads).map(|(r, _)| r),
-        "bf" => brute_force::solve::<M>(g, k, &BruteForceOptions::default()),
-        "topk-w" => baselines::top_k_weight::<M>(g, k),
-        "topk-c" => baselines::top_k_coverage::<M>(g, k),
-        "random" => baselines::random_best_of::<M>(g, k, seed, 10),
-        "stochastic" => pcover_core::stochastic::solve::<M>(
-            g,
-            k,
-            &pcover_core::stochastic::StochasticOptions {
-                seed,
-                ..Default::default()
-            },
-        ),
-        "sieve" => pcover_core::streaming::solve::<M>(g, k, &Default::default()),
-        "partitioned" => pcover_core::partitioned::solve::<M>(g, k),
-        "local-search" => lazy::solve::<M>(g, k).and_then(|r| {
-            pcover_core::local_search::refine::<M>(g, &r.order, &Default::default())
-                .map(|ls| ls.report)
-        }),
-        other => return Err(CliError(format!("unknown algorithm {other:?}"))),
-    };
-    report.map_err(CliError::from_display)
+    let mut trace = trace_path.map(|_| TraceObserver::new());
+    let report = match (trace.as_mut(), progress) {
+        (None, false) => spec.solve(variant, g, k, &mut SolveCtx::new(config)),
+        (Some(t), false) => spec.solve(variant, g, k, &mut SolveCtx::with_observer(config, t)),
+        (None, true) => {
+            let mut p = ProgressObserver::new(std::io::stderr());
+            spec.solve(variant, g, k, &mut SolveCtx::with_observer(config, &mut p))
+        }
+        (Some(t), true) => {
+            let mut p = ProgressObserver::new(std::io::stderr());
+            let mut tee = Tee(t, &mut p);
+            spec.solve(
+                variant,
+                g,
+                k,
+                &mut SolveCtx::with_observer(config, &mut tee),
+            )
+        }
+    }
+    .map_err(CliError::from_display)?;
+    if let (Some(path), Some(t)) = (trace_path, trace.as_ref()) {
+        let json = serde_json::to_string_pretty(t).map_err(CliError::from_display)?;
+        std::fs::write(path, json).map_err(CliError::from_display)?;
+    }
+    Ok(report)
 }
 
 fn repair_cmd(args: &Args) -> Result<String, CliError> {
@@ -352,19 +399,31 @@ fn export_dot_cmd(args: &Args) -> Result<String, CliError> {
     ))
 }
 
-fn solve_cmd(args: &Args) -> Result<String, CliError> {
+fn solve_cmd(args: &Args, registry: &Registry) -> Result<String, CliError> {
     let g = load_graph(args.required("graph")?)?;
     let k: usize = args.required_parse("k")?;
     let variant = parse_variant(args)?;
     let algorithm = args.optional("algorithm").unwrap_or("lazy");
-    let threads: usize = args.parse_or("threads", 4)?;
-    let seed: u64 = args.parse_or("seed", 42)?;
+    let spec = *registry
+        .get(algorithm)
+        .ok_or_else(|| CliError(registry.unknown_algorithm_message(algorithm)))?;
+    let defaults = SolverConfig::default();
+    let config = SolverConfig {
+        threads: args.parse_or("threads", defaults.threads)?,
+        seed: args.parse_or("seed", defaults.seed)?,
+        ..defaults
+    };
     let top: usize = args.parse_or("top", 10)?;
 
-    let report = match variant {
-        Variant::Independent => solve_with::<Independent>(&g, k, algorithm, threads, seed)?,
-        Variant::Normalized => solve_with::<Normalized>(&g, k, algorithm, threads, seed)?,
-    };
+    let report = run_solver(
+        &spec,
+        variant,
+        &g,
+        k,
+        config,
+        args.optional("trace"),
+        args.flag("progress"),
+    )?;
 
     if let Some(out) = args.optional("out") {
         let json = serde_json::to_string_pretty(&report).map_err(CliError::from_display)?;
@@ -636,6 +695,134 @@ mod tests {
             ])
             .unwrap();
             assert!(out.contains("retained"), "algorithm {algo}: {out}");
+        }
+    }
+
+    /// Acceptance check for the registry refactor: a solver registered from
+    /// outside this crate is reachable from CLI dispatch, help text, and
+    /// the unknown-algorithm suggestion with zero edits here.
+    #[test]
+    fn fictitious_registered_solver_is_reachable_from_dispatch_and_help() {
+        use pcover_core::{Algorithm, Solver, SolverCaps};
+
+        let mut registry = Registry::builtin();
+        registry.register(SolverSpec::new(
+            "fixture-greedy",
+            Algorithm::Greedy,
+            "test-only fixture solver",
+            SolverCaps::default(),
+            |v, g, k, ctx| pcover_core::greedy::Greedy.dispatch(v, g, k, ctx),
+        ));
+
+        assert!(help_with(&registry).contains("fixture-greedy"));
+
+        let sessions = tmp("fixture.jsonl");
+        let graph = tmp("fixture-graph.json");
+        run_tokens(&[
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.001",
+            "--seed",
+            "5",
+            "--out",
+            &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
+        ])
+        .unwrap();
+
+        let solve = |algo: &str| {
+            let tokens = [
+                "solve",
+                "--graph",
+                &graph,
+                "--k",
+                "5",
+                "--variant",
+                "independent",
+                "--algorithm",
+                algo,
+            ];
+            run_with_registry(
+                &Args::parse(tokens.iter().map(|s| s.to_string())).unwrap(),
+                &registry,
+            )
+        };
+        let out = solve("fixture-greedy").unwrap();
+        assert!(out.contains("retained 5"), "{out}");
+
+        // The unknown-algorithm error suggests every registered name,
+        // including the fixture.
+        let err = solve("nope").unwrap_err().to_string();
+        assert!(err.contains("unknown algorithm"), "{err}");
+        assert!(err.contains("fixture-greedy"), "{err}");
+        assert!(err.contains("lazy"), "{err}");
+    }
+
+    #[test]
+    fn solve_trace_flag_writes_observer_json() {
+        let sessions = tmp("trace.jsonl");
+        let graph = tmp("trace-graph.json");
+        let trace = tmp("trace-out.json");
+        run_tokens(&[
+            "generate",
+            "--profile",
+            "YC",
+            "--scale",
+            "0.001",
+            "--seed",
+            "6",
+            "--out",
+            &sessions,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "adapt",
+            "--input",
+            &sessions,
+            "--variant",
+            "independent",
+            "--out",
+            &graph,
+        ])
+        .unwrap();
+        let out = run_tokens(&[
+            "solve",
+            "--graph",
+            &graph,
+            "--k",
+            "5",
+            "--variant",
+            "independent",
+            "--algorithm",
+            "greedy",
+            "--trace",
+            &trace,
+            "--progress",
+        ])
+        .unwrap();
+        assert!(out.contains("retained 5"), "{out}");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        let events = parsed.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(parsed.get("rounds").unwrap().as_array().unwrap().len(), 5);
+        let covers: Vec<f64> = events
+            .iter()
+            .map(|e| e.get("cover").unwrap().as_f64().unwrap())
+            .collect();
+        for w in covers.windows(2) {
+            assert!(w[1] >= w[0], "trace covers must be non-decreasing");
         }
     }
 

@@ -11,14 +11,14 @@ fn main() {
     // `--help` looks like an option, which the grammar forbids before the
     // subcommand; honor it here so `pcover --help` behaves like `pcover help`.
     if raw.first().is_some_and(|a| a == "--help" || a == "-h") {
-        print!("{}", commands::HELP);
+        print!("{}", commands::help());
         return;
     }
     let args = match Args::parse(raw) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", commands::HELP);
+            eprintln!("{}", commands::help());
             std::process::exit(2);
         }
     };

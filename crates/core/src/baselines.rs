@@ -20,6 +20,7 @@ use pcover_graph::{ItemId, PreferenceGraph};
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -132,11 +133,122 @@ fn materialize<M: CoverModel>(
     }
     let mut state = CoverState::new(n);
     let mut trajectory = Vec::with_capacity(k);
+    // Each AddNode replay is one oracle evaluation — counted so baseline
+    // reports satisfy the registry-wide `gain_evaluations > 0` invariant.
+    let mut gain_evaluations = 0u64;
     for &v in &ranking[..k] {
         state.add_node::<M>(g, v);
+        gain_evaluations += 1;
         trajectory.push(state.cover());
     }
-    Ok(finish::<M>(algorithm, state, trajectory, started, 0))
+    Ok(finish::<M>(
+        algorithm,
+        state,
+        trajectory,
+        started,
+        gain_evaluations,
+    ))
+}
+
+/// TopK-W as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopKWeight;
+
+impl Solver for TopKWeight {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let report = top_k_weight::<M>(g, k)?;
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`TopKWeight`].
+pub fn top_k_weight_spec() -> SolverSpec {
+    SolverSpec::new(
+        "topk-w",
+        Algorithm::TopKWeight,
+        "TopK-W baseline: the k best-selling items by weight, ignoring alternatives",
+        SolverCaps::default(),
+        |v, g, k, ctx| TopKWeight.dispatch(v, g, k, ctx),
+    )
+}
+
+/// TopK-C as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopKCoverage;
+
+impl Solver for TopKCoverage {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let mut report = top_k_coverage::<M>(g, k)?;
+        // The ranking scan evaluates every node's singleton cover once.
+        report.gain_evaluations += g.node_count() as u64;
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`TopKCoverage`].
+pub fn top_k_coverage_spec() -> SolverSpec {
+    SolverSpec::new(
+        "topk-c",
+        Algorithm::TopKCoverage,
+        "TopK-C baseline: the k items with highest singleton coverage, overlap-blind",
+        SolverCaps::default(),
+        |v, g, k, ctx| TopKCoverage.dispatch(v, g, k, ctx),
+    )
+}
+
+/// The Random baseline (best-of-`attempts` draws) as a registry [`Solver`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomBestOf {
+    /// RNG seed of the first draw; draw `i` uses `seed + i`.
+    pub seed: u64,
+    /// Independent draws to take the best of (clamped to at least 1).
+    pub attempts: usize,
+}
+
+impl Solver for RandomBestOf {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let report = random_best_of::<M>(g, k, self.seed, self.attempts.max(1))?;
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`RandomBestOf`]; seed and attempt count come
+/// from the [`SolverConfig`](crate::solver::SolverConfig).
+pub fn random_spec() -> SolverSpec {
+    SolverSpec::new(
+        "random",
+        Algorithm::Random,
+        "Random baseline: best cover over N uniform draws (the paper takes best of 10)",
+        SolverCaps {
+            needs_seed: true,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            RandomBestOf {
+                seed: ctx.config.seed,
+                attempts: ctx.config.random_attempts,
+            }
+            .dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 /// Replays an arbitrary externally-chosen selection (in order) into a

@@ -15,6 +15,7 @@ use std::time::Instant;
 use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -135,6 +136,48 @@ pub fn solve<M: CoverModel>(
         elapsed: started.elapsed(),
         gain_evaluations: evaluations,
     })
+}
+
+/// Exact brute force as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BruteForce {
+    /// Enumeration limits.
+    pub opts: BruteForceOptions,
+}
+
+impl Solver for BruteForce {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let report = solve::<M>(g, k, &self.opts)?;
+        // BF has no selection order; the ascending-id report is replayed so
+        // the observer stream matches the returned order exactly.
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`BruteForce`]; the subset cap comes from
+/// [`SolverConfig::max_subsets`](crate::solver::SolverConfig::max_subsets).
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "bf",
+        Algorithm::BruteForce,
+        "Exact brute force: Gosper-hack subset enumeration, optimal, n <= 64 only",
+        SolverCaps {
+            exact: true,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            let opts = BruteForceOptions {
+                max_subsets: ctx.config.max_subsets,
+            };
+            BruteForce { opts }.dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 /// `C(S)` for a bitmask selection.

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::variant::Variant;
+
 /// Errors raised by the solvers in this crate.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SolveError {
@@ -41,6 +43,14 @@ pub enum SolveError {
     },
     /// A requested thread count of zero.
     ZeroThreads,
+    /// A registered solver was asked to run under a cover variant it does
+    /// not support (e.g. the VC-reduction solver under IPC).
+    UnsupportedVariant {
+        /// The registry name of the solver.
+        solver: String,
+        /// The rejected variant.
+        variant: Variant,
+    },
     /// A pinned-prefix solve received a prefix longer than `k` or containing
     /// duplicates/out-of-range ids.
     InvalidPrefix {
@@ -91,6 +101,11 @@ impl fmt::Display for SolveError {
                 write!(f, "threshold {threshold} is not a probability in [0, 1]")
             }
             SolveError::ZeroThreads => write!(f, "thread count must be at least 1"),
+            SolveError::UnsupportedVariant { solver, variant } => write!(
+                f,
+                "solver '{solver}' does not support the {} variant",
+                variant.name()
+            ),
             SolveError::InvalidPrefix { message } => write!(f, "invalid prefix: {message}"),
             SolveError::Internal { message } => {
                 write!(f, "internal solver invariant violated: {message}")

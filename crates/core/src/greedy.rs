@@ -16,7 +16,8 @@ use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::cover::CoverState;
 use crate::report::{Algorithm, SolveReport};
-use crate::variant::CoverModel;
+use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec, VariantSupport};
+use crate::variant::{CoverModel, Variant};
 use crate::SolveError;
 
 /// Runs plain greedy for budget `k`.
@@ -36,6 +37,20 @@ use crate::SolveError;
 /// [`SolveError::KTooLarge`] if `k > n`. `k = 0` yields an empty report with
 /// cover 0.
 pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport, SolveError> {
+    solve_with::<M>(g, k, &mut SolveCtx::default())
+}
+
+/// [`solve`] with an execution context: observers installed on `ctx` see
+/// each selection live. The selection arithmetic is identical to [`solve`].
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<SolveReport, SolveError> {
     let started = Instant::now();
     let n = g.node_count();
     if k > n {
@@ -46,26 +61,33 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
     let mut trajectory = Vec::with_capacity(k);
     let mut gain_evaluations = 0u64;
 
-    for _ in 0..k {
+    for iter in 0..k {
         let mut best: Option<(f64, ItemId)> = None;
+        let mut round_evals = 0u64;
         for v in g.node_ids() {
             if state.contains(v) {
                 continue;
             }
             let gain = state.gain::<M>(g, v);
-            gain_evaluations += 1;
+            round_evals += 1;
             let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
-        let Some((_, chosen)) = best else {
+        gain_evaluations += round_evals;
+        let Some((gain, chosen)) = best else {
             return Err(SolveError::internal(
                 "greedy round found no candidate despite k <= n",
             ));
         };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, gain, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
     }
 
     Ok(finish::<M>(
@@ -75,6 +97,70 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
         started,
         gain_evaluations,
     ))
+}
+
+/// Plain greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Greedy;
+
+impl Solver for Greedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        solve_with::<M>(g, k, ctx)
+    }
+}
+
+/// The registry entry for [`Greedy`].
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "greedy",
+        Algorithm::Greedy,
+        "Plain greedy (Algorithm 1): full candidate scan each round, 1-1/e guarantee, O(nkD)",
+        SolverCaps::default(),
+        |v, g, k, ctx| Greedy.dispatch(v, g, k, ctx),
+    )
+}
+
+/// The `O(k)`-space Normalized-only greedy as a registry [`Solver`]
+/// (see [`solve_low_memory_normalized`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LowMemoryGreedy;
+
+impl Solver for LowMemoryGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        if M::VARIANT != Variant::Normalized {
+            return Err(SolveError::UnsupportedVariant {
+                solver: "greedy-lowmem".to_string(),
+                variant: M::VARIANT,
+            });
+        }
+        let report = solve_low_memory_normalized(g, k)?;
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`LowMemoryGreedy`].
+pub fn low_memory_spec() -> SolverSpec {
+    SolverSpec::new(
+        "greedy-lowmem",
+        Algorithm::Greedy,
+        "O(k)-space greedy (Section 3.2): recomputes I-values on the fly; NPC only",
+        SolverCaps {
+            variants: VariantSupport::Only(Variant::Normalized),
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| LowMemoryGreedy.dispatch(v, g, k, ctx),
+    )
 }
 
 /// The paper's `O(k)`-space variant for the **Normalized** cover

@@ -26,6 +26,7 @@ use pcover_graph::{ItemId, PreferenceGraph};
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -77,7 +78,47 @@ impl PartialOrd for Entry {
 ///
 /// [`SolveError::KTooLarge`] if `k > n`.
 pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport, SolveError> {
-    solve_impl::<M>(g, k, f64::INFINITY)
+    solve_impl::<M>(g, k, f64::INFINITY, &mut SolveCtx::default())
+}
+
+/// [`solve`] with an execution context: observers installed on `ctx` see
+/// each selection live. The selection arithmetic is identical to [`solve`].
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<SolveReport, SolveError> {
+    solve_impl::<M>(g, k, f64::INFINITY, ctx)
+}
+
+/// Lazy greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LazyGreedy;
+
+impl Solver for LazyGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        solve_with::<M>(g, k, ctx)
+    }
+}
+
+/// The registry entry for [`LazyGreedy`].
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "lazy",
+        Algorithm::LazyGreedy,
+        "Lazy greedy: stale-gain max-heap, same set quality as greedy, near-linear in practice",
+        SolverCaps::default(),
+        |v, g, k, ctx| LazyGreedy.dispatch(v, g, k, ctx),
+    )
 }
 
 /// Runs lazy greedy until the cover reaches `stop_at` (or every node is
@@ -90,13 +131,14 @@ pub(crate) fn solve_until<M: CoverModel>(
     g: &PreferenceGraph,
     stop_at: f64,
 ) -> Result<SolveReport, SolveError> {
-    solve_impl::<M>(g, g.node_count(), stop_at)
+    solve_impl::<M>(g, g.node_count(), stop_at, &mut SolveCtx::default())
 }
 
 fn solve_impl<M: CoverModel>(
     g: &PreferenceGraph,
     k: usize,
     stop_at: f64,
+    ctx: &mut SolveCtx<'_>,
 ) -> Result<SolveReport, SolveError> {
     let started = Instant::now();
     let n = g.node_count();
@@ -125,6 +167,7 @@ fn solve_impl<M: CoverModel>(
         if state.cover() >= stop_at {
             break;
         }
+        let round_start_evals = gain_evaluations;
         loop {
             let Some(top) = heap.pop() else {
                 return Err(SolveError::internal(
@@ -138,6 +181,7 @@ fn solve_impl<M: CoverModel>(
                 // Fresh this round: submodularity makes it a valid argmax.
                 state.add_node::<M>(g, top.node);
                 trajectory.push(state.cover());
+                ctx.emit_select(round - 1, top.node, top.gain, state.cover());
                 break;
             }
             gain_evaluations += 1;
@@ -147,6 +191,7 @@ fn solve_impl<M: CoverModel>(
                 // select immediately without reinsertion.
                 state.add_node::<M>(g, top.node);
                 trajectory.push(state.cover());
+                ctx.emit_select(round - 1, top.node, gain, state.cover());
                 break;
             }
             heap.push(Entry {
@@ -155,6 +200,10 @@ fn solve_impl<M: CoverModel>(
                 node: top.node,
             });
         }
+        ctx.emit_round_stats(RoundStats {
+            iter: round - 1,
+            gain_evaluations: gain_evaluations - round_start_evals,
+        });
     }
 
     Ok(finish::<M>(

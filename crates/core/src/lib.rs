@@ -63,10 +63,15 @@ pub mod maxvc;
 pub mod minimize;
 pub mod parallel;
 pub mod partitioned;
+pub mod solver;
 pub mod stochastic;
 pub mod streaming;
 
 pub use cover::{cover_value, CoverState};
 pub use error::SolveError;
 pub use report::{Algorithm, SolveReport};
+pub use solver::{
+    NoopObserver, Observer, ProgressObserver, Registry, RoundStats, SolveCtx, Solver, SolverCaps,
+    SolverConfig, SolverSpec, TraceEvent, TraceObserver, VariantSupport,
+};
 pub use variant::{CoverModel, Independent, Normalized, Variant};

@@ -23,6 +23,7 @@ use crate::baselines::evaluate_selection;
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -155,6 +156,48 @@ pub fn refine<M: CoverModel>(
         initial_cover,
         swaps,
     })
+}
+
+/// Lazy greedy followed by swap refinement, as a registry [`Solver`] — the
+/// composite the CLI has always exposed as `local-search`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LazyThenLocalSearch {
+    /// Swap-loop options.
+    pub opts: LocalSearchOptions,
+}
+
+impl Solver for LazyThenLocalSearch {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let base = crate::lazy::solve::<M>(g, k)?;
+        let refined = refine::<M>(g, &base.order, &self.opts)?;
+        // Swaps can reorder/replace the constructive selection; replay the
+        // final report so the observer stream matches what is returned.
+        ctx.emit_report(&refined.report);
+        Ok(refined.report)
+    }
+}
+
+/// The registry entry for [`LazyThenLocalSearch`]; the swap budget comes
+/// from [`SolverConfig::max_swaps`](crate::solver::SolverConfig::max_swaps).
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "local-search",
+        Algorithm::LocalSearch,
+        "Lazy greedy then best-improvement swaps: never worse than lazy, swap-local optimum",
+        SolverCaps::default(),
+        |v, g, k, ctx| {
+            let opts = LocalSearchOptions {
+                max_swaps: ctx.config.max_swaps,
+                ..LocalSearchOptions::default()
+            };
+            LazyThenLocalSearch { opts }.dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -9,9 +9,16 @@
 // lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
 // node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
 // loops is deliberate and in bounds by construction.
+use std::time::Instant;
+
 use pcover_graph::reduction::VcInstance;
 use pcover_graph::{ItemId, PreferenceGraph};
 
+use crate::cover::CoverState;
+use crate::greedy::finish;
+use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec, VariantSupport};
+use crate::variant::{CoverModel, Variant};
 use crate::SolveError;
 
 /// The result of a greedy Max Vertex Cover run.
@@ -21,6 +28,9 @@ pub struct VcSolution {
     pub order: Vec<ItemId>,
     /// Total weight of edges incident to the selection.
     pub cover_weight: f64,
+    /// Candidate gain evaluations performed (one per non-selected vertex
+    /// per round).
+    pub gain_evaluations: u64,
 }
 
 /// Greedy `VC_k`: at each step select the vertex whose incident *uncovered*
@@ -47,6 +57,7 @@ pub fn greedy(inst: &VcInstance, k: usize) -> Result<VcSolution, SolveError> {
     let mut selected = vec![false; inst.n];
     let mut order = Vec::with_capacity(k);
     let mut cover_weight = 0.0;
+    let mut gain_evaluations = 0u64;
 
     for _ in 0..k {
         let mut best: Option<(f64, usize)> = None;
@@ -59,6 +70,7 @@ pub fn greedy(inst: &VcInstance, k: usize) -> Result<VcSolution, SolveError> {
                 .filter(|&&e| !edge_covered[e])
                 .map(|&e| inst.edges[e].weight)
                 .sum();
+            gain_evaluations += 1;
             let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
@@ -80,7 +92,66 @@ pub fn greedy(inst: &VcInstance, k: usize) -> Result<VcSolution, SolveError> {
     Ok(VcSolution {
         order,
         cover_weight,
+        gain_evaluations,
     })
+}
+
+/// The Theorem 3.1 route as a registry [`Solver`]: reduce `NPC_k` to
+/// `VC_k`, run the vertex-cover greedy, and replay the selection through
+/// the preference-graph cover oracle for a standard [`SolveReport`].
+///
+/// Normalized-only: the reduction's objective equality holds for graphs
+/// whose out-weight sums are at most 1 (the `NPC_k` regime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxVcGreedy;
+
+impl Solver for MaxVcGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        if M::VARIANT != Variant::Normalized {
+            return Err(SolveError::UnsupportedVariant {
+                solver: "maxvc".to_string(),
+                variant: M::VARIANT,
+            });
+        }
+        let started = Instant::now();
+        let inst = pcover_graph::reduction::npc_to_vck(g)
+            .map_err(|e| SolveError::internal(format!("NPC->VC reduction failed: {e}")))?;
+        let vc = greedy(&inst, k)?;
+        let mut state = CoverState::new(g.node_count());
+        let mut trajectory = Vec::with_capacity(vc.order.len());
+        for &v in &vc.order {
+            state.add_node::<M>(g, v);
+            trajectory.push(state.cover());
+        }
+        let report = finish::<M>(
+            Algorithm::MaxVcGreedy,
+            state,
+            trajectory,
+            started,
+            vc.gain_evaluations,
+        );
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`MaxVcGreedy`].
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "maxvc",
+        Algorithm::MaxVcGreedy,
+        "Theorem 3.1 route: reduce NPC to Max Vertex Cover, solve with VC greedy; NPC only",
+        SolverCaps {
+            variants: VariantSupport::Only(Variant::Normalized),
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| MaxVcGreedy.dispatch(v, g, k, ctx),
+    )
 }
 
 /// Cross-check helper: verifies on a given preference graph that the paper's

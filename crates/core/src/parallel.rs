@@ -31,6 +31,7 @@ use pcover_graph::{ItemId, PreferenceGraph};
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -93,6 +94,22 @@ pub fn solve<M: CoverModel>(
     k: usize,
     threads: usize,
 ) -> Result<(SolveReport, WorkStats), SolveError> {
+    solve_with::<M>(g, k, threads, &mut SolveCtx::default())
+}
+
+/// [`solve`] with an execution context: observers installed on `ctx` see
+/// each selection live (emitted from the sequential reduce, never from
+/// worker threads, so observers cannot perturb the bit-identical result).
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    threads: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<(SolveReport, WorkStats), SolveError> {
     let started = Instant::now();
     let n = g.node_count();
     if k > n {
@@ -119,7 +136,7 @@ pub fn solve<M: CoverModel>(
         .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
         .collect();
 
-    for _ in 0..k {
+    for iter in 0..k {
         // Scan: each chunk yields (best (gain, id), ops, evals). The
         // in-chunk argmax goes through the audited tie-break so every
         // solver variant selects identically.
@@ -151,22 +168,29 @@ pub fn solve<M: CoverModel>(
         // commutative over the per-chunk winners — chunk order cannot
         // change the selection.
         let mut best: Option<(f64, ItemId)> = None;
+        let mut round_evals = 0u64;
         for (slot, (chunk_best, ops, evals)) in chunk_results.into_iter().enumerate() {
             per_thread_ops[slot] += ops;
-            gain_evaluations += evals;
+            round_evals += evals;
             if let Some((gain, v)) = chunk_best {
                 if crate::float::improves_argmax(gain, v, best) {
                     best = Some((gain, v));
                 }
             }
         }
-        let Some((_, chosen)) = best else {
+        gain_evaluations += round_evals;
+        let Some((gain, chosen)) = best else {
             return Err(SolveError::internal(
                 "greedy round found no candidate despite k <= n",
             ));
         };
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, gain, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
     }
 
     let report = finish::<M>(
@@ -182,6 +206,46 @@ pub fn solve<M: CoverModel>(
         iterations: k,
     };
     Ok((report, stats))
+}
+
+/// Parallel greedy as a registry [`Solver`]. Work statistics are dropped
+/// through this interface; callers that need [`WorkStats`] use
+/// [`solve`]/[`solve_with`] directly.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelGreedy {
+    /// Worker thread count (must be at least 1).
+    pub threads: usize,
+}
+
+impl Solver for ParallelGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        solve_with::<M>(g, k, self.threads, ctx).map(|(report, _)| report)
+    }
+}
+
+/// The registry entry for [`ParallelGreedy`]; thread count comes from
+/// [`SolverConfig::threads`](crate::solver::SolverConfig::threads).
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "parallel",
+        Algorithm::ParallelGreedy,
+        "Rayon-parallel greedy: chunked gain scans, bit-identical to greedy, O(k + nkD/N)",
+        SolverCaps {
+            supports_threads: true,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            ParallelGreedy {
+                threads: ctx.config.threads,
+            }
+            .dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 #[cfg(test)]

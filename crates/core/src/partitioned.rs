@@ -24,6 +24,7 @@ use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::lazy;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -113,12 +114,42 @@ pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport
         trajectory.push(state.cover());
     }
     Ok(finish::<M>(
-        Algorithm::LazyGreedy,
+        Algorithm::Partitioned,
         state,
         trajectory,
         started,
         gain_evaluations,
     ))
+}
+
+/// Partitioned greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Partitioned;
+
+impl Solver for Partitioned {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let report = solve::<M>(g, k)?;
+        // The merge assembles the solution at the end; replay it so the
+        // observer stream matches the returned order exactly.
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`Partitioned`].
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "partitioned",
+        Algorithm::Partitioned,
+        "Component-partitioned greedy: per-island lazy solves merged exactly by gain",
+        SolverCaps::default(),
+        |v, g, k, ctx| Partitioned.dispatch(v, g, k, ctx),
+    )
 }
 
 /// Induced subgraph that keeps original node weights (no renormalization),

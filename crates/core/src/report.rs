@@ -21,6 +21,9 @@ pub enum Algorithm {
     LazyGreedy,
     /// Rayon-parallel greedy.
     ParallelGreedy,
+    /// Component-partitioned greedy (per-component lazy + exact k-way
+    /// merge).
+    Partitioned,
     /// Exact brute force (the paper's BF baseline).
     BruteForce,
     /// Top-k items by node weight (TopK-W baseline).
@@ -36,6 +39,8 @@ pub enum Algorithm {
     SieveStreaming,
     /// Swap-based local search refinement — beyond-paper extension.
     LocalSearch,
+    /// NPC solved through the Theorem 3.1 reduction to Max Vertex Cover.
+    MaxVcGreedy,
 }
 
 impl Algorithm {
@@ -46,6 +51,7 @@ impl Algorithm {
             Algorithm::Greedy => "Greedy",
             Algorithm::LazyGreedy => "Greedy(lazy)",
             Algorithm::ParallelGreedy => "Greedy(par)",
+            Algorithm::Partitioned => "Greedy(part)",
             Algorithm::BruteForce => "BF",
             Algorithm::TopKWeight => "TopK-W",
             Algorithm::TopKCoverage => "TopK-C",
@@ -53,6 +59,46 @@ impl Algorithm {
             Algorithm::StochasticGreedy => "Greedy(stoch)",
             Algorithm::SieveStreaming => "Sieve",
             Algorithm::LocalSearch => "LocalSearch",
+            Algorithm::MaxVcGreedy => "Greedy(VC)",
+        }
+    }
+
+    /// Every algorithm, in the canonical presentation order. The solver
+    /// registry's conformance suite checks each is produced by a registered
+    /// spec, so this list cannot drift from the dispatchable set.
+    pub const ALL: [Algorithm; 12] = [
+        Algorithm::Greedy,
+        Algorithm::LazyGreedy,
+        Algorithm::ParallelGreedy,
+        Algorithm::Partitioned,
+        Algorithm::BruteForce,
+        Algorithm::TopKWeight,
+        Algorithm::TopKCoverage,
+        Algorithm::Random,
+        Algorithm::StochasticGreedy,
+        Algorithm::SieveStreaming,
+        Algorithm::LocalSearch,
+        Algorithm::MaxVcGreedy,
+    ];
+
+    /// The canonical registry/CLI name (`--algorithm` value) of the spec
+    /// that primarily produces this algorithm. The single source of truth
+    /// for CLI parsing: registry names for the builtin solvers are defined
+    /// as these strings.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Algorithm::Greedy => "greedy",
+            Algorithm::LazyGreedy => "lazy",
+            Algorithm::ParallelGreedy => "parallel",
+            Algorithm::Partitioned => "partitioned",
+            Algorithm::BruteForce => "bf",
+            Algorithm::TopKWeight => "topk-w",
+            Algorithm::TopKCoverage => "topk-c",
+            Algorithm::Random => "random",
+            Algorithm::StochasticGreedy => "stochastic",
+            Algorithm::SieveStreaming => "sieve",
+            Algorithm::LocalSearch => "local-search",
+            Algorithm::MaxVcGreedy => "maxvc",
         }
     }
 }

@@ -18,6 +18,7 @@ use pcover_graph::{ItemId, PreferenceGraph};
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -52,6 +53,21 @@ pub fn solve<M: CoverModel>(
     k: usize,
     opts: &StochasticOptions,
 ) -> Result<SolveReport, SolveError> {
+    solve_with::<M>(g, k, opts, &mut SolveCtx::default())
+}
+
+/// [`solve`] with an execution context: observers installed on `ctx` see
+/// each selection live. The selection arithmetic is identical to [`solve`].
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    opts: &StochasticOptions,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<SolveReport, SolveError> {
     let started = Instant::now();
     let n = g.node_count();
     if k > n {
@@ -74,24 +90,26 @@ pub fn solve<M: CoverModel>(
     let mut trajectory = Vec::with_capacity(k);
     let mut gain_evaluations = 0u64;
 
-    for _ in 0..k {
+    for iter in 0..k {
         // Sample from all nodes; already-retained hits are skipped. When
         // the filtered sample happens to be empty (late iterations with
         // small samples), fall back to the first non-retained node so the
         // budget is always filled.
         let mut best: Option<(f64, ItemId)> = None;
+        let mut round_evals = 0u64;
         for idx in sample(&mut rng, n, sample_size.min(n)) {
             let v = ItemId::from_index(idx);
             if state.contains(v) {
                 continue;
             }
             let gain = state.gain::<M>(g, v);
-            gain_evaluations += 1;
+            round_evals += 1;
             let better = crate::float::improves_argmax(gain, v, best);
             if better {
                 best = Some((gain, v));
             }
         }
+        gain_evaluations += round_evals;
         let chosen = match best {
             Some((_, v)) => v,
             None => match g.node_ids().find(|&v| !state.contains(v)) {
@@ -103,8 +121,14 @@ pub fn solve<M: CoverModel>(
                 }
             },
         };
+        let cover_before = state.cover();
         state.add_node::<M>(g, chosen);
         trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, state.cover() - cover_before, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
     }
 
     let mut report = finish::<M>(
@@ -116,6 +140,46 @@ pub fn solve<M: CoverModel>(
     );
     report.algorithm = Algorithm::StochasticGreedy;
     Ok(report)
+}
+
+/// Stochastic greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StochasticGreedy {
+    /// Sampling options (epsilon, seed).
+    pub opts: StochasticOptions,
+}
+
+impl Solver for StochasticGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let opts = self.opts;
+        solve_with::<M>(g, k, &opts, ctx)
+    }
+}
+
+/// The registry entry for [`StochasticGreedy`]; seed and epsilon come from
+/// the [`SolverConfig`](crate::solver::SolverConfig).
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "stochastic",
+        Algorithm::StochasticGreedy,
+        "Stochastic greedy: sampled candidate scans, 1-1/e-eps in expectation, k-independent work",
+        SolverCaps {
+            needs_seed: true,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            let opts = StochasticOptions {
+                epsilon: ctx.config.epsilon.unwrap_or(0.05),
+                seed: ctx.config.seed,
+            };
+            StochasticGreedy { opts }.dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 #[cfg(test)]

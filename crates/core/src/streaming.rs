@@ -21,6 +21,7 @@ use pcover_graph::PreferenceGraph;
 use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
+use crate::solver::{SolveCtx, Solver, SolverCaps, SolverSpec};
 use crate::variant::CoverModel;
 use crate::SolveError;
 
@@ -141,6 +142,49 @@ pub fn solve<M: CoverModel>(
         started,
         gain_evaluations,
     ))
+}
+
+/// Sieve-streaming as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SieveStreaming {
+    /// Threshold-spacing options.
+    pub opts: SieveOptions,
+}
+
+impl Solver for SieveStreaming {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        let report = solve::<M>(g, k, &self.opts)?;
+        // The winning sieve is only known after the pass; replay it so the
+        // observer stream matches the returned order exactly.
+        ctx.emit_report(&report);
+        Ok(report)
+    }
+}
+
+/// The registry entry for [`SieveStreaming`]; epsilon comes from the
+/// [`SolverConfig`](crate::solver::SolverConfig). May return fewer than `k`
+/// items (`fills_budget` is false).
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "sieve",
+        Algorithm::SieveStreaming,
+        "Sieve-streaming: one pass, O((k log k)/eps) slots, 1/2-eps; may return fewer than k",
+        SolverCaps {
+            fills_budget: false,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            let opts = SieveOptions {
+                epsilon: ctx.config.epsilon.unwrap_or(0.1),
+            };
+            SieveStreaming { opts }.dispatch(v, g, k, ctx)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! Registry-driven conformance suite: every registered solver, under every
+//! variant it supports, across several seeds, must satisfy the shared
+//! report invariants. Because the suite iterates [`Registry::builtin`]
+//! instead of naming solvers, a newly registered solver is covered
+//! automatically — and a solver that silently drops out of the registry
+//! fails the enum cross-check below.
+
+use rand::{RngExt, SeedableRng};
+
+use pcover_core::{
+    Algorithm, Registry, SolveCtx, SolveError, SolverConfig, TraceObserver, Variant,
+};
+use pcover_graph::{GraphBuilder, ItemId, PreferenceGraph};
+
+const SEEDS: [u64; 3] = [0, 7, 42];
+
+/// A random graph valid for *both* variants: out-weight sums stay at most 1
+/// (each node gets at most 2 out-edges of weight at most 0.5), so the NPC
+/// semantics — and the Theorem 3.1 reduction behind the `maxvc` solver —
+/// are exact, while IPC is unrestricted anyway.
+fn random_graph(n: usize, seed: u64) -> PreferenceGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new().normalize_node_weights(true);
+    let ids: Vec<ItemId> = (0..n)
+        .map(|_| b.add_node(rng.random_range(1.0..50.0)))
+        .collect();
+    for &v in &ids {
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..rng.random_range(0..3usize) {
+            let u = ids[rng.random_range(0..n)];
+            if u != v && used.insert(u) {
+                b.add_edge(v, u, rng.random_range(0.05..=0.5))
+                    .expect("edge endpoints exist");
+            }
+        }
+    }
+    b.build().expect("valid graph")
+}
+
+#[test]
+fn every_solver_satisfies_shared_invariants() {
+    let registry = Registry::builtin();
+    for seed in SEEDS {
+        let g = random_graph(24, seed);
+        let k = 6;
+        for spec in registry.specs() {
+            for variant in [Variant::Independent, Variant::Normalized] {
+                let mut ctx = SolveCtx::new(SolverConfig::default());
+                let result = spec.solve(variant, &g, k, &mut ctx);
+                if !spec.caps.variants.supports(variant) {
+                    assert!(
+                        matches!(result, Err(SolveError::UnsupportedVariant { .. })),
+                        "{}/{variant:?}: expected UnsupportedVariant",
+                        spec.name
+                    );
+                    continue;
+                }
+                let report = result.unwrap_or_else(|e| {
+                    panic!("{}/{variant:?} seed {seed} failed: {e}", spec.name)
+                });
+
+                let label = format!("{}/{variant:?} seed {seed}", spec.name);
+
+                // Budget: exactly k, or at most k for solvers that may
+                // legitimately under-fill (sieve streaming).
+                if spec.caps.fills_budget {
+                    assert_eq!(report.order.len(), k, "{label}: order must fill k");
+                } else {
+                    assert!(report.order.len() <= k, "{label}: order exceeds k");
+                }
+                assert_eq!(
+                    report.order.len(),
+                    report.trajectory.len(),
+                    "{label}: one trajectory point per selection"
+                );
+                assert_eq!(report.variant, variant, "{label}: variant tag");
+                assert_eq!(report.algorithm, spec.algorithm, "{label}: algorithm tag");
+
+                // Monotonicity: the trajectory never decreases.
+                for w in report.trajectory.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-12, "{label}: trajectory decreased {w:?}");
+                }
+
+                // The I-array accounts for the cover exactly.
+                let item_sum = pcover_core::float::sum_stable(report.item_cover.iter().copied());
+                assert!(
+                    (report.cover - item_sum).abs() <= 1e-9,
+                    "{label}: cover {} != item_cover sum {}",
+                    report.cover,
+                    item_sum
+                );
+
+                // Work was measured.
+                assert!(
+                    report.gain_evaluations > 0,
+                    "{label}: no evaluations counted"
+                );
+
+                // Determinism: a second run under the same config is
+                // bit-identical.
+                let mut ctx2 = SolveCtx::new(SolverConfig::default());
+                let again = spec
+                    .solve(variant, &g, k, &mut ctx2)
+                    .unwrap_or_else(|e| panic!("{label}: rerun failed: {e}"));
+                assert_eq!(report.order, again.order, "{label}: order drifted");
+                assert_eq!(
+                    report.cover.to_bits(),
+                    again.cover.to_bits(),
+                    "{label}: cover drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn observer_stream_matches_returned_report_for_every_solver() {
+    let registry = Registry::builtin();
+    let g = random_graph(24, 1);
+    let k = 5;
+    for spec in registry.specs() {
+        for variant in [Variant::Independent, Variant::Normalized] {
+            if !spec.caps.variants.supports(variant) {
+                continue;
+            }
+            let mut trace = TraceObserver::new();
+            let mut ctx = SolveCtx::with_observer(SolverConfig::default(), &mut trace);
+            let report = spec
+                .solve(variant, &g, k, &mut ctx)
+                .unwrap_or_else(|e| panic!("{}/{variant:?} failed: {e}", spec.name));
+            let items: Vec<ItemId> = trace.events.iter().map(|e| e.item).collect();
+            assert_eq!(
+                items, report.order,
+                "{}/{variant:?}: observer items must mirror the order",
+                spec.name
+            );
+            for (e, (&t, i)) in trace
+                .events
+                .iter()
+                .zip(report.trajectory.iter().zip(0usize..))
+            {
+                assert_eq!(e.iter, i, "{}: iteration index", spec.name);
+                assert!(
+                    (e.cover - t).abs() <= 1e-9,
+                    "{}/{variant:?}: observed cover {} vs trajectory {}",
+                    spec.name,
+                    e.cover,
+                    t
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithm_enum_and_registry_are_one_to_one() {
+    let registry = Registry::builtin();
+    // Every enum variant is reachable through a registered solver...
+    for algo in Algorithm::ALL {
+        assert!(
+            registry.specs().iter().any(|s| s.algorithm == algo),
+            "{algo:?} has no registered solver"
+        );
+        assert!(
+            registry.get(algo.cli_name()).is_some(),
+            "{}: cli name not registered",
+            algo.cli_name()
+        );
+    }
+    // ...and every registered solver tags its reports with a listed variant.
+    for spec in registry.specs() {
+        assert!(
+            Algorithm::ALL.contains(&spec.algorithm),
+            "{}: algorithm not in Algorithm::ALL",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn readme_algorithm_table_is_generated_from_the_registry() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("workspace README exists");
+    let table = Registry::builtin().markdown_table();
+    assert!(
+        readme.contains(&table),
+        "README.md's algorithm table is out of date; regenerate it from \
+         Registry::builtin().markdown_table():\n{table}"
+    );
+}

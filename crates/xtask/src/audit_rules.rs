@@ -1,6 +1,6 @@
 //! The semantic audit pass (`cargo run -p xtask -- audit`).
 //!
-//! Four rule families layered on the item index ([`crate::ast`]) and call
+//! Five rule families layered on the item index ([`crate::ast`]) and call
 //! graph ([`crate::callgraph`]) that the lexical lint pass cannot express:
 //!
 //! - **`panic-path`** — no public function of `pcover_core` may
@@ -13,6 +13,14 @@
 //!   and interior-mutability types (`Mutex`/`RefCell`/atomics) must not be
 //!   used for aggregation. These are the static side of the paper's
 //!   "parallel output is identical to sequential" claim.
+//! - **`solver-dispatch`** — downstream layers (CLI, bench experiments,
+//!   adapt, examples, the facade) must route solver invocations through
+//!   the `pcover_core::Registry` / `SolverSpec::solve` harness rather than
+//!   calling `greedy::solve`-style free functions directly, so every entry
+//!   point gets the shared config/observer plumbing and every solver added
+//!   to the registry is reachable everywhere with no downstream edits.
+//!   `pcover-core` itself and the criterion benches (which measure the raw
+//!   free functions against the harness) are out of scope.
 //! - **`stale-waiver`** / **`shadowed-waiver`** — every waiver must still
 //!   suppress at least one raw finding, and a line waiver fully covered by
 //!   an enclosing `allow-file` must be removed.
@@ -20,8 +28,8 @@
 //!   committed snapshots in `crates/xtask/api/` (see
 //!   [`crate::api_snapshot`]).
 //!
-//! Findings for the first three parallel/panic rules are waivable with the
-//! normal `// lint: allow(<rule>) — <reason>` grammar; the hygiene and
+//! Findings for the panic, parallel, and dispatch rules are waivable with
+//! the normal `// lint: allow(<rule>) — <reason>` grammar; the hygiene and
 //! drift rules are not (see [`crate::rules::WAIVABLE_AUDIT_RULES`]).
 
 use std::collections::BTreeMap;
@@ -93,6 +101,47 @@ const SHARED_STATE_METHODS: [&str; 11] = [
     "compare_exchange",
 ];
 
+/// Solver modules whose free functions must not be called directly from
+/// the dispatch-scoped layers (rule `solver-dispatch`).
+const DISPATCH_MODULES: [&str; 10] = [
+    "greedy",
+    "lazy",
+    "parallel",
+    "partitioned",
+    "streaming",
+    "stochastic",
+    "brute_force",
+    "local_search",
+    "baselines",
+    "maxvc",
+];
+
+/// The solver entry points covered by `solver-dispatch`. Other functions in
+/// the same modules (`brute_force::subset_count`, `evaluate_selection`, the
+/// extension solvers) are utilities the registry deliberately does not
+/// wrap, and stay callable.
+const DISPATCH_FNS: [&str; 7] = [
+    "solve",
+    "refine",
+    "top_k_weight",
+    "top_k_coverage",
+    "random",
+    "random_best_of",
+    "solve_low_memory_normalized",
+];
+
+/// Path prefixes where `solver-dispatch` applies: every layer downstream
+/// of `pcover-core`. `crates/bench/src/` covers the experiment binaries but
+/// not `crates/bench/benches/`, whose criterion benches compare the raw
+/// free functions against the registry harness by design.
+const DISPATCH_SCOPES: [&str; 5] = [
+    "crates/cli/src/",
+    "crates/bench/src/",
+    "crates/adapt/src/",
+    "examples/",
+    "src/",
+];
+
 /// Runs the full audit. `bless` rewrites the API snapshots instead of
 /// diffing against them.
 pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
@@ -161,7 +210,12 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
         determinism_findings(&f.rel, &lexed[i].tokens, &mut raw_audit[i]);
     }
 
-    // --- Rule family 4: pub-surface snapshots ----------------------------
+    // --- Rule family 3: registry dispatch in downstream layers -----------
+    for (i, f) in files.iter().enumerate() {
+        solver_dispatch_findings(&f.rel, &lexed[i].tokens, &mut raw_audit[i]);
+    }
+
+    // --- Rule family 5: pub-surface snapshots ----------------------------
     let snap_inputs: Vec<SnapshotInput<'_>> = files
         .iter()
         .zip(&asts)
@@ -192,7 +246,7 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
         }
     }
 
-    // --- Rule family 3: waiver hygiene -----------------------------------
+    // --- Rule family 4: waiver hygiene -----------------------------------
     // A waiver is live when some raw finding (lint or audit, pre-waiver)
     // sits under it; otherwise it is stale. This runs after the audit raw
     // findings exist so `allow(par-argmax)` etc. count as live.
@@ -362,6 +416,50 @@ fn determinism_findings(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
             }
             i += 1;
         }
+    }
+}
+
+/// Scans one file for direct solver free-function calls that bypass the
+/// registry (`solver-dispatch`): the token sequence
+/// `<solver module> :: <entry fn>` in a dispatch-scoped, non-test region.
+/// Method calls (`spec.solve(..)`) are preceded by `.`, not `::`, and never
+/// match; paths through other modules (`minimize::`, `revenue::`,
+/// `pinned::`) are not in [`DISPATCH_MODULES`].
+fn solver_dispatch_findings(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    if !DISPATCH_SCOPES.iter().any(|s| rel.starts_with(s)) {
+        return;
+    }
+    let in_test = crate::rules::test_region_mask(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !DISPATCH_MODULES.contains(&t.text.as_str())
+            || in_test.get(i).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        // `use pcover_core::greedy;` style imports are fine — only the
+        // call path `module::fn` is a dispatch bypass.
+        let callee = match (tokens.get(i + 1), tokens.get(i + 2)) {
+            (Some(sep), Some(name))
+                if sep.text == "::"
+                    && name.kind == TokKind::Ident
+                    && DISPATCH_FNS.contains(&name.text.as_str()) =>
+            {
+                &name.text
+            }
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: "solver-dispatch",
+            file: rel.to_string(),
+            line: t.line,
+            message: format!(
+                "direct call `{}::{callee}` bypasses the solver registry; resolve a \
+                 SolverSpec via Registry::builtin().get(..) and call spec.solve(..) so \
+                 the shared config/observer harness applies",
+                t.text
+            ),
+        });
     }
 }
 
@@ -568,6 +666,74 @@ mod tests {
                    }\n";
         let out = audit_single("crates/core/src/lib.rs", src);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn solver_dispatch_fires_on_direct_calls_in_scoped_layers() {
+        let src = "fn f(g: &G, k: usize) {\n\
+                   let a = pcover_core::greedy::solve::<Independent>(g, k);\n\
+                   let b = baselines::top_k_weight(g, k);\n\
+                   }\n";
+        for rel in [
+            "crates/cli/src/commands.rs",
+            "crates/bench/src/experiments/x.rs",
+            "crates/adapt/src/engine.rs",
+            "examples/quickstart.rs",
+            "src/lib.rs",
+        ] {
+            let out = audit_single(rel, src);
+            assert_eq!(
+                rules_of(&out),
+                ["solver-dispatch", "solver-dispatch"],
+                "{rel}: {:?}",
+                out.violations
+            );
+            assert!(out.violations[0].message.contains("greedy::solve"));
+            assert!(out.violations[1]
+                .message
+                .contains("baselines::top_k_weight"));
+        }
+    }
+
+    #[test]
+    fn solver_dispatch_ignores_core_benches_and_registry_calls() {
+        let direct = "fn f(g: &G, k: usize) { let a = lazy::solve::<Normalized>(g, k); }\n";
+        // pcover-core hosts the solvers themselves; the criterion benches
+        // compare raw free functions against the harness by design.
+        for rel in [
+            "crates/core/src/solver.rs",
+            "crates/bench/benches/gain_addnode.rs",
+            "crates/xtask/src/audit_rules.rs",
+        ] {
+            let out = audit_single(rel, direct);
+            assert!(out.violations.is_empty(), "{rel}: {:?}", out.violations);
+        }
+        // Registry dispatch, non-entry utilities, and imports stay legal.
+        let fine = "use pcover_core::brute_force;\n\
+                    fn f(spec: &SolverSpec, g: &G, k: usize) {\n\
+                    let n = brute_force::subset_count(10, 2);\n\
+                    let r = spec.solve(Variant::Independent, g, k, &mut SolveCtx::default());\n\
+                    let _ = (n, r);\n\
+                    }\n";
+        let out = audit_single("crates/bench/src/experiments/fig4b.rs", fine);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn solver_dispatch_skips_test_regions_and_is_waivable() {
+        let in_test = "#[cfg(test)]\nmod tests {\n\
+                       fn t(g: &G) { let _ = greedy::solve::<Independent>(g, 2); }\n\
+                       }\n";
+        let out = audit_single("crates/cli/src/commands.rs", in_test);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+
+        let waived = "fn f(g: &G, k: usize) {\n\
+                      // lint: allow(solver-dispatch) — needs the WorkStats side channel\n\
+                      let a = parallel::solve::<Independent>(g, k, 4);\n\
+                      }\n";
+        let out = audit_single("crates/bench/src/experiments/fig4e.rs", waived);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.waivers_used, 1);
     }
 
     #[test]

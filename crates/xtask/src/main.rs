@@ -21,8 +21,9 @@ SUBCOMMANDS:
              Exit code 0 when clean, 1 when violations are found, 2 on
              usage or I/O errors.
     audit    Semantic pass: panic reachability from public pcover_core
-             functions, determinism rules inside rayon regions, waiver
-             hygiene, and public-API snapshot drift. Same exit codes.
+             functions, determinism rules inside rayon regions, solver
+             registry dispatch in downstream layers, waiver hygiene, and
+             public-API snapshot drift. Same exit codes.
 
 OPTIONS (both):
     --json           Print the machine-readable JSON report to stdout
@@ -39,7 +40,7 @@ OPTIONS (audit):
 RULES (lint): float-eq, no-unwrap, no-expect, no-panic, no-index,
 crate-header, ambient-entropy (plus waiver-form for malformed waivers).
 RULES (audit): panic-path, par-argmax, par-float-accum, par-shared-state,
-stale-waiver, shadowed-waiver, api-drift.
+solver-dispatch, stale-waiver, shadowed-waiver, api-drift.
 Waive a finding with `// lint: allow(<rule>) — <reason>` on the offending
 line (or the line above), or `// lint: allow-file(<rule>) — <reason>` for a
 whole file. The reason is mandatory. The hygiene and drift rules are not

@@ -21,7 +21,7 @@ use crate::lexer::{lex, Tok, TokKind};
 /// The first eight are the lexical `lint` pass (PR 1); the rest belong to
 /// the semantic `audit` pass (see [`crate::audit_rules`]). Waivers may name
 /// any of them — the two passes share one waiver grammar.
-pub const RULES: [&str; 15] = [
+pub const RULES: [&str; 16] = [
     "float-eq",
     "no-unwrap",
     "no-expect",
@@ -35,6 +35,7 @@ pub const RULES: [&str; 15] = [
     "par-argmax",
     "par-float-accum",
     "par-shared-state",
+    "solver-dispatch",
     "stale-waiver",
     "shadowed-waiver",
     "api-drift",
@@ -44,11 +45,12 @@ pub const RULES: [&str; 15] = [
 /// `shadowed-waiver`, and `api-drift` are deliberately *not* waivable: a
 /// waiver about waivers would defeat the hygiene check, and API drift is
 /// resolved by blessing the snapshot, not by silencing the diff.
-pub const WAIVABLE_AUDIT_RULES: [&str; 4] = [
+pub const WAIVABLE_AUDIT_RULES: [&str; 5] = [
     "panic-path",
     "par-argmax",
     "par-float-accum",
     "par-shared-state",
+    "solver-dispatch",
 ];
 
 /// One diagnostic: rule, location, human message.

@@ -52,6 +52,7 @@ fn planted_tree_fires_every_audit_rule_family() {
         "par-argmax",
         "par-float-accum",
         "par-shared-state",
+        "solver-dispatch",
         "stale-waiver",
         "shadowed-waiver",
         "api-drift",

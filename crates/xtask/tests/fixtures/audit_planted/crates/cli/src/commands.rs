@@ -1,0 +1,7 @@
+//! Planted solver-dispatch violation: a CLI-layer file calling a solver
+//! free function directly instead of resolving a SolverSpec from the
+//! registry.
+
+pub fn run(g: &Graph, k: usize) -> f64 {
+    greedy::solve::<Independent>(g, k).cover
+}

@@ -32,7 +32,11 @@ fn main() {
     .expect("nonempty clickstream");
     let g1 = adapted.graph;
     let k = g1.node_count() / 20;
-    let q1 = lazy::solve::<Independent>(&g1, k).expect("valid k");
+    let registry = Registry::builtin();
+    let lazy_spec = registry.get("lazy").expect("built-in");
+    let q1 = lazy_spec
+        .solve(Variant::Independent, &g1, k, &mut SolveCtx::default())
+        .expect("valid k");
     println!(
         "Q1: {} items stocked out of {}, cover {:.2}%",
         k,
@@ -96,7 +100,9 @@ fn main() {
     );
 
     // Full re-optimization: the ceiling, at maximal churn.
-    let fresh = lazy::solve::<Independent>(&g2, k).expect("valid k");
+    let fresh = lazy_spec
+        .solve(Variant::Independent, &g2, k, &mut SolveCtx::default())
+        .expect("valid k");
     let kept: usize = fresh.order.iter().filter(|v| stale.contains(v)).count();
     println!(
         "re-optimize all: cover {:.3}% but only {} of {} old items kept ({} swapped)",

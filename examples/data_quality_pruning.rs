@@ -33,9 +33,22 @@ fn main() {
     let keep = n / 2;
 
     // Baseline disposal: drop the worst sellers.
-    let naive = baselines::top_k_weight::<Independent>(g, keep).expect("valid k");
+    let registry = Registry::builtin();
+    let naive = adapted
+        .solve(
+            registry.get("topk-w").expect("built-in"),
+            keep,
+            &mut SolveCtx::default(),
+        )
+        .expect("valid k");
     // Preference-aware disposal.
-    let smart = lazy::solve::<Independent>(g, keep).expect("valid k");
+    let smart = adapted
+        .solve(
+            registry.get("lazy").expect("built-in"),
+            keep,
+            &mut SolveCtx::default(),
+        )
+        .expect("valid k");
     println!("disposing 50% of a {n}-item catalog (keeping {keep}):");
     println!(
         "  drop worst sellers: {:.4}% of demand still served",

@@ -56,8 +56,21 @@ fn main() {
 
     // 4. Stock 5% of the catalog.
     let k = g.node_count() / 20;
-    let naive = baselines::top_k_weight::<Independent>(g, k).expect("valid k");
-    let smart = lazy::solve::<Independent>(g, k).expect("valid k");
+    let registry = Registry::builtin();
+    let naive = adapted
+        .solve(
+            registry.get("topk-w").expect("built-in"),
+            k,
+            &mut SolveCtx::default(),
+        )
+        .expect("valid k");
+    let smart = adapted
+        .solve(
+            registry.get("lazy").expect("built-in"),
+            k,
+            &mut SolveCtx::default(),
+        )
+        .expect("valid k");
     println!("\nstocking k = {k} items (5% of catalog):");
     println!(
         "  TopK-W (best sellers):   {:.2}% of purchase requests served",

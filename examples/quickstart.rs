@@ -13,6 +13,21 @@ fn main() {
     let g = preference_cover::graph::examples::figure1();
     let k = 2;
 
+    // All solvers are dispatched by name through the registry.
+    let registry = Registry::builtin();
+    let solve = |name: &str| {
+        registry
+            .get(name)
+            .expect("built-in solver")
+            .solve(
+                Variant::Normalized,
+                &g,
+                k,
+                &mut SolveCtx::new(SolverConfig::default()),
+            )
+            .expect("valid k")
+    };
+
     println!("Figure 1 catalog ({} items, keeping {k}):", g.node_count());
     for v in g.node_ids() {
         let alternatives: Vec<String> = g
@@ -32,7 +47,7 @@ fn main() {
     }
 
     // The naive baseline: keep the best sellers.
-    let naive = baselines::top_k_weight::<Normalized>(&g, k).expect("valid k");
+    let naive = solve("topk-w");
     println!(
         "\nTopK-W keeps {:?} and covers {:.1}% of requests",
         labels(&g, &naive.order),
@@ -40,7 +55,7 @@ fn main() {
     );
 
     // The paper's greedy.
-    let smart = greedy::solve::<Normalized>(&g, k).expect("valid k");
+    let smart = solve("greedy");
     println!(
         "Greedy keeps {:?} and covers {:.1}% of requests",
         labels(&g, &smart.order),
@@ -48,12 +63,7 @@ fn main() {
     );
 
     // Brute force confirms greedy found the optimum here.
-    let optimal = brute_force::solve::<Normalized>(
-        &g,
-        k,
-        &preference_cover::solver::brute_force::BruteForceOptions::default(),
-    )
-    .expect("tiny instance");
+    let optimal = solve("bf");
     println!(
         "Brute force optimum: {:?} at {:.1}%",
         labels(&g, &optimal.order),

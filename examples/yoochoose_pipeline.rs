@@ -74,11 +74,19 @@ fn main() {
         "{:>6} | {:>8} | {:>8} | {:>8}",
         "k/n", "Greedy", "TopK-C", "TopK-W"
     );
+    let registry = Registry::builtin();
+    let solve = |name: &str, k: usize| {
+        registry
+            .get(name)
+            .expect("built-in solver")
+            .solve(Variant::Independent, g, k, &mut SolveCtx::default())
+            .expect("valid k")
+    };
     for tenth in [1, 3, 5, 7, 9] {
         let k = g.node_count() * tenth / 10;
-        let gr = lazy::solve::<Independent>(g, k).expect("valid k");
-        let tc = baselines::top_k_coverage::<Independent>(g, k).expect("valid k");
-        let tw = baselines::top_k_weight::<Independent>(g, k).expect("valid k");
+        let gr = solve("lazy", k);
+        let tc = solve("topk-c", k);
+        let tw = solve("topk-w", k);
         println!(
             "{:>5.0}% | {:>7.2}% | {:>7.2}% | {:>7.2}%",
             tenth as f64 * 10.0,

@@ -25,16 +25,23 @@
 //! use preference_cover::prelude::*;
 //!
 //! // The paper's Figure 1 graph: five items, greedy retains B then D and
-//! // covers 87.3% of requests with 2 of 5 items.
+//! // covers 87.3% of requests with 2 of 5 items. Solvers are dispatched
+//! // by name through the registry (see `Registry::builtin()` for the
+//! // full family).
+//! let registry = Registry::builtin();
+//! let greedy = registry.get("greedy").unwrap();
 //! let g = preference_cover::graph::examples::figure1();
-//! let report = greedy::solve::<Normalized>(&g, 2).unwrap();
+//! let report = greedy
+//!     .solve(Variant::Normalized, &g, 2, &mut SolveCtx::default())
+//!     .unwrap();
 //! assert!((report.cover - 0.873).abs() < 1e-9);
 //!
 //! // End to end: synthesize a clickstream, build the graph, solve.
 //! let (catalog_cfg, session_cfg) = DatasetProfile::YC.configs(Scale::Fraction(0.002), 42);
 //! let (_, sessions) = generate_clickstream(&catalog_cfg, &session_cfg);
 //! let adapted = adapt(&sessions, &AdaptOptions::default()).unwrap();
-//! let report = lazy::solve::<Independent>(&adapted.graph, 20).unwrap();
+//! let lazy = registry.get("lazy").unwrap();
+//! let report = adapted.solve(lazy, 20, &mut SolveCtx::default()).unwrap();
 //! assert!(report.cover > 0.0);
 //! ```
 
@@ -75,7 +82,9 @@ pub mod prelude {
     pub use pcover_clickstream::{Clickstream, Session};
     pub use pcover_core::{
         baselines, brute_force, greedy, lazy, local_search, minimize, parallel, stochastic,
-        streaming, CoverModel, Independent, Normalized, SolveReport, Variant,
+        streaming, Algorithm, CoverModel, Independent, NoopObserver, Normalized, Observer,
+        ProgressObserver, Registry, SolveCtx, SolveReport, Solver, SolverCaps, SolverConfig,
+        SolverSpec, TraceObserver, Variant,
     };
     pub use pcover_datagen::behavior::BehaviorModel;
     pub use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
