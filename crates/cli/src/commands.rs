@@ -42,6 +42,7 @@ pub fn run_with_registry(args: &Args, registry: &Registry) -> Result<String, Cli
         "export-dot" => export_dot_cmd(args),
         "closure" => closure_cmd(args),
         "delta" => delta_cmd(args),
+        "serve" => serve_cmd(args),
         "help" | "--help" => Ok(help_with(registry)),
         other => Err(CliError(format!(
             "unknown subcommand {other:?}; try `pcover help`"
@@ -89,6 +90,13 @@ SUBCOMMANDS
             graph (Section 2's modeling step).
   delta     --graph graph.json --changes delta.json --out new-graph.json
             Apply a JSON batch of demand/edge/delisting changes.
+  serve     --graph graph.json [--threads 8] [--port 7878] [--host 127.0.0.1]
+            [--queue 64] [--cache 128] [--deadline-ms 0]
+            Run the resident query service: GET /solve, /cover, /minimize,
+            /healthz, /metrics; POST /admin/delta hot-swaps the graph and
+            POST /admin/shutdown drains and exits. Requests beyond the
+            queue bound are shed with 503; --deadline-ms > 0 cancels
+            overrunning solves (504).
 ";
 
 /// Usage text for the built-in registry.
@@ -257,6 +265,10 @@ impl Observer for Tee<'_> {
         self.0.on_round_stats(stats);
         self.1.on_round_stats(stats);
     }
+
+    fn cancelled(&mut self) -> bool {
+        self.0.cancelled() || self.1.cancelled()
+    }
 }
 
 /// Runs a registry solver with the observers requested on the command line:
@@ -366,6 +378,34 @@ fn delta_cmd(args: &Args) -> Result<String, CliError> {
         updated.node_count(),
         updated.edge_count()
     ))
+}
+
+fn serve_cmd(args: &Args) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let host = args.optional("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.parse_or("port", 7878)?;
+    let workers: usize = args.parse_or("threads", 8)?;
+    let queue_capacity: usize = args.parse_or("queue", 64)?;
+    let cache_capacity: usize = args.parse_or("cache", 128)?;
+    let deadline_ms: u64 = args.parse_or("deadline-ms", 0)?;
+    let config = pcover_serve::ServerConfig {
+        addr: format!("{host}:{port}"),
+        workers,
+        queue_capacity,
+        cache_capacity,
+        default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        ..pcover_serve::ServerConfig::default()
+    };
+    let handle = pcover_serve::Server::start(g, config).map_err(CliError::from_display)?;
+    let addr = handle.addr();
+    // Announce on stderr immediately — the Ok(..) string only prints once
+    // the server has fully drained and exited.
+    eprintln!(
+        "pcover-serve listening on http://{addr} \
+         ({workers} workers; POST /admin/shutdown to stop)"
+    );
+    handle.join();
+    Ok(format!("server on {addr} shut down\n"))
 }
 
 fn export_dot_cmd(args: &Args) -> Result<String, CliError> {
@@ -490,8 +530,81 @@ mod tests {
 
     #[test]
     fn help_and_unknown_command() {
-        assert!(run_tokens(&["help"]).unwrap().contains("SUBCOMMANDS"));
+        let help_text = run_tokens(&["help"]).unwrap();
+        assert!(help_text.contains("SUBCOMMANDS"));
+        assert!(help_text.contains("serve"), "serve must be documented");
+        assert!(help_text.contains("/admin/delta"));
         assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn serve_requires_a_graph() {
+        assert!(run_tokens(&["serve"]).is_err());
+        assert!(run_tokens(&["serve", "--graph", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn serve_starts_answers_and_shuts_down() {
+        use std::io::{Read as _, Write as _};
+
+        // Build a real graph file, then run `serve` on an ephemeral port in
+        // a background thread and drive it over TCP like a client would.
+        let graph_path = tmp("serve-graph.json");
+        pcover_graph::io::json::write_json(&pcover_graph::examples::figure1(), &graph_path)
+            .unwrap();
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let port = probe.local_addr().unwrap().port().to_string();
+        drop(probe);
+        let args: Vec<String> = [
+            "serve",
+            "--graph",
+            &graph_path,
+            "--port",
+            &port,
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run(&Args::parse(args).unwrap()).unwrap());
+
+        let addr = format!("127.0.0.1:{port}");
+        let send = |target: &str, method: &str| -> String {
+            // The server may still be binding; retry briefly.
+            let mut last_err = None;
+            for _ in 0..100 {
+                match std::net::TcpStream::connect(&addr) {
+                    Ok(mut s) => {
+                        s.write_all(
+                            format!(
+                                "{method} {target} HTTP/1.1\r\nHost: t\r\n\
+                                 Content-Length: 0\r\nConnection: close\r\n\r\n"
+                            )
+                            .as_bytes(),
+                        )
+                        .unwrap();
+                        let mut out = String::new();
+                        s.read_to_string(&mut out).unwrap();
+                        return out;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                }
+            }
+            panic!("server never came up: {last_err:?}");
+        };
+
+        let health = send("/healthz", "GET");
+        assert!(health.contains("200 OK"), "{health}");
+        let solved = send("/solve?k=2", "GET");
+        assert!(solved.contains("\"cover\""), "{solved}");
+        let bye = send("/admin/shutdown", "POST");
+        assert!(bye.contains("shutting down"), "{bye}");
+        let summary = server.join().unwrap();
+        assert!(summary.contains("shut down"), "{summary}");
     }
 
     #[test]

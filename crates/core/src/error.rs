@@ -57,6 +57,11 @@ pub enum SolveError {
         /// What was wrong with the prefix.
         message: String,
     },
+    /// The installed [`crate::Observer`] reported cancellation (deadline
+    /// exceeded, shutdown in progress, …) and the solve stopped early.
+    /// Incremental solvers check between rounds; every registered solver
+    /// checks at least once on entry via [`crate::SolverSpec::solve`].
+    Cancelled,
     /// A solver invariant that should hold by construction was violated.
     /// Reaching this is a bug in the solver, not bad input; it exists so
     /// library code can propagate the condition instead of panicking
@@ -107,6 +112,9 @@ impl fmt::Display for SolveError {
                 variant.name()
             ),
             SolveError::InvalidPrefix { message } => write!(f, "invalid prefix: {message}"),
+            SolveError::Cancelled => {
+                write!(f, "solve cancelled by observer before completion")
+            }
             SolveError::Internal { message } => {
                 write!(f, "internal solver invariant violated: {message}")
             }

@@ -62,6 +62,7 @@ pub fn solve_with<M: CoverModel>(
     let mut gain_evaluations = 0u64;
 
     for iter in 0..k {
+        ctx.check_cancelled()?;
         let mut best: Option<(f64, ItemId)> = None;
         let mut round_evals = 0u64;
         for v in g.node_ids() {

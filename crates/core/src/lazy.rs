@@ -164,6 +164,7 @@ fn solve_impl<M: CoverModel>(
         .collect();
 
     for round in 1..=k {
+        ctx.check_cancelled()?;
         if state.cover() >= stop_at {
             break;
         }

@@ -137,6 +137,7 @@ pub fn solve_with<M: CoverModel>(
         .collect();
 
     for iter in 0..k {
+        ctx.check_cancelled()?;
         // Scan: each chunk yields (best (gain, id), ops, evals). The
         // in-chunk argmax goes through the audited tie-break so every
         // solver variant selects identically.

@@ -32,8 +32,12 @@
 //! stream matches the returned `order`/`trajectory` exactly. Observers only
 //! *read* values the solver already computed — they cannot perturb
 //! selection, which is what keeps the bit-identical determinism guarantees
-//! of the parallel solvers intact. When no observer is installed the hooks
-//! cost one branch per selection (see the `gain_addnode` benchmark).
+//! of the parallel solvers intact — with one deliberate exception: the
+//! [`Observer::cancelled`] poll lets an observer *stop* a solve early
+//! (deadline enforcement in the serving layer), turning the run into
+//! [`SolveError::Cancelled`] rather than perturbing its output. When no
+//! observer is installed the hooks cost one branch per selection (see the
+//! `gain_addnode` benchmark).
 
 use std::io::Write;
 
@@ -70,6 +74,17 @@ pub trait Observer {
     /// Called at the end of each round with work statistics.
     fn on_round_stats(&mut self, stats: &RoundStats) {
         let _ = stats;
+    }
+
+    /// Polled by the harness to decide whether the solve should stop early
+    /// (deadline exceeded, shutdown in progress, …). Returning `true` makes
+    /// the solve return [`SolveError::Cancelled`]. Live-emitting solvers
+    /// (greedy, lazy, parallel, stochastic) poll between rounds; every
+    /// registered solver additionally polls once on entry via
+    /// [`SolverSpec::solve`], so even replay-style solvers observe a
+    /// cancellation that was signalled before the solve began.
+    fn cancelled(&mut self) -> bool {
+        false
     }
 }
 
@@ -251,6 +266,23 @@ impl<'o> SolveCtx<'o> {
         }
     }
 
+    /// Polls the observer's cancellation flag, turning it into an error.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Cancelled`] when an observer is installed and its
+    /// [`Observer::cancelled`] returns `true`; `Ok(())` otherwise (including
+    /// when no observer is installed). One branch when unobserved.
+    #[inline]
+    pub fn check_cancelled(&mut self) -> Result<(), SolveError> {
+        if let Some(obs) = self.observer.as_deref_mut() {
+            if obs.cancelled() {
+                return Err(SolveError::Cancelled);
+            }
+        }
+        Ok(())
+    }
+
     /// Replays a finished report's selection sequence through the observer.
     ///
     /// Solvers that assemble their solution at the end (brute force,
@@ -392,12 +424,16 @@ impl SolverSpec {
         }
     }
 
-    /// Runs the solver, gating unsupported variants first.
+    /// Runs the solver, gating unsupported variants first, then polling the
+    /// observer's cancellation flag once before handing off — so every
+    /// registered solver, including replay-style ones with no internal poll
+    /// points, returns promptly when cancellation was signalled up front.
     ///
     /// # Errors
     ///
     /// [`SolveError::UnsupportedVariant`] when `variant` is outside
-    /// [`SolverCaps::variants`]; otherwise whatever the solver returns.
+    /// [`SolverCaps::variants`]; [`SolveError::Cancelled`] when the observer
+    /// already signals cancellation; otherwise whatever the solver returns.
     pub fn solve(
         &self,
         variant: Variant,
@@ -411,6 +447,7 @@ impl SolverSpec {
                 variant,
             });
         }
+        ctx.check_cancelled()?;
         (self.run)(variant, g, k, ctx)
     }
 }

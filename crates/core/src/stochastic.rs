@@ -91,6 +91,7 @@ pub fn solve_with<M: CoverModel>(
     let mut gain_evaluations = 0u64;
 
     for iter in 0..k {
+        ctx.check_cancelled()?;
         // Sample from all nodes; already-retained hits are skipped. When
         // the filtered sample happens to be empty (late iterations with
         // small samples), fall back to the first non-retained node so the

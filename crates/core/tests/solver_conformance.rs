@@ -152,6 +152,87 @@ fn observer_stream_matches_returned_report_for_every_solver() {
     }
 }
 
+/// An observer whose cancellation flag flips after a fixed number of
+/// selections (0 = cancelled from the start).
+struct CancelAfter {
+    selections: usize,
+    after: usize,
+}
+
+impl pcover_core::Observer for CancelAfter {
+    fn on_select(&mut self, _iter: usize, _item: ItemId, _gain: f64, _cover: f64) {
+        self.selections += 1;
+    }
+
+    fn cancelled(&mut self) -> bool {
+        self.selections >= self.after
+    }
+}
+
+#[test]
+fn every_solver_returns_cancelled_when_cancellation_is_signalled_up_front() {
+    let registry = Registry::builtin();
+    let g = random_graph(24, 3);
+    for spec in registry.specs() {
+        for variant in [Variant::Independent, Variant::Normalized] {
+            if !spec.caps.variants.supports(variant) {
+                continue;
+            }
+            let mut obs = CancelAfter {
+                selections: 0,
+                after: 0,
+            };
+            let mut ctx = SolveCtx::with_observer(SolverConfig::default(), &mut obs);
+            let result = spec.solve(variant, &g, 6, &mut ctx);
+            assert!(
+                matches!(result, Err(SolveError::Cancelled)),
+                "{}/{variant:?}: pre-cancelled observer must abort the solve, got {result:?}",
+                spec.name
+            );
+            assert_eq!(
+                obs.selections, 0,
+                "{}/{variant:?}: no selections may be emitted after cancellation",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn live_solvers_abort_mid_solve_when_cancelled_after_first_selection() {
+    // The solvers that thread the ctx through their selection loop must
+    // notice a cancellation raised *during* the solve, not only on entry.
+    let registry = Registry::builtin();
+    let g = random_graph(24, 4);
+    let k = 6;
+    for name in ["greedy", "lazy", "parallel", "stochastic"] {
+        let spec = registry.get(name).unwrap_or_else(|| {
+            panic!("{name} must be registered");
+        });
+        let mut obs = CancelAfter {
+            selections: 0,
+            after: 1,
+        };
+        let mut ctx = SolveCtx::with_observer(SolverConfig::default(), &mut obs);
+        let result = spec.solve(Variant::Normalized, &g, k, &mut ctx);
+        assert!(
+            matches!(result, Err(SolveError::Cancelled)),
+            "{name}: cancel-after-one-selection must abort mid-solve, got {result:?}"
+        );
+        assert!(
+            obs.selections < k,
+            "{name}: solve ran to completion despite cancellation"
+        );
+        // The same spec solves fine once the flag is withdrawn: the worker
+        // (and the registry entry) remain reusable after a cancellation.
+        let mut ctx = SolveCtx::new(SolverConfig::default());
+        assert!(
+            spec.solve(Variant::Normalized, &g, k, &mut ctx).is_ok(),
+            "{name}: solver must be reusable after a cancelled run"
+        );
+    }
+}
+
 #[test]
 fn algorithm_enum_and_registry_are_one_to_one() {
     let registry = Registry::builtin();

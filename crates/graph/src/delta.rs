@@ -88,6 +88,33 @@ impl GraphDelta {
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty()
     }
+
+    /// Serializes the delta as JSON — the wire format accepted by the
+    /// serving layer's `POST /admin/delta` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Parse`] when serialization fails (a change carrying a
+    /// non-finite weight is the only practical way there; such a delta
+    /// would be rejected by [`apply`] anyway).
+    pub fn to_json_string(&self) -> Result<String, GraphError> {
+        serde_json::to_string(self).map_err(|e| GraphError::Parse {
+            line: None,
+            message: e.to_string(),
+        })
+    }
+
+    /// Parses a delta from its JSON wire format (see [`Self::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Parse`] with the offending line on malformed input.
+    pub fn from_json_str(s: &str) -> Result<Self, GraphError> {
+        serde_json::from_str(s).map_err(|e| GraphError::Parse {
+            line: Some(e.line()),
+            message: e.to_string(),
+        })
+    }
 }
 
 /// Applies `delta` to `g`, renormalizing node weights to sum to 1 at the
@@ -334,6 +361,81 @@ mod tests {
             label: None,
         });
         assert!(apply(&g, &negative).is_err());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        // Beyond node/edge counts: weights, labels, and every edge weight
+        // survive a round through apply() bit-for-bit (renormalizing an
+        // already-normalized weight vector is a no-op up to float noise).
+        let (g, _) = figure1_ids();
+        let g2 = apply(&g, &GraphDelta::new()).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.node_ids() {
+            assert!((g2.node_weight(v) - g.node_weight(v)).abs() < 1e-12);
+            assert_eq!(g2.label(v), g.label(v));
+        }
+        for e in g.edges() {
+            assert_eq!(g2.edge_weight(e.source, e.target), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn delist_edge_target_drops_incoming_edges() {
+        // D is a pure edge *target* in Figure 1 (E→D, and D sources
+        // nothing); delisting it must remove the incoming edge even though
+        // no outgoing adjacency mentions D.
+        let (g, ids) = figure1_ids();
+        let g2 = apply(&g, &GraphDelta::new().push(Change::Delist { node: ids.d })).unwrap();
+        assert_eq!(g2.node_weight(ids.d), 0.0);
+        assert_eq!(
+            g2.edge_weight(ids.e, ids.d),
+            None,
+            "edge into the delisted target must be dropped"
+        );
+        assert_eq!(g2.edge_count(), g.edge_count() - 1);
+        // Unrelated edges survive, and the remaining mass renormalizes.
+        assert!(g2.edge_weight(ids.a, ids.b).is_some());
+        assert!((g2.total_node_weight() - 1.0).abs() < 1e-9);
+        assert!((g2.node_weight(ids.a) - 0.33 / 0.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_node_weight_to_zero_renormalizes_over_the_rest() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new().push(Change::SetNodeWeight {
+            node: ids.a,
+            weight: 0.0,
+        });
+        let g2 = apply(&g, &delta).unwrap();
+        assert_eq!(g2.node_weight(ids.a), 0.0);
+        assert!((g2.total_node_weight() - 1.0).abs() < 1e-9);
+        // The remaining mass (0.22 + 0.22 + 0.06 + 0.17 = 0.67) is scaled
+        // back up to 1; B's share becomes 0.22 / 0.67.
+        assert!((g2.node_weight(ids.b) - 0.22 / 0.67).abs() < 1e-12);
+        // Unlike Delist, zeroing the weight keeps incident edges: the item
+        // still transfers demand even if it has none of its own.
+        assert!(g2.edge_weight(ids.a, ids.b).is_some());
+    }
+
+    #[test]
+    fn json_helpers_roundtrip_and_report_parse_errors() {
+        let delta = GraphDelta::new()
+            .push(Change::SetNodeWeight {
+                node: ItemId::new(2),
+                weight: 0.4,
+            })
+            .push(Change::RemoveEdge {
+                source: ItemId::new(0),
+                target: ItemId::new(2),
+            });
+        let json = delta.to_json_string().unwrap();
+        let back = GraphDelta::from_json_str(&json).unwrap();
+        assert_eq!(back, delta);
+
+        let err = GraphDelta::from_json_str("{\"changes\": [{\"Nope\": {}}]}");
+        assert!(matches!(err, Err(GraphError::Parse { .. })));
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! The solve cache: LRU over finished [`SolveReport`]s with trajectory
+//! reuse.
+//!
+//! Reports from greedy-family solvers are *incremental* (paper §3.2): the
+//! first `k'` selections of a budget-`k` run are exactly the budget-`k'`
+//! answer, and the smallest prefix reaching a cover threshold answers the
+//! complementary minimization problem. The cache exploits this: a stored
+//! report for `(generation, solver, variant, fingerprint, k)` satisfies
+//!
+//! * an **exact** lookup for the same key,
+//! * a **prefix** lookup for any `k' ≤ k` under the same solver/config —
+//!   but only for solvers whose output is a true prefix chain (see
+//!   [`is_prefix_reusable`]; stochastic/sieve/brute-force outputs depend
+//!   on `k` itself and must not be truncated), and
+//! * any `/minimize` threshold query against a full-budget report.
+//!
+//! Entries are keyed by snapshot generation, so a hot-swap implicitly
+//! invalidates every cached answer; [`SolveCache::retain_generation`]
+//! additionally drops stale entries eagerly to free memory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use pcover_core::{SolveReport, SolverConfig, Variant};
+
+/// Cache key: everything that determines a solve's output.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot generation the solve ran against.
+    pub generation: u64,
+    /// Registry solver name (`"lazy"`, …).
+    pub solver: String,
+    /// Cover variant.
+    pub variant: Variant,
+    /// Requested budget.
+    pub k: usize,
+    /// [`fingerprint`] of the [`SolverConfig`].
+    pub fingerprint: u64,
+}
+
+/// FNV-1a over every [`SolverConfig`] field, floats via `to_bits` — two
+/// configs with the same fingerprint produce bit-identical solves (the
+/// determinism the conformance suite pins down).
+pub fn fingerprint(config: &SolverConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(&(config.threads as u64).to_le_bytes());
+    mix(&config.seed.to_le_bytes());
+    match config.epsilon {
+        Some(e) => {
+            mix(&[1]);
+            mix(&e.to_bits().to_le_bytes());
+        }
+        None => mix(&[0]),
+    }
+    mix(&(config.random_attempts as u64).to_le_bytes());
+    mix(&(config.max_swaps as u64).to_le_bytes());
+    mix(&config.max_subsets.to_le_bytes());
+    h
+}
+
+/// Whether a solver's budget-`k` report is a prefix chain: its first `k'`
+/// selections equal its budget-`k'` report for every `k' ≤ k`.
+///
+/// True for the greedy family (the paper's incremental property) and the
+/// sorted top-k baselines; false for solvers whose per-round behaviour
+/// depends on `k` (stochastic sampling rates, sieve thresholds, partitioned
+/// merge budgets) or that optimize the set as a whole (brute force, local
+/// search, random best-of, the VC reduction).
+pub fn is_prefix_reusable(solver: &str) -> bool {
+    matches!(
+        solver,
+        "greedy" | "greedy-lowmem" | "lazy" | "parallel" | "topk-w" | "topk-c"
+    )
+}
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Same key, stored report returned as-is.
+    Exact,
+    /// A stored report with a larger budget covered this one via the
+    /// trajectory property.
+    Prefix,
+    /// Nothing usable; the caller solves and [`SolveCache::insert`]s.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Lowercase tag used in responses and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Exact => "hit",
+            CacheOutcome::Prefix => "prefix",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+struct Entry {
+    report: Arc<SolveReport>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache of solve reports.
+pub struct SolveCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCache")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveCache {
+    /// A cache holding at most `capacity` reports (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                evictions: 0,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks up `key`, trying exact first, then a larger-budget prefix
+    /// donor when the solver's trajectory allows it. The returned report is
+    /// the *stored* one — for a prefix outcome its budget exceeds `key.k`
+    /// and the caller reads the answer off `report.prefix(key.k)`.
+    pub fn lookup(&self, key: &CacheKey) -> (Option<Arc<SolveReport>>, CacheOutcome) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(key) {
+            entry.last_used = tick;
+            return (Some(Arc::clone(&entry.report)), CacheOutcome::Exact);
+        }
+        if is_prefix_reusable(&key.solver) {
+            // Smallest stored budget that still covers k, for tightest reuse.
+            let donor = inner
+                .map
+                .iter()
+                .filter(|(stored, _)| {
+                    stored.generation == key.generation
+                        && stored.solver == key.solver
+                        && stored.variant == key.variant
+                        && stored.fingerprint == key.fingerprint
+                        && stored.k >= key.k
+                })
+                .min_by_key(|(stored, _)| stored.k)
+                .map(|(stored, _)| stored.clone());
+            if let Some(donor_key) = donor {
+                if let Some(entry) = inner.map.get_mut(&donor_key) {
+                    entry.last_used = tick;
+                    return (Some(Arc::clone(&entry.report)), CacheOutcome::Prefix);
+                }
+            }
+        }
+        (None, CacheOutcome::Miss)
+    }
+
+    /// Stores a finished report, evicting the least-recently-used entry
+    /// when full. No-op for a zero-capacity cache.
+    pub fn insert(&self, key: CacheKey, report: Arc<SolveReport>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                inner.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                report,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry from a generation other than `generation` —
+    /// called after a snapshot swap to free superseded answers eagerly.
+    pub fn retain_generation(&self, generation: u64) {
+        self.lock().map.retain(|k, _| k.generation == generation);
+    }
+
+    /// Current number of stored reports.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total LRU evictions since startup.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcover_core::Algorithm;
+
+    fn report(k: usize) -> Arc<SolveReport> {
+        Arc::new(SolveReport {
+            algorithm: Algorithm::LazyGreedy,
+            variant: Variant::Normalized,
+            order: (0..k).map(pcover_graph::ItemId::from_index).collect(),
+            trajectory: (1..=k).map(|i| i as f64 / k.max(1) as f64).collect(),
+            cover: 1.0,
+            item_cover: vec![],
+            elapsed: std::time::Duration::from_millis(1),
+            gain_evaluations: k as u64,
+        })
+    }
+
+    fn key(generation: u64, solver: &str, k: usize) -> CacheKey {
+        CacheKey {
+            generation,
+            solver: solver.to_owned(),
+            variant: Variant::Normalized,
+            k,
+            fingerprint: fingerprint(&SolverConfig::default()),
+        }
+    }
+
+    #[test]
+    fn exact_and_prefix_hits() {
+        let cache = SolveCache::new(8);
+        cache.insert(key(1, "lazy", 10), report(10));
+
+        let (hit, outcome) = cache.lookup(&key(1, "lazy", 10));
+        assert_eq!(outcome, CacheOutcome::Exact);
+        assert_eq!(hit.map(|r| r.k()), Some(10));
+
+        // Smaller budget rides the stored trajectory.
+        let (hit, outcome) = cache.lookup(&key(1, "lazy", 4));
+        assert_eq!(outcome, CacheOutcome::Prefix);
+        let donor = hit.expect("prefix donor");
+        let (order, cover) = donor.prefix(4).expect("prefix in range");
+        assert_eq!(order.len(), 4);
+        assert!(cover > 0.0);
+
+        // Larger budget, other generation, other solver: all misses.
+        assert_eq!(cache.lookup(&key(1, "lazy", 11)).1, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(&key(2, "lazy", 4)).1, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(&key(1, "greedy", 4)).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn non_prefix_solvers_never_reuse_trajectories() {
+        let cache = SolveCache::new(8);
+        cache.insert(key(1, "stochastic", 10), report(10));
+        assert_eq!(
+            cache.lookup(&key(1, "stochastic", 4)).1,
+            CacheOutcome::Miss,
+            "stochastic output depends on k; truncation would be wrong"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = SolveCache::new(2);
+        cache.insert(key(1, "lazy", 1), report(1));
+        cache.insert(key(1, "lazy", 2), report(2));
+        // Touch k=1 so k=2 is the LRU victim.
+        assert_eq!(cache.lookup(&key(1, "lazy", 1)).1, CacheOutcome::Exact);
+        cache.insert(key(1, "greedy", 3), report(3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.lookup(&key(1, "lazy", 1)).1, CacheOutcome::Exact);
+        assert_eq!(cache.lookup(&key(1, "lazy", 2)).1, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn generation_swap_invalidates() {
+        let cache = SolveCache::new(8);
+        cache.insert(key(1, "lazy", 5), report(5));
+        cache.insert(key(2, "lazy", 5), report(5));
+        cache.retain_generation(2);
+        assert_eq!(cache.lookup(&key(1, "lazy", 5)).1, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(&key(2, "lazy", 5)).1, CacheOutcome::Exact);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = SolverConfig::default();
+        let b = SolverConfig {
+            seed: 43,
+            ..SolverConfig::default()
+        };
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let c = SolverConfig {
+            epsilon: Some(0.05),
+            ..SolverConfig::default()
+        };
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+        assert_eq!(fingerprint(&a), fingerprint(&SolverConfig::default()));
+    }
+}

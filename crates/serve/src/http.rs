@@ -1,0 +1,283 @@
+//! A deliberately minimal HTTP/1.1 layer over [`std::net`].
+//!
+//! The service is std-only by design (no vendored HTTP stack), so this
+//! module implements exactly the slice of RFC 9112 the endpoints need:
+//! one request per connection (`Connection: close` semantics), request
+//! line + headers + optional `Content-Length` body on the way in, status
+//! line + fixed headers + body on the way out. Header and body sizes are
+//! capped so a misbehaving client cannot balloon worker memory.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (`POST /admin/delta` payloads).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeouts).
+    Io(std::io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The head or body exceeded its size cap.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/solve`.
+    pub path: String,
+    /// Decoded query parameters, last occurrence wins.
+    pub query: HashMap<String, String>,
+    /// Raw request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// [`HttpError`] on socket failures, malformed syntax, or size-cap
+/// violations; the caller turns these into a 400 and closes.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: simple, and the head cap bounds the
+    // cost; request heads here are a few hundred bytes.
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head"));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head_text =
+        std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header without colon"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request {
+        method,
+        path: path.to_owned(),
+        query: parse_query(query_str),
+        body,
+    })
+}
+
+/// Decodes `a=1&b=x%20y` into a map; `+` and `%XX` escapes are resolved.
+pub fn parse_query(q: &str) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for pair in q.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.insert(percent_decode(k), percent_decode(v));
+    }
+    out
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes.get(i) {
+            Some(b'+') => {
+                out.push(b' ');
+                i += 1;
+            }
+            Some(b'%') => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            Some(&b) => {
+                out.push(b);
+                i += 1;
+            }
+            None => break,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP status we emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — success.
+    Ok,
+    /// 400 — unusable request (bad params, bad body).
+    BadRequest,
+    /// 404 — no such endpoint.
+    NotFound,
+    /// 405 — endpoint exists, wrong method.
+    MethodNotAllowed,
+    /// 503 — queue full (load shed) or shutting down.
+    Unavailable,
+    /// 504 — the per-request deadline expired mid-solve.
+    DeadlineExceeded,
+    /// 500 — internal failure.
+    Internal,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::Unavailable => 503,
+            Status::DeadlineExceeded => 504,
+            Status::Internal => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::Unavailable => "Service Unavailable",
+            Status::DeadlineExceeded => "Gateway Timeout",
+            Status::Internal => "Internal Server Error",
+        }
+    }
+}
+
+/// Writes a complete response and flushes. Write errors are returned so the
+/// worker can count them, but the connection is closed either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: Status,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status.code(),
+        status.reason(),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// [`write_response`] with a JSON body.
+pub fn write_json(stream: &mut TcpStream, status: Status, body: &str) -> std::io::Result<()> {
+    write_response(stream, status, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_decoding() {
+        let q = parse_query("k=3&label=a%20b+c&flag&bad=%zz");
+        assert_eq!(q.get("k").map(String::as_str), Some("3"));
+        assert_eq!(q.get("label").map(String::as_str), Some("a b c"));
+        assert_eq!(q.get("flag").map(String::as_str), Some(""));
+        assert_eq!(q.get("bad").map(String::as_str), Some("%zz"));
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Unavailable.code(), 503);
+        assert_eq!(Status::DeadlineExceeded.code(), 504);
+        assert!(!Status::BadRequest.reason().is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # pcover-serve
+//!
+//! The serving layer of the Preference Cover system: a long-running,
+//! multi-threaded query service over an in-memory
+//! [`pcover_graph::PreferenceGraph`], reachable as `pcover serve`.
+//!
+//! The paper frames Preference Cover as the engine behind a live
+//! e-commerce stack (Figure 2: adaptation engine → solver → seller-facing
+//! tools); this crate is the piece that keeps the solver *resident* —
+//! loading the graph once and answering many queries from memory instead
+//! of paying a full reload per CLI invocation.
+//!
+//! ## Pieces
+//!
+//! * [`snapshot::SnapshotManager`] — immutable graph generations with
+//!   atomic hot-swap; `POST /admin/delta` applies a
+//!   [`pcover_graph::delta::GraphDelta`] and publishes the next generation
+//!   without disturbing in-flight queries.
+//! * [`cache::SolveCache`] — LRU cache of solve reports keyed by
+//!   `(generation, solver, variant, k, config fingerprint)` with
+//!   trajectory reuse: one budget-`k` greedy-family report answers every
+//!   `k' ≤ k` query and every `/minimize` threshold (paper §3.2).
+//! * [`server::Server`] — `std::net` accept loop, bounded work queue with
+//!   503 load shedding, thread-per-worker pool, per-request deadlines via
+//!   a cancellation-checking [`pcover_core::Observer`], and graceful
+//!   drain-then-exit shutdown.
+//! * [`http`] — the minimal hand-rolled HTTP/1.1 layer (std-only by
+//!   design: no vendored HTTP stack).
+//! * [`metrics::Metrics`] — request/cache/deadline counters and
+//!   per-endpoint latency histograms, dumped as plain text on `/metrics`.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Parameters | Answer |
+//! |---|---|---|
+//! | `GET /solve` | `k` (required), `algorithm`, `variant`, `seed`, `threads`, `epsilon`, `deadline_ms` | order + cover as JSON |
+//! | `GET /cover` | same as `/solve` | cover value only |
+//! | `GET /minimize` | `threshold` (required) + the common parameters | smallest prefix reaching the threshold |
+//! | `GET /healthz` | — | liveness + generation |
+//! | `GET /metrics` | — | plain-text counters |
+//! | `POST /admin/delta` | body: `GraphDelta` JSON | new generation |
+//! | `POST /admin/shutdown` | — | drains and exits |
+//!
+//! Every solve dispatches through [`pcover_core::Registry`] /
+//! [`pcover_core::SolverSpec`] — never through solver free functions — so
+//! the workspace `solver-dispatch` audit rule holds here unwaived.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheOutcome, SolveCache};
+pub use server::{DeadlineObserver, Server, ServerConfig, ServerHandle};
+pub use snapshot::{Snapshot, SnapshotManager};

@@ -1,0 +1,177 @@
+//! Serving metrics: lock-free counters and fixed-bucket latency
+//! histograms, rendered as a plain-text `key value` dump on `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper edges (milliseconds) of the latency histogram buckets; the last
+/// bucket is implicit `+inf`.
+pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
+
+/// One endpoint's request counter plus latency histogram.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    total_ms: AtomicU64,
+}
+
+impl EndpointStats {
+    /// Records one finished request.
+    pub fn observe(&self, elapsed: Duration) {
+        let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.total_ms.fetch_add(ms, Ordering::Relaxed);
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&edge| ms <= edge)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Requests recorded so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "endpoint_{name}_requests {}", self.requests());
+        let _ = writeln!(
+            out,
+            "endpoint_{name}_latency_ms_total {}",
+            self.total_ms.load(Ordering::Relaxed)
+        );
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let label = LATENCY_BUCKETS_MS
+                .get(i)
+                .map(|edge| edge.to_string())
+                .unwrap_or_else(|| "inf".to_owned());
+            let _ = writeln!(
+                out,
+                "endpoint_{name}_latency_ms_le_{label} {}",
+                bucket.load(Ordering::Relaxed)
+            );
+        }
+    }
+}
+
+/// All counters the service exports.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Accepted connections (shed ones included).
+    pub requests_total: AtomicU64,
+    /// Connections rejected with 503 because the queue was full.
+    pub queue_shed_total: AtomicU64,
+    /// Requests rejected because the head or body was malformed.
+    pub bad_request_total: AtomicU64,
+    /// Solves that hit the cache exactly.
+    pub cache_hits: AtomicU64,
+    /// Solves answered from a larger cached trajectory.
+    pub cache_prefix_hits: AtomicU64,
+    /// Solves that had to run a solver.
+    pub cache_misses: AtomicU64,
+    /// Solves aborted by the per-request deadline.
+    pub deadline_cancelled_total: AtomicU64,
+    /// Snapshot swaps applied via `/admin/delta`.
+    pub delta_applied_total: AtomicU64,
+    /// `/solve` endpoint stats.
+    pub solve: EndpointStats,
+    /// `/cover` endpoint stats.
+    pub cover: EndpointStats,
+    /// `/minimize` endpoint stats.
+    pub minimize: EndpointStats,
+    /// `/admin/delta` endpoint stats.
+    pub delta: EndpointStats,
+}
+
+impl Metrics {
+    /// Renders every counter as `key value` lines. The caller appends
+    /// point-in-time gauges (queue depth, generation, cache size).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "requests_total {}",
+            self.requests_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "queue_shed_total {}",
+            self.queue_shed_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "bad_request_total {}",
+            self.bad_request_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "cache_hits {}",
+            self.cache_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "cache_prefix_hits {}",
+            self.cache_prefix_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "cache_misses {}",
+            self.cache_misses.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "deadline_cancelled_total {}",
+            self.deadline_cancelled_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "delta_applied_total {}",
+            self.delta_applied_total.load(Ordering::Relaxed)
+        );
+        self.solve.render("solve", &mut out);
+        self.cover.render("cover", &mut out);
+        self.minimize.render("minimize", &mut out);
+        self.delta.render("admin_delta", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_by_edge() {
+        let stats = EndpointStats::default();
+        stats.observe(Duration::from_millis(0));
+        stats.observe(Duration::from_millis(3));
+        stats.observe(Duration::from_millis(40));
+        stats.observe(Duration::from_secs(60));
+        assert_eq!(stats.requests(), 4);
+        let mut out = String::new();
+        stats.render("t", &mut out);
+        assert!(out.contains("endpoint_t_requests 4"));
+        assert!(out.contains("endpoint_t_latency_ms_le_1 1"));
+        assert!(out.contains("endpoint_t_latency_ms_le_5 1"));
+        assert!(out.contains("endpoint_t_latency_ms_le_50 1"));
+        assert!(out.contains("endpoint_t_latency_ms_le_inf 1"));
+    }
+
+    #[test]
+    fn render_lists_every_counter() {
+        let m = Metrics::default();
+        m.requests_total.fetch_add(2, Ordering::Relaxed);
+        m.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("requests_total 2"));
+        assert!(text.contains("cache_hits 1"));
+        assert!(text.contains("queue_shed_total 0"));
+        assert!(text.contains("endpoint_solve_requests 0"));
+        assert!(text.contains("endpoint_admin_delta_requests 0"));
+    }
+}

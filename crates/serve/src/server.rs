@@ -1,0 +1,697 @@
+//! The server: accept loop, bounded work queue with load shedding, worker
+//! pool, request routing, and graceful shutdown.
+//!
+//! Shape: one acceptor thread pushes connections into a bounded
+//! [`WorkQueue`]; `workers` threads pop and handle one request per
+//! connection. When the queue is full the *acceptor* answers 503
+//! immediately — shedding costs a constant amount of work no matter how
+//! slow the solvers are. Shutdown (via [`ServerHandle::shutdown`] or
+//! `POST /admin/shutdown`) flips a flag, closes the queue, and drains:
+//! already-queued requests are still answered, new ones get 503.
+//! Everything is in-band `std::net` — the workspace forbids `unsafe`, so
+//! there is no signal handler; process managers should use the admin
+//! endpoint (or just SIGKILL, which is safe: the graph is immutable on
+//! disk and all serving state is in memory).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use pcover_core::{Observer, Registry, SolveCtx, SolveError, SolveReport, SolverConfig, Variant};
+use pcover_graph::delta::GraphDelta;
+use pcover_graph::PreferenceGraph;
+
+use crate::cache::{fingerprint, CacheKey, CacheOutcome, SolveCache};
+use crate::http::{read_request, write_json, write_response, HttpError, Request, Status};
+use crate::metrics::Metrics;
+use crate::snapshot::SnapshotManager;
+
+/// Tunables for [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue capacity; connections beyond it are shed with 503.
+    pub queue_capacity: usize,
+    /// Solve-cache capacity in reports (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-request wall-clock deadline; `None` means no deadline
+    /// unless the request carries `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Per-connection socket read timeout (guards against stalled clients).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline: None,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Bounded MPMC connection queue: `Mutex<VecDeque>` + `Condvar`.
+struct WorkQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner {
+    items: VecDeque<TcpStream>,
+    open: bool,
+}
+
+impl WorkQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues a connection; `Err` returns it when the queue is full or
+    /// closed (the caller sheds with 503).
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.lock();
+        if !inner.open || inner.items.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.items.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed *and* drained —
+    /// the worker-exit signal that makes shutdown drain the backlog.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(stream) = inner.items.pop_front() {
+                return Some(stream);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.lock().open = false;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct AppState {
+    registry: Registry,
+    snapshots: SnapshotManager,
+    cache: SolveCache,
+    metrics: Metrics,
+    queue: WorkQueue,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or hit `POST /admin/shutdown`) then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    state: Arc<AppState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.state.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// The service entry point.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the acceptor and worker pool, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn start(graph: PreferenceGraph, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(
+            config
+                .addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?,
+        )?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(AppState {
+            registry: Registry::builtin(),
+            snapshots: SnapshotManager::new(graph),
+            cache: SolveCache::new(config.cache_capacity),
+            metrics: Metrics::default(),
+            queue: WorkQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            config,
+            local_addr,
+        });
+
+        let workers = (0..state.config.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pcover-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("pcover-serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &state))?
+        };
+
+        Ok(ServerHandle {
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.state.snapshots.generation()
+    }
+
+    /// Signals shutdown: the queue closes (draining what is queued) and the
+    /// acceptor stops. Idempotent; does not block — follow with
+    /// [`ServerHandle::join`].
+    pub fn shutdown(&self) {
+        request_shutdown(&self.state);
+    }
+
+    /// Waits for the acceptor and every worker to finish. Call after
+    /// [`ServerHandle::shutdown`] (or after something hit the admin
+    /// endpoint), otherwise this blocks for the server's lifetime.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flips the shutdown flag, closes the queue, and pokes the acceptor loose
+/// with a throwaway connection to its own socket.
+fn request_shutdown(state: &AppState) {
+    if state.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    state.queue.close();
+    // Unblock the acceptor's blocking `accept` — a connect that may
+    // legitimately fail if the acceptor already exited.
+    let _ = TcpStream::connect_timeout(&state.local_addr, Duration::from_millis(250));
+}
+
+fn accept_loop(listener: &TcpListener, state: &AppState) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        if let Err(mut rejected) = state.queue.push(stream) {
+            state
+                .metrics
+                .queue_shed_total
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_json(
+                &mut rejected,
+                Status::Unavailable,
+                "{\"error\":\"overloaded: request queue full\"}",
+            );
+        }
+    }
+}
+
+fn worker_loop(state: &AppState) {
+    while let Some(mut stream) = state.queue.pop() {
+        handle_connection(&mut stream, state);
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, state: &AppState) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(HttpError::Io(_)) => return, // client went away; nothing to answer
+        Err(e) => {
+            state
+                .metrics
+                .bad_request_total
+                .fetch_add(1, Ordering::Relaxed);
+            let body = serde_json::json!({ "error": e.to_string() }).to_string();
+            let _ = write_json(stream, Status::BadRequest, &body);
+            return;
+        }
+    };
+    route(stream, &request, state);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
+    let started = Instant::now();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = serde_json::json!({
+                "status": "ok",
+                "generation": state.snapshots.generation(),
+            })
+            .to_string();
+            let _ = write_json(stream, Status::Ok, &body);
+        }
+        ("GET", "/metrics") => {
+            let mut text = state.metrics.render();
+            use std::fmt::Write;
+            let _ = writeln!(text, "snapshot_generation {}", state.snapshots.generation());
+            let _ = writeln!(text, "queue_depth {}", state.queue.depth());
+            let _ = writeln!(text, "queue_capacity {}", state.config.queue_capacity);
+            let _ = writeln!(text, "cache_entries {}", state.cache.len());
+            let _ = writeln!(text, "cache_evictions {}", state.cache.evictions());
+            let _ = writeln!(text, "workers {}", state.config.workers);
+            let _ = write_response(
+                stream,
+                Status::Ok,
+                "text/plain; charset=utf-8",
+                text.as_bytes(),
+            );
+        }
+        ("GET", "/solve") => {
+            let outcome = solve_endpoint(req, state, SolveMode::Full);
+            state.metrics.solve.observe(started.elapsed());
+            respond(stream, outcome);
+        }
+        ("GET", "/cover") => {
+            let outcome = solve_endpoint(req, state, SolveMode::CoverOnly);
+            state.metrics.cover.observe(started.elapsed());
+            respond(stream, outcome);
+        }
+        ("GET", "/minimize") => {
+            let outcome = minimize_endpoint(req, state);
+            state.metrics.minimize.observe(started.elapsed());
+            respond(stream, outcome);
+        }
+        ("POST", "/admin/delta") => {
+            let outcome = delta_endpoint(req, state);
+            state.metrics.delta.observe(started.elapsed());
+            respond(stream, outcome);
+        }
+        ("POST", "/admin/shutdown") => {
+            let _ = write_json(stream, Status::Ok, "{\"status\":\"shutting down\"}");
+            request_shutdown(state);
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/solve" | "/cover" | "/minimize" | "/admin/delta"
+            | "/admin/shutdown",
+        ) => {
+            let _ = write_json(
+                stream,
+                Status::MethodNotAllowed,
+                "{\"error\":\"method not allowed\"}",
+            );
+        }
+        _ => {
+            let _ = write_json(stream, Status::NotFound, "{\"error\":\"no such endpoint\"}");
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, outcome: Result<String, (Status, String)>) {
+    match outcome {
+        Ok(body) => {
+            let _ = write_json(stream, Status::Ok, &body);
+        }
+        Err((status, message)) => {
+            let body = serde_json::json!({ "error": message }).to_string();
+            let _ = write_json(stream, status, &body);
+        }
+    }
+}
+
+/// An [`Observer`] that cancels the solve once a wall-clock deadline
+/// passes; polled by the harness between rounds (and on solver entry).
+#[derive(Debug)]
+pub struct DeadlineObserver {
+    deadline: Instant,
+}
+
+impl DeadlineObserver {
+    /// Cancels any solve still running at `deadline`.
+    pub fn new(deadline: Instant) -> Self {
+        Self { deadline }
+    }
+}
+
+impl Observer for DeadlineObserver {
+    fn cancelled(&mut self) -> bool {
+        Instant::now() >= self.deadline
+    }
+}
+
+/// What `/solve`-family endpoints return.
+enum SolveMode {
+    /// Full report: order + cover.
+    Full,
+    /// Just the cover value (cheaper response for dashboards).
+    CoverOnly,
+}
+
+struct SolveParams {
+    solver: String,
+    variant: Variant,
+    config: SolverConfig,
+    deadline: Option<Duration>,
+}
+
+fn parse_common(req: &Request, state: &AppState) -> Result<SolveParams, (Status, String)> {
+    let solver = req.param("algorithm").unwrap_or("lazy").to_owned();
+    if state.registry.get(&solver).is_none() {
+        return Err((
+            Status::BadRequest,
+            state.registry.unknown_algorithm_message(&solver),
+        ));
+    }
+    let variant = match req.param("variant") {
+        None => Variant::Normalized,
+        Some(s) => Variant::parse(s)
+            .ok_or_else(|| (Status::BadRequest, format!("unknown variant '{s}'")))?,
+    };
+    let mut config = SolverConfig::default();
+    if let Some(s) = req.param("seed") {
+        config.seed = s
+            .parse()
+            .map_err(|_| (Status::BadRequest, format!("bad seed '{s}'")))?;
+    }
+    if let Some(s) = req.param("threads") {
+        config.threads = s
+            .parse()
+            .map_err(|_| (Status::BadRequest, format!("bad threads '{s}'")))?;
+    }
+    if let Some(s) = req.param("epsilon") {
+        let eps: f64 = s
+            .parse()
+            .map_err(|_| (Status::BadRequest, format!("bad epsilon '{s}'")))?;
+        config.epsilon = Some(eps);
+    }
+    let deadline = match req.param("deadline_ms") {
+        Some(s) => {
+            let ms: u64 = s
+                .parse()
+                .map_err(|_| (Status::BadRequest, format!("bad deadline_ms '{s}'")))?;
+            Some(Duration::from_millis(ms))
+        }
+        None => state.config.default_deadline,
+    };
+    Ok(SolveParams {
+        solver,
+        variant,
+        config,
+        deadline,
+    })
+}
+
+/// Runs (or cache-serves) one solve against the current snapshot. Returns
+/// the usable report, the generation it belongs to, and how the cache
+/// answered. The snapshot `Arc` is held for the whole solve, so a swap
+/// mid-solve cannot mix generations.
+fn cached_solve(
+    state: &AppState,
+    params: &SolveParams,
+    k: usize,
+) -> Result<(Arc<SolveReport>, u64, CacheOutcome), (Status, String)> {
+    let snapshot = state.snapshots.current();
+    let key = CacheKey {
+        generation: snapshot.generation,
+        solver: params.solver.clone(),
+        variant: params.variant,
+        k,
+        fingerprint: fingerprint(&params.config),
+    };
+    let (cached, outcome) = state.cache.lookup(&key);
+    match outcome {
+        CacheOutcome::Exact => {
+            state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        CacheOutcome::Prefix => {
+            state
+                .metrics
+                .cache_prefix_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        CacheOutcome::Miss => {
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if let Some(report) = cached {
+        return Ok((report, snapshot.generation, outcome));
+    }
+
+    let spec = state
+        .registry
+        .get(&params.solver)
+        .ok_or_else(|| (Status::Internal, "solver vanished from registry".to_owned()))?;
+    let result = match params.deadline {
+        Some(deadline) => {
+            let mut observer = DeadlineObserver::new(Instant::now() + deadline);
+            let mut ctx = SolveCtx::with_observer(params.config, &mut observer);
+            spec.solve(params.variant, &snapshot.graph, k, &mut ctx)
+        }
+        None => {
+            let mut ctx = SolveCtx::new(params.config);
+            spec.solve(params.variant, &snapshot.graph, k, &mut ctx)
+        }
+    };
+    match result {
+        Ok(report) => {
+            let report = Arc::new(report);
+            state.cache.insert(key, Arc::clone(&report));
+            Ok((report, snapshot.generation, CacheOutcome::Miss))
+        }
+        Err(SolveError::Cancelled) => {
+            state
+                .metrics
+                .deadline_cancelled_total
+                .fetch_add(1, Ordering::Relaxed);
+            Err((
+                Status::DeadlineExceeded,
+                format!("deadline exceeded after {:?}", params.deadline),
+            ))
+        }
+        Err(e) => Err((Status::BadRequest, e.to_string())),
+    }
+}
+
+fn solve_endpoint(
+    req: &Request,
+    state: &AppState,
+    mode: SolveMode,
+) -> Result<String, (Status, String)> {
+    let params = parse_common(req, state)?;
+    let k: usize = match req.param("k") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| (Status::BadRequest, format!("bad k '{s}'")))?,
+        None => {
+            return Err((
+                Status::BadRequest,
+                "missing required parameter k".to_owned(),
+            ))
+        }
+    };
+    let (report, generation, outcome) = cached_solve(state, &params, k)?;
+    // A prefix donor has a larger budget; read the k-answer off its
+    // trajectory (§3.2 incremental property).
+    let (order, cover) = if report.k() == k {
+        (report.order.as_slice(), report.cover)
+    } else {
+        report
+            .prefix(k)
+            .ok_or_else(|| (Status::Internal, "prefix donor shorter than k".to_owned()))?
+    };
+    let body = match mode {
+        SolveMode::Full => serde_json::json!({
+            "generation": generation,
+            "algorithm": params.solver,
+            "variant": params.variant.name(),
+            "k": k,
+            "cover": cover,
+            "order": order.iter().map(|id| id.raw()).collect::<Vec<_>>(),
+            "cache": outcome.as_str(),
+        }),
+        SolveMode::CoverOnly => serde_json::json!({
+            "generation": generation,
+            "algorithm": params.solver,
+            "variant": params.variant.name(),
+            "k": k,
+            "cover": cover,
+            "cache": outcome.as_str(),
+        }),
+    };
+    Ok(body.to_string())
+}
+
+fn minimize_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, String)> {
+    let params = parse_common(req, state)?;
+    let threshold: f64 = match req.param("threshold") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| (Status::BadRequest, format!("bad threshold '{s}'")))?,
+        None => {
+            return Err((
+                Status::BadRequest,
+                "missing required parameter threshold".to_owned(),
+            ))
+        }
+    };
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err((
+            Status::BadRequest,
+            format!("threshold {threshold} is not a probability in [0, 1]"),
+        ));
+    }
+    if !crate::cache::is_prefix_reusable(&params.solver) {
+        return Err((
+            Status::BadRequest,
+            format!(
+                "algorithm '{}' has no incremental trajectory; minimize supports \
+                 greedy-family solvers (e.g. lazy, greedy, parallel)",
+                params.solver
+            ),
+        ));
+    }
+    // One full-budget solve answers every threshold — and seeds the cache
+    // for all subsequent /solve and /cover calls at any k.
+    let n = state.snapshots.current().graph.node_count();
+    let (report, generation, outcome) = cached_solve(state, &params, n)?;
+    let Some(k_min) = report.smallest_prefix_reaching(threshold) else {
+        return Err((
+            Status::BadRequest,
+            format!(
+                "cover threshold {threshold} unreachable; retaining everything covers only {}",
+                report.cover
+            ),
+        ));
+    };
+    let (order, cover) = report
+        .prefix(k_min)
+        .ok_or_else(|| (Status::Internal, "minimize prefix out of range".to_owned()))?;
+    let body = serde_json::json!({
+        "generation": generation,
+        "algorithm": params.solver,
+        "variant": params.variant.name(),
+        "threshold": threshold,
+        "k": k_min,
+        "cover": cover,
+        "order": order.iter().map(|id| id.raw()).collect::<Vec<_>>(),
+        "cache": outcome.as_str(),
+    });
+    Ok(body.to_string())
+}
+
+fn delta_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, String)> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| (Status::BadRequest, "delta body is not UTF-8".to_owned()))?;
+    let delta = GraphDelta::from_json_str(text)
+        .map_err(|e| (Status::BadRequest, format!("bad delta: {e}")))?;
+    let generation = state
+        .snapshots
+        .apply_delta(&delta)
+        .map_err(|e| (Status::BadRequest, format!("delta rejected: {e}")))?;
+    state.cache.retain_generation(generation);
+    state
+        .metrics
+        .delta_applied_total
+        .fetch_add(1, Ordering::Relaxed);
+    let body = serde_json::json!({
+        "generation": generation,
+        "changes": delta.len(),
+    });
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_on_close() {
+        let q = WorkQueue::new(1);
+        // Stand-in streams: connect to a throwaway listener.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let b = TcpStream::connect(addr).expect("connect");
+        assert!(q.push(a).is_ok());
+        assert!(q.push(b).is_err(), "second push must shed");
+        assert_eq!(q.depth(), 1);
+        q.close();
+        assert!(q.pop().is_some(), "queued work drains after close");
+        assert!(q.pop().is_none(), "then workers exit");
+        let c = TcpStream::connect(addr).expect("connect");
+        assert!(q.push(c).is_err(), "closed queue rejects new work");
+    }
+
+    #[test]
+    fn deadline_observer_flips_after_the_deadline() {
+        let mut obs = DeadlineObserver::new(Instant::now() - Duration::from_millis(1));
+        assert!(obs.cancelled());
+        let mut obs = DeadlineObserver::new(Instant::now() + Duration::from_secs(60));
+        assert!(!obs.cancelled());
+    }
+}

@@ -1,0 +1,287 @@
+//! Process-level end-to-end test: a real server on an ephemeral port,
+//! exercised over raw [`TcpStream`]s exactly as an external client would —
+//! including the acceptance scenarios: consistent answers during a
+//! snapshot swap, cache hits visible in `/metrics`, and a deadline that
+//! errors cleanly with the worker staying usable.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pcover_graph::examples::figure1_ids;
+use pcover_serve::{Server, ServerConfig};
+
+/// Issues one request and returns `(status code, body)`. One connection
+/// per request, `Connection: close` — matching the server's model.
+fn request(addr: std::net::SocketAddr, method: &str, target: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get_json(addr: std::net::SocketAddr, target: &str) -> (u16, serde_json::Value) {
+    let (status, body) = request(addr, "GET", target, "");
+    let value = serde_json::from_str(&body)
+        .unwrap_or_else(|e| panic!("non-JSON body for {target}: {e}\n{body}"));
+    (status, value)
+}
+
+fn field<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing field '{key}' in {v}"))
+}
+
+fn uint(v: &serde_json::Value, key: &str) -> u64 {
+    field(v, key)
+        .as_u64()
+        .unwrap_or_else(|| panic!("field '{key}' is not an integer in {v}"))
+}
+
+fn text(v: &serde_json::Value, key: &str) -> String {
+    field(v, key)
+        .as_str()
+        .unwrap_or_else(|| panic!("field '{key}' is not a string in {v}"))
+        .to_owned()
+}
+
+fn cover_of(v: &serde_json::Value) -> f64 {
+    field(v, "cover").as_f64().expect("cover is a number")
+}
+
+fn order_of(v: &serde_json::Value) -> Vec<u64> {
+    field(v, "order")
+        .as_array()
+        .expect("order is an array")
+        .iter()
+        .map(|id| id.as_u64().expect("item id"))
+        .collect()
+}
+
+fn start_server() -> pcover_serve::ServerHandle {
+    let (graph, _) = figure1_ids();
+    Server::start(
+        graph,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 32,
+            default_deadline: None,
+            read_timeout: Duration::from_secs(5),
+        },
+    )
+    .expect("server starts")
+}
+
+#[test]
+fn end_to_end_solve_cache_swap_deadline_and_shutdown() {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    // --- healthz ---------------------------------------------------------
+    let (status, health) = get_json(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(uint(&health, "generation"), 1);
+    assert_eq!(text(&health, "status"), "ok");
+
+    // --- solve: miss, then exact hit, then prefix hit --------------------
+    let (status, first) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(uint(&first, "generation"), 1);
+    assert_eq!(text(&first, "cache"), "miss");
+    // Figure 1: greedy/lazy picks B (id 1) then D (id 3), cover 0.873.
+    assert_eq!(order_of(&first), vec![1, 3]);
+    assert!((cover_of(&first) - 0.873).abs() < 1e-9);
+
+    let (status, second) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200);
+    assert_eq!(
+        text(&second, "cache"),
+        "hit",
+        "repeated /solve must hit the cache"
+    );
+    assert!((cover_of(&second) - cover_of(&first)).abs() < 1e-15);
+
+    let (status, smaller) = get_json(addr, "/solve?k=1");
+    assert_eq!(status, 200);
+    assert_eq!(
+        text(&smaller, "cache"),
+        "prefix",
+        "k=1 must ride the cached k=2 trajectory"
+    );
+    assert_eq!(order_of(&smaller), vec![1]);
+
+    // --- cover and minimize ride the same trajectory ---------------------
+    let (status, cover) = get_json(addr, "/cover?k=2");
+    assert_eq!(status, 200);
+    assert!((cover_of(&cover) - cover_of(&first)).abs() < 1e-15);
+
+    let (status, minimized) = get_json(addr, "/minimize?threshold=0.8");
+    assert_eq!(status, 200, "{minimized}");
+    assert_eq!(
+        uint(&minimized, "k"),
+        2,
+        "cover 0.873 >= 0.8 needs exactly B and D"
+    );
+    assert!(cover_of(&minimized) >= 0.8);
+
+    // Cache-hit counters are visible in /metrics.
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let hit_line = metrics
+        .lines()
+        .find(|l| l.starts_with("cache_hits "))
+        .expect("cache_hits metric");
+    let hits: u64 = hit_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("cache_hits value");
+    assert!(hits >= 1, "repeated /solve must be counted: {hit_line}");
+    assert!(metrics.contains("snapshot_generation 1"));
+    assert!(metrics.contains("queue_capacity 64"));
+    assert!(metrics.contains("endpoint_solve_latency_ms_le_inf"));
+
+    // --- deadline: clean error, worker reusable afterward ----------------
+    let (status, timed_out) = get_json(addr, "/solve?k=2&deadline_ms=0&seed=7");
+    assert_eq!(status, 504, "exceeded deadline must be 504: {timed_out}");
+    assert!(text(&timed_out, "error").contains("deadline"));
+    let (status, after) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200, "worker must be reusable after a deadline");
+    assert!((cover_of(&after) - cover_of(&first)).abs() < 1e-15);
+
+    // --- bad input paths --------------------------------------------------
+    assert_eq!(get_json(addr, "/solve").0, 400, "missing k");
+    let (status, unknown) = get_json(addr, "/solve?k=2&algorithm=quantum");
+    assert_eq!(status, 400);
+    assert!(text(&unknown, "error").contains("quantum"));
+    assert_eq!(request(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(addr, "DELETE", "/solve?k=2", "").0, 405);
+
+    // --- concurrent queries during a snapshot swap -----------------------
+    // Readers hammer /solve while the main thread applies a delta that
+    // delists D (greedy's second pick). Every response must be internally
+    // consistent: generation 1 answers carry the generation-1 cover,
+    // generation 2 answers the generation-2 cover — never a mix.
+    let gen1_cover = cover_of(&first);
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                (0..25)
+                    .map(|_| get_json(addr, "/solve?k=2"))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let delta = r#"{"changes":[{"Delist":{"node":3}}]}"#;
+    let (status, swapped) = request(addr, "POST", "/admin/delta", delta);
+    assert_eq!(status, 200, "{swapped}");
+    let swapped: serde_json::Value = serde_json::from_str(&swapped).expect("delta response");
+    assert_eq!(
+        uint(&swapped, "generation"),
+        2,
+        "delta must bump the generation"
+    );
+
+    // The post-swap answer defines the generation-2 expectation. (The
+    // cache tag is unasserted here: a concurrent reader may already have
+    // populated generation 2 — invalidation is proven race-free below.)
+    let (status, gen2) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200);
+    assert_eq!(uint(&gen2, "generation"), 2);
+    let gen2_cover = cover_of(&gen2);
+    assert!(
+        (gen2_cover - gen1_cover).abs() > 1e-6,
+        "delisting greedy's second pick must change the optimum"
+    );
+
+    for reader in readers {
+        for (status, resp) in reader.join().expect("reader thread") {
+            assert_eq!(status, 200, "{resp}");
+            let expected = match uint(&resp, "generation") {
+                1 => gen1_cover,
+                2 => gen2_cover,
+                g => panic!("impossible generation {g}"),
+            };
+            assert!(
+                (cover_of(&resp) - expected).abs() < 1e-15,
+                "mixed-generation answer: {resp}"
+            );
+        }
+    }
+
+    // Generation 2 answers are cached like any other.
+    let (_, again) = get_json(addr, "/solve?k=2");
+    assert_eq!(text(&again, "cache"), "hit");
+
+    // With no concurrent traffic: a swap invalidates the cached answer for
+    // the *same* query — the next solve is a miss on the new generation.
+    let delta2 = r#"{"changes":[{"SetNodeWeight":{"node":4,"weight":0.5}}]}"#;
+    let (status, swapped2) = request(addr, "POST", "/admin/delta", delta2);
+    assert_eq!(status, 200, "{swapped2}");
+    let (status, gen3) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200);
+    assert_eq!(uint(&gen3, "generation"), 3);
+    assert_eq!(
+        text(&gen3, "cache"),
+        "miss",
+        "the swap must invalidate cached answers from older generations"
+    );
+
+    // --- graceful shutdown ------------------------------------------------
+    let (status, bye) = request(addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200, "{bye}");
+    handle.join();
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "listener must be gone after shutdown"
+    );
+}
+
+#[test]
+fn shutdown_via_handle_drains_and_joins() {
+    let handle = start_server();
+    let addr = handle.addr();
+    assert_eq!(get_json(addr, "/healthz").0, 200);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn minimize_full_solve_seeds_the_cache_for_solve() {
+    let handle = start_server();
+    let addr = handle.addr();
+    // /minimize runs a full-budget (k = n) lazy solve…
+    let (status, min) = get_json(addr, "/minimize?threshold=0.99");
+    assert_eq!(status, 200, "{min}");
+    // …whose trajectory then answers any /solve for free.
+    let (status, solved) = get_json(addr, "/solve?k=3");
+    assert_eq!(status, 200);
+    assert_eq!(
+        text(&solved, "cache"),
+        "prefix",
+        "minimize's full trajectory must serve /solve k=3"
+    );
+    handle.shutdown();
+    handle.join();
+}

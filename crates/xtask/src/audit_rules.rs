@@ -134,10 +134,11 @@ const DISPATCH_FNS: [&str; 7] = [
 /// of `pcover-core`. `crates/bench/src/` covers the experiment binaries but
 /// not `crates/bench/benches/`, whose criterion benches compare the raw
 /// free functions against the registry harness by design.
-const DISPATCH_SCOPES: [&str; 5] = [
+const DISPATCH_SCOPES: [&str; 6] = [
     "crates/cli/src/",
     "crates/bench/src/",
     "crates/adapt/src/",
+    "crates/serve/src/",
     "examples/",
     "src/",
 ];

@@ -1,0 +1,17 @@
+//! Writes the paper's Figure 1 example graph as a JSON file — a
+//! ready-made `--graph` input for `pcover serve` (and the CI serve smoke
+//! test, which launches the server against exactly this file).
+//!
+//! Run with: `cargo run --release --example export_figure1 -- figure1.json`
+
+use preference_cover::graph::examples::figure1;
+use preference_cover::graph::io::json::write_json;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "figure1.json".to_owned());
+    let g = figure1();
+    write_json(&g, &path).expect("write graph JSON");
+    println!("wrote Figure 1 graph ({} nodes) to {path}", g.node_count());
+}
