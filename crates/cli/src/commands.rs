@@ -43,6 +43,7 @@ pub fn run_with_registry(args: &Args, registry: &Registry) -> Result<String, Cli
         "closure" => closure_cmd(args),
         "delta" => delta_cmd(args),
         "serve" => serve_cmd(args),
+        "bench-snapshot" => bench_snapshot_cmd(args, registry),
         "help" | "--help" => Ok(help_with(registry)),
         other => Err(CliError(format!(
             "unknown subcommand {other:?}; try `pcover help`"
@@ -90,6 +91,11 @@ SUBCOMMANDS
             graph (Section 2's modeling step).
   delta     --graph graph.json --changes delta.json --out new-graph.json
             Apply a JSON batch of demand/edge/delisting changes.
+  bench-snapshot [--out BENCH_5.json] [--grid default|small] [--seed 42]
+            Run the fixed solver × variant × (n, D, k) perf grid on seeded
+            synthetic graphs and write a machine-readable snapshot (schema
+            pcover-bench-snapshot/1). Fails if the delta solver evaluates
+            at least as many gains as plain greedy on any n >= 100 point.
   serve     --graph graph.json [--threads 8] [--port 7878] [--host 127.0.0.1]
             [--queue 64] [--cache 128] [--deadline-ms 0]
             Run the resident query service: GET /solve, /cover, /minimize,
@@ -406,6 +412,120 @@ fn serve_cmd(args: &Args) -> Result<String, CliError> {
     );
     handle.join();
     Ok(format!("server on {addr} shut down\n"))
+}
+
+/// The solvers every snapshot records. `BENCH_*.json` files are a
+/// perf trajectory across PRs, so this list only grows — removing a name
+/// would silently drop its series from future snapshots.
+const BENCH_SOLVERS: [&str; 5] = ["greedy", "lazy", "parallel", "delta", "delta-parallel"];
+
+/// Schema tag written into every snapshot; bump only with a migration note
+/// in the README.
+const BENCH_SCHEMA: &str = "pcover-bench-snapshot/1";
+
+fn bench_snapshot_cmd(args: &Args, registry: &Registry) -> Result<String, CliError> {
+    use pcover_datagen::graphgen::{generate_graph, GraphGenConfig};
+
+    let out = args.optional("out").unwrap_or("BENCH_5.json");
+    let seed: u64 = args.parse_or("seed", 42)?;
+    // (n, D) graph shapes × budgets k. The small grid exists for CI smoke
+    // runs; the default grid is what BENCH_5.json at the repo root records.
+    let (shapes, budgets): (&[(usize, usize)], &[usize]) =
+        match args.optional("grid").unwrap_or("default") {
+            "default" => (
+                &[(1_000, 4), (1_000, 8), (10_000, 4), (10_000, 8)],
+                &[16, 64],
+            ),
+            "small" => (&[(200, 4)], &[8, 32]),
+            other => {
+                return Err(CliError(format!(
+                    "unknown grid {other:?}; use default or small"
+                )))
+            }
+        };
+
+    let mut entries = Vec::new();
+    // greedy's evaluation counts per (variant, n, D, k), the baseline the
+    // delta check below compares against.
+    let mut greedy_evals = std::collections::HashMap::new();
+    let mut violations = Vec::new();
+    for &(n, d) in shapes {
+        // `normalized: true` keeps out-weight sums at most 1, so one graph
+        // per shape is valid for both IPC and NPC semantics.
+        let g = generate_graph(&GraphGenConfig {
+            nodes: n,
+            avg_out_degree: d,
+            normalized: true,
+            seed,
+            ..GraphGenConfig::default()
+        })
+        .map_err(CliError::from_display)?;
+        let memory_bytes = g.memory_bytes();
+        for &k in budgets {
+            for name in BENCH_SOLVERS {
+                let spec = *registry
+                    .get(name)
+                    .ok_or_else(|| CliError(registry.unknown_algorithm_message(name)))?;
+                for variant in [Variant::Independent, Variant::Normalized] {
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let report = spec
+                        .solve(variant, &g, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    let point = (variant.name(), n, d, k);
+                    if name == "greedy" {
+                        greedy_evals.insert(point, report.gain_evaluations);
+                    } else if name == "delta" && n >= 100 {
+                        let baseline = greedy_evals.get(&point).copied().unwrap_or(0);
+                        if report.gain_evaluations >= baseline {
+                            violations.push(format!(
+                                "delta did {} gain evaluations vs greedy's {baseline} \
+                                 on variant={} n={n} D={d} k={k}",
+                                report.gain_evaluations,
+                                variant.name(),
+                            ));
+                        }
+                    }
+                    entries.push(serde_json::json!({
+                        "solver": name,
+                        "variant": variant.name(),
+                        "n": n,
+                        "avg_out_degree": d,
+                        "k": k,
+                        "seed": seed,
+                        "wall_ms": report.elapsed.as_secs_f64() * 1e3,
+                        "gain_evaluations": report.gain_evaluations,
+                        "memory_bytes": memory_bytes,
+                        "cover": report.cover,
+                    }));
+                }
+            }
+        }
+    }
+
+    let count = entries.len();
+    let snapshot = serde_json::json!({
+        "schema": BENCH_SCHEMA,
+        "pr": 5,
+        "seed": seed,
+        "entries": entries,
+    });
+    let json = serde_json::to_string_pretty(&snapshot).map_err(CliError::from_display)?;
+    std::fs::write(out, json + "\n").map_err(CliError::from_display)?;
+
+    if !violations.is_empty() {
+        return Err(CliError(format!(
+            "bench snapshot written to {out}, but the delta solver lost its \
+             evaluation-count guarantee:\n  {}",
+            violations.join("\n  ")
+        )));
+    }
+    Ok(format!(
+        "bench snapshot: {count} entries ({} solvers x 2 variants x {} shapes x {} budgets, \
+         seed {seed}) -> {out}\n",
+        BENCH_SOLVERS.len(),
+        shapes.len(),
+        budgets.len(),
+    ))
 }
 
 fn export_dot_cmd(args: &Args) -> Result<String, CliError> {
@@ -1054,6 +1174,54 @@ mod tests {
         // x set to (unnormalized) 3.0 against y's surviving 1/3:
         // renormalized share 3 / (3 + 1/3) = 0.9.
         assert!((g2.node_weight(x) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_snapshot_writes_stable_schema_and_enforces_delta_wins() {
+        let out = tmp("bench-snapshot.json");
+        let msg = run_tokens(&["bench-snapshot", "--grid", "small", "--out", &out]).unwrap();
+        assert!(msg.contains(&out), "{msg}");
+
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str().unwrap(),
+            BENCH_SCHEMA
+        );
+        let entries = parsed.get("entries").unwrap().as_array().unwrap();
+        // 5 solvers x 2 variants x 1 shape x 2 budgets.
+        assert_eq!(entries.len(), 20);
+
+        let field = |e: &serde_json::Value, key: &str| e.get(key).unwrap().clone();
+        let evals = |solver: &str, variant: &str, k: u64| -> u64 {
+            entries
+                .iter()
+                .find(|e| {
+                    field(e, "solver").as_str() == Some(solver)
+                        && field(e, "variant").as_str() == Some(variant)
+                        && field(e, "k").as_u64() == Some(k)
+                })
+                .unwrap_or_else(|| panic!("missing entry {solver}/{variant}/k={k}"))
+                .get("gain_evaluations")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        for variant in ["independent", "normalized"] {
+            for k in [8, 32] {
+                assert!(
+                    evals("delta", variant, k) < evals("greedy", variant, k),
+                    "{variant} k={k}: delta must evaluate strictly fewer gains"
+                );
+            }
+        }
+        for e in entries {
+            assert!(field(e, "wall_ms").as_f64().unwrap() >= 0.0);
+            assert!(field(e, "memory_bytes").as_u64().unwrap() > 0);
+            assert!(field(e, "cover").as_f64().unwrap() > 0.0);
+        }
+
+        assert!(run_tokens(&["bench-snapshot", "--grid", "bogus", "--out", &out]).is_err());
     }
 
     #[test]

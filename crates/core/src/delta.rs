@@ -1,0 +1,515 @@
+//! Delta greedy — Algorithm 1 with dirty-set gain maintenance.
+//!
+//! Plain greedy recomputes every non-retained candidate's gain each round,
+//! `O(nkD)` total, even though retaining `v` leaves almost all gains
+//! untouched. `AddNode(v)` (Algorithm 3/5) changes `I` for exactly
+//! `{v} ∪ in(v)` (non-retained in-neighbors), and a candidate `c`'s gain
+//! (Algorithm 2/4) reads only `I[c]`, the membership of its in-neighbors,
+//! and `I[u]` for `u ∈ in(c)`. So after retaining `v` the only candidates
+//! whose gain can change are
+//!
+//! * the nodes whose own `I` changed — `{v} ∪ in(v)` — and
+//! * the out-neighbors of those nodes (`c` reads `I[u]` iff `c ∈ out(u)`,
+//!   by CSR row symmetry),
+//!
+//! both walked directly off the CSR out-rows. This solver caches the gain
+//! array, marks exactly that dirty set after each selection, and recomputes
+//! only dirty entries at the next round: `O(n)` evaluations for the first
+//! round, then `O(|dirty|)` per round instead of `O(n)` — on sparse graphs
+//! a per-round cost of roughly `D · d_out` rather than `n`.
+//!
+//! A cached (clean) gain is **bit-identical** to what plain greedy would
+//! recompute — same `I`, same membership, same weights, same arithmetic —
+//! and selection goes through the audited
+//! [`float::improves_argmax`](crate::float::improves_argmax) tie-break, so
+//! the retained set, cover, and trajectory are bit-identical to
+//! [`greedy::solve`](crate::greedy::solve) for both IPC and NPC. The
+//! determinism grid asserts this.
+//!
+//! [`parallel_solve_with`] is the chunked variant: each round splits the
+//! dirty list into `threads` contiguous slices, recomputes gains on the
+//! shared pool (pure reads of the state; results are gathered slot-indexed
+//! and written back sequentially), and selects sequentially — bit-identical
+//! for every thread count.
+
+// lint: allow-file(no-index) — per-item arrays (I-values, selection masks, gains) are sized to
+// node_count and indexed by ItemId::index(); bounds-checked [] in the hot greedy
+// loops is deliberate and in bounds by construction.
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use pcover_graph::{ItemId, PreferenceGraph};
+
+use crate::cover::CoverState;
+use crate::greedy::finish;
+use crate::report::{Algorithm, SolveReport};
+use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec};
+use crate::variant::CoverModel;
+use crate::SolveError;
+
+/// The cached-gain bookkeeping shared by the sequential and chunked
+/// variants: per-node gains, a dedup flag array, and the dirty work list.
+struct GainCache {
+    gains: Vec<f64>,
+    is_dirty: Vec<bool>,
+    dirty: Vec<ItemId>,
+}
+
+impl GainCache {
+    /// Everything starts dirty: the first round is a full scan, exactly
+    /// like plain greedy's first round.
+    fn new(g: &PreferenceGraph) -> Self {
+        let n = g.node_count();
+        GainCache {
+            gains: vec![0.0; n],
+            is_dirty: vec![true; n],
+            dirty: g.node_ids().collect(),
+        }
+    }
+
+    /// Marks `x` dirty, once.
+    fn mark(&mut self, x: ItemId) {
+        if !self.is_dirty[x.index()] {
+            self.is_dirty[x.index()] = true;
+            self.dirty.push(x);
+        }
+    }
+
+    /// Marks the nodes whose gain can change when `chosen` is retained.
+    /// Must be called **before** `add_node(chosen)` so "non-retained
+    /// in-neighbor" is judged against the pre-add state (the set is the
+    /// same either way — `chosen` itself is handled explicitly — but the
+    /// precondition keeps the derivation honest).
+    fn mark_stale_after_select(&mut self, g: &PreferenceGraph, state: &CoverState, chosen: ItemId) {
+        // I[chosen] changes (and its membership flips, which affects every
+        // candidate that reads it — exactly out(chosen)).
+        self.mark(chosen);
+        for (t, _) in g.out_edges(chosen) {
+            self.mark(t);
+        }
+        // I[u] changes for every non-retained in-neighbor u of chosen, so u
+        // itself and every candidate reading I[u] — out(u) — go stale.
+        for (u, _) in g.in_edges(chosen) {
+            if u == chosen || state.contains(u) {
+                continue;
+            }
+            self.mark(u);
+            for (t, _) in g.out_edges(u) {
+                self.mark(t);
+            }
+        }
+    }
+
+    /// Sequentially recomputes every dirty gain, clearing the dirty set.
+    /// Returns the number of gain evaluations performed (retained nodes are
+    /// skipped and not counted, matching plain greedy's accounting).
+    fn refresh<M: CoverModel>(&mut self, g: &PreferenceGraph, state: &CoverState) -> u64 {
+        let mut evals = 0u64;
+        for &v in &self.dirty {
+            self.is_dirty[v.index()] = false;
+            if state.contains(v) {
+                continue;
+            }
+            self.gains[v.index()] = state.gain::<M>(g, v);
+            evals += 1;
+        }
+        self.dirty.clear();
+        evals
+    }
+
+    /// The audited argmax over the cached gain array (no gain evaluations:
+    /// clean entries are bit-identical to a fresh recomputation).
+    fn select_best(&self, g: &PreferenceGraph, state: &CoverState) -> Option<(f64, ItemId)> {
+        let mut best: Option<(f64, ItemId)> = None;
+        for v in g.node_ids() {
+            if state.contains(v) {
+                continue;
+            }
+            let gain = self.gains[v.index()];
+            if crate::float::improves_argmax(gain, v, best) {
+                best = Some((gain, v));
+            }
+        }
+        best
+    }
+}
+
+/// Runs delta greedy for budget `k`. Bit-identical output to
+/// [`greedy::solve`](crate::greedy::solve), strictly fewer gain
+/// evaluations whenever some round leaves a candidate clean.
+///
+/// ```
+/// use pcover_core::{delta, greedy, Normalized};
+/// use pcover_graph::examples::figure1;
+///
+/// let g = figure1();
+/// let d = delta::solve::<Normalized>(&g, 2).unwrap();
+/// let p = greedy::solve::<Normalized>(&g, 2).unwrap();
+/// assert_eq!(d.order, p.order);
+/// assert_eq!(d.cover.to_bits(), p.cover.to_bits());
+/// ```
+///
+/// # Errors
+///
+/// [`SolveError::KTooLarge`] if `k > n`.
+pub fn solve<M: CoverModel>(g: &PreferenceGraph, k: usize) -> Result<SolveReport, SolveError> {
+    solve_with::<M>(g, k, &mut SolveCtx::default())
+}
+
+/// [`solve`] with an execution context: observers installed on `ctx` see
+/// each selection live; cancellation is polled every round.
+///
+/// # Errors
+///
+/// As [`solve`], plus [`SolveError::Cancelled`] when the observer signals.
+pub fn solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<SolveReport, SolveError> {
+    let started = Instant::now();
+    let n = g.node_count();
+    if k > n {
+        return Err(SolveError::KTooLarge { k, n });
+    }
+
+    let mut state = CoverState::new(n);
+    let mut cache = GainCache::new(g);
+    let mut trajectory = Vec::with_capacity(k);
+    let mut gain_evaluations = 0u64;
+
+    for iter in 0..k {
+        ctx.check_cancelled()?;
+        let round_evals = cache.refresh::<M>(g, &state);
+        gain_evaluations += round_evals;
+        let Some((gain, chosen)) = cache.select_best(g, &state) else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
+        cache.mark_stale_after_select(g, &state, chosen);
+        state.add_node::<M>(g, chosen);
+        trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, gain, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
+    }
+
+    Ok(finish::<M>(
+        Algorithm::DeltaGreedy,
+        state,
+        trajectory,
+        started,
+        gain_evaluations,
+    ))
+}
+
+/// Chunked-parallel delta greedy: the dirty list is split into `threads`
+/// contiguous slices and refreshed on the shared pool
+/// ([`pool::shared_pool`](crate::pool::shared_pool)); gathered results are
+/// written back in slot order and selection stays sequential, so the output
+/// is bit-identical to [`solve`] (and therefore to plain greedy) for every
+/// thread count.
+///
+/// # Errors
+///
+/// [`SolveError::KTooLarge`] if `k > n`; [`SolveError::ZeroThreads`] if
+/// `threads == 0`.
+pub fn parallel_solve<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    threads: usize,
+) -> Result<SolveReport, SolveError> {
+    parallel_solve_with::<M>(g, k, threads, &mut SolveCtx::default())
+}
+
+/// [`parallel_solve`] with an execution context.
+///
+/// # Errors
+///
+/// As [`parallel_solve`], plus [`SolveError::Cancelled`] when the observer
+/// signals.
+pub fn parallel_solve_with<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    threads: usize,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<SolveReport, SolveError> {
+    let started = Instant::now();
+    let n = g.node_count();
+    if k > n {
+        return Err(SolveError::KTooLarge { k, n });
+    }
+    let pool = crate::pool::shared_pool(threads)?;
+
+    let mut state = CoverState::new(n);
+    let mut cache = GainCache::new(g);
+    let mut trajectory = Vec::with_capacity(k);
+    let mut gain_evaluations = 0u64;
+
+    for iter in 0..k {
+        ctx.check_cancelled()?;
+        // Refresh: contiguous slices of the dirty list, recomputed on the
+        // pool. The workers only *read* the state; each slice's results are
+        // gathered into its own slot, then written back sequentially below
+        // (dirty entries are unique, so the writes are disjoint).
+        let chunk = cache.dirty.len().div_ceil(threads).max(1);
+        let slices: Vec<&[ItemId]> = cache.dirty.chunks(chunk).collect();
+        let per_slot: Vec<Vec<(ItemId, f64)>> = pool.install(|| {
+            slices
+                .par_iter()
+                .map(|slice| {
+                    slice
+                        .iter()
+                        .filter(|&&v| !state.contains(v))
+                        .map(|&v| (v, state.gain::<M>(g, v)))
+                        .collect()
+                })
+                .collect()
+        });
+        let mut round_evals = 0u64;
+        for part in per_slot {
+            for (v, gain) in part {
+                cache.gains[v.index()] = gain;
+                round_evals += 1;
+            }
+        }
+        for &v in &cache.dirty {
+            cache.is_dirty[v.index()] = false;
+        }
+        cache.dirty.clear();
+        gain_evaluations += round_evals;
+
+        let Some((gain, chosen)) = cache.select_best(g, &state) else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
+        cache.mark_stale_after_select(g, &state, chosen);
+        state.add_node::<M>(g, chosen);
+        trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, gain, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
+    }
+
+    Ok(finish::<M>(
+        Algorithm::DeltaParallelGreedy,
+        state,
+        trajectory,
+        started,
+        gain_evaluations,
+    ))
+}
+
+/// Delta greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaGreedy;
+
+impl Solver for DeltaGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        solve_with::<M>(g, k, ctx)
+    }
+}
+
+/// The registry entry for [`DeltaGreedy`].
+pub fn spec() -> SolverSpec {
+    SolverSpec::new(
+        "delta",
+        Algorithm::DeltaGreedy,
+        "Delta greedy: cached gains + dirty-set maintenance, bit-identical to greedy, O(n + k·dirty)",
+        SolverCaps::default(),
+        |v, g, k, ctx| DeltaGreedy.dispatch(v, g, k, ctx),
+    )
+}
+
+/// Chunked-parallel delta greedy as a registry [`Solver`].
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaParallelGreedy {
+    /// Worker thread count (must be at least 1).
+    pub threads: usize,
+}
+
+impl Solver for DeltaParallelGreedy {
+    fn solve<M: CoverModel>(
+        &self,
+        g: &PreferenceGraph,
+        k: usize,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<SolveReport, SolveError> {
+        parallel_solve_with::<M>(g, k, self.threads, ctx)
+    }
+}
+
+/// The registry entry for [`DeltaParallelGreedy`]; thread count comes from
+/// [`SolverConfig::threads`](crate::solver::SolverConfig::threads).
+pub fn parallel_spec() -> SolverSpec {
+    SolverSpec::new(
+        "delta-parallel",
+        Algorithm::DeltaParallelGreedy,
+        "Delta greedy with the dirty-set refresh chunked over the shared rayon pool",
+        SolverCaps {
+            supports_threads: true,
+            ..SolverCaps::default()
+        },
+        |v, g, k, ctx| {
+            DeltaParallelGreedy {
+                threads: ctx.config.threads,
+            }
+            .dispatch(v, g, k, ctx)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use pcover_graph::examples::figure1_ids;
+    use pcover_graph::GraphBuilder;
+    use rand::{RngExt, SeedableRng};
+
+    use crate::{greedy, Independent, Normalized};
+
+    use super::*;
+
+    fn random_graph(n: usize, seed: u64) -> PreferenceGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new()
+            .normalize_node_weights(true)
+            .duplicate_edge_policy(pcover_graph::DuplicateEdgePolicy::Max);
+        let ids: Vec<ItemId> = (0..n)
+            .map(|_| b.add_node(rng.random_range(1.0..50.0)))
+            .collect();
+        for &v in &ids {
+            for _ in 0..3 {
+                let u = ids[rng.random_range(0..n)];
+                if u != v {
+                    b.add_edge(v, u, rng.random_range(0.05..0.95)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure1_matches_plain_greedy_bitwise() {
+        let (g, ids) = figure1_ids();
+        let d = solve::<Normalized>(&g, 2).unwrap();
+        let p = greedy::solve::<Normalized>(&g, 2).unwrap();
+        assert_eq!(d.order, vec![ids.b, ids.d]);
+        assert_eq!(d.order, p.order);
+        assert_eq!(d.cover.to_bits(), p.cover.to_bits());
+        for (a, b) in d.trajectory.iter().zip(&p.trajectory) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn matches_plain_greedy_on_random_graphs() {
+        for seed in 0..3 {
+            let g = random_graph(50, seed);
+            for k in [0, 1, 5, 25, 50] {
+                let p = greedy::solve::<Independent>(&g, k).unwrap();
+                let d = solve::<Independent>(&g, k).unwrap();
+                assert_eq!(d.order, p.order, "seed {seed} k {k}");
+                assert_eq!(d.cover.to_bits(), p.cover.to_bits(), "seed {seed} k {k}");
+                for threads in [1, 2, 4, 7] {
+                    let dp = parallel_solve::<Independent>(&g, k, threads).unwrap();
+                    assert_eq!(dp.order, p.order, "seed {seed} k {k} threads {threads}");
+                    assert_eq!(dp.cover.to_bits(), p.cover.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluates_fewer_gains_than_plain_greedy() {
+        // Sparse graph: after round one, only the selected node's
+        // neighborhood goes stale, so delta does far fewer evaluations.
+        let g = random_graph(150, 9);
+        for k in [2, 10, 75] {
+            let p = greedy::solve::<Normalized>(&g, k).unwrap();
+            let d = solve::<Normalized>(&g, k).unwrap();
+            assert!(
+                d.gain_evaluations < p.gain_evaluations,
+                "k {k}: delta {} vs greedy {}",
+                d.gain_evaluations,
+                p.gain_evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn first_round_is_a_full_scan() {
+        let (g, _) = figure1_ids();
+        // k=1 degenerates to plain greedy: n evaluations, no refresh ever
+        // pays off.
+        let d = solve::<Normalized>(&g, 1).unwrap();
+        assert_eq!(d.gain_evaluations, 5);
+    }
+
+    #[test]
+    fn k_too_large_rejected() {
+        let (g, _) = figure1_ids();
+        assert!(matches!(
+            solve::<Normalized>(&g, 6),
+            Err(SolveError::KTooLarge { k: 6, n: 5 })
+        ));
+        assert!(matches!(
+            parallel_solve::<Normalized>(&g, 6, 2),
+            Err(SolveError::KTooLarge { k: 6, n: 5 })
+        ));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let (g, _) = figure1_ids();
+        assert!(matches!(
+            parallel_solve::<Normalized>(&g, 1, 0),
+            Err(SolveError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn self_loops_stay_inert() {
+        let mut b = GraphBuilder::new()
+            .allow_self_loops(true)
+            .normalize_node_weights(true);
+        let x = b.add_node(1.0);
+        let y = b.add_node(2.0);
+        b.add_edge(x, x, 0.9).unwrap();
+        b.add_edge(x, y, 0.5).unwrap();
+        let g = b.build().unwrap();
+        for k in 0..=2 {
+            let p = greedy::solve::<Independent>(&g, k).unwrap();
+            let d = solve::<Independent>(&g, k).unwrap();
+            assert_eq!(d.order, p.order, "k {k}");
+            assert_eq!(d.cover.to_bits(), p.cover.to_bits());
+        }
+    }
+
+    #[test]
+    fn round_stats_report_dirty_counts() {
+        use crate::solver::SolverConfig;
+        use crate::TraceObserver;
+        let g = random_graph(40, 2);
+        let mut trace = TraceObserver::new();
+        let mut ctx = SolveCtx::with_observer(SolverConfig::default(), &mut trace);
+        let d = solve_with::<Normalized>(&g, 5, &mut ctx).unwrap();
+        assert_eq!(trace.rounds.len(), 5);
+        let total: u64 = trace.rounds.iter().map(|r| r.gain_evaluations).sum();
+        assert_eq!(total, d.gain_evaluations);
+        // Round 0 is the full scan; later rounds touch only the dirty set.
+        assert_eq!(trace.rounds[0].gain_evaluations, 40);
+        assert!(trace.rounds[1].gain_evaluations < 40);
+    }
+}

@@ -70,18 +70,10 @@ pub fn improves_argmax<V: Ord + Copy>(gain: f64, v: V, best: Option<(f64, V)>) -
 /// thread counts.
 #[must_use]
 pub fn sum_stable<I: IntoIterator<Item = f64>>(values: I) -> f64 {
-    let mut sum = 0.0f64;
-    let mut compensation = 0.0f64;
-    for v in values {
-        let t = sum + v;
-        if sum.abs() >= v.abs() {
-            compensation += (sum - t) + v;
-        } else {
-            compensation += (v - t) + sum;
-        }
-        sum = t;
-    }
-    sum + compensation
+    // One implementation for the whole workspace: it lives in the graph
+    // crate (below this one in the dependency order) so graph-side weight
+    // sums use the identical arithmetic.
+    pcover_graph::float::sum_stable(values)
 }
 
 #[cfg(test)]

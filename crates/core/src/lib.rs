@@ -23,6 +23,7 @@
 //! |---|---|---|---|
 //! | [`greedy`] | Algorithm 1 of the paper (with variant-specific `Gain`/`AddNode`, Algorithms 2–5) | `1 − 1/e` for IPC (tight); `max{1 − 1/e, 1 − (1 − k/n)²}` for NPC | `O(nkD)` |
 //! | [`lazy`] | Lazy greedy with a stale-gain priority queue | same set quality (both cover functions are monotone submodular) | near-linear in practice |
+//! | [`delta`] | Dirty-set gain maintenance (cached gains, CSR-derived invalidation) | identical result to [`greedy`] | `O(n)` first round, `O(dirty)` after |
 //! | [`parallel`] | Rayon data-parallel gain scans | identical result to [`greedy`] | `O(k + nkD/N)` on `N` threads |
 //! | [`brute_force`] | Exact enumeration | optimal | tiny instances only (the paper's BF baseline) |
 //! | [`baselines`] | TopK-W, TopK-C, Random | none | the paper's comparison baselines |
@@ -54,6 +55,7 @@ mod variant;
 pub mod baselines;
 pub mod bounds;
 pub mod brute_force;
+pub mod delta;
 pub mod extensions;
 pub mod float;
 pub mod greedy;
@@ -63,6 +65,7 @@ pub mod maxvc;
 pub mod minimize;
 pub mod parallel;
 pub mod partitioned;
+pub mod pool;
 pub mod solver;
 pub mod stochastic;
 pub mod streaming;

@@ -82,8 +82,10 @@ impl WorkStats {
     }
 }
 
-/// Runs parallel greedy for budget `k` on a dedicated pool of `threads`
-/// rayon workers.
+/// Runs parallel greedy for budget `k` on the process-wide shared pool of
+/// `threads` rayon workers (see [`pool::shared_pool`](crate::pool::shared_pool)
+/// — repeated solves at the same thread count reuse the same pool instead
+/// of constructing one per call).
 ///
 /// # Errors
 ///
@@ -119,10 +121,7 @@ pub fn solve_with<M: CoverModel>(
         return Err(SolveError::ZeroThreads);
     }
 
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .map_err(|e| SolveError::internal(format!("thread pool construction failed: {e}")))?;
+    let pool = crate::pool::shared_pool(threads)?;
 
     let mut state = CoverState::new(n);
     let mut trajectory = Vec::with_capacity(k);
@@ -323,6 +322,23 @@ mod tests {
             solve::<Normalized>(&g, 1, 0),
             Err(SolveError::ZeroThreads)
         ));
+    }
+
+    #[test]
+    fn sequential_solves_reuse_the_shared_pool() {
+        let g = random_graph(60, 5);
+        // Materialize the pool for this thread count, then prove two
+        // back-to-back solves neither rebuild it nor grow the cache.
+        let handle = crate::pool::shared_pool(6).unwrap();
+        let pools_before = crate::pool::cached_pool_count();
+        let (a, _) = solve::<Independent>(&g, 10, 6).unwrap();
+        let (b, _) = solve::<Independent>(&g, 10, 6).unwrap();
+        assert_eq!(a.order, b.order);
+        assert_eq!(crate::pool::cached_pool_count(), pools_before);
+        assert!(
+            std::sync::Arc::ptr_eq(&handle, &crate::pool::shared_pool(6).unwrap()),
+            "solves must run on the cached pool, not a fresh one"
+        );
     }
 
     #[test]

@@ -133,7 +133,14 @@ impl Solver for Partitioned {
         k: usize,
         ctx: &mut SolveCtx<'_>,
     ) -> Result<SolveReport, SolveError> {
-        let report = solve::<M>(g, k)?;
+        // Run the per-component fan-out on the process-wide shared pool for
+        // the configured thread count instead of rayon's ambient global
+        // pool, so serving-path solves never construct pools per request.
+        // The merge is order-insensitive (per-chunk results are collected
+        // into a component-indexed Vec), so the pool choice cannot change
+        // the output.
+        let pool = crate::pool::shared_pool(ctx.config.threads.max(1))?;
+        let report = pool.install(|| solve::<M>(g, k))?;
         // The merge assembles the solution at the end; replay it so the
         // observer stream matches the returned order exactly.
         ctx.emit_report(&report);
@@ -147,7 +154,10 @@ pub fn spec() -> SolverSpec {
         "partitioned",
         Algorithm::Partitioned,
         "Component-partitioned greedy: per-island lazy solves merged exactly by gain",
-        SolverCaps::default(),
+        SolverCaps {
+            supports_threads: true,
+            ..SolverCaps::default()
+        },
         |v, g, k, ctx| Partitioned.dispatch(v, g, k, ctx),
     )
 }

@@ -1,0 +1,98 @@
+//! Process-wide shared rayon thread pools, keyed by thread count.
+//!
+//! Constructing a rayon [`ThreadPool`] spawns OS threads and allocates
+//! queues — fine for a one-shot experiment binary, wasteful on the serving
+//! hot path where `pcover-serve` dispatches a solve per HTTP request. This
+//! cache hands out one long-lived pool per distinct thread count, so two
+//! sequential solves at the same `threads` setting share the same workers
+//! instead of rebuilding them.
+//!
+//! Sharing a pool cannot perturb solver output: the parallel solvers gather
+//! per-chunk results into slot-indexed collections and reduce them
+//! sequentially (see `parallel.rs` and `delta.rs`), so the answer is a pure
+//! function of the chunk boundaries, never of which worker ran a chunk or
+//! in what order. `WorkStats` attribution is by chunk slot for the same
+//! reason, so it is also unaffected by pool reuse.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rayon::ThreadPool;
+
+use crate::SolveError;
+
+/// The cache: one pool per requested thread count, built on first use and
+/// retained for the life of the process.
+static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+
+/// Returns the shared pool for `threads` workers, building it on first
+/// request. Subsequent calls with the same `threads` return the same pool
+/// (pointer-identical `Arc`).
+///
+/// # Errors
+///
+/// [`SolveError::ZeroThreads`] when `threads == 0`; [`SolveError::Internal`]
+/// if pool construction fails or the cache mutex is poisoned.
+pub fn shared_pool(threads: usize) -> Result<Arc<ThreadPool>, SolveError> {
+    if threads == 0 {
+        return Err(SolveError::ZeroThreads);
+    }
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools
+        .lock()
+        .map_err(|_| SolveError::internal("thread pool cache mutex poisoned"))?;
+    if let Some(pool) = map.get(&threads) {
+        return Ok(Arc::clone(pool));
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| SolveError::internal(format!("thread pool construction failed: {e}")))?;
+    let pool = Arc::new(pool);
+    map.insert(threads, Arc::clone(&pool));
+    Ok(pool)
+}
+
+/// Number of distinct pools currently cached. Exposed so tests (and
+/// metrics) can assert that repeated solves do not construct new pools.
+pub fn cached_pool_count() -> usize {
+    POOLS
+        .get()
+        .and_then(|m| m.lock().ok().map(|map| map.len()))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_thread_count_returns_the_same_pool() {
+        let a = shared_pool(3).expect("pool builds");
+        let b = shared_pool(3).expect("pool builds");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "two requests at the same thread count must share one pool"
+        );
+    }
+
+    #[test]
+    fn distinct_thread_counts_get_distinct_pools() {
+        let a = shared_pool(2).expect("pool builds");
+        let b = shared_pool(5).expect("pool builds");
+        assert!(!Arc::ptr_eq(&a, &b));
+        let before = cached_pool_count();
+        let _ = shared_pool(2).expect("pool builds");
+        let _ = shared_pool(5).expect("pool builds");
+        assert_eq!(
+            cached_pool_count(),
+            before,
+            "repeat requests must not grow the cache"
+        );
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        assert!(matches!(shared_pool(0), Err(SolveError::ZeroThreads)));
+    }
+}

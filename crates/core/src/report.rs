@@ -19,6 +19,10 @@ pub enum Algorithm {
     Greedy,
     /// Lazy greedy with a stale-gain priority queue.
     LazyGreedy,
+    /// Delta greedy: cached gains refreshed through a dirty set.
+    DeltaGreedy,
+    /// Delta greedy with the dirty-set refresh chunked over a thread pool.
+    DeltaParallelGreedy,
     /// Rayon-parallel greedy.
     ParallelGreedy,
     /// Component-partitioned greedy (per-component lazy + exact k-way
@@ -50,6 +54,8 @@ impl Algorithm {
         match self {
             Algorithm::Greedy => "Greedy",
             Algorithm::LazyGreedy => "Greedy(lazy)",
+            Algorithm::DeltaGreedy => "Greedy(delta)",
+            Algorithm::DeltaParallelGreedy => "Greedy(delta-par)",
             Algorithm::ParallelGreedy => "Greedy(par)",
             Algorithm::Partitioned => "Greedy(part)",
             Algorithm::BruteForce => "BF",
@@ -66,9 +72,11 @@ impl Algorithm {
     /// Every algorithm, in the canonical presentation order. The solver
     /// registry's conformance suite checks each is produced by a registered
     /// spec, so this list cannot drift from the dispatchable set.
-    pub const ALL: [Algorithm; 12] = [
+    pub const ALL: [Algorithm; 14] = [
         Algorithm::Greedy,
         Algorithm::LazyGreedy,
+        Algorithm::DeltaGreedy,
+        Algorithm::DeltaParallelGreedy,
         Algorithm::ParallelGreedy,
         Algorithm::Partitioned,
         Algorithm::BruteForce,
@@ -89,6 +97,8 @@ impl Algorithm {
         match self {
             Algorithm::Greedy => "greedy",
             Algorithm::LazyGreedy => "lazy",
+            Algorithm::DeltaGreedy => "delta",
+            Algorithm::DeltaParallelGreedy => "delta-parallel",
             Algorithm::ParallelGreedy => "parallel",
             Algorithm::Partitioned => "partitioned",
             Algorithm::BruteForce => "bf",

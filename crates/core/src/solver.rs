@@ -473,6 +473,8 @@ impl Registry {
             crate::greedy::spec(),
             crate::greedy::low_memory_spec(),
             crate::lazy::spec(),
+            crate::delta::spec(),
+            crate::delta::parallel_spec(),
             crate::parallel::spec(),
             crate::partitioned::spec(),
             crate::brute_force::spec(),

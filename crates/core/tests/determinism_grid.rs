@@ -2,7 +2,8 @@
 //! `par-argmax`/`par-float-accum` audit rules.
 //!
 //! For a grid of seeds × cover model (IPC, NPC) × budget `k`, the parallel
-//! solver (across several thread counts) and the partitioned solver must
+//! solver (across several thread counts), the partitioned solver, and the
+//! delta solvers (sequential and chunked-parallel) must
 //! return **bit-identical** output to sequential greedy: same retained set
 //! in the same selection order, the same cover to the last mantissa bit,
 //! and the same per-step trajectory. Any drift — a changed tie-break, a
@@ -13,7 +14,7 @@
 use rand::{RngExt, SeedableRng};
 
 use pcover_core::{
-    greedy, parallel, partitioned, CoverModel, Independent, Normalized, SolveReport,
+    delta, greedy, parallel, partitioned, CoverModel, Independent, Normalized, SolveReport,
 };
 use pcover_graph::{DuplicateEdgePolicy, GraphBuilder, ItemId, PreferenceGraph};
 
@@ -102,6 +103,20 @@ fn run_grid<M: CoverModel>(model_name: &str, g: &PreferenceGraph, graph_name: &s
             &part,
             &format!("{graph_name} {model_name} k={k} partitioned"),
         );
+        let del = delta::solve::<M>(g, k).expect("delta greedy");
+        assert_bit_identical(
+            &seq,
+            &del,
+            &format!("{graph_name} {model_name} k={k} delta"),
+        );
+        for threads in THREADS {
+            let dpar = delta::parallel_solve::<M>(g, k, threads).expect("delta-parallel greedy");
+            assert_bit_identical(
+                &seq,
+                &dpar,
+                &format!("{graph_name} {model_name} k={k} delta-parallel threads={threads}"),
+            );
+        }
     }
 }
 
@@ -123,6 +138,29 @@ fn parallel_and_partitioned_match_greedy_on_clustered_graphs() {
         let g = clustered_graph(6, 10, seed);
         run_grid::<Independent>("IPC", &g, &format!("clustered(seed={seed})"));
         run_grid::<Normalized>("NPC", &g, &format!("clustered(seed={seed})"));
+    }
+}
+
+#[test]
+fn delta_evaluates_strictly_fewer_gains_at_scale() {
+    // The point of the dirty set: on every n >= 100 grid point (with k >= 2
+    // so at least one round can skip clean candidates), delta must do
+    // strictly less gain-evaluation work than plain greedy while staying
+    // bit-identical.
+    for seed in SEEDS {
+        let g = random_graph(120, seed);
+        let n = g.node_count();
+        for k in [2, n / 4, n / 2, n] {
+            let seq = greedy::solve::<Independent>(&g, k).expect("sequential greedy");
+            let del = delta::solve::<Independent>(&g, k).expect("delta greedy");
+            assert_bit_identical(&seq, &del, &format!("eval-count seed={seed} k={k}"));
+            assert!(
+                del.gain_evaluations < seq.gain_evaluations,
+                "seed={seed} k={k}: delta {} evals vs greedy {}",
+                del.gain_evaluations,
+                seq.gain_evaluations
+            );
+        }
     }
 }
 

@@ -205,7 +205,14 @@ fn live_solvers_abort_mid_solve_when_cancelled_after_first_selection() {
     let registry = Registry::builtin();
     let g = random_graph(24, 4);
     let k = 6;
-    for name in ["greedy", "lazy", "parallel", "stochastic"] {
+    for name in [
+        "greedy",
+        "lazy",
+        "delta",
+        "delta-parallel",
+        "parallel",
+        "stochastic",
+    ] {
         let spec = registry.get(name).unwrap_or_else(|| {
             panic!("{name} must be registered");
         });

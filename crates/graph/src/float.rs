@@ -1,0 +1,53 @@
+//! Compensated float accumulation for graph-side weight sums.
+//!
+//! Node and edge weights are probabilities summed over potentially millions
+//! of entries; a naive left-to-right `iter().sum()` loses low-order mass
+//! when magnitudes differ. This module holds the Neumaier-compensated sum
+//! the whole workspace standardizes on — it lives here (rather than only in
+//! `pcover_core::float`, which re-exports it) because the graph crate sits
+//! below the solver crate in the dependency order.
+
+/// Compensated (Neumaier) summation over a fixed iteration order.
+///
+/// The compensation term keeps the result faithful even when magnitudes
+/// differ wildly, and the single fixed order makes "same input, same
+/// output" hold wherever this is used to reduce pre-gathered parallel
+/// partials.
+#[must_use]
+pub fn sum_stable<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut compensation = 0.0f64;
+    for v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            compensation += (sum - t) + v;
+        } else {
+            compensation += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + compensation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancelled_terms() {
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(sum_stable(xs).to_bits(), 2.0f64.to_bits());
+    }
+
+    #[test]
+    fn matches_naive_on_benign_input() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.125).collect();
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(sum_stable(xs.iter().copied()).to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(sum_stable(std::iter::empty()).to_bits(), 0.0f64.to_bits());
+    }
+}

@@ -82,7 +82,7 @@ impl PreferenceGraph {
     /// Sum of all node weights (1.0 for a well-formed preference graph, up
     /// to floating-point error).
     pub fn total_node_weight(&self) -> f64 {
-        self.node_weights.iter().sum()
+        crate::float::sum_stable(self.node_weights.iter().copied())
     }
 
     /// The label of `v`, if labels were provided at build time.
@@ -181,7 +181,7 @@ impl PreferenceGraph {
         let i = v.index();
         let lo = self.out_offsets[i] as usize;
         let hi = self.out_offsets[i + 1] as usize;
-        self.out_weights[lo..hi].iter().sum()
+        crate::float::sum_stable(self.out_weights[lo..hi].iter().copied())
     }
 
     /// Iterates all edges of the graph in `(source, target)` order.

@@ -57,6 +57,7 @@ mod validate;
 pub mod components;
 pub mod delta;
 pub mod examples;
+pub mod float;
 pub mod io;
 pub mod reduction;
 pub mod transform;

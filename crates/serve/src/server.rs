@@ -191,6 +191,12 @@ impl Server {
             local_addr,
         });
 
+        // Pre-warm the process-wide rayon pool the parallel solvers use at
+        // the default thread count, so the first request that dispatches a
+        // pool-backed solver never pays pool construction on the hot path
+        // (subsequent solves at the same count reuse the cached pool).
+        let _ = pcover_core::pool::shared_pool(SolverConfig::default().threads);
+
         let workers = (0..state.config.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);

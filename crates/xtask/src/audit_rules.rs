@@ -103,9 +103,10 @@ const SHARED_STATE_METHODS: [&str; 11] = [
 
 /// Solver modules whose free functions must not be called directly from
 /// the dispatch-scoped layers (rule `solver-dispatch`).
-const DISPATCH_MODULES: [&str; 10] = [
+const DISPATCH_MODULES: [&str; 11] = [
     "greedy",
     "lazy",
+    "delta",
     "parallel",
     "partitioned",
     "streaming",
@@ -120,8 +121,9 @@ const DISPATCH_MODULES: [&str; 10] = [
 /// the same modules (`brute_force::subset_count`, `evaluate_selection`, the
 /// extension solvers) are utilities the registry deliberately does not
 /// wrap, and stay callable.
-const DISPATCH_FNS: [&str; 7] = [
+const DISPATCH_FNS: [&str; 8] = [
     "solve",
+    "parallel_solve",
     "refine",
     "top_k_weight",
     "top_k_coverage",
