@@ -38,19 +38,30 @@ pub fn shared_pool(threads: usize) -> Result<Arc<ThreadPool>, SolveError> {
         return Err(SolveError::ZeroThreads);
     }
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = pools
+            .lock()
+            .map_err(|_| SolveError::internal("thread pool cache mutex poisoned"))?;
+        if let Some(pool) = map.get(&threads) {
+            return Ok(Arc::clone(pool));
+        }
+    }
+    // Cache miss: build *outside* the lock — `ThreadPoolBuilder::build`
+    // spawns OS threads, and holding the cache mutex across it would stall
+    // every solve at a different thread count behind this one (the
+    // `lock-across-blocking` audit rule flags exactly that). Two racing
+    // builders at the same count may both construct; `entry` keeps the
+    // first insert, and the loser's pool is dropped on return.
+    let built = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| SolveError::internal(format!("thread pool construction failed: {e}")))?,
+    );
     let mut map = pools
         .lock()
         .map_err(|_| SolveError::internal("thread pool cache mutex poisoned"))?;
-    if let Some(pool) = map.get(&threads) {
-        return Ok(Arc::clone(pool));
-    }
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .map_err(|e| SolveError::internal(format!("thread pool construction failed: {e}")))?;
-    let pool = Arc::new(pool);
-    map.insert(threads, Arc::clone(&pool));
-    Ok(pool)
+    Ok(Arc::clone(map.entry(threads).or_insert(built)))
 }
 
 /// Number of distinct pools currently cached. Exposed so tests (and
@@ -94,5 +105,34 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         assert!(matches!(shared_pool(0), Err(SolveError::ZeroThreads)));
+    }
+
+    #[test]
+    fn racing_first_requests_converge_on_one_pool() {
+        // Regression for the build-outside-the-lock miss path: when many
+        // threads race the first request at a count, the insert-or-race
+        // re-check must hand every caller the same cached pool (losers drop
+        // their freshly built one).
+        use std::sync::Barrier;
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    shared_pool(7).expect("pool builds")
+                })
+            })
+            .collect();
+        let pools: Vec<Arc<ThreadPool>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        for p in &pools[1..] {
+            assert!(
+                Arc::ptr_eq(&pools[0], p),
+                "racing builders must converge on the first-inserted pool"
+            );
+        }
     }
 }

@@ -20,9 +20,10 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::Mutex;
 
 use pcover_core::{SolveReport, SolverConfig, Variant};
+
+use crate::sync::{Mutex, MutexGuard};
 
 /// Cache key: everything that determines a solve's output.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -143,7 +144,7 @@ impl SolveCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
         match self.inner.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),

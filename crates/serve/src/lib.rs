@@ -20,6 +20,9 @@
 //!   `(generation, solver, variant, k, config fingerprint)` with
 //!   trajectory reuse: one budget-`k` greedy-family report answers every
 //!   `k' ≤ k` query and every `/minimize` threshold (paper §3.2).
+//! * [`queue::WorkQueue`] — the bounded MPMC work queue behind the load
+//!   shedder, extracted so the `--cfg loom` model tests (`tests/loom.rs`)
+//!   can exhaustively check its shed/drain/shutdown interleavings.
 //! * [`server::Server`] — `std::net` accept loop, bounded work queue with
 //!   503 load shedding, thread-per-worker pool, per-request deadlines via
 //!   a cancellation-checking [`pcover_core::Observer`], and graceful
@@ -51,9 +54,12 @@
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod queue;
 pub mod server;
 pub mod snapshot;
+mod sync;
 
 pub use cache::{CacheOutcome, SolveCache};
+pub use queue::WorkQueue;
 pub use server::{DeadlineObserver, Server, ServerConfig, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotManager};

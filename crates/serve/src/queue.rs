@@ -1,0 +1,131 @@
+//! Bounded MPMC work queue with load shedding: `Mutex<VecDeque>` +
+//! `Condvar`, extracted from the server so the `--cfg loom` model tests
+//! can drive shed/drain/shutdown interleavings directly (`tests/loom.rs`).
+//!
+//! Guard discipline (enforced by the `lock-across-blocking` audit rule and
+//! verified by the model tests): [`WorkQueue::push`] drops its guard
+//! *before* `notify_one`, [`WorkQueue::pop`] parks only on the condvar
+//! associated with its own guard inside a predicate loop, and
+//! [`WorkQueue::close`] touches the lock through a temporary so the
+//! `notify_all` runs guard-free.
+
+use std::collections::VecDeque;
+
+use crate::sync::{Condvar, Mutex, MutexGuard};
+
+/// Bounded multi-producer multi-consumer queue; producers shed instead of
+/// blocking when it is full.
+pub struct WorkQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+impl<T> std::fmt::Debug for WorkQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> WorkQueue<T> {
+    /// An open queue admitting at most `capacity.max(1)` queued items.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Recovers from a poisoned lock: the queue's invariants (a deque and a
+    /// flag) cannot be left torn by a panicking holder.
+    fn lock(&self) -> MutexGuard<'_, QueueInner<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues an item; `Err` returns it when the queue is full or closed
+    /// (the caller sheds — e.g. answers 503 — instead of blocking).
+    ///
+    /// # Errors
+    ///
+    /// The rejected item itself, so shedding never loses it.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if !inner.open || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once closed *and* drained — the
+    /// consumer-exit signal that makes shutdown drain the backlog.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Closes the queue: new pushes are rejected, queued items still drain.
+    /// Idempotent.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.ready.notify_all();
+    }
+
+    /// Number of items currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_on_close() {
+        let q = WorkQueue::new(1);
+        assert!(q.push(1u32).is_ok());
+        assert!(q.push(2u32).is_err(), "second push must shed");
+        assert_eq!(q.depth(), 1);
+        q.close();
+        assert_eq!(q.pop(), Some(1), "queued work drains after close");
+        assert!(q.pop().is_none(), "then consumers exit");
+        assert!(q.push(3u32).is_err(), "closed queue rejects new work");
+    }
+
+    #[test]
+    fn pop_blocks_until_a_push_arrives() {
+        let q = std::sync::Arc::new(WorkQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        q.push(7u32).expect("open queue accepts");
+        assert_eq!(consumer.join().expect("no panic"), Some(7));
+    }
+}

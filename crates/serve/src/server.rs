@@ -13,10 +13,9 @@
 //! endpoint (or just SIGKILL, which is safe: the graph is immutable on
 //! disk and all serving state is in memory).
 
-use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pcover_core::{Observer, Registry, SolveCtx, SolveError, SolveReport, SolverConfig, Variant};
@@ -26,6 +25,7 @@ use pcover_graph::PreferenceGraph;
 use crate::cache::{fingerprint, CacheKey, CacheOutcome, SolveCache};
 use crate::http::{read_request, write_json, write_response, HttpError, Request, Status};
 use crate::metrics::Metrics;
+use crate::queue::WorkQueue;
 use crate::snapshot::SnapshotManager;
 
 /// Tunables for [`Server::start`].
@@ -59,85 +59,13 @@ impl Default for ServerConfig {
     }
 }
 
-/// Bounded MPMC connection queue: `Mutex<VecDeque>` + `Condvar`.
-struct WorkQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
-    capacity: usize,
-}
-
-struct QueueInner {
-    items: VecDeque<TcpStream>,
-    open: bool,
-}
-
-impl WorkQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            inner: Mutex::new(QueueInner {
-                items: VecDeque::new(),
-                open: true,
-            }),
-            ready: Condvar::new(),
-            capacity: capacity.max(1),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
-        match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    /// Enqueues a connection; `Err` returns it when the queue is full or
-    /// closed (the caller sheds with 503).
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut inner = self.lock();
-        if !inner.open || inner.items.len() >= self.capacity {
-            return Err(stream);
-        }
-        inner.items.push_back(stream);
-        drop(inner);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next connection; `None` once closed *and* drained —
-    /// the worker-exit signal that makes shutdown drain the backlog.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.lock();
-        loop {
-            if let Some(stream) = inner.items.pop_front() {
-                return Some(stream);
-            }
-            if !inner.open {
-                return None;
-            }
-            inner = match self.ready.wait(inner) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-        }
-    }
-
-    fn close(&self) {
-        self.lock().open = false;
-        self.ready.notify_all();
-    }
-
-    fn depth(&self) -> usize {
-        self.lock().items.len()
-    }
-}
-
 /// State shared by the acceptor, the workers, and the handle.
 struct AppState {
     registry: Registry,
     snapshots: SnapshotManager,
     cache: SolveCache,
     metrics: Metrics,
-    queue: WorkQueue,
+    queue: WorkQueue<TcpStream>,
     shutdown: AtomicBool,
     config: ServerConfig,
     local_addr: SocketAddr,
@@ -674,24 +602,6 @@ fn delta_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, St
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn queue_sheds_when_full_and_drains_on_close() {
-        let q = WorkQueue::new(1);
-        // Stand-in streams: connect to a throwaway listener.
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let a = TcpStream::connect(addr).expect("connect");
-        let b = TcpStream::connect(addr).expect("connect");
-        assert!(q.push(a).is_ok());
-        assert!(q.push(b).is_err(), "second push must shed");
-        assert_eq!(q.depth(), 1);
-        q.close();
-        assert!(q.pop().is_some(), "queued work drains after close");
-        assert!(q.pop().is_none(), "then workers exit");
-        let c = TcpStream::connect(addr).expect("connect");
-        assert!(q.push(c).is_err(), "closed queue rejects new work");
-    }
 
     #[test]
     fn deadline_observer_flips_after_the_deadline() {

@@ -7,10 +7,12 @@
 //! their whole lifetime, so a swap never invalidates an in-flight solve —
 //! old generations are freed when the last in-flight query drops its `Arc`.
 
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 use pcover_graph::delta::{apply, GraphDelta};
 use pcover_graph::{GraphError, PreferenceGraph};
+
+use crate::sync::{Mutex, RwLock};
 
 /// One immutable published generation.
 #[derive(Debug)]

@@ -1,6 +1,6 @@
 //! The semantic audit pass (`cargo run -p xtask -- audit`).
 //!
-//! Five rule families layered on the item index ([`crate::ast`]) and call
+//! Six rule families layered on the item index ([`crate::ast`]) and call
 //! graph ([`crate::callgraph`]) that the lexical lint pass cannot express:
 //!
 //! - **`panic-path`** — no public function of `pcover_core` may
@@ -21,6 +21,14 @@
 //!   to the registry is reachable everywhere with no downstream edits.
 //!   `pcover-core` itself and the criterion benches (which measure the raw
 //!   free functions against the harness) are out of scope.
+//! - **`lock-order-cycle`** / **`lock-across-blocking`** /
+//!   **`condvar-misuse`** / **`guard-across-callback`** — the concurrency
+//!   pass ([`crate::lockgraph`]): guard scopes are tracked lexically, lock
+//!   acquisition order is propagated over the call graph into a workspace
+//!   order graph, and guards must not be held across indefinitely-blocking
+//!   operations or user callbacks; condvar waits need predicate loops and
+//!   notifies need the associated lock. Diagnostics carry the same
+//!   shortest-call-chain provenance as `panic-path`.
 //! - **`stale-waiver`** / **`shadowed-waiver`** — every waiver must still
 //!   suppress at least one raw finding, and a line waiver fully covered by
 //!   an enclosing `allow-file` must be removed.
@@ -28,9 +36,10 @@
 //!   committed snapshots in `crates/xtask/api/` (see
 //!   [`crate::api_snapshot`]).
 //!
-//! Findings for the panic, parallel, and dispatch rules are waivable with
-//! the normal `// lint: allow(<rule>) — <reason>` grammar; the hygiene and
-//! drift rules are not (see [`crate::rules::WAIVABLE_AUDIT_RULES`]).
+//! Findings for the panic, parallel, dispatch, and concurrency rules are
+//! waivable with the normal `// lint: allow(<rule>) — <reason>` grammar;
+//! the hygiene and drift rules are not (see
+//! [`crate::rules::WAIVABLE_AUDIT_RULES`]).
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -216,6 +225,16 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
     // --- Rule family 3: registry dispatch in downstream layers -----------
     for (i, f) in files.iter().enumerate() {
         solver_dispatch_findings(&f.rel, &lexed[i].tokens, &mut raw_audit[i]);
+    }
+
+    // --- Rule family 4: concurrency safety (lockgraph) -------------------
+    // Guard scopes, the workspace lock-order graph, and condvar/callback
+    // discipline, over the same call graph as panic reachability. Routed
+    // through `raw_audit` so waivers on these findings count as live.
+    for v in crate::lockgraph::analyze(&inputs, &graph) {
+        if let Some(fi) = files.iter().position(|f| f.rel == v.file) {
+            raw_audit[fi].push(v);
+        }
     }
 
     // --- Rule family 5: pub-surface snapshots ----------------------------

@@ -2,12 +2,21 @@
 //! express, because they encode *this* project's correctness invariants.
 //!
 //! Run as `cargo run -p xtask -- lint` (see [`walk`] and the `xtask` binary
-//! for the driver). The engine is three layers, each independently
+//! for the driver). The engine is layered, each layer independently
 //! unit-tested:
 //!
 //! - [`lexer`] — a small Rust tokenizer that is exact about comments,
 //!   strings, chars, and lifetimes, so rules never fire inside non-code;
-//! - [`rules`] — the four rule visitors plus the waiver machinery;
+//! - [`rules`] — the lexical rule visitors plus the waiver machinery;
+//! - [`ast`] / [`callgraph`] — the item parser and conservative
+//!   intra-workspace call graph the semantic `audit` pass runs on;
+//! - [`audit_rules`] — the audit driver: panic reachability, rayon
+//!   determinism, solver dispatch, waiver hygiene, API drift;
+//! - [`lockgraph`] — the concurrency pass on the same call graph: guard
+//!   scopes, the workspace lock-acquisition-order graph, and the
+//!   condvar/callback discipline rules;
+//! - [`api_snapshot`] — the normalized pub-surface renderer behind
+//!   `api-drift` and `--bless`;
 //! - [`report`] — the machine-readable JSON report consumed by CI.
 //!
 //! Why these rules exist (the solver invariants they protect):
@@ -39,6 +48,7 @@ pub mod ast;
 pub mod audit_rules;
 pub mod callgraph;
 pub mod lexer;
+pub mod lockgraph;
 pub mod report;
 pub mod rules;
 pub mod walk;

@@ -3,15 +3,18 @@
 //! Hand-rolled emission (the engine has zero dependencies); the shape is
 //! stable and versioned via the `schema` field. Schema `xtask-lint/2`
 //! added the `pass` field (`"lint"` or `"audit"`) so one consumer can
-//! ingest both passes' artifacts:
+//! ingest both passes' artifacts; `xtask-lint/3` added the `rules` array
+//! enumerating every rule the producing binary knows, so a consumer can
+//! tell "rule not present" from "rule not yet in this version":
 //!
 //! ```json
 //! {
-//!   "schema": "xtask-lint/2",
+//!   "schema": "xtask-lint/3",
 //!   "pass": "lint",
 //!   "root": ".",
 //!   "files_scanned": 123,
 //!   "waivers_used": 4,
+//!   "rules": ["float-eq", "no-unwrap", "..."],
 //!   "clean": false,
 //!   "violations": [
 //!     {"rule": "no-unwrap", "file": "crates/core/src/x.rs", "line": 10,
@@ -50,11 +53,16 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"xtask-lint/2\",\n");
+    out.push_str("  \"schema\": \"xtask-lint/3\",\n");
     out.push_str(&format!("  \"pass\": \"{}\",\n", esc(pass)));
     out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"waivers_used\": {waivers_used},\n"));
+    let rules: Vec<String> = crate::rules::RULES
+        .iter()
+        .map(|r| format!("\"{}\"", esc(r)))
+        .collect();
+    out.push_str(&format!("  \"rules\": [{}],\n", rules.join(", ")));
     out.push_str(&format!("  \"clean\": {},\n", violations.is_empty()));
     out.push_str("  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
@@ -89,8 +97,12 @@ mod tests {
             message: "say \"no\"\nplease".to_string(),
         }];
         let j = to_json("lint", ".", 3, 1, &v);
-        assert!(j.contains("\"schema\": \"xtask-lint/2\""));
+        assert!(j.contains("\"schema\": \"xtask-lint/3\""));
         assert!(j.contains("\"pass\": \"lint\""));
+        assert!(
+            j.contains("\"rules\": [\"float-eq\"") && j.contains("\"lock-order-cycle\""),
+            "rules array enumerates the binary's rule set"
+        );
         assert!(j.contains("\"files_scanned\": 3"));
         assert!(j.contains("\"clean\": false"));
         assert!(j.contains("say \\\"no\\\"\\nplease"));

@@ -21,7 +21,7 @@ use crate::lexer::{lex, Tok, TokKind};
 /// The first eight are the lexical `lint` pass (PR 1); the rest belong to
 /// the semantic `audit` pass (see [`crate::audit_rules`]). Waivers may name
 /// any of them — the two passes share one waiver grammar.
-pub const RULES: [&str; 16] = [
+pub const RULES: [&str; 20] = [
     "float-eq",
     "no-unwrap",
     "no-expect",
@@ -36,6 +36,11 @@ pub const RULES: [&str; 16] = [
     "par-float-accum",
     "par-shared-state",
     "solver-dispatch",
+    // concurrency (lockgraph) rules:
+    "lock-order-cycle",
+    "lock-across-blocking",
+    "condvar-misuse",
+    "guard-across-callback",
     "stale-waiver",
     "shadowed-waiver",
     "api-drift",
@@ -45,12 +50,16 @@ pub const RULES: [&str; 16] = [
 /// `shadowed-waiver`, and `api-drift` are deliberately *not* waivable: a
 /// waiver about waivers would defeat the hygiene check, and API drift is
 /// resolved by blessing the snapshot, not by silencing the diff.
-pub const WAIVABLE_AUDIT_RULES: [&str; 5] = [
+pub const WAIVABLE_AUDIT_RULES: [&str; 9] = [
     "panic-path",
     "par-argmax",
     "par-float-accum",
     "par-shared-state",
     "solver-dispatch",
+    "lock-order-cycle",
+    "lock-across-blocking",
+    "condvar-misuse",
+    "guard-across-callback",
 ];
 
 /// One diagnostic: rule, location, human message.

@@ -15,8 +15,11 @@ use std::path::{Path, PathBuf};
 /// wherever they appear in the tree:
 ///
 /// - `target` — build output (generated code is rustc's problem);
-/// - `vendor` — vendored third-party dependencies, which are not held to
-///   this workspace's invariants and must never fail its gates;
+/// - `vendor` — vendored third-party dependencies (e.g. `vendor/loom`,
+///   the model-checking scheduler behind the serve loom tests), which are
+///   not held to this workspace's invariants and must never fail its
+///   gates — in particular the lockgraph rules never see loom's own
+///   internal locking;
 /// - `.git` — VCS metadata;
 /// - `fixtures` — the integration tests' planted-violation trees, which
 ///   exist precisely to contain violations.

@@ -43,9 +43,18 @@ fn planted_tree_fires_every_audit_rule_family() {
     let report = report_of(&out);
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("xtask-lint/2")
+        Some("xtask-lint/3")
     );
     assert_eq!(report.get("pass").and_then(|v| v.as_str()), Some("audit"));
+    // Schema 3: the report enumerates the producing binary's rule set.
+    let known: Vec<&str> = report
+        .get("rules")
+        .and_then(serde_json::Value::as_array)
+        .expect("rules array")
+        .iter()
+        .filter_map(serde_json::Value::as_str)
+        .collect();
+    assert!(known.contains(&"float-eq") && known.contains(&"lock-order-cycle"));
     let rules = rules_of(&report);
     for expected in [
         "panic-path",
@@ -53,6 +62,10 @@ fn planted_tree_fires_every_audit_rule_family() {
         "par-float-accum",
         "par-shared-state",
         "solver-dispatch",
+        "lock-order-cycle",
+        "lock-across-blocking",
+        "condvar-misuse",
+        "guard-across-callback",
         "stale-waiver",
         "shadowed-waiver",
         "api-drift",
@@ -85,6 +98,71 @@ fn panic_path_reports_the_three_deep_chain() {
     );
     assert!(panic_msgs[0].contains("crates/core/src/lib.rs:18"));
     assert!(panic_msgs[0].contains("no-unwrap"));
+}
+
+#[test]
+fn lockgraph_rules_fire_on_the_planted_hub() {
+    let out = xtask(&["audit", "--json", "--root", &fixture("audit_planted")]);
+    let report = report_of(&out);
+    let svc: Vec<(&str, u64, &str)> = report
+        .get("violations")
+        .and_then(serde_json::Value::as_array)
+        .expect("violations array")
+        .iter()
+        .filter(|v| v.get("file").and_then(|f| f.as_str()) == Some("crates/svc/src/lib.rs"))
+        .map(|v| {
+            (
+                v.get("rule").and_then(|r| r.as_str()).expect("rule"),
+                v.get("line")
+                    .and_then(serde_json::Value::as_u64)
+                    .expect("line"),
+                v.get("message").and_then(|m| m.as_str()).expect("message"),
+            )
+        })
+        .collect();
+
+    // The AB-BA cycle is reported once, anchored at the forward edge's
+    // acquisition, with the helper-mediated reverse direction's call
+    // chain spelled out — the panic-path diagnostic style.
+    let cycles: Vec<_> = svc.iter().filter(|v| v.0 == "lock-order-cycle").collect();
+    assert_eq!(cycles.len(), 1, "one cycle, reported once: {svc:?}");
+    let (_, line, msg) = cycles[0];
+    assert_eq!(*line, 25, "anchored at forward()'s `a` acquisition");
+    assert!(
+        msg.contains("svc::Hub::a") && msg.contains("svc::Hub::b"),
+        "both classes named: {msg}"
+    );
+    assert!(
+        msg.contains("reverse order") && msg.contains("grab_a"),
+        "reverse direction with its call chain: {msg}"
+    );
+
+    // Guard held across socket I/O, anchored at the acquisition so the
+    // waiver comment can sit on the lock line.
+    assert!(
+        svc.iter()
+            .any(|v| v.0 == "lock-across-blocking" && v.1 == 45 && v.2.contains("write_all")),
+        "held_io finding missing: {svc:?}"
+    );
+
+    // Wait with no predicate loop; notify with no lock.
+    assert!(
+        svc.iter()
+            .any(|v| v.0 == "condvar-misuse" && v.2.contains("not inside a `loop`")),
+        "wait_no_loop finding missing: {svc:?}"
+    );
+    assert!(
+        svc.iter()
+            .any(|v| v.0 == "condvar-misuse" && v.2.contains("notify_one")),
+        "notify_without_lock finding missing: {svc:?}"
+    );
+
+    // User callback under the guard.
+    assert!(
+        svc.iter()
+            .any(|v| v.0 == "guard-across-callback" && v.2.contains("on_select")),
+        "callback_under_lock finding missing: {svc:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,68 @@
+//! Planted concurrency violations for the lockgraph audit rules: an
+//! AB-BA lock-order cycle (one side through a helper call), a guard held
+//! across socket I/O, a condvar wait with no predicate loop, an
+//! unsynchronized notify, and a guard held across an observer callback.
+
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+/// Callback surface, so `guard-across-callback` has a hook to see.
+pub trait Observer {
+    /// Invoked per selection.
+    fn on_select(&self, idx: usize);
+}
+
+/// Two mutexes and a condvar, misused in every way the audit flags.
+pub struct Hub {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    ready: Condvar,
+}
+
+impl Hub {
+    /// Takes `a` then `b`: one direction of the planted cycle.
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    /// Takes `b` then reaches `a` through a helper: the reverse
+    /// direction, visible only interprocedurally.
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let x = self.grab_a();
+        *gb + x
+    }
+
+    fn grab_a(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        *ga
+    }
+
+    /// Holds the `a` guard across blocking socket I/O.
+    pub fn held_io(&self, s: &mut std::net::TcpStream) {
+        let ga = self.a.lock().unwrap();
+        let _ = s.write_all(b"x");
+        drop(ga);
+    }
+
+    /// Waits with no enclosing predicate loop: spurious wakeups break it.
+    pub fn wait_no_loop(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let ga = self.ready.wait(ga).unwrap();
+        *ga
+    }
+
+    /// Notifies without ever acquiring the associated lock.
+    pub fn notify_without_lock(&self) {
+        self.ready.notify_one();
+    }
+
+    /// Runs user callback code under the `a` guard.
+    pub fn callback_under_lock(&self, obs: &dyn Observer) {
+        let ga = self.a.lock().unwrap();
+        obs.on_select(*ga as usize);
+        drop(ga);
+    }
+}

@@ -1,0 +1,1198 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no network access, so the real `loom` cannot
+//! be fetched. This vendored replacement model-checks concurrent code the
+//! same way loom does at its core: it runs the test body many times under a
+//! **cooperative scheduler** that serializes the simulated threads, treats
+//! every synchronization operation as a scheduling point, and explores the
+//! tree of scheduling decisions exhaustively by depth-first search with
+//! replay — bounded by a configurable preemption budget, which is the
+//! standard state-space reduction (most concurrency bugs manifest within
+//! two or three preemptions; see the CHESS paper).
+//!
+//! What it models: all interleavings of `Mutex`/`RwLock`/`Condvar`/atomic
+//! operations and thread spawn/join/yield points, including lost-wakeup and
+//! deadlock detection (a state where every live thread is blocked fails the
+//! test with the schedule that produced it). What it does **not** model,
+//! unlike real loom: C11 weak-memory reorderings (every atomic behaves
+//! sequentially consistent) and spurious condvar wakeups. The workspace
+//! only relies on lock/condvar interleaving correctness, so this surface is
+//! the one its serve-layer model tests need.
+//!
+//! Outside of [`model`], every primitive falls back to plain `std`
+//! behavior, so code built with `--cfg loom` still works when executed
+//! without an active model run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Panic payload used to unwind simulated threads out of an aborted
+/// execution (after a user panic or a detected deadlock). Never surfaced:
+/// the primary panic is re-raised by the orchestrator instead.
+const ABORT: &str = "loom-execution-aborted";
+
+/// Serializes whole model runs: `cargo test` may run several `#[test]`
+/// functions concurrently, but the scheduler's bookkeeping is per-run.
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    /// The scheduler and simulated-thread id of the current OS thread, when
+    /// it is executing inside a model run.
+    static CTX: RefCell<Option<(StdArc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<(StdArc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// What a simulated thread is blocked on (nothing = runnable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    /// Runnable.
+    None,
+    /// Waiting to acquire mutex `id`.
+    Lock(usize),
+    /// Waiting to acquire rwlock `id` for reading.
+    RwRead(usize),
+    /// Waiting to acquire rwlock `id` for writing.
+    RwWrite(usize),
+    /// Parked on condvar `id` (ineligible until notified).
+    Condvar(usize),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+/// One recorded scheduling decision — the unit of DFS exploration.
+#[derive(Clone, Debug)]
+struct Decision {
+    /// Threads that were eligible to run, in ascending tid order.
+    candidates: Vec<usize>,
+    /// Index into `candidates` actually chosen.
+    chosen: usize,
+    /// The thread that was running and still runnable when the decision was
+    /// made (choosing any *other* candidate costs a preemption).
+    yielder: Option<usize>,
+    /// Preemptions spent on the path before this decision.
+    preemptions_before: usize,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+struct ExecState {
+    finished: Vec<bool>,
+    blocked: Vec<Block>,
+    current: usize,
+    /// Mutexes: holding tid, if held.
+    locks: Vec<Option<usize>>,
+    rws: Vec<RwState>,
+    /// FIFO wait queues per condvar.
+    cv_queues: Vec<Vec<usize>>,
+    decisions: Vec<Decision>,
+    replay: Vec<usize>,
+    pos: usize,
+    preemptions: usize,
+    /// Live (registered, not finished) thread count.
+    active: usize,
+    aborted: bool,
+    /// First non-sentinel panic of the run (user assertion or deadlock).
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// The tid sequence actually scheduled, for failure diagnostics.
+    schedule_log: Vec<usize>,
+}
+
+struct Scheduler {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, ExecState>;
+
+impl Scheduler {
+    fn new(replay: Vec<usize>) -> Self {
+        Self {
+            state: StdMutex::new(ExecState {
+                finished: vec![false],
+                blocked: vec![Block::None],
+                current: 0,
+                locks: Vec::new(),
+                rws: Vec::new(),
+                cv_queues: Vec::new(),
+                decisions: Vec::new(),
+                replay,
+                pos: 0,
+                preemptions: 0,
+                active: 1,
+                aborted: false,
+                panic_payload: None,
+                schedule_log: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> Guard<'_> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn eligible(st: &ExecState, t: usize) -> bool {
+        if st.finished[t] {
+            return false;
+        }
+        match st.blocked[t] {
+            Block::None => true,
+            Block::Lock(l) => st.locks[l].is_none(),
+            Block::RwRead(r) => !st.rws[r].writer,
+            Block::RwWrite(r) => !st.rws[r].writer && st.rws[r].readers == 0,
+            Block::Condvar(_) => false,
+            Block::Join(j) => st.finished[j],
+        }
+    }
+
+    fn candidates(st: &ExecState) -> Vec<usize> {
+        (0..st.blocked.len())
+            .filter(|&t| Self::eligible(st, t))
+            .collect()
+    }
+
+    fn describe_blocked(st: &ExecState) -> String {
+        let mut parts = Vec::new();
+        for t in 0..st.blocked.len() {
+            if !st.finished[t] {
+                parts.push(format!("thread {t} blocked on {:?}", st.blocked[t]));
+            }
+        }
+        parts.join("; ")
+    }
+
+    /// Flags the run as aborted with a deadlock report and wakes everyone;
+    /// the caller unwinds with the sentinel.
+    fn deadlock(&self, mut st: Guard<'_>) -> ! {
+        st.aborted = true;
+        if st.panic_payload.is_none() {
+            let msg = format!(
+                "loom: deadlock — no eligible thread ({}); schedule so far: {:?}",
+                Self::describe_blocked(&st),
+                st.schedule_log
+            );
+            st.panic_payload = Some(Box::new(msg));
+        }
+        self.cv.notify_all();
+        drop(st);
+        std::panic::panic_any(ABORT)
+    }
+
+    /// The core scheduling point: records one decision, hands the baton to
+    /// the chosen thread, and blocks until this thread is scheduled again.
+    /// `block` is what *this* thread is now waiting on (`Block::None` for a
+    /// pure yield). Panics with the abort sentinel when the run is over.
+    fn decision<'a>(&'a self, mut st: Guard<'a>, tid: usize, block: Block) -> Guard<'a> {
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+        st.blocked[tid] = block;
+        let cands = Self::candidates(&st);
+        if cands.is_empty() {
+            self.deadlock(st);
+        }
+        let chosen = if st.pos < st.replay.len() {
+            let r = st.replay[st.pos];
+            assert!(
+                r < cands.len(),
+                "loom: nondeterministic test body — replay index {r} out of {} candidates",
+                cands.len()
+            );
+            r
+        } else {
+            // Fresh decision: prefer continuing the current thread (fewest
+            // preemptions first); DFS backtracking explores the rest.
+            cands.iter().position(|&c| c == tid).unwrap_or(0)
+        };
+        let yielder = (block == Block::None).then_some(tid);
+        let preempt = yielder.is_some_and(|y| cands.contains(&y) && cands[chosen] != y);
+        let preemptions_before = st.preemptions;
+        st.decisions.push(Decision {
+            candidates: cands.clone(),
+            chosen,
+            yielder,
+            preemptions_before,
+        });
+        if preempt {
+            st.preemptions += 1;
+        }
+        st.pos += 1;
+        st.current = cands[chosen];
+        st.schedule_log.push(cands[chosen]);
+        self.cv.notify_all();
+        while !st.aborted && st.current != tid {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+        st.blocked[tid] = Block::None;
+        st
+    }
+
+    /// A pure yield point (interleaving opportunity with no state change).
+    fn plain_yield(&self, tid: usize) {
+        let st = self.lock_state();
+        let _st = self.decision(st, tid, Block::None);
+    }
+
+    /// First wait of a freshly spawned simulated thread: parks until the
+    /// scheduler hands it the baton.
+    fn wait_first(&self, tid: usize) {
+        let mut st = self.lock_state();
+        while !st.aborted && st.current != tid {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+    }
+
+    /// Registers a new simulated thread; returns its tid.
+    fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.finished.push(false);
+        st.blocked.push(Block::None);
+        st.active += 1;
+        st.finished.len() - 1
+    }
+
+    fn register_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.locks.push(None);
+        st.locks.len() - 1
+    }
+
+    fn register_rw(&self) -> usize {
+        let mut st = self.lock_state();
+        st.rws.push(RwState::default());
+        st.rws.len() - 1
+    }
+
+    fn register_cv(&self) -> usize {
+        let mut st = self.lock_state();
+        st.cv_queues.push(Vec::new());
+        st.cv_queues.len() - 1
+    }
+
+    // ----- mutex -----------------------------------------------------------
+
+    fn lock_acquire(&self, tid: usize, id: usize) {
+        let mut st = self.lock_state();
+        st = self.decision(st, tid, Block::None); // pre-acquire interleaving point
+        loop {
+            if st.locks[id].is_none() {
+                st.locks[id] = Some(tid);
+                return;
+            }
+            st = self.decision(st, tid, Block::Lock(id));
+        }
+    }
+
+    fn lock_release(&self, tid: usize, id: usize) {
+        {
+            let mut st = self.lock_state();
+            st.locks[id] = None;
+            if st.aborted {
+                return;
+            }
+        }
+        // Releases are scheduling points too — but never while unwinding
+        // (the baton logic would double-panic inside a guard's Drop).
+        if !std::thread::panicking() {
+            self.plain_yield(tid);
+        }
+    }
+
+    // ----- rwlock ----------------------------------------------------------
+
+    fn rw_acquire(&self, tid: usize, id: usize, write: bool) {
+        let mut st = self.lock_state();
+        st = self.decision(st, tid, Block::None);
+        loop {
+            let free = if write {
+                !st.rws[id].writer && st.rws[id].readers == 0
+            } else {
+                !st.rws[id].writer
+            };
+            if free {
+                if write {
+                    st.rws[id].writer = true;
+                } else {
+                    st.rws[id].readers += 1;
+                }
+                return;
+            }
+            let b = if write {
+                Block::RwWrite(id)
+            } else {
+                Block::RwRead(id)
+            };
+            st = self.decision(st, tid, b);
+        }
+    }
+
+    fn rw_release(&self, tid: usize, id: usize, write: bool) {
+        {
+            let mut st = self.lock_state();
+            if write {
+                st.rws[id].writer = false;
+            } else {
+                st.rws[id].readers = st.rws[id].readers.saturating_sub(1);
+            }
+            if st.aborted {
+                return;
+            }
+        }
+        if !std::thread::panicking() {
+            self.plain_yield(tid);
+        }
+    }
+
+    // ----- condvar ---------------------------------------------------------
+
+    /// Atomically: release the mutex, park on the condvar, and (once
+    /// notified and scheduled) reacquire the mutex. The release+park step is
+    /// one critical section, so a notify between them cannot be lost.
+    fn condvar_wait(&self, tid: usize, cv: usize, lock: usize) {
+        let mut st = self.lock_state();
+        st.locks[lock] = None;
+        st.cv_queues[cv].push(tid);
+        st = self.decision(st, tid, Block::Condvar(cv));
+        loop {
+            if st.locks[lock].is_none() {
+                st.locks[lock] = Some(tid);
+                return;
+            }
+            st = self.decision(st, tid, Block::Lock(lock));
+        }
+    }
+
+    fn notify(&self, tid: usize, cv: usize, all: bool) {
+        {
+            let mut st = self.lock_state();
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ABORT);
+            }
+            if all {
+                let woken = std::mem::take(&mut st.cv_queues[cv]);
+                for w in woken {
+                    st.blocked[w] = Block::None;
+                }
+            } else if !st.cv_queues[cv].is_empty() {
+                let w = st.cv_queues[cv].remove(0);
+                st.blocked[w] = Block::None;
+            }
+        }
+        self.plain_yield(tid);
+    }
+
+    // ----- thread lifecycle ------------------------------------------------
+
+    fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.finished[target] {
+                return;
+            }
+            st = self.decision(st, tid, Block::Join(target));
+        }
+    }
+
+    /// Exit protocol: marks the thread finished, records a panic (if any),
+    /// and — when the run continues — schedules a successor. The exiting
+    /// thread does not wait; it simply leaves.
+    fn thread_exit(&self, tid: usize, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock_state();
+        st.finished[tid] = true;
+        st.blocked[tid] = Block::None;
+        st.active -= 1;
+        if let Some(p) = panic {
+            let sentinel = p.downcast_ref::<&str>().is_some_and(|s| *s == ABORT);
+            if !sentinel && st.panic_payload.is_none() {
+                st.panic_payload = Some(p);
+            }
+            st.aborted = true;
+        }
+        if st.active == 0 || st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        let cands = Self::candidates(&st);
+        if cands.is_empty() {
+            st.aborted = true;
+            if st.panic_payload.is_none() {
+                let msg = format!(
+                    "loom: deadlock after thread {tid} exited — {}; schedule: {:?}",
+                    Self::describe_blocked(&st),
+                    st.schedule_log
+                );
+                st.panic_payload = Some(Box::new(msg));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if st.pos < st.replay.len() {
+            let r = st.replay[st.pos];
+            assert!(r < cands.len(), "loom: nondeterministic test body");
+            r
+        } else {
+            0
+        };
+        let preemptions_before = st.preemptions;
+        st.decisions.push(Decision {
+            candidates: cands.clone(),
+            chosen,
+            yielder: None, // the yielder finished; no continuation to prefer
+            preemptions_before,
+        });
+        st.pos += 1;
+        st.current = cands[chosen];
+        st.schedule_log.push(cands[chosen]);
+        self.cv.notify_all();
+    }
+
+    fn wait_done(&self) {
+        let mut st = self.lock_state();
+        while st.active > 0 {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Computes the next replay prefix: the deepest decision with an untried
+/// alternative that the preemption budget still allows. `None` when the
+/// bounded tree is exhausted.
+fn next_replay(decisions: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    let mut prefix: Vec<usize> = decisions.iter().map(|d| d.chosen).collect();
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        let mut alt = d.chosen + 1;
+        while alt < d.candidates.len() {
+            let preempt = d
+                .yielder
+                .is_some_and(|y| d.candidates.contains(&y) && d.candidates[alt] != y);
+            if !preempt || d.preemptions_before < bound {
+                prefix.truncate(i);
+                prefix.push(alt);
+                return Some(prefix);
+            }
+            alt += 1;
+        }
+        prefix.pop();
+    }
+    None
+}
+
+/// Configures a model run; [`model`] uses the defaults.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum thread preemptions explored per execution (the CHESS bound).
+    /// `None` removes the bound (full exhaustive search).
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions — a runaway-state-space backstop
+    /// that fails loudly rather than looping forever.
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: Some(3),
+            max_executions: 100_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default preemption bound (3) and execution cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under every schedule the bounded DFS reaches, panicking
+    /// with the failing schedule if any execution panics or deadlocks.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = MODEL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let f = StdArc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "loom: state space exceeded {} executions; raise max_executions or \
+                 shrink the model",
+                self.max_executions
+            );
+            let sched = StdArc::new(Scheduler::new(replay.clone()));
+            let body = StdArc::clone(&f);
+            let s = StdArc::clone(&sched);
+            let root = std::thread::Builder::new()
+                .name("loom-0".to_owned())
+                .spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&s), 0)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        s.wait_first(0);
+                        body();
+                    }));
+                    s.thread_exit(0, result.err());
+                })
+                .expect("spawn loom root thread");
+            // Hand the baton to tid 0 (the only registered thread so far).
+            sched.cv.notify_all();
+            sched.wait_done();
+            let _ = root.join();
+            let mut st = sched.lock_state();
+            if let Some(p) = st.panic_payload.take() {
+                eprintln!(
+                    "loom: failing schedule after {executions} execution(s): {:?}",
+                    st.schedule_log
+                );
+                drop(st);
+                std::panic::resume_unwind(p);
+            }
+            let decisions = std::mem::take(&mut st.decisions);
+            drop(st);
+            match next_replay(&decisions, bound) {
+                Some(r) => replay = r,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Model-checks `f`: explores every interleaving of its sync operations
+/// (up to the default preemption bound) and panics with a repro schedule on
+/// the first assertion failure or deadlock.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Model-aware stand-ins for `std::thread`.
+pub mod thread {
+    use super::{ctx, Scheduler, CTX};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc as StdArc, Mutex as StdMutex, PoisonError};
+
+    /// Handle to a simulated (or, outside a model, real) thread.
+    pub struct JoinHandle<T> {
+        real: Option<std::thread::JoinHandle<()>>,
+        plain: Option<std::thread::JoinHandle<T>>,
+        slot: Option<StdArc<StdMutex<Option<T>>>>,
+        model: Option<(StdArc<Scheduler>, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the child's panic payload, as `std::thread::JoinHandle`
+        /// does. Inside a model a panicking child aborts the whole run
+        /// first, so the error arm is effectively unreachable there.
+        #[allow(clippy::missing_panics_doc)] // the expect is on a handle invariant
+        pub fn join(mut self) -> std::thread::Result<T> {
+            if let Some(plain) = self.plain.take() {
+                return plain.join();
+            }
+            let (sched, tid) = ctx().expect("loom JoinHandle joined outside its model run");
+            let (_, target) = self.model.take().expect("model join handle");
+            sched.join_wait(tid, target);
+            let real = self.real.take().expect("real handle");
+            let _ = real.join();
+            let slot = self.slot.take().expect("result slot");
+            let mut got = slot.lock().unwrap_or_else(PoisonError::into_inner);
+            match got.take() {
+                Some(v) => Ok(v),
+                None => Err(Box::new("loom: child thread did not produce a value")),
+            }
+        }
+    }
+
+    /// Spawns a simulated thread inside a model run (a plain `std` thread
+    /// outside one).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => JoinHandle {
+                real: None,
+                plain: Some(std::thread::spawn(f)),
+                slot: None,
+                model: None,
+            },
+            Some((sched, parent)) => {
+                let tid = sched.register_thread();
+                let slot = StdArc::new(StdMutex::new(None));
+                let s = StdArc::clone(&sched);
+                let out = StdArc::clone(&slot);
+                let real = std::thread::Builder::new()
+                    .name(format!("loom-{tid}"))
+                    .spawn(move || {
+                        CTX.with(|c| *c.borrow_mut() = Some((StdArc::clone(&s), tid)));
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            s.wait_first(tid);
+                            f()
+                        }));
+                        let err = match result {
+                            Ok(v) => {
+                                *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                                None
+                            }
+                            Err(p) => Some(p),
+                        };
+                        s.thread_exit(tid, err);
+                    })
+                    .expect("spawn loom thread");
+                // The spawn itself is an interleaving point: the child may
+                // run before the parent's next operation.
+                sched.plain_yield(parent);
+                JoinHandle {
+                    real: Some(real),
+                    plain: None,
+                    slot: Some(slot),
+                    model: Some((sched, tid)),
+                }
+            }
+        }
+    }
+
+    /// A pure scheduling point (no-op outside a model run).
+    pub fn yield_now() {
+        if let Some((sched, tid)) = ctx() {
+            sched.plain_yield(tid);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Model-aware stand-ins for `std::sync`.
+pub mod sync {
+    use super::{ctx, Scheduler};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{Arc as StdArc, LockResult, PoisonError};
+
+    pub use std::sync::Arc;
+
+    type Model = Option<(StdArc<Scheduler>, usize)>;
+
+    fn register(f: impl FnOnce(&Scheduler) -> usize) -> Model {
+        ctx().map(|(sched, _)| {
+            let id = f(&sched);
+            (sched, id)
+        })
+    }
+
+    // ----- Mutex -----------------------------------------------------------
+
+    /// A mutex whose acquire/release are scheduling points inside a model.
+    pub struct Mutex<T> {
+        data: std::sync::Mutex<T>,
+        model: Model,
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.data.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; releases at drop (a scheduling point).
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        tid: Option<usize>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex, registering it with the active model run.
+        pub fn new(t: T) -> Self {
+            Self {
+                data: std::sync::Mutex::new(t),
+                model: register(Scheduler::register_lock),
+            }
+        }
+
+        /// Acquires the mutex.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `std` poisoning outside a model run; inside one the
+        /// result is always `Ok` (a panicking model thread aborts the run).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match (&self.model, ctx()) {
+                (Some((sched, id)), Some((_, tid))) => {
+                    sched.lock_acquire(tid, *id);
+                    // Serialized by the scheduler: never contended here.
+                    let inner = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: Some(tid),
+                    })
+                }
+                _ => match self.data.lock() {
+                    Ok(inner) => Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(poisoned.into_inner()),
+                        tid: None,
+                    })),
+                },
+            }
+        }
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let (Some((sched, id)), Some(tid)) = (&self.lock.model, self.tid) {
+                sched.lock_release(tid, *id);
+            }
+        }
+    }
+
+    // ----- Condvar ---------------------------------------------------------
+
+    /// A condition variable with modeled park/notify (FIFO wakeup order, no
+    /// spurious wakeups).
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+        model: Model,
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates the condvar, registering it with the active model run.
+        pub fn new() -> Self {
+            Self {
+                inner: std::sync::Condvar::new(),
+                model: register(Scheduler::register_cv),
+            }
+        }
+
+        /// Atomically releases `guard`'s mutex and parks until notified,
+        /// then reacquires the mutex.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `std` poisoning outside a model run; always `Ok`
+        /// inside one.
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match (&self.model, guard.tid) {
+                (Some((sched, cv)), Some(tid)) => {
+                    let lock_ref = guard.lock;
+                    let lock_id = lock_ref
+                        .model
+                        .as_ref()
+                        .map(|(_, id)| *id)
+                        .expect("modeled condvar used with unmodeled mutex");
+                    // Dismantle the guard without running its release (the
+                    // scheduler releases atomically with the park below).
+                    drop(guard.inner.take());
+                    guard.tid = None;
+                    drop(guard);
+                    sched.condvar_wait(tid, *cv, lock_id);
+                    let inner = lock_ref.data.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: lock_ref,
+                        inner: Some(inner),
+                        tid: Some(tid),
+                    })
+                }
+                _ => {
+                    let lock_ref = guard.lock;
+                    let inner = guard.inner.take().expect("guard taken");
+                    guard.tid = None;
+                    drop(guard);
+                    match self.inner.wait(inner) {
+                        Ok(inner) => Ok(MutexGuard {
+                            lock: lock_ref,
+                            inner: Some(inner),
+                            tid: None,
+                        }),
+                        Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                            lock: lock_ref,
+                            inner: Some(poisoned.into_inner()),
+                            tid: None,
+                        })),
+                    }
+                }
+            }
+        }
+
+        /// Wakes one parked waiter (FIFO), if any.
+        pub fn notify_one(&self) {
+            match (&self.model, ctx()) {
+                (Some((sched, cv)), Some((_, tid))) => sched.notify(tid, *cv, false),
+                _ => self.inner.notify_one(),
+            }
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            match (&self.model, ctx()) {
+                (Some((sched, cv)), Some((_, tid))) => sched.notify(tid, *cv, true),
+                _ => self.inner.notify_all(),
+            }
+        }
+    }
+
+    // ----- RwLock ----------------------------------------------------------
+
+    /// A readers-writer lock with modeled acquire/release points.
+    pub struct RwLock<T> {
+        data: std::sync::RwLock<T>,
+        model: Model,
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.data.fmt(f)
+        }
+    }
+
+    /// Shared-read guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        tid: Option<usize>,
+    }
+
+    /// Exclusive-write guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        tid: Option<usize>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates the lock, registering it with the active model run.
+        pub fn new(t: T) -> Self {
+            Self {
+                data: std::sync::RwLock::new(t),
+                model: register(Scheduler::register_rw),
+            }
+        }
+
+        /// Acquires a shared read guard.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `std` poisoning outside a model run; always `Ok`
+        /// inside one.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            match (&self.model, ctx()) {
+                (Some((sched, id)), Some((_, tid))) => {
+                    sched.rw_acquire(tid, *id, false);
+                    let inner = self.data.read().unwrap_or_else(PoisonError::into_inner);
+                    Ok(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: Some(tid),
+                    })
+                }
+                _ => match self.data.read() {
+                    Ok(inner) => Ok(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(poisoned.into_inner()),
+                        tid: None,
+                    })),
+                },
+            }
+        }
+
+        /// Acquires the exclusive write guard.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `std` poisoning outside a model run; always `Ok`
+        /// inside one.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            match (&self.model, ctx()) {
+                (Some((sched, id)), Some((_, tid))) => {
+                    sched.rw_acquire(tid, *id, true);
+                    let inner = self.data.write().unwrap_or_else(PoisonError::into_inner);
+                    Ok(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: Some(tid),
+                    })
+                }
+                _ => match self.data.write() {
+                    Ok(inner) => Ok(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(inner),
+                        tid: None,
+                    }),
+                    Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(poisoned.into_inner()),
+                        tid: None,
+                    })),
+                },
+            }
+        }
+    }
+
+    impl<T> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let (Some((sched, id)), Some(tid)) = (&self.lock.model, self.tid) {
+                sched.rw_release(tid, *id, false);
+            }
+        }
+    }
+
+    impl<T> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            if let (Some((sched, id)), Some(tid)) = (&self.lock.model, self.tid) {
+                sched.rw_release(tid, *id, true);
+            }
+        }
+    }
+
+    /// Model-aware atomics: every operation is a scheduling point; all
+    /// orderings execute sequentially consistent (the scheduler serializes
+    /// them), which over-synchronizes relative to real loom's C11 model.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomic_stand_in {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Model-aware atomic: each access is a scheduling point.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    v: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic with `v` as its initial value.
+                    pub fn new(v: $val) -> Self {
+                        Self { v: <$std>::new(v) }
+                    }
+
+                    fn point() {
+                        if let Some((sched, tid)) = super::super::ctx() {
+                            sched.plain_yield(tid);
+                        }
+                    }
+
+                    /// Loads the value.
+                    pub fn load(&self, o: Ordering) -> $val {
+                        Self::point();
+                        self.v.load(o)
+                    }
+
+                    /// Stores `val`.
+                    pub fn store(&self, val: $val, o: Ordering) {
+                        Self::point();
+                        self.v.store(val, o)
+                    }
+
+                    /// Swaps in `val`, returning the previous value.
+                    pub fn swap(&self, val: $val, o: Ordering) -> $val {
+                        Self::point();
+                        self.v.swap(val, o)
+                    }
+                }
+            };
+        }
+
+        atomic_stand_in!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        atomic_stand_in!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        atomic_stand_in!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Adds `val`, returning the previous value.
+            pub fn fetch_add(&self, val: usize, o: Ordering) -> usize {
+                Self::point();
+                self.v.fetch_add(val, o)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Adds `val`, returning the previous value.
+            pub fn fetch_add(&self, val: u64, o: Ordering) -> u64 {
+                Self::point();
+                self.v.fetch_add(val, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Condvar, Mutex};
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // A store-load race: depending on schedule, `first` is 1 or 2. The
+        // model must visit both orders.
+        let seen = StdArc::new(StdMutex::new(std::collections::BTreeSet::new()));
+        let seen2 = StdArc::clone(&seen);
+        model(move || {
+            let slot = sync::Arc::new(Mutex::new(0u32));
+            let s2 = sync::Arc::clone(&slot);
+            let t = thread::spawn(move || {
+                let mut g = s2.lock().expect("lock");
+                if *g == 0 {
+                    *g = 1;
+                }
+            });
+            {
+                let mut g = slot.lock().expect("lock");
+                if *g == 0 {
+                    *g = 2;
+                }
+            }
+            t.join().expect("join");
+            let v = *slot.lock().expect("lock");
+            seen2.lock().expect("seen").insert(v);
+        });
+        let seen = seen.lock().expect("seen");
+        assert!(seen.contains(&1) && seen.contains(&2), "saw {seen:?}");
+    }
+
+    #[test]
+    fn detects_a_seeded_deadlock() {
+        // Classic AB-BA deadlock; the model must find the interleaving
+        // where both threads hold one lock and want the other.
+        let hit = StdArc::new(AtomicUsize::new(0));
+        let hit2 = StdArc::clone(&hit);
+        let result = std::panic::catch_unwind(move || {
+            model(move || {
+                hit2.fetch_add(1, Ordering::SeqCst);
+                let a = sync::Arc::new(Mutex::new(()));
+                let b = sync::Arc::new(Mutex::new(()));
+                let (a2, b2) = (sync::Arc::clone(&a), sync::Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().expect("a");
+                    let _gb = b2.lock().expect("b");
+                });
+                {
+                    let _gb = b.lock().expect("b");
+                    let _ga = a.lock().expect("a");
+                }
+                t.join().expect("join");
+            });
+        });
+        let err = result.expect_err("deadlock must fail the model");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected panic: {msg}");
+        assert!(hit.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn condvar_wakeup_is_not_lost() {
+        // One waiter, one notifier. Every schedule must terminate: the
+        // release+park step is atomic, so the notify cannot fall between
+        // "checked the flag" and "parked".
+        model(|| {
+            let pair = sync::Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = sync::Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().expect("lock");
+                while !*ready {
+                    ready = cv.wait(ready).expect("wait");
+                }
+            });
+            let (m, cv) = &*pair;
+            *m.lock().expect("lock") = true;
+            cv.notify_one();
+            t.join().expect("join");
+        });
+    }
+
+    #[test]
+    fn falls_back_to_std_outside_model() {
+        let m = Mutex::new(5u32);
+        assert_eq!(*m.lock().expect("lock"), 5);
+        let t = thread::spawn(|| 7u32);
+        assert_eq!(t.join().expect("join"), 7);
+    }
+}
