@@ -1,0 +1,179 @@
+//! Round-trip guard for the committed bench snapshots: `BENCH_5.json`
+//! and `BENCH_7.json` must parse against the `pcover-bench-snapshot/1`
+//! schema *exactly* — a missing field or an unknown field fails, so the
+//! snapshot format cannot drift under the CI perf gate that diffs the
+//! two files.
+
+use std::path::PathBuf;
+
+use serde_json::{Number, Value};
+
+const SCHEMA: &str = "pcover-bench-snapshot/1";
+const TOP_KEYS: [&str; 4] = ["schema", "pr", "seed", "entries"];
+const ENTRY_KEYS: [&str; 10] = [
+    "solver",
+    "variant",
+    "n",
+    "avg_out_degree",
+    "k",
+    "seed",
+    "wall_ms",
+    "gain_evaluations",
+    "memory_bytes",
+    "cover",
+];
+
+fn is_u64(v: &Value) -> bool {
+    matches!(v, Value::Number(Number::U64(_)))
+}
+
+fn is_f64(v: &Value) -> bool {
+    matches!(v, Value::Number(Number::F64(_)))
+}
+
+/// Strict `pcover-bench-snapshot/1` validation: exact key sets at both
+/// levels, field types as written by `bench-snapshot`, non-empty entries.
+fn validate(snapshot: &Value) -> Result<(), String> {
+    let Value::Object(obj) = snapshot else {
+        return Err("top level is not an object".into());
+    };
+    for key in obj.keys() {
+        if !TOP_KEYS.contains(&key.as_str()) {
+            return Err(format!("unknown top-level field {key:?}"));
+        }
+    }
+    for key in TOP_KEYS {
+        if !obj.contains_key(key) {
+            return Err(format!("missing top-level field {key:?}"));
+        }
+    }
+    if obj["schema"].as_str() != Some(SCHEMA) {
+        return Err(format!("schema is {}, want {SCHEMA:?}", obj["schema"]));
+    }
+    if !is_u64(&obj["pr"]) || !is_u64(&obj["seed"]) {
+        return Err("pr and seed must be unsigned integers".into());
+    }
+    let entries = obj["entries"].as_array().ok_or("entries is not an array")?;
+    if entries.is_empty() {
+        return Err("entries is empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let Value::Object(e) = entry else {
+            return Err(format!("entry {i} is not an object"));
+        };
+        for key in e.keys() {
+            if !ENTRY_KEYS.contains(&key.as_str()) {
+                return Err(format!("entry {i}: unknown field {key:?}"));
+            }
+        }
+        for key in ENTRY_KEYS {
+            if !e.contains_key(key) {
+                return Err(format!("entry {i}: missing field {key:?}"));
+            }
+        }
+        for key in ["solver", "variant"] {
+            if e[key].as_str().is_none() {
+                return Err(format!("entry {i}: {key} must be a string"));
+            }
+        }
+        for key in [
+            "n",
+            "avg_out_degree",
+            "k",
+            "seed",
+            "gain_evaluations",
+            "memory_bytes",
+        ] {
+            if !is_u64(&e[key]) {
+                return Err(format!("entry {i}: {key} must be an unsigned integer"));
+            }
+        }
+        for key in ["wall_ms", "cover"] {
+            if !is_f64(&e[key]) {
+                return Err(format!("entry {i}: {key} must be a float"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn committed(name: &str) -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+#[test]
+fn committed_snapshots_round_trip_strictly() {
+    for name in ["BENCH_5.json", "BENCH_7.json"] {
+        let snapshot = committed(name);
+        validate(&snapshot).unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Round trip: serialize and re-validate; serde must not change
+        // any field's shape on the way through.
+        let again: Value =
+            serde_json::from_str(&serde_json::to_string(&snapshot).unwrap()).unwrap();
+        validate(&again).unwrap_or_else(|e| panic!("{name} after round trip: {e}"));
+        assert_eq!(snapshot, again, "{name} round trip changed the value");
+    }
+}
+
+#[test]
+fn snapshot_pr_stamps_identify_the_files() {
+    assert_eq!(
+        committed("BENCH_5.json").get("pr"),
+        Some(&Value::Number(Number::U64(5)))
+    );
+    assert_eq!(
+        committed("BENCH_7.json").get("pr"),
+        Some(&Value::Number(Number::U64(7)))
+    );
+}
+
+#[test]
+fn unknown_field_is_rejected() {
+    let mut snapshot = committed("BENCH_5.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    obj.insert("surprise".into(), Value::Bool(true));
+    assert!(validate(&snapshot).unwrap_err().contains("surprise"));
+
+    let mut snapshot = committed("BENCH_5.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(entries)) = obj.get_mut("entries") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = entries.first_mut() else {
+        unreachable!()
+    };
+    first.insert("p99_ms".into(), Value::Number(Number::F64(1.0)));
+    assert!(validate(&snapshot).unwrap_err().contains("p99_ms"));
+}
+
+#[test]
+fn missing_field_is_rejected() {
+    let mut snapshot = committed("BENCH_5.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    obj.remove("seed");
+    assert!(validate(&snapshot).unwrap_err().contains("seed"));
+
+    let mut snapshot = committed("BENCH_5.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(entries)) = obj.get_mut("entries") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = entries.first_mut() else {
+        unreachable!()
+    };
+    first.remove("wall_ms");
+    assert!(validate(&snapshot).unwrap_err().contains("wall_ms"));
+}

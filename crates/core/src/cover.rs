@@ -57,7 +57,9 @@ impl CoverState {
     /// Creates the empty state (`S = ∅`, `I ≡ 0`) for a graph of `n` nodes.
     pub fn new(n: usize) -> Self {
         CoverState {
+            // lint: allow(alloc-in-hot-loop) — CoverState construction is the documented O(n) setup cost; local_search rebuilds state per evaluated candidate by design
             i: vec![0.0; n],
+            // lint: allow(alloc-in-hot-loop) — same: construction cost, waived with the line above
             in_set: vec![false; n],
             order: Vec::new(),
             cover: 0.0,

@@ -54,6 +54,11 @@ struct GainCache {
     gains: Vec<f64>,
     is_dirty: Vec<bool>,
     dirty: Vec<ItemId>,
+    /// Per-slot result buffers for the chunked-parallel refresh, one per
+    /// worker slice. Allocated up to the observed slot count once, then
+    /// cleared and refilled each round — the per-round `collect()`s this
+    /// replaces were the workspace's own `alloc-in-hot-loop` findings.
+    scratch: Vec<Vec<(ItemId, f64)>>,
 }
 
 impl GainCache {
@@ -65,6 +70,7 @@ impl GainCache {
             gains: vec![0.0; n],
             is_dirty: vec![true; n],
             dirty: g.node_ids().collect(),
+            scratch: Vec::new(),
         }
     }
 
@@ -253,34 +259,49 @@ pub fn parallel_solve_with<M: CoverModel>(
     for iter in 0..k {
         ctx.check_cancelled()?;
         // Refresh: contiguous slices of the dirty list, recomputed on the
-        // pool. The workers only *read* the state; each slice's results are
-        // gathered into its own slot, then written back sequentially below
-        // (dirty entries are unique, so the writes are disjoint).
-        let chunk = cache.dirty.len().div_ceil(threads).max(1);
-        let slices: Vec<&[ItemId]> = cache.dirty.chunks(chunk).collect();
-        let per_slot: Vec<Vec<(ItemId, f64)>> = pool.install(|| {
-            slices
-                .par_iter()
-                .map(|slice| {
-                    slice
-                        .iter()
-                        .filter(|&&v| !state.contains(v))
-                        .map(|&v| (v, state.gain::<M>(g, v)))
-                        .collect()
+        // pool. The workers only *read* the state; each slice's results
+        // land in that slice's reusable scratch slot (cleared, never
+        // reallocated, across rounds), then are written back sequentially
+        // below (dirty entries are unique, so the writes are disjoint).
+        // Split borrows so the closure can read `dirty` while filling
+        // `scratch`.
+        let GainCache {
+            gains,
+            is_dirty,
+            dirty,
+            scratch,
+        } = &mut cache;
+        let chunk = dirty.len().div_ceil(threads).max(1);
+        let slots = dirty.len().div_ceil(chunk);
+        if scratch.len() < slots {
+            scratch.resize_with(slots, Vec::new);
+        }
+        pool.install(|| {
+            scratch[..slots]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(si, slot)| {
+                    slot.clear();
+                    let start = si * chunk;
+                    let end = (start + chunk).min(dirty.len());
+                    for &v in &dirty[start..end] {
+                        if !state.contains(v) {
+                            slot.push((v, state.gain::<M>(g, v)));
+                        }
+                    }
                 })
-                .collect()
         });
         let mut round_evals = 0u64;
-        for part in per_slot {
-            for (v, gain) in part {
-                cache.gains[v.index()] = gain;
+        for slot in &scratch[..slots] {
+            for &(v, gain) in slot {
+                gains[v.index()] = gain;
                 round_evals += 1;
             }
         }
-        for &v in &cache.dirty {
-            cache.is_dirty[v.index()] = false;
+        for &v in dirty.iter() {
+            is_dirty[v.index()] = false;
         }
-        cache.dirty.clear();
+        dirty.clear();
         gain_evaluations += round_evals;
 
         let Some((gain, chosen)) = cache.select_best(g, &state) else {

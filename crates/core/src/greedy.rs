@@ -275,6 +275,7 @@ pub(crate) fn finish<M: CoverModel>(
 }
 
 fn state_into_parts(state: CoverState) -> (Vec<ItemId>, Vec<f64>) {
+    // lint: allow(alloc-in-hot-loop) — ownership transfer into the final report; one copy per materialized result, not per round
     (state.order().to_vec(), state.item_cover().to_vec())
 }
 

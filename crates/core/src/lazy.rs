@@ -150,18 +150,21 @@ fn solve_impl<M: CoverModel>(
     let mut trajectory = Vec::with_capacity(k);
     let mut gain_evaluations = 0u64;
 
-    // Round 0: seed the heap with every node's initial gain.
-    let mut heap: BinaryHeap<Entry> = g
-        .node_ids()
-        .map(|v| {
-            gain_evaluations += 1;
-            Entry {
-                gain: state.gain::<M>(g, v),
-                round: 0,
-                node: v,
-            }
-        })
-        .collect();
+    // Round 0: seed the heap with every node's initial gain. The seed
+    // buffer is pre-sized and heapified once; collecting straight into a
+    // `BinaryHeap` grows by doubling (`node_ids` does not advertise an
+    // exact size), and the heap never outgrows this capacity afterwards —
+    // every reinsertion follows a pop.
+    let mut seed: Vec<Entry> = Vec::with_capacity(n);
+    for v in g.node_ids() {
+        gain_evaluations += 1;
+        seed.push(Entry {
+            gain: state.gain::<M>(g, v),
+            round: 0,
+            node: v,
+        });
+    }
+    let mut heap = BinaryHeap::from(seed);
 
     for round in 1..=k {
         ctx.check_cancelled()?;

@@ -98,13 +98,16 @@ pub fn refine<M: CoverModel>(
                 gain_evaluations += 1;
                 (state.gain::<M>(g, v), v)
             })
+            // lint: allow(alloc-in-hot-loop) — insertion ranking built once per swap round and truncated to 8
             .collect();
         ins.sort_by(|a, b| crate::float::cmp_gain(b.0, a.0).then(a.1.cmp(&b.1)));
         ins.truncate(8); // the most promising insertions
 
         // Rank removals by leave-one-out loss (cheapest first).
+        // lint: allow(alloc-in-hot-loop) — removal ranking, bounded by |current| = k entries per round
         let mut outs: Vec<(f64, usize)> = Vec::with_capacity(current.len());
         for i in 0..current.len() {
+            // lint: allow(alloc-in-hot-loop) — each leave-one-out trial needs its own owned selection; bounded by k per round
             let mut without: Vec<ItemId> = current.clone();
             without.remove(i);
             let c = evaluate_selection::<M>(g, &without)?.cover;
@@ -116,6 +119,7 @@ pub fn refine<M: CoverModel>(
         let mut best_swap: Option<(f64, usize, ItemId)> = None;
         for &(_, out_idx) in &outs {
             for &(_, in_node) in &ins {
+                // lint: allow(alloc-in-hot-loop) — each swap candidate needs its own owned selection; the neighborhood is truncated to 8×8 per round
                 let mut candidate = current.clone();
                 candidate[out_idx] = in_node;
                 let c = evaluate_selection::<M>(g, &candidate)?.cover;

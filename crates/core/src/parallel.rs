@@ -161,6 +161,7 @@ pub fn solve_with<M: CoverModel>(
                     }
                     (best, ops, evals)
                 })
+                // lint: allow(alloc-in-hot-loop) — per-round gather of one winner per chunk: `threads` entries, not n
                 .collect()
         });
 

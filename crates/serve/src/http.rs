@@ -70,6 +70,7 @@ impl Request {
 /// [`HttpError`] on socket failures, malformed syntax, or size-cap
 /// violations; the caller turns these into a 400 and closes.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // lint: allow(alloc-per-request) — the request head must own its bytes across parsing; capped at MAX_HEAD_BYTES
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     // Byte-at-a-time until CRLFCRLF: simple, and the head cap bounds the
@@ -123,6 +124,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         return Err(HttpError::TooLarge("body"));
     }
 
+    // lint: allow(alloc-per-request) — the body is moved into the Request and must own its bytes
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
 
@@ -153,6 +155,7 @@ pub fn parse_query(q: &str) -> HashMap<String, String> {
 
 fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
+    // lint: allow(alloc-per-request) — decoded params are stored owned in the request's query map
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
@@ -235,29 +238,47 @@ impl Status {
     }
 }
 
-/// Writes a complete response and flushes. Write errors are returned so the
-/// worker can count them, but the connection is closed either way.
+/// Writes a complete response and flushes. The status line and headers are
+/// rendered into `head_buf` — a reusable per-worker buffer (cleared here,
+/// never reallocated once warm) rather than a per-response `format!`, so
+/// the response head costs no heap traffic on the request path. Write
+/// errors are returned so the worker can count them, but the connection is
+/// closed either way.
 pub fn write_response(
     stream: &mut TcpStream,
+    head_buf: &mut Vec<u8>,
     status: Status,
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
+    head_buf.clear();
+    write!(
+        head_buf,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status.code(),
         status.reason(),
         content_type,
         body.len()
-    );
-    stream.write_all(head.as_bytes())?;
+    )?;
+    stream.write_all(head_buf)?;
     stream.write_all(body)?;
     stream.flush()
 }
 
 /// [`write_response`] with a JSON body.
-pub fn write_json(stream: &mut TcpStream, status: Status, body: &str) -> std::io::Result<()> {
-    write_response(stream, status, "application/json", body.as_bytes())
+pub fn write_json(
+    stream: &mut TcpStream,
+    head_buf: &mut Vec<u8>,
+    status: Status,
+    body: &str,
+) -> std::io::Result<()> {
+    write_response(
+        stream,
+        head_buf,
+        status,
+        "application/json",
+        body.as_bytes(),
+    )
 }
 
 #[cfg(test)]

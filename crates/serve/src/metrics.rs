@@ -91,6 +91,7 @@ impl Metrics {
     /// Renders every counter as `key value` lines. The caller appends
     /// point-in-time gauges (queue depth, generation, cache size).
     pub fn render(&self) -> String {
+        // lint: allow(alloc-per-request) — /metrics is an admin endpoint; the rendered text is returned as an owned body
         let mut out = String::with_capacity(1024);
         use std::fmt::Write;
         let _ = writeln!(

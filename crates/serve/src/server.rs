@@ -206,8 +206,12 @@ fn accept_loop(listener: &TcpListener, state: &AppState) {
                 .metrics
                 .queue_shed_total
                 .fetch_add(1, Ordering::Relaxed);
+            // Shedding is the slow path by definition; a stack-local head
+            // buffer here keeps the acceptor free of worker state.
+            let mut head_buf = Vec::new();
             let _ = write_json(
                 &mut rejected,
+                &mut head_buf,
                 Status::Unavailable,
                 "{\"error\":\"overloaded: request queue full\"}",
             );
@@ -216,12 +220,16 @@ fn accept_loop(listener: &TcpListener, state: &AppState) {
 }
 
 fn worker_loop(state: &AppState) {
+    // One response-head buffer per worker, reused across every request
+    // this worker answers (see `http::write_response`).
+    // lint: allow(alloc-per-request) — allocated once per worker before the request loop: this IS the reuse buffer
+    let mut head_buf = Vec::with_capacity(128);
     while let Some(mut stream) = state.queue.pop() {
-        handle_connection(&mut stream, state);
+        handle_connection(&mut stream, state, &mut head_buf);
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, state: &AppState) {
+fn handle_connection(stream: &mut TcpStream, state: &AppState, head_buf: &mut Vec<u8>) {
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(HttpError::Io(_)) => return, // client went away; nothing to answer
@@ -231,14 +239,14 @@ fn handle_connection(stream: &mut TcpStream, state: &AppState) {
                 .bad_request_total
                 .fetch_add(1, Ordering::Relaxed);
             let body = serde_json::json!({ "error": e.to_string() }).to_string();
-            let _ = write_json(stream, Status::BadRequest, &body);
+            let _ = write_json(stream, head_buf, Status::BadRequest, &body);
             return;
         }
     };
-    route(stream, &request, state);
+    route(stream, &request, state, head_buf);
 }
 
-fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
+fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut Vec<u8>) {
     let started = Instant::now();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -247,7 +255,7 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
                 "generation": state.snapshots.generation(),
             })
             .to_string();
-            let _ = write_json(stream, Status::Ok, &body);
+            let _ = write_json(stream, head_buf, Status::Ok, &body);
         }
         ("GET", "/metrics") => {
             let mut text = state.metrics.render();
@@ -260,6 +268,7 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
             let _ = writeln!(text, "workers {}", state.config.workers);
             let _ = write_response(
                 stream,
+                head_buf,
                 Status::Ok,
                 "text/plain; charset=utf-8",
                 text.as_bytes(),
@@ -268,25 +277,30 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
         ("GET", "/solve") => {
             let outcome = solve_endpoint(req, state, SolveMode::Full);
             state.metrics.solve.observe(started.elapsed());
-            respond(stream, outcome);
+            respond(stream, head_buf, outcome);
         }
         ("GET", "/cover") => {
             let outcome = solve_endpoint(req, state, SolveMode::CoverOnly);
             state.metrics.cover.observe(started.elapsed());
-            respond(stream, outcome);
+            respond(stream, head_buf, outcome);
         }
         ("GET", "/minimize") => {
             let outcome = minimize_endpoint(req, state);
             state.metrics.minimize.observe(started.elapsed());
-            respond(stream, outcome);
+            respond(stream, head_buf, outcome);
         }
         ("POST", "/admin/delta") => {
             let outcome = delta_endpoint(req, state);
             state.metrics.delta.observe(started.elapsed());
-            respond(stream, outcome);
+            respond(stream, head_buf, outcome);
         }
         ("POST", "/admin/shutdown") => {
-            let _ = write_json(stream, Status::Ok, "{\"status\":\"shutting down\"}");
+            let _ = write_json(
+                stream,
+                head_buf,
+                Status::Ok,
+                "{\"status\":\"shutting down\"}",
+            );
             request_shutdown(state);
         }
         (
@@ -296,24 +310,34 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState) {
         ) => {
             let _ = write_json(
                 stream,
+                head_buf,
                 Status::MethodNotAllowed,
                 "{\"error\":\"method not allowed\"}",
             );
         }
         _ => {
-            let _ = write_json(stream, Status::NotFound, "{\"error\":\"no such endpoint\"}");
+            let _ = write_json(
+                stream,
+                head_buf,
+                Status::NotFound,
+                "{\"error\":\"no such endpoint\"}",
+            );
         }
     }
 }
 
-fn respond(stream: &mut TcpStream, outcome: Result<String, (Status, String)>) {
+fn respond(
+    stream: &mut TcpStream,
+    head_buf: &mut Vec<u8>,
+    outcome: Result<String, (Status, String)>,
+) {
     match outcome {
         Ok(body) => {
-            let _ = write_json(stream, Status::Ok, &body);
+            let _ = write_json(stream, head_buf, Status::Ok, &body);
         }
         Err((status, message)) => {
             let body = serde_json::json!({ "error": message }).to_string();
-            let _ = write_json(stream, status, &body);
+            let _ = write_json(stream, head_buf, status, &body);
         }
     }
 }

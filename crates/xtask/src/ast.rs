@@ -95,6 +95,73 @@ enum Scope {
 /// Fn modifiers that may sit between `pub` and `fn`.
 const FN_MODIFIERS: [&str; 4] = ["const", "async", "unsafe", "extern"];
 
+/// One `loop`/`while`/`for` body inside a function, for attributing
+/// allocations to their innermost enclosing loop (the heatpath rules).
+#[derive(Clone, Copy, Debug)]
+pub struct LoopScope {
+    /// Token index of the `loop`/`while`/`for` keyword.
+    pub header: usize,
+    /// Token index of the body `{`.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+}
+
+/// Every loop scope in a body token range `[open, close]`, in source
+/// order; nested loops appear as their own entries. The loop *header* (the
+/// tokens between the keyword and the body `{`, e.g. the iterator
+/// expression of a `for`) is not part of the scope — it runs once, not per
+/// iteration. Balanced groups inside headers (`while let Some(v) = q.pop()
+/// {`) are skipped when locating the body brace.
+pub fn loop_scopes(tokens: &[Tok], body: (usize, usize)) -> Vec<LoopScope> {
+    let (body_open, body_close) = body;
+    let mut out = Vec::new();
+    let mut i = body_open + 1;
+    while i < body_close.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "loop" | "while" | "for") {
+            // `break 'label loop { .. }` and `for` in doc text never reach
+            // here (lexer strips comments); scan the header for its `{`,
+            // skipping balanced groups so closure/tuple parens don't count.
+            let mut j = i + 1;
+            let mut found = None;
+            while j < body_close.min(tokens.len()) {
+                match tokens[j].kind {
+                    TokKind::Open if tokens[j].text == "{" => {
+                        found = Some(j);
+                        break;
+                    }
+                    TokKind::Open => j = skip_balanced(tokens, j),
+                    TokKind::Op if tokens[j].text == ";" => break,
+                    _ => j += 1,
+                }
+            }
+            if let Some(open) = found {
+                out.push(LoopScope {
+                    header: i,
+                    open,
+                    close: match_close(tokens, open),
+                    line: t.line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The innermost loop in `scopes` whose body contains token `i`
+/// (innermost = latest-opening scope that still contains it).
+pub fn innermost_loop(scopes: &[LoopScope], i: usize) -> Option<LoopScope> {
+    scopes
+        .iter()
+        .filter(|s| i > s.open && i < s.close)
+        .max_by_key(|s| s.open)
+        .copied()
+}
+
 /// Parses one file's token stream into its item index.
 pub fn parse(tokens: &[Tok]) -> FileAst {
     let in_test = test_region_mask(tokens);
@@ -610,5 +677,57 @@ mod tests {
         let ast = parse_src(src);
         let toks = lex(src).tokens;
         assert_eq!(ast.fns[0].body_lines(&toks), (1, 4));
+    }
+
+    #[test]
+    fn loop_scopes_cover_all_three_loop_forms() {
+        let src = "fn f(xs: &[u32]) {\n\
+                   for x in xs { a(x); }\n\
+                   while let Some(v) = q.pop() { b(v); }\n\
+                   loop { break; }\n\
+                   }\n";
+        let toks = lex(src).tokens;
+        let ast = parse_src(src);
+        let scopes = loop_scopes(&toks, ast.fns[0].body.expect("body"));
+        let lines: Vec<u32> = scopes.iter().map(|s| s.line).collect();
+        assert_eq!(lines, [2, 3, 4]);
+        for s in &scopes {
+            assert_eq!(toks[s.open].text, "{");
+            assert_eq!(toks[s.close].text, "}");
+        }
+    }
+
+    #[test]
+    fn nested_loops_attribute_to_the_innermost() {
+        let src = "fn f() {\n\
+                   for i in 0..k {\n\
+                   for j in 0..n { inner(j); }\n\
+                   outer(i);\n\
+                   }\n\
+                   }\n";
+        let toks = lex(src).tokens;
+        let ast = parse_src(src);
+        let scopes = loop_scopes(&toks, ast.fns[0].body.expect("body"));
+        assert_eq!(scopes.len(), 2);
+        let inner_call = toks.iter().position(|t| t.text == "inner").expect("inner");
+        let outer_call = toks.iter().position(|t| t.text == "outer").expect("outer");
+        assert_eq!(innermost_loop(&scopes, inner_call).map(|s| s.line), Some(3));
+        assert_eq!(innermost_loop(&scopes, outer_call).map(|s| s.line), Some(2));
+        let before = toks.iter().position(|t| t.text == "f").expect("f");
+        assert!(innermost_loop(&scopes, before).is_none());
+    }
+
+    #[test]
+    fn loop_headers_are_outside_the_scope() {
+        // The iterator expression runs once; only the body is per-iteration.
+        let src = "fn f(xs: &[u32]) { for x in xs.iter().map(cheap) { body(x); } }\n";
+        let toks = lex(src).tokens;
+        let ast = parse_src(src);
+        let scopes = loop_scopes(&toks, ast.fns[0].body.expect("body"));
+        assert_eq!(scopes.len(), 1);
+        let map_call = toks.iter().position(|t| t.text == "map").expect("map");
+        assert!(innermost_loop(&scopes, map_call).is_none());
+        let body_call = toks.iter().position(|t| t.text == "body").expect("body");
+        assert!(innermost_loop(&scopes, body_call).is_some());
     }
 }

@@ -1,6 +1,6 @@
 //! The semantic audit pass (`cargo run -p xtask -- audit`).
 //!
-//! Six rule families layered on the item index ([`crate::ast`]) and call
+//! Seven rule families layered on the item index ([`crate::ast`]) and call
 //! graph ([`crate::callgraph`]) that the lexical lint pass cannot express:
 //!
 //! - **`panic-path`** — no public function of `pcover_core` may
@@ -29,6 +29,14 @@
 //!   operations or user callbacks; condvar waits need predicate loops and
 //!   notifies need the associated lock. Diagnostics carry the same
 //!   shortest-call-chain provenance as `panic-path`.
+//! - **`alloc-in-hot-loop`** / **`alloc-per-request`** /
+//!   **`copy-in-kernel`** / **`growable-unreserved`** — the hot-path
+//!   allocation pass ([`crate::heatpath`]): hot regions are computed by
+//!   call-graph reachability from the solver solve-family entry points,
+//!   the serve `worker_loop`, and the gain/cover kernels; heap
+//!   allocations and copies inside them (attributed to the innermost
+//!   enclosing loop) must be hoisted into reusable scratch. Diagnostics
+//!   carry the same shortest-call-chain provenance as `panic-path`.
 //! - **`stale-waiver`** / **`shadowed-waiver`** — every waiver must still
 //!   suppress at least one raw finding, and a line waiver fully covered by
 //!   an enclosing `allow-file` must be removed.
@@ -111,8 +119,10 @@ const SHARED_STATE_METHODS: [&str; 11] = [
 ];
 
 /// Solver modules whose free functions must not be called directly from
-/// the dispatch-scoped layers (rule `solver-dispatch`).
-const DISPATCH_MODULES: [&str; 11] = [
+/// the dispatch-scoped layers (rule `solver-dispatch`). Shared with the
+/// hot-path pass ([`crate::heatpath`]), whose solve-family entry points
+/// live in these modules.
+pub(crate) const DISPATCH_MODULES: [&str; 11] = [
     "greedy",
     "lazy",
     "delta",
@@ -237,7 +247,17 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
         }
     }
 
-    // --- Rule family 5: pub-surface snapshots ----------------------------
+    // --- Rule family 5: hot-path allocation discipline (heatpath) --------
+    // Reachability from the solver/serve/kernel hot entry points, with
+    // allocations attributed to their innermost enclosing loop. Routed
+    // through `raw_audit` so waivers on these findings count as live.
+    for v in crate::heatpath::analyze(&inputs, &graph) {
+        if let Some(fi) = files.iter().position(|f| f.rel == v.file) {
+            raw_audit[fi].push(v);
+        }
+    }
+
+    // --- Rule family 6: pub-surface snapshots ----------------------------
     let snap_inputs: Vec<SnapshotInput<'_>> = files
         .iter()
         .zip(&asts)
@@ -268,7 +288,7 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
         }
     }
 
-    // --- Rule family 4: waiver hygiene -----------------------------------
+    // --- Rule family 7: waiver hygiene -----------------------------------
     // A waiver is live when some raw finding (lint or audit, pre-waiver)
     // sits under it; otherwise it is stale. This runs after the audit raw
     // findings exist so `allow(par-argmax)` etc. count as live.

@@ -15,6 +15,9 @@
 //! - [`lockgraph`] — the concurrency pass on the same call graph: guard
 //!   scopes, the workspace lock-acquisition-order graph, and the
 //!   condvar/callback discipline rules;
+//! - [`heatpath`] — the hot-path allocation pass: call-graph reachability
+//!   from the solver/serve/kernel hot entry points, with loop-scope
+//!   attribution for heap allocations and copies inside them;
 //! - [`api_snapshot`] — the normalized pub-surface renderer behind
 //!   `api-drift` and `--bless`;
 //! - [`report`] — the machine-readable JSON report consumed by CI.
@@ -47,6 +50,7 @@ pub mod api_snapshot;
 pub mod ast;
 pub mod audit_rules;
 pub mod callgraph;
+pub mod heatpath;
 pub mod lexer;
 pub mod lockgraph;
 pub mod report;

@@ -23,8 +23,10 @@ SUBCOMMANDS:
     audit    Semantic pass: panic reachability from public pcover_core
              functions, determinism rules inside rayon regions, solver
              registry dispatch in downstream layers, concurrency safety
-             (lock-order graph, guard scopes, condvar discipline), waiver
-             hygiene, and public-API snapshot drift. Same exit codes.
+             (lock-order graph, guard scopes, condvar discipline),
+             hot-path allocation discipline (solver loops, the serve
+             request path, gain/cover kernels), waiver hygiene, and
+             public-API snapshot drift. Same exit codes.
 
 OPTIONS (both):
     --json           Print the machine-readable JSON report to stdout
@@ -42,7 +44,9 @@ RULES (lint): float-eq, no-unwrap, no-expect, no-panic, no-index,
 crate-header, ambient-entropy (plus waiver-form for malformed waivers).
 RULES (audit): panic-path, par-argmax, par-float-accum, par-shared-state,
 solver-dispatch, lock-order-cycle, lock-across-blocking, condvar-misuse,
-guard-across-callback, stale-waiver, shadowed-waiver, api-drift.
+guard-across-callback, alloc-in-hot-loop, alloc-per-request,
+copy-in-kernel, growable-unreserved, stale-waiver, shadowed-waiver,
+api-drift.
 Waive a finding with `// lint: allow(<rule>) — <reason>` on the offending
 line (or the line above), or `// lint: allow-file(<rule>) — <reason>` for a
 whole file. The reason is mandatory. The hygiene and drift rules are not

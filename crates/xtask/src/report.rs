@@ -5,11 +5,14 @@
 //! added the `pass` field (`"lint"` or `"audit"`) so one consumer can
 //! ingest both passes' artifacts; `xtask-lint/3` added the `rules` array
 //! enumerating every rule the producing binary knows, so a consumer can
-//! tell "rule not present" from "rule not yet in this version":
+//! tell "rule not present" from "rule not yet in this version";
+//! `xtask-lint/4` adds the four hot-path allocation rules
+//! (`alloc-in-hot-loop`, `alloc-per-request`, `copy-in-kernel`,
+//! `growable-unreserved`) to that array:
 //!
 //! ```json
 //! {
-//!   "schema": "xtask-lint/3",
+//!   "schema": "xtask-lint/4",
 //!   "pass": "lint",
 //!   "root": ".",
 //!   "files_scanned": 123,
@@ -53,7 +56,7 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"xtask-lint/3\",\n");
+    out.push_str("  \"schema\": \"xtask-lint/4\",\n");
     out.push_str(&format!("  \"pass\": \"{}\",\n", esc(pass)));
     out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
@@ -97,10 +100,12 @@ mod tests {
             message: "say \"no\"\nplease".to_string(),
         }];
         let j = to_json("lint", ".", 3, 1, &v);
-        assert!(j.contains("\"schema\": \"xtask-lint/3\""));
+        assert!(j.contains("\"schema\": \"xtask-lint/4\""));
         assert!(j.contains("\"pass\": \"lint\""));
         assert!(
-            j.contains("\"rules\": [\"float-eq\"") && j.contains("\"lock-order-cycle\""),
+            j.contains("\"rules\": [\"float-eq\"")
+                && j.contains("\"lock-order-cycle\"")
+                && j.contains("\"alloc-in-hot-loop\""),
             "rules array enumerates the binary's rule set"
         );
         assert!(j.contains("\"files_scanned\": 3"));

@@ -21,7 +21,7 @@ use crate::lexer::{lex, Tok, TokKind};
 /// The first eight are the lexical `lint` pass (PR 1); the rest belong to
 /// the semantic `audit` pass (see [`crate::audit_rules`]). Waivers may name
 /// any of them — the two passes share one waiver grammar.
-pub const RULES: [&str; 20] = [
+pub const RULES: [&str; 24] = [
     "float-eq",
     "no-unwrap",
     "no-expect",
@@ -41,6 +41,11 @@ pub const RULES: [&str; 20] = [
     "lock-across-blocking",
     "condvar-misuse",
     "guard-across-callback",
+    // hot-path (heatpath) rules:
+    "alloc-in-hot-loop",
+    "alloc-per-request",
+    "copy-in-kernel",
+    "growable-unreserved",
     "stale-waiver",
     "shadowed-waiver",
     "api-drift",
@@ -50,7 +55,7 @@ pub const RULES: [&str; 20] = [
 /// `shadowed-waiver`, and `api-drift` are deliberately *not* waivable: a
 /// waiver about waivers would defeat the hygiene check, and API drift is
 /// resolved by blessing the snapshot, not by silencing the diff.
-pub const WAIVABLE_AUDIT_RULES: [&str; 9] = [
+pub const WAIVABLE_AUDIT_RULES: [&str; 13] = [
     "panic-path",
     "par-argmax",
     "par-float-accum",
@@ -60,6 +65,10 @@ pub const WAIVABLE_AUDIT_RULES: [&str; 9] = [
     "lock-across-blocking",
     "condvar-misuse",
     "guard-across-callback",
+    "alloc-in-hot-loop",
+    "alloc-per-request",
+    "copy-in-kernel",
+    "growable-unreserved",
 ];
 
 /// One diagnostic: rule, location, human message.

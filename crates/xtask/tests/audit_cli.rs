@@ -43,10 +43,11 @@ fn planted_tree_fires_every_audit_rule_family() {
     let report = report_of(&out);
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("xtask-lint/3")
+        Some("xtask-lint/4")
     );
     assert_eq!(report.get("pass").and_then(|v| v.as_str()), Some("audit"));
-    // Schema 3: the report enumerates the producing binary's rule set.
+    // Schema 3+: the report enumerates the producing binary's rule set
+    // (schema 4 adds the four heatpath rules).
     let known: Vec<&str> = report
         .get("rules")
         .and_then(serde_json::Value::as_array)
@@ -55,6 +56,7 @@ fn planted_tree_fires_every_audit_rule_family() {
         .filter_map(serde_json::Value::as_str)
         .collect();
     assert!(known.contains(&"float-eq") && known.contains(&"lock-order-cycle"));
+    assert!(known.contains(&"alloc-in-hot-loop") && known.contains(&"growable-unreserved"));
     let rules = rules_of(&report);
     for expected in [
         "panic-path",
@@ -66,6 +68,10 @@ fn planted_tree_fires_every_audit_rule_family() {
         "lock-across-blocking",
         "condvar-misuse",
         "guard-across-callback",
+        "alloc-in-hot-loop",
+        "alloc-per-request",
+        "copy-in-kernel",
+        "growable-unreserved",
         "stale-waiver",
         "shadowed-waiver",
         "api-drift",
@@ -162,6 +168,106 @@ fn lockgraph_rules_fire_on_the_planted_hub() {
         svc.iter()
             .any(|v| v.0 == "guard-across-callback" && v.2.contains("on_select")),
         "callback_under_lock finding missing: {svc:?}"
+    );
+}
+
+#[test]
+fn heatpath_rules_fire_on_the_planted_hot_paths() {
+    let out = xtask(&["audit", "--json", "--root", &fixture("audit_planted")]);
+    let report = report_of(&out);
+    let findings: Vec<(&str, &str, u64, &str)> = report
+        .get("violations")
+        .and_then(serde_json::Value::as_array)
+        .expect("violations array")
+        .iter()
+        .filter(|v| {
+            matches!(
+                v.get("rule").and_then(|r| r.as_str()),
+                Some(
+                    "alloc-in-hot-loop"
+                        | "alloc-per-request"
+                        | "copy-in-kernel"
+                        | "growable-unreserved"
+                )
+            )
+        })
+        .map(|v| {
+            (
+                v.get("rule").and_then(|r| r.as_str()).expect("rule"),
+                v.get("file").and_then(|f| f.as_str()).expect("file"),
+                v.get("line")
+                    .and_then(serde_json::Value::as_u64)
+                    .expect("line"),
+                v.get("message").and_then(|m| m.as_str()).expect("message"),
+            )
+        })
+        .collect();
+    assert_eq!(findings.len(), 5, "exactly the planted sites: {findings:?}");
+
+    // Direct in-loop allocation, anchored at the `collect`, with the loop
+    // line it must be hoisted out of.
+    let direct = findings
+        .iter()
+        .find(|f| f.0 == "alloc-in-hot-loop" && f.2 == 11)
+        .expect("direct in-loop collect");
+    assert_eq!(direct.1, "crates/core/src/greedy.rs");
+    assert!(
+        direct.3.contains("`collect`") && direct.3.contains("hot loop at line 10"),
+        "loop anchor missing: {}",
+        direct.3
+    );
+
+    // Interprocedural: the helper is only hot because the solver's round
+    // loop calls it, and the chain says so — entry first, callee last.
+    let chained = findings
+        .iter()
+        .find(|f| f.0 == "alloc-in-hot-loop" && f.2 == 19)
+        .expect("loop-hot helper to_vec");
+    assert!(
+        chained.3.contains("crates/core/src/greedy.rs:10")
+            && chained.3.contains("`greedy::solve` -> `greedy::score`"),
+        "loop provenance missing: {}",
+        chained.3
+    );
+
+    // Grow-from-empty buffer fed by the round loop, anchored at the push
+    // so a waiver comment can sit on the push line.
+    let growable = findings
+        .iter()
+        .find(|f| f.0 == "growable-unreserved")
+        .expect("growable finding");
+    assert_eq!((growable.1, growable.2), ("crates/core/src/greedy.rs", 13));
+    assert!(
+        growable.3.contains("`trace.push(..)`") && growable.3.contains("(line 8)"),
+        "init-site provenance missing: {}",
+        growable.3
+    );
+
+    // Kernel copy: the kernel rule owns the site (no duplicate
+    // alloc-in-hot-loop diagnostic for the same line).
+    let kernel = findings
+        .iter()
+        .find(|f| f.0 == "copy-in-kernel")
+        .expect("kernel finding");
+    assert_eq!((kernel.1, kernel.2), ("crates/core/src/cover.rs", 6));
+    assert!(
+        kernel.3.contains("`to_vec`") && kernel.3.contains("`cover::accumulate`"),
+        "kernel message wrong: {}",
+        kernel.3
+    );
+
+    // Request path: the worker-loop chain reaches the renderer.
+    let request = findings
+        .iter()
+        .find(|f| f.0 == "alloc-per-request")
+        .expect("request finding");
+    assert_eq!((request.1, request.2), ("crates/serve/src/server.rs", 18));
+    assert!(
+        request
+            .3
+            .contains("`server::worker_loop` -> `server::handle` -> `server::render`"),
+        "request chain missing: {}",
+        request.3
     );
 }
 

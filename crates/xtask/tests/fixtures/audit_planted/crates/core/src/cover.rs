@@ -1,0 +1,8 @@
+//! Planted kernel copy: every function in this file is a declared gain/
+//! cover kernel, and kernels must operate on borrowed slices.
+
+/// Cover kernel helper that copies its input (copy-in-kernel).
+pub fn accumulate(weights: &[f64]) -> f64 {
+    let owned = weights.to_vec();
+    owned.iter().sum()
+}

@@ -1,0 +1,21 @@
+//! Planted hot-path allocations: a solver round loop that collects per
+//! iteration, a helper allocating on every iteration of that loop, and
+//! a grow-from-empty buffer fed by the loop.
+
+/// Solver dispatch surface: `core` crate + `greedy` module + `solve`
+/// name makes this a declared hot entry.
+pub fn solve(xs: &[f64], k: usize) -> f64 {
+    let mut trace = Vec::new();
+    let mut total = 0.0f64;
+    for _round in 0..k {
+        let doubled: Vec<f64> = xs.iter().map(|g| g * 2.0).collect();
+        total += score(&doubled);
+        trace.push(total);
+    }
+    total + trace.len() as f64
+}
+
+fn score(gains: &[f64]) -> f64 {
+    let held = gains.to_vec();
+    held.iter().sum()
+}

@@ -1,0 +1,19 @@
+//! Planted per-request allocation: the worker loop reaches a renderer
+//! that builds a fresh response head for every request.
+
+/// Per-request dispatch loop (the request-path entry point).
+pub fn worker_loop(jobs: &[u64]) -> usize {
+    let mut served = 0;
+    for &job in jobs {
+        served += handle(job).len();
+    }
+    served
+}
+
+fn handle(job: u64) -> String {
+    render(job)
+}
+
+fn render(job: u64) -> String {
+    format!("job {job}\r\n")
+}

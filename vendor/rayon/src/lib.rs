@@ -21,7 +21,8 @@ use std::fmt;
 /// The rayon prelude: import to get `par_iter` and the iterator adapters.
 pub mod prelude {
     pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice,
     };
 }
 
@@ -49,6 +50,36 @@ pub trait IntoParallelRefIterator<'a> {
     type Iter: Iterator<Item = Self::Item>;
     /// Borrows `self` as a parallel iterator.
     fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+/// Conversion into a [`ParIter`] over mutable references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type (a mutable reference).
+    type Item: 'a;
+    /// Concrete iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T: 'a + Send> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Iter> {
+        ParIter {
+            inner: self.as_mut_slice().iter_mut(),
+        }
+    }
 }
 
 /// Parallel chunking of slices.
@@ -151,6 +182,15 @@ pub trait ParallelIterator: Sized {
     /// Applies `f` to every item.
     fn for_each<F: FnMut(Self::Item)>(self, f: F) {
         self.into_seq().for_each(f)
+    }
+
+    /// Pairs each item with its index. (Rayon requires an indexed
+    /// iterator here; the workspace only calls this on slices, which
+    /// qualify. Order-preserving, like everything in the stand-in.)
+    fn enumerate(self) -> ParIter<std::iter::Enumerate<Self::Inner>> {
+        ParIter {
+            inner: self.into_seq().enumerate(),
+        }
     }
 
     /// Folds with `identity` per "thread" then reduces; sequential here, so
@@ -274,6 +314,16 @@ mod tests {
         assert_eq!(pool.current_num_threads(), 4);
         let out = pool.install(|| (0..10usize).into_par_iter().sum::<usize>());
         assert_eq!(out, 45);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_mutates_in_place() {
+        let mut v = vec![0usize; 4];
+        v.as_mut_slice()
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = i * 10);
+        assert_eq!(v, vec![0, 10, 20, 30]);
     }
 
     #[test]
