@@ -92,11 +92,15 @@ SUBCOMMANDS
   delta     --graph graph.json --changes delta.json --out new-graph.json
             Apply a JSON batch of demand/edge/delisting changes.
   bench-snapshot [--out BENCH_5.json] [--grid default|small] [--seed 42] [--pr 5]
-                 [--repeats 1]
+                 [--repeats 1] [--warm]
             Run the fixed solver × variant × (n, D, k) perf grid on seeded
             synthetic graphs and write a machine-readable snapshot (schema
             pcover-bench-snapshot/1). Fails if the delta solver evaluates
             at least as many gains as plain greedy on any n >= 100 point.
+            --warm additionally applies a seeded <=1% edge delta per shape
+            and records warm-start repair vs cold post-delta re-solve as
+            delta-cold / delta-warm entries; fails unless the warm solve is
+            bit-identical and (at n >= 1000) evaluates strictly fewer gains.
   serve     --graph graph.json [--threads 8] [--port 7878] [--host 127.0.0.1]
             [--queue 64] [--cache 128] [--deadline-ms 0]
             Run the resident query service: GET /solve, /cover, /minimize,
@@ -524,6 +528,135 @@ fn bench_snapshot_cmd(args: &Args, registry: &Registry) -> Result<String, CliErr
         }
     }
 
+    // --warm: per shape, apply a seeded edge-only delta touching <=1% of
+    // nodes, then record a cold post-delta re-solve ("delta-cold") against
+    // a warm-start repair seeded from the pre-delta solution ("delta-warm")
+    // in the same schema. The warm gate below is the smoke-test teeth for
+    // the PR-8 acceptance criterion.
+    if args.flag("warm") {
+        use pcover_core::WarmState;
+        use pcover_graph::delta::{apply, Change, GraphDelta};
+
+        let spec = *registry
+            .get("delta")
+            .ok_or_else(|| CliError(registry.unknown_algorithm_message("delta")))?;
+        for &(n, d) in shapes {
+            let g = generate_graph(&GraphGenConfig {
+                nodes: n,
+                avg_out_degree: d,
+                normalized: true,
+                seed,
+                ..GraphGenConfig::default()
+            })
+            .map_err(CliError::from_display)?;
+            // Deterministic small delta: stride through (n / 200).max(1)
+            // nodes and halve their first out-edge (exact arithmetic, stays
+            // in (0, 1], and touches at most 1% of nodes).
+            let changes = (n / 200).max(1);
+            let stride = (n / changes).max(1);
+            let mut delta = GraphDelta::new();
+            let mut applied = 0usize;
+            for i in 0..changes {
+                let v = ItemId::from_index((i * stride) % n);
+                if let Some((target, w)) = g.out_edges(v).next() {
+                    delta = delta.push(Change::UpsertEdge {
+                        source: v,
+                        target,
+                        weight: w * 0.5,
+                    });
+                    applied += 1;
+                }
+            }
+            if applied == 0 {
+                return Err(CliError(format!(
+                    "warm bench delta for n={n} D={d} found no edges to perturb"
+                )));
+            }
+            let touched = delta.touched_nodes(&g);
+            let g2 = apply(&g, &delta).map_err(CliError::from_display)?;
+            let memory_bytes = g2.memory_bytes();
+            for &k in budgets {
+                for variant in [Variant::Independent, Variant::Normalized] {
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let previous = spec
+                        .solve(variant, &g, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    let warm_state = WarmState::capture_variant(variant, &g, &previous.order);
+
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let mut cold = spec
+                        .solve(variant, &g2, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let mut warm = spec
+                        .solve_warm(variant, &g2, k, &touched, &warm_state, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    for _ in 1..repeats {
+                        let mut ctx = SolveCtx::new(SolverConfig::default());
+                        let again = spec
+                            .solve(variant, &g2, k, &mut ctx)
+                            .map_err(CliError::from_display)?;
+                        if again.elapsed < cold.elapsed {
+                            cold.elapsed = again.elapsed;
+                        }
+                        let mut ctx = SolveCtx::new(SolverConfig::default());
+                        let again = spec
+                            .solve_warm(variant, &g2, k, &touched, &warm_state, &mut ctx)
+                            .map_err(CliError::from_display)?;
+                        if again.report.elapsed < warm.report.elapsed {
+                            warm.report.elapsed = again.report.elapsed;
+                        }
+                    }
+
+                    if !warm.report.bit_identical_to(&cold) {
+                        violations.push(format!(
+                            "warm re-solve drifted from the cold solve on variant={} \
+                             n={n} D={d} k={k}",
+                            variant.name(),
+                        ));
+                    }
+                    if n >= 1_000 && warm.report.gain_evaluations >= cold.gain_evaluations {
+                        violations.push(format!(
+                            "warm re-solve did {} gain evaluations vs cold's {} after a \
+                             {applied}-change delta on variant={} n={n} D={d} k={k}",
+                            warm.report.gain_evaluations,
+                            cold.gain_evaluations,
+                            variant.name(),
+                        ));
+                    }
+                    entries.push(serde_json::json!({
+                        "solver": "delta-cold",
+                        "variant": variant.name(),
+                        "n": n,
+                        "avg_out_degree": d,
+                        "k": k,
+                        "seed": seed,
+                        "wall_ms": cold.elapsed.as_secs_f64() * 1e3,
+                        "gain_evaluations": cold.gain_evaluations,
+                        "memory_bytes": memory_bytes,
+                        "cover": cold.cover,
+                        "delta_changes": applied,
+                    }));
+                    entries.push(serde_json::json!({
+                        "solver": "delta-warm",
+                        "variant": variant.name(),
+                        "n": n,
+                        "avg_out_degree": d,
+                        "k": k,
+                        "seed": seed,
+                        "wall_ms": warm.report.elapsed.as_secs_f64() * 1e3,
+                        "gain_evaluations": warm.report.gain_evaluations,
+                        "memory_bytes": memory_bytes,
+                        "cover": warm.report.cover,
+                        "delta_changes": applied,
+                        "rounds_reused": warm.rounds_reused,
+                        "rounds_repaired": warm.rounds_repaired,
+                    }));
+                }
+            }
+        }
+    }
+
     let count = entries.len();
     let snapshot = serde_json::json!({
         "schema": BENCH_SCHEMA,
@@ -536,14 +669,20 @@ fn bench_snapshot_cmd(args: &Args, registry: &Registry) -> Result<String, CliErr
 
     if !violations.is_empty() {
         return Err(CliError(format!(
-            "bench snapshot written to {out}, but the delta solver lost its \
-             evaluation-count guarantee:\n  {}",
+            "bench snapshot written to {out}, but the delta-solver guarantees \
+             (fewer evaluations than greedy; warm bit-identical and cheaper \
+             than cold) failed:\n  {}",
             violations.join("\n  ")
         )));
     }
+    let warm_note = if args.flag("warm") {
+        " + warm-vs-cold delta grid"
+    } else {
+        ""
+    };
     Ok(format!(
         "bench snapshot: {count} entries ({} solvers x 2 variants x {} shapes x {} budgets, \
-         seed {seed}) -> {out}\n",
+         seed {seed}{warm_note}) -> {out}\n",
         BENCH_SOLVERS.len(),
         shapes.len(),
         budgets.len(),
@@ -1244,6 +1383,54 @@ mod tests {
         }
 
         assert!(run_tokens(&["bench-snapshot", "--grid", "bogus", "--out", &out]).is_err());
+    }
+
+    #[test]
+    fn bench_snapshot_warm_mode_records_bit_identical_cheaper_repairs() {
+        let out = tmp("bench-snapshot-warm.json");
+        let msg =
+            run_tokens(&["bench-snapshot", "--grid", "small", "--warm", "--out", &out]).unwrap();
+        assert!(msg.contains("warm-vs-cold"), "{msg}");
+
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let entries = parsed.get("entries").unwrap().as_array().unwrap();
+        // 20 base entries + 2 variants x 2 budgets x (delta-cold, delta-warm).
+        assert_eq!(entries.len(), 28);
+
+        let find = |solver: &str, variant: &str, k: u64| -> &serde_json::Value {
+            entries
+                .iter()
+                .find(|e| {
+                    e.get("solver").unwrap().as_str() == Some(solver)
+                        && e.get("variant").unwrap().as_str() == Some(variant)
+                        && e.get("k").unwrap().as_u64() == Some(k)
+                })
+                .unwrap_or_else(|| panic!("missing entry {solver}/{variant}/k={k}"))
+        };
+        for variant in ["independent", "normalized"] {
+            for k in [8, 32] {
+                let cold = find("delta-cold", variant, k);
+                let warm = find("delta-warm", variant, k);
+                // Bit-identical answers: identical JSON-printed covers.
+                assert_eq!(
+                    cold.get("cover").unwrap().to_string(),
+                    warm.get("cover").unwrap().to_string(),
+                    "{variant} k={k}: warm cover must match cold byte-for-byte"
+                );
+                // Strictly fewer evaluations even at small n (the hard gate
+                // is n >= 1000, but a <=1% edge delta wins at n=200 too).
+                assert!(
+                    warm.get("gain_evaluations").unwrap().as_u64()
+                        < cold.get("gain_evaluations").unwrap().as_u64(),
+                    "{variant} k={k}: warm repair must re-evaluate fewer gains"
+                );
+                let reused = warm.get("rounds_reused").unwrap().as_u64().unwrap();
+                let repaired = warm.get("rounds_repaired").unwrap().as_u64().unwrap();
+                assert_eq!(reused + repaired, k, "round accounting partitions k");
+                assert!(warm.get("delta_changes").unwrap().as_u64().unwrap() >= 1);
+            }
+        }
     }
 
     #[test]

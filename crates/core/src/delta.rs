@@ -38,6 +38,7 @@
 use std::time::Instant;
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use pcover_graph::{ItemId, PreferenceGraph};
 
@@ -45,8 +46,8 @@ use crate::cover::CoverState;
 use crate::greedy::finish;
 use crate::report::{Algorithm, SolveReport};
 use crate::solver::{RoundStats, SolveCtx, Solver, SolverCaps, SolverSpec};
-use crate::variant::CoverModel;
-use crate::SolveError;
+use crate::variant::{CoverModel, Variant};
+use crate::{Independent, Normalized, SolveError};
 
 /// The cached-gain bookkeeping shared by the sequential and chunked
 /// variants: per-node gains, a dedup flag array, and the dirty work list.
@@ -343,7 +344,8 @@ impl Solver for DeltaGreedy {
     }
 }
 
-/// The registry entry for [`DeltaGreedy`].
+/// The registry entry for [`DeltaGreedy`]; warm-capable via
+/// [`resolve_warm`].
 pub fn spec() -> SolverSpec {
     SolverSpec::new(
         "delta",
@@ -352,6 +354,9 @@ pub fn spec() -> SolverSpec {
         SolverCaps::default(),
         |v, g, k, ctx| DeltaGreedy.dispatch(v, g, k, ctx),
     )
+    .with_warm(|v, g, k, touched, warm, ctx| {
+        resolve_warm_variant(v, g, k, touched, warm, Algorithm::DeltaGreedy, ctx)
+    })
 }
 
 /// Chunked-parallel delta greedy as a registry [`Solver`].
@@ -390,6 +395,210 @@ pub fn parallel_spec() -> SolverSpec {
             .dispatch(v, g, k, ctx)
         },
     )
+    .with_warm(|v, g, k, touched, warm, ctx| {
+        // The repair loop is sequential (round 0 touches only the dirty
+        // frontier — chunking it buys nothing), but stays bit-identical to
+        // the chunked cold solve, which is itself bit-identical to `solve`.
+        resolve_warm_variant(v, g, k, touched, warm, Algorithm::DeltaParallelGreedy, ctx)
+    })
+}
+
+/// The serialized solver state one snapshot generation hands the next: the
+/// retained order it produced, its round-0 gain array, and the node-weight
+/// vector those gains were computed under.
+///
+/// Round-0 gains (gains against the empty set, `I ≡ 0`) depend only on the
+/// graph and the [`Variant`] — not on any solve order — so capturing them
+/// needs no instrumentation of the original solve and a single state is
+/// valid for every budget `k`. [`resolve_warm`] repairs this state against
+/// the post-delta graph instead of rescanning all `n` candidates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WarmState {
+    variant: Variant,
+    order: Vec<ItemId>,
+    gains: Vec<f64>,
+    node_weights: Vec<f64>,
+}
+
+impl WarmState {
+    /// Captures a warm state from `g`: round-0 gains for every node under
+    /// `M`, the current weight vector, and the previous solution `order`
+    /// (used only to count reused vs repaired rounds — correctness never
+    /// depends on it). Costs `O(n + m)`, off the query path.
+    pub fn capture<M: CoverModel>(g: &PreferenceGraph, order: &[ItemId]) -> Self {
+        let empty = CoverState::new(g.node_count());
+        WarmState {
+            variant: M::VARIANT,
+            order: order.to_vec(),
+            gains: g.node_ids().map(|v| empty.gain::<M>(g, v)).collect(),
+            node_weights: g.node_weights().to_vec(),
+        }
+    }
+
+    /// [`Self::capture`] with the variant resolved at runtime.
+    pub fn capture_variant(variant: Variant, g: &PreferenceGraph, order: &[ItemId]) -> Self {
+        match variant {
+            Variant::Independent => Self::capture::<Independent>(g, order),
+            Variant::Normalized => Self::capture::<Normalized>(g, order),
+        }
+    }
+
+    /// Whether this state can warm-start a solve of `g` under `variant`:
+    /// same variant, same node count (a delta that added nodes invalidates
+    /// the dense gain array — warm start is declined, not repaired).
+    pub fn accepts(&self, variant: Variant, g: &PreferenceGraph) -> bool {
+        let n = g.node_count();
+        // lint: allow(float-eq) — compares vector lengths against the node count, not float values
+        self.variant == variant && self.gains.len() == n && self.node_weights.len() == n
+    }
+
+    /// The variant the state was captured under.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The previous generation's retained order.
+    pub fn order(&self) -> &[ItemId] {
+        &self.order
+    }
+}
+
+/// A warm re-solve result: the (bit-identical-to-cold) report plus how much
+/// of the previous solution survived.
+#[derive(Clone, Debug)]
+pub struct WarmOutcome {
+    /// The solve report — order, cover, and trajectory bit-identical to a
+    /// cold delta-greedy solve on the same graph.
+    pub report: SolveReport,
+    /// Leading positions where the audited argmax re-selected exactly the
+    /// previous generation's pick (counted while the prefix is intact).
+    pub rounds_reused: usize,
+    /// Rounds selected fresh: `k - rounds_reused`.
+    pub rounds_repaired: usize,
+}
+
+/// Warm-start re-solve: repairs `warm` (captured on the pre-delta graph)
+/// against the post-delta graph `g`, recomputing gains only for the dirty
+/// frontier.
+///
+/// The dirty set is `touched` (the delta's
+/// [`touched_nodes`](pcover_graph::delta::GraphDelta::touched_nodes)
+/// frontier) plus every node whose weight drifted bitwise since capture —
+/// a renormalizing delta perturbs *all* weights, which this check absorbs
+/// without any assumption about the delta's shape — together with the
+/// out-rows of drifted nodes (a candidate reads the weight of each
+/// in-neighbor). Every clean cached gain is then bitwise what a cold
+/// round-0 scan would recompute, so each round's audited
+/// [`improves_argmax`](crate::float::improves_argmax) selection — verifying
+/// the retained prefix in order, resuming full selection from the first
+/// invalidated round — is bit-identical to the cold solve's, for the
+/// retained order, cover, and trajectory alike. `gain_evaluations` counts
+/// only true recomputations: `O(|dirty|)` in round 0 instead of `O(n)`,
+/// identical to cold delta-greedy afterwards.
+///
+/// `algorithm` stamps the report (the repair loop itself is sequential).
+///
+/// # Errors
+///
+/// [`SolveError::KTooLarge`] if `k > n`; [`SolveError::Cancelled`] when the
+/// observer signals; an internal error when `warm` does not
+/// [`accept`](WarmState::accepts) `g` under `M` — callers gate on `accepts`
+/// and fall back to a cold solve.
+pub fn resolve_warm<M: CoverModel>(
+    g: &PreferenceGraph,
+    k: usize,
+    touched: &[ItemId],
+    warm: &WarmState,
+    algorithm: Algorithm,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<WarmOutcome, SolveError> {
+    let started = Instant::now();
+    let n = g.node_count();
+    if k > n {
+        return Err(SolveError::KTooLarge { k, n });
+    }
+    if !warm.accepts(M::VARIANT, g) {
+        return Err(SolveError::internal(
+            "warm state does not match the requested variant and graph shape",
+        ));
+    }
+
+    let mut state = CoverState::new(n);
+    let mut cache = GainCache {
+        gains: warm.gains.clone(),
+        is_dirty: vec![false; n],
+        dirty: Vec::new(),
+        scratch: Vec::new(),
+    };
+    for &v in touched {
+        if v.index() < n {
+            cache.mark(v);
+        }
+    }
+    for v in g.node_ids() {
+        if warm.node_weights[v.index()].to_bits() != g.node_weight(v).to_bits() {
+            cache.mark(v);
+            for (t, _) in g.out_edges(v) {
+                cache.mark(t);
+            }
+        }
+    }
+
+    let mut trajectory = Vec::with_capacity(k);
+    let mut gain_evaluations = 0u64;
+    let mut rounds_reused = 0usize;
+    let mut prefix_intact = true;
+
+    for iter in 0..k {
+        ctx.check_cancelled()?;
+        let round_evals = cache.refresh::<M>(g, &state);
+        gain_evaluations += round_evals;
+        let Some((gain, chosen)) = cache.select_best(g, &state) else {
+            return Err(SolveError::internal(
+                "greedy round found no candidate despite k <= n",
+            ));
+        };
+        if prefix_intact && warm.order.get(iter) == Some(&chosen) {
+            rounds_reused += 1;
+        } else {
+            prefix_intact = false;
+        }
+        cache.mark_stale_after_select(g, &state, chosen);
+        state.add_node::<M>(g, chosen);
+        trajectory.push(state.cover());
+        ctx.emit_select(iter, chosen, gain, state.cover());
+        ctx.emit_round_stats(RoundStats {
+            iter,
+            gain_evaluations: round_evals,
+        });
+    }
+
+    let rounds_repaired = k - rounds_reused;
+    Ok(WarmOutcome {
+        report: finish::<M>(algorithm, state, trajectory, started, gain_evaluations),
+        rounds_reused,
+        rounds_repaired,
+    })
+}
+
+/// Runtime-variant dispatch for [`resolve_warm`].
+///
+/// # Errors
+///
+/// As [`resolve_warm`].
+pub fn resolve_warm_variant(
+    variant: Variant,
+    g: &PreferenceGraph,
+    k: usize,
+    touched: &[ItemId],
+    warm: &WarmState,
+    algorithm: Algorithm,
+    ctx: &mut SolveCtx<'_>,
+) -> Result<WarmOutcome, SolveError> {
+    match variant {
+        Variant::Independent => resolve_warm::<Independent>(g, k, touched, warm, algorithm, ctx),
+        Variant::Normalized => resolve_warm::<Normalized>(g, k, touched, warm, algorithm, ctx),
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +725,211 @@ mod tests {
             assert_eq!(d.order, p.order, "k {k}");
             assert_eq!(d.cover.to_bits(), p.cover.to_bits());
         }
+    }
+
+    fn warm_ctx() -> SolveCtx<'static> {
+        SolveCtx::default()
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_edge_delta_with_fewer_evals() {
+        use pcover_graph::delta::{apply, Change, GraphDelta};
+        let g = random_graph(200, 5);
+        let k = 40;
+        let base = solve::<Normalized>(&g, k).unwrap();
+        let warm = WarmState::capture::<Normalized>(&g, &base.order);
+
+        // Edge-only delta: weights stay bitwise intact, so only the touched
+        // frontier goes dirty.
+        let (s, t) = {
+            let v = ItemId::new(0);
+            let (t, _) = g.out_edges(v).next().unwrap();
+            (v, t)
+        };
+        let delta = GraphDelta::new().push(Change::UpsertEdge {
+            source: s,
+            target: t,
+            weight: 0.015_625, // exactly representable
+        });
+        let g2 = apply(&g, &delta).unwrap();
+        let touched = delta.touched_nodes(&g);
+
+        let cold = solve::<Normalized>(&g2, k).unwrap();
+        let out = resolve_warm::<Normalized>(
+            &g2,
+            k,
+            &touched,
+            &warm,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx(),
+        )
+        .unwrap();
+        assert!(out.report.bit_identical_to(&cold));
+        assert_eq!(out.rounds_reused + out.rounds_repaired, k);
+        assert!(
+            out.report.gain_evaluations < cold.gain_evaluations,
+            "warm {} evals vs cold {}",
+            out.report.gain_evaluations,
+            cold.gain_evaluations
+        );
+    }
+
+    #[test]
+    fn warm_resolve_absorbs_renormalizing_delta_via_weight_drift() {
+        use pcover_graph::delta::{apply, Change, GraphDelta};
+        // A weight change renormalizes *every* node weight; the bitwise
+        // drift scan must dirty them all, degrading gracefully to cold-level
+        // work while staying bit-identical.
+        let g = random_graph(80, 11);
+        let k = 20;
+        let base = solve::<Independent>(&g, k).unwrap();
+        let warm = WarmState::capture::<Independent>(&g, &base.order);
+        let delta = GraphDelta::new().push(Change::SetNodeWeight {
+            node: ItemId::new(3),
+            weight: 40.0,
+        });
+        let g2 = apply(&g, &delta).unwrap();
+        let cold = solve::<Independent>(&g2, k).unwrap();
+        let out = resolve_warm::<Independent>(
+            &g2,
+            k,
+            &delta.touched_nodes(&g),
+            &warm,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx(),
+        )
+        .unwrap();
+        assert!(out.report.bit_identical_to(&cold));
+    }
+
+    #[test]
+    fn warm_resolve_is_sound_for_any_stored_order() {
+        use pcover_graph::delta::{apply, Change, GraphDelta};
+        // The stored order only drives the reuse accounting; a nonsense
+        // order must still produce the cold answer, with zero reuse.
+        let g = random_graph(60, 7);
+        let k = 15usize;
+        let garbage: Vec<ItemId> = (40..40 + k).map(ItemId::from_index).collect();
+        let warm = WarmState::capture::<Normalized>(&g, &garbage);
+        let delta = GraphDelta::new().push(Change::RemoveEdge {
+            source: ItemId::new(0),
+            target: g.out_edges(ItemId::new(0)).next().unwrap().0,
+        });
+        let g2 = apply(&g, &delta).unwrap();
+        let cold = solve::<Normalized>(&g2, k).unwrap();
+        let out = resolve_warm::<Normalized>(
+            &g2,
+            k,
+            &delta.touched_nodes(&g),
+            &warm,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx(),
+        )
+        .unwrap();
+        assert!(out.report.bit_identical_to(&cold));
+    }
+
+    #[test]
+    fn warm_resolve_on_unchanged_graph_reuses_every_round() {
+        let g = random_graph(100, 3);
+        let k = 25;
+        let base = solve::<Normalized>(&g, k).unwrap();
+        let warm = WarmState::capture::<Normalized>(&g, &base.order);
+        let out = resolve_warm::<Normalized>(
+            &g,
+            k,
+            &[],
+            &warm,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx(),
+        )
+        .unwrap();
+        assert!(out.report.bit_identical_to(&base));
+        assert_eq!(out.rounds_reused, k);
+        assert_eq!(out.rounds_repaired, 0);
+        // The entire round-0 scan (n evals) is saved.
+        assert_eq!(
+            out.report.gain_evaluations,
+            base.gain_evaluations - g.node_count() as u64
+        );
+    }
+
+    #[test]
+    fn warm_state_gates_variant_and_shape() {
+        let g = random_graph(30, 1);
+        let warm = WarmState::capture::<Normalized>(&g, &[]);
+        assert!(warm.accepts(Variant::Normalized, &g));
+        assert!(!warm.accepts(Variant::Independent, &g));
+        let bigger = random_graph(31, 1);
+        assert!(!warm.accepts(Variant::Normalized, &bigger));
+        assert!(resolve_warm::<Independent>(
+            &g,
+            2,
+            &[],
+            &warm,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn warm_state_serde_roundtrip() {
+        let g = random_graph(20, 2);
+        let base = solve::<Independent>(&g, 5).unwrap();
+        let warm = WarmState::capture::<Independent>(&g, &base.order);
+        let json = serde_json::to_string(&warm).unwrap();
+        let back: WarmState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.variant(), Variant::Independent);
+        assert_eq!(back.order(), warm.order());
+        let out = resolve_warm::<Independent>(
+            &g,
+            5,
+            &[],
+            &back,
+            Algorithm::DeltaGreedy,
+            &mut warm_ctx(),
+        )
+        .unwrap();
+        assert!(out.report.bit_identical_to(&base));
+    }
+
+    #[test]
+    fn warm_spec_dispatch_matches_direct_call() {
+        let g = random_graph(50, 4);
+        let k = 10;
+        let base = solve::<Normalized>(&g, k).unwrap();
+        let warm = WarmState::capture::<Normalized>(&g, &base.order);
+        let s = spec();
+        assert!(s.supports_warm_start());
+        let out = s
+            .solve_warm(
+                Variant::Normalized,
+                &g,
+                k,
+                &[],
+                &warm,
+                &mut warm_ctx(),
+            )
+            .unwrap();
+        assert!(out.report.bit_identical_to(&base));
+        assert_eq!(out.report.algorithm, Algorithm::DeltaGreedy);
+        let p = parallel_spec();
+        assert!(p.supports_warm_start());
+        let pout = p
+            .solve_warm(
+                Variant::Normalized,
+                &g,
+                k,
+                &[],
+                &warm,
+                &mut warm_ctx(),
+            )
+            .unwrap();
+        assert!(pout.report.bit_identical_to(&base));
+        assert_eq!(pout.report.algorithm, Algorithm::DeltaParallelGreedy);
+        // Plain greedy has no warm entry point.
+        assert!(!crate::greedy::spec().supports_warm_start());
     }
 
     #[test]

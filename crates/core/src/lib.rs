@@ -71,10 +71,11 @@ pub mod stochastic;
 pub mod streaming;
 
 pub use cover::{cover_value, CoverState};
+pub use delta::{WarmOutcome, WarmState};
 pub use error::SolveError;
 pub use report::{Algorithm, SolveReport};
 pub use solver::{
     NoopObserver, Observer, ProgressObserver, Registry, RoundStats, SolveCtx, Solver, SolverCaps,
-    SolverConfig, SolverSpec, TraceEvent, TraceObserver, VariantSupport,
+    SolverConfig, SolverSpec, TraceEvent, TraceObserver, VariantSupport, WarmRun,
 };
 pub use variant::{CoverModel, Independent, Normalized, Variant};

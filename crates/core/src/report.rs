@@ -184,6 +184,23 @@ impl SolveReport {
             .map(|idx| idx + 1)
     }
 
+    /// Whether two reports describe the same solution bit-for-bit: equal
+    /// variant and retained order, and bitwise-equal cover, trajectory, and
+    /// item-cover arrays. The algorithm tag, wall time, and evaluation
+    /// count are deliberately ignored — this is the warm-vs-cold identity
+    /// check (a warm re-solve must match the cold solve's *solution*
+    /// exactly while doing less work).
+    pub fn bit_identical_to(&self, other: &SolveReport) -> bool {
+        let bits_eq =
+            |a: &[f64], b: &[f64]| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+        self.variant == other.variant
+            && self.order == other.order
+            // lint: allow(float-eq) — to_bits comparison IS the bit-identity check; approx_eq would defeat it
+            && self.cover.to_bits() == other.cover.to_bits()
+            && bits_eq(&self.trajectory, &other.trajectory)
+            && bits_eq(&self.item_cover, &other.item_cover)
+    }
+
     /// Writes the cover trajectory as CSV (`k,item,cover`) — the series
     /// behind the paper's coverage figures, ready for any plotting tool.
     pub fn write_trajectory_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {

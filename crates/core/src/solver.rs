@@ -45,6 +45,7 @@ use serde::Serialize;
 
 use pcover_graph::{ItemId, PreferenceGraph};
 
+use crate::delta::{WarmOutcome, WarmState};
 use crate::error::SolveError;
 use crate::report::{Algorithm, SolveReport};
 use crate::variant::{CoverModel, Independent, Normalized, Variant};
@@ -390,6 +391,19 @@ impl Default for SolverCaps {
 pub type SolverRun =
     fn(Variant, &PreferenceGraph, usize, &mut SolveCtx<'_>) -> Result<SolveReport, SolveError>;
 
+/// The type-erased warm-start entry point: repairs a previous generation's
+/// [`WarmState`] against the post-delta graph given the delta's touched
+/// frontier. Only solvers whose warm repair is provably bit-identical to
+/// their cold solve register one.
+pub type WarmRun = fn(
+    Variant,
+    &PreferenceGraph,
+    usize,
+    &[ItemId],
+    &WarmState,
+    &mut SolveCtx<'_>,
+) -> Result<WarmOutcome, SolveError>;
+
 /// A registry entry: everything downstream layers need to list, describe,
 /// configure, and invoke one solver.
 #[derive(Clone, Copy, Debug)]
@@ -403,6 +417,7 @@ pub struct SolverSpec {
     /// Capability flags.
     pub caps: SolverCaps,
     run: SolverRun,
+    warm: Option<WarmRun>,
 }
 
 impl SolverSpec {
@@ -421,7 +436,22 @@ impl SolverSpec {
             description,
             caps,
             run,
+            warm: None,
         }
+    }
+
+    /// Registers a warm-start entry point (builder-style). Specs without
+    /// one simply decline [`Self::solve_warm`]; callers fall back to
+    /// [`Self::solve`].
+    pub fn with_warm(mut self, warm: WarmRun) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
+    /// Whether this solver can repair a [`WarmState`] instead of solving
+    /// cold.
+    pub fn supports_warm_start(&self) -> bool {
+        self.warm.is_some()
     }
 
     /// Runs the solver, gating unsupported variants first, then polling the
@@ -449,6 +479,41 @@ impl SolverSpec {
         }
         ctx.check_cancelled()?;
         (self.run)(variant, g, k, ctx)
+    }
+
+    /// Runs the solver's warm-start repair with the same gating as
+    /// [`Self::solve`]: variant support first, then one up-front
+    /// cancellation poll.
+    ///
+    /// # Errors
+    ///
+    /// An internal error when the spec has no warm entry point (gate on
+    /// [`Self::supports_warm_start`]); [`SolveError::UnsupportedVariant`] /
+    /// [`SolveError::Cancelled`] as for [`Self::solve`]; otherwise whatever
+    /// the repair returns.
+    pub fn solve_warm(
+        &self,
+        variant: Variant,
+        g: &PreferenceGraph,
+        k: usize,
+        touched: &[ItemId],
+        warm: &WarmState,
+        ctx: &mut SolveCtx<'_>,
+    ) -> Result<WarmOutcome, SolveError> {
+        let Some(run) = self.warm else {
+            return Err(SolveError::internal(format!(
+                "solver '{}' has no warm-start entry point",
+                self.name
+            )));
+        };
+        if !self.caps.variants.supports(variant) {
+            return Err(SolveError::UnsupportedVariant {
+                solver: self.name.to_string(),
+                variant,
+            });
+        }
+        ctx.check_cancelled()?;
+        run(variant, g, k, touched, warm, ctx)
     }
 }
 

@@ -14,8 +14,10 @@
 use rand::{RngExt, SeedableRng};
 
 use pcover_core::{
-    delta, greedy, parallel, partitioned, CoverModel, Independent, Normalized, SolveReport,
+    delta, greedy, parallel, partitioned, Algorithm, CoverModel, Independent, Normalized,
+    SolveCtx, SolveReport, WarmState,
 };
+use pcover_graph::delta::{apply, Change, GraphDelta};
 use pcover_graph::{DuplicateEdgePolicy, GraphBuilder, ItemId, PreferenceGraph};
 
 const SEEDS: [u64; 4] = [0, 1, 7, 42];
@@ -116,6 +118,100 @@ fn run_grid<M: CoverModel>(model_name: &str, g: &PreferenceGraph, graph_name: &s
                 &dpar,
                 &format!("{graph_name} {model_name} k={k} delta-parallel threads={threads}"),
             );
+        }
+    }
+}
+
+/// A deterministic perturbation of `g`: edge reweights, and (when
+/// `edge_only` is false) node reweights that force a full renormalization —
+/// the worst case for the warm dirty set, since every weight drifts.
+fn perturbing_delta(g: &PreferenceGraph, changes: usize, seed: u64, edge_only: bool) -> GraphDelta {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed);
+    let n = g.node_count();
+    let mut delta = GraphDelta::new();
+    for i in 0..changes {
+        let v = ItemId::from_index(rng.random_range(0..n));
+        if edge_only || i % 2 == 0 {
+            let mut u = ItemId::from_index(rng.random_range(0..n));
+            if u == v {
+                u = ItemId::from_index((v.index() + 1) % n);
+            }
+            delta = delta.push(Change::UpsertEdge {
+                source: v,
+                target: u,
+                weight: rng.random_range(0.05..0.95),
+            });
+        } else {
+            delta = delta.push(Change::SetNodeWeight {
+                node: v,
+                weight: rng.random_range(1.0..50.0),
+            });
+        }
+    }
+    delta
+}
+
+/// The warm axis: for every budget, a warm re-solve seeded from the
+/// pre-delta solution must be bit-identical to a cold delta-greedy solve of
+/// the post-delta graph, with every round accounted as reused or repaired.
+fn run_warm_grid<M: CoverModel>(
+    model_name: &str,
+    g: &PreferenceGraph,
+    graph_delta: &GraphDelta,
+    edge_only: bool,
+    ctx_name: &str,
+) {
+    let g2 = apply(g, graph_delta).expect("delta applies");
+    let touched = graph_delta.touched_nodes(g);
+    let n = g2.node_count();
+    for k in [1, 2, n / 4, n / 2, n] {
+        let k = k.max(1);
+        let before = delta::solve::<M>(g, k).expect("cold pre-delta solve");
+        let warm_state = WarmState::capture::<M>(g, &before.order);
+        let cold = delta::solve::<M>(&g2, k).expect("cold post-delta solve");
+        let mut ctx = SolveCtx::default();
+        let warm = delta::resolve_warm::<M>(
+            &g2,
+            k,
+            &touched,
+            &warm_state,
+            Algorithm::DeltaGreedy,
+            &mut ctx,
+        )
+        .expect("warm re-solve");
+        let label = format!("{ctx_name} {model_name} k={k} warm-vs-cold");
+        assert_bit_identical(&cold, &warm.report, &label);
+        assert_eq!(
+            warm.rounds_reused + warm.rounds_repaired,
+            k,
+            "round accounting must partition the budget: {label}"
+        );
+        if edge_only && touched.len() < n {
+            // No renormalization → only the touched frontier re-evaluates in
+            // round 0, so the warm solve must beat the cold one outright.
+            assert!(
+                warm.report.gain_evaluations < cold.gain_evaluations,
+                "warm {} evals vs cold {}: {label}",
+                warm.report.gain_evaluations,
+                cold.gain_evaluations
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_resolve_matches_cold_across_seeds_models_and_delta_sizes() {
+    for seed in SEEDS {
+        let g = random_graph(60, seed);
+        // Delta sizes: single edge, several edges, and a mixed batch whose
+        // node reweights renormalize every weight (full-drift worst case).
+        for (dseed, changes, edge_only) in
+            [(seed, 1, true), (seed + 100, 4, true), (seed + 200, 6, false)]
+        {
+            let delta = perturbing_delta(&g, changes, dseed, edge_only);
+            let ctx = format!("random(seed={seed}) delta(seed={dseed},changes={changes})");
+            run_warm_grid::<Independent>("IPC", &g, &delta, edge_only, &ctx);
+            run_warm_grid::<Normalized>("NPC", &g, &delta, edge_only, &ctx);
         }
     }
 }

@@ -115,10 +115,98 @@ impl GraphDelta {
             message: e.to_string(),
         })
     }
+
+    /// Whether any change in the batch rescales node weights when applied:
+    /// [`apply`] renormalizes the weight vector iff this is true, so an
+    /// edge-only delta leaves every node weight bitwise intact.
+    pub fn rescales_node_weights(&self) -> bool {
+        self.changes.iter().any(|c| {
+            matches!(
+                c,
+                Change::SetNodeWeight { .. } | Change::AddNode { .. } | Change::Delist { .. }
+            )
+        })
+    }
+
+    /// The dirty frontier of the delta against `base`: every node whose own
+    /// weight, in-row, or out-row can differ between `base` and
+    /// `apply(base, self)` — delisted/re-weighted nodes together with their
+    /// CSR in/out rows, plus both endpoints of every edge change that is
+    /// not a bitwise no-op. Sorted by id and deduplicated.
+    ///
+    /// The set is conservative for compound deltas (a change undone later
+    /// in the same batch still touches its nodes), but never misses a
+    /// touch: **an empty result guarantees `apply` is a bitwise identity**
+    /// (weights, labels, edges, and CSR layout all unchanged). Downstream
+    /// layers rely on that invariant to keep cached solve results and warm
+    /// solver states valid across a snapshot swap.
+    ///
+    /// Note that when [`Self::rescales_node_weights`] is true, the post-apply
+    /// renormalization perturbs *every* node weight, not only this set;
+    /// consumers that need bitwise weight stability must compare weights
+    /// directly (the warm-start solver does).
+    pub fn touched_nodes(&self, base: &PreferenceGraph) -> Vec<ItemId> {
+        let n = base.node_count();
+        let mut added = 0usize;
+        let mut touched: Vec<ItemId> = Vec::new();
+        // Rows only exist in `base` for ids below its node count; ids the
+        // delta itself introduced have no base rows to walk.
+        let mark_with_rows = |t: &mut Vec<ItemId>, v: ItemId| {
+            t.push(v);
+            if v.index() < n {
+                for (x, _) in base.out_edges(v) {
+                    t.push(x);
+                }
+                for (x, _) in base.in_edges(v) {
+                    t.push(x);
+                }
+            }
+        };
+        for change in &self.changes {
+            match change {
+                Change::SetNodeWeight { node, .. } | Change::Delist { node } => {
+                    mark_with_rows(&mut touched, *node);
+                }
+                Change::AddNode { .. } => {
+                    touched.push(ItemId::from_index(n + added));
+                    added += 1;
+                }
+                Change::UpsertEdge {
+                    source,
+                    target,
+                    weight,
+                } => {
+                    let unchanged = source.index() < n
+                        && target.index() < n
+                        && base.edge_weight(*source, *target).map(f64::to_bits)
+                            == Some(weight.to_bits());
+                    if !unchanged {
+                        touched.push(*source);
+                        touched.push(*target);
+                    }
+                }
+                Change::RemoveEdge { source, target } => {
+                    let exists =
+                        source.index() < n && target.index() < n && base.has_edge(*source, *target);
+                    if exists {
+                        touched.push(*source);
+                        touched.push(*target);
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        touched
+    }
 }
 
-/// Applies `delta` to `g`, renormalizing node weights to sum to 1 at the
-/// end, and returns the new graph.
+/// Applies `delta` to `g` and returns the new graph. When the batch
+/// rescales node weights ([`GraphDelta::rescales_node_weights`]) the result
+/// is renormalized to sum to 1; an edge-only batch skips renormalization so
+/// every node weight survives bitwise — the stability the warm-start
+/// solver's eval savings and cache survival across snapshot swaps depend
+/// on.
 ///
 /// # Errors
 ///
@@ -202,8 +290,14 @@ pub fn apply(g: &PreferenceGraph, delta: &GraphDelta) -> Result<PreferenceGraph,
     }
     edges.retain(|(s, t), _| !delisted[s.index()] && !delisted[t.index()]);
 
-    let mut b =
-        GraphBuilder::with_capacity(weights.len(), edges.len()).normalize_node_weights(true);
+    // Renormalize only when a change actually rescaled the weight vector.
+    // An edge-only delta re-emits the (already normalized) weights of `g`
+    // untouched; dividing them by their own sum again would perturb every
+    // weight by float noise and silently invalidate all cached gains.
+    let rescaled = delta.rescales_node_weights();
+    let mut b = GraphBuilder::with_capacity(weights.len(), edges.len())
+        .normalize_node_weights(rescaled)
+        .skip_weight_sum_check(!rescaled);
     for (i, w) in weights.iter().enumerate() {
         if any_label {
             b.add_node_labeled(*w, labels[i].clone());
@@ -436,6 +530,115 @@ mod tests {
 
         let err = GraphDelta::from_json_str("{\"changes\": [{\"Nope\": {}}]}");
         assert!(matches!(err, Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn touched_nodes_covers_weight_change_rows() {
+        let (g, ids) = figure1_ids();
+        // B sources edges to A and C and receives from A and C: weight
+        // change dirties B plus both rows.
+        let delta = GraphDelta::new().push(Change::SetNodeWeight {
+            node: ids.b,
+            weight: 0.5,
+        });
+        let mut expected = vec![ids.a, ids.b, ids.c];
+        expected.sort_unstable();
+        assert_eq!(delta.touched_nodes(&g), expected);
+        // Delisting has the same frontier.
+        let delist = GraphDelta::new().push(Change::Delist { node: ids.b });
+        assert_eq!(delist.touched_nodes(&g), expected);
+    }
+
+    #[test]
+    fn touched_nodes_edge_changes_mark_endpoints_only() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new()
+            .push(Change::UpsertEdge {
+                source: ids.a,
+                target: ids.b,
+                weight: 0.9,
+            })
+            .push(Change::RemoveEdge {
+                source: ids.e,
+                target: ids.d,
+            });
+        let mut expected = vec![ids.a, ids.b, ids.d, ids.e];
+        expected.sort_unstable();
+        assert_eq!(delta.touched_nodes(&g), expected);
+    }
+
+    #[test]
+    fn touched_nodes_skips_bitwise_noop_edge_changes() {
+        let (g, ids) = figure1_ids();
+        let same = g.edge_weight(ids.a, ids.b).unwrap();
+        let delta = GraphDelta::new()
+            .push(Change::UpsertEdge {
+                source: ids.a,
+                target: ids.b,
+                weight: same,
+            })
+            .push(Change::RemoveEdge {
+                source: ids.d,
+                target: ids.a,
+            }); // absent edge: removing it is a no-op
+        assert!(delta.touched_nodes(&g).is_empty());
+        // And the invariant: empty touched set ⟹ apply is bitwise identity.
+        let g2 = apply(&g, &delta).unwrap();
+        for v in g.node_ids() {
+            assert_eq!(g2.node_weight(v).to_bits(), g.node_weight(v).to_bits());
+        }
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert_eq!(
+                g2.edge_weight(e.source, e.target).map(f64::to_bits),
+                Some(e.weight.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn touched_nodes_includes_added_nodes() {
+        let (g, _) = figure1_ids();
+        let delta = GraphDelta::new()
+            .push(Change::AddNode {
+                weight: 0.1,
+                label: None,
+            })
+            .push(Change::UpsertEdge {
+                source: ItemId::new(5),
+                target: ItemId::new(0),
+                weight: 0.4,
+            });
+        let touched = delta.touched_nodes(&g);
+        assert!(touched.contains(&ItemId::new(5)));
+        assert!(touched.contains(&ItemId::new(0)));
+        assert!(delta.rescales_node_weights());
+    }
+
+    #[test]
+    fn edge_only_delta_preserves_node_weights_bitwise() {
+        let (g, ids) = figure1_ids();
+        let delta = GraphDelta::new()
+            .push(Change::UpsertEdge {
+                source: ids.a,
+                target: ids.b,
+                weight: 0.125,
+            })
+            .push(Change::RemoveEdge {
+                source: ids.e,
+                target: ids.d,
+            });
+        assert!(!delta.rescales_node_weights());
+        let g2 = apply(&g, &delta).unwrap();
+        for v in g.node_ids() {
+            assert_eq!(
+                g2.node_weight(v).to_bits(),
+                g.node_weight(v).to_bits(),
+                "edge-only delta must not perturb node weights"
+            );
+        }
+        assert_eq!(g2.edge_weight(ids.a, ids.b), Some(0.125));
+        assert_eq!(g2.edge_weight(ids.e, ids.d), None);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Property-based tests for the graph substrate.
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 
+use pcover_graph::delta::{apply, Change, GraphDelta};
 use pcover_graph::io::{binary, csv, json, LoadOptions};
 use pcover_graph::reduction::{npc_to_vck, vck_to_npc};
 use pcover_graph::transform::{
@@ -50,6 +53,152 @@ fn npc_cover(g: &PreferenceGraph, selected: &[bool]) -> f64 {
         }
     }
     c
+}
+
+/// Raw material for a delta against an `n`-node graph: node index pairs
+/// plus an op selector (`0` = remove, otherwise upsert at the drawn
+/// weight) — indices reduced mod `n` by the consumer.
+fn arb_delta_ops(n: usize) -> impl Strategy<Value = Vec<(usize, usize, Option<f64>)>> {
+    proptest::collection::vec((0..n, 0..n, 0u8..4, 0.01f64..=1.0), 0..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(s, t, op, w)| (s, t, (op != 0).then_some(w)))
+            .collect()
+    })
+}
+
+/// Builds a well-formed edge-only delta from `ops` against `g`, together
+/// with its exact inverse. Tracks the evolving edge state so repeated
+/// changes to the same edge invert correctly; removals of absent edges are
+/// skipped (they would not validate).
+fn edge_delta_with_inverse(
+    g: &PreferenceGraph,
+    ops: &[(usize, usize, Option<f64>)],
+) -> (GraphDelta, GraphDelta) {
+    let mut state: HashMap<(usize, usize), f64> = HashMap::new();
+    for v in g.node_ids() {
+        for (u, w) in g.out_edges(v) {
+            state.insert((v.index(), u.index()), w);
+        }
+    }
+    let n = g.node_count();
+    let mut delta = GraphDelta::new();
+    let mut inverse_changes: Vec<Change> = Vec::new();
+    for &(s, t, op) in ops {
+        let (s, t) = (s % n, t % n);
+        if s == t {
+            continue;
+        }
+        let (source, target) = (ItemId::from_index(s), ItemId::from_index(t));
+        let old = state.get(&(s, t)).copied();
+        match op {
+            Some(weight) => {
+                delta = delta.push(Change::UpsertEdge {
+                    source,
+                    target,
+                    weight,
+                });
+                state.insert((s, t), weight);
+                inverse_changes.push(match old {
+                    Some(w) => Change::UpsertEdge {
+                        source,
+                        target,
+                        weight: w,
+                    },
+                    None => Change::RemoveEdge { source, target },
+                });
+            }
+            None => {
+                let Some(w) = old else { continue };
+                delta = delta.push(Change::RemoveEdge { source, target });
+                state.remove(&(s, t));
+                inverse_changes.push(Change::UpsertEdge {
+                    source,
+                    target,
+                    weight: w,
+                });
+            }
+        }
+    }
+    let mut inverse = GraphDelta::new();
+    for change in inverse_changes.into_iter().rev() {
+        inverse = inverse.push(change);
+    }
+    (delta, inverse)
+}
+
+/// A deterministic family of selections exercising the cover from several
+/// angles: empty, full, alternating, and every singleton.
+fn sample_selections(n: usize) -> Vec<Vec<bool>> {
+    let mut sels = vec![
+        vec![false; n],
+        vec![true; n],
+        (0..n).map(|i| i % 2 == 0).collect(),
+    ];
+    for i in 0..n {
+        let mut s = vec![false; n];
+        s[i] = true;
+        sels.push(s);
+    }
+    sels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_json_roundtrip_preserves_touched_nodes(
+        g in arb_graph(12),
+        ops in arb_delta_ops(12),
+        reweight in (0u8..2, 0usize..12, 0.1f64..10.0),
+        delist in (0u8..2, 0usize..12),
+        add in (0u8..2, 0.1f64..10.0),
+    ) {
+        let n = g.node_count();
+        let (mut delta, _) = edge_delta_with_inverse(&g, &ops);
+        if reweight.0 == 1 {
+            delta = delta.push(Change::SetNodeWeight {
+                node: ItemId::from_index(reweight.1 % n),
+                weight: reweight.2,
+            });
+        }
+        if delist.0 == 1 {
+            delta = delta.push(Change::Delist { node: ItemId::from_index(delist.1 % n) });
+        }
+        if add.0 == 1 {
+            delta = delta.push(Change::AddNode { weight: add.1, label: None });
+        }
+        let s = delta.to_json_string().unwrap();
+        let back = GraphDelta::from_json_str(&s).unwrap();
+        prop_assert_eq!(back.touched_nodes(&g), delta.touched_nodes(&g));
+        prop_assert_eq!(back.rescales_node_weights(), delta.rescales_node_weights());
+    }
+
+    #[test]
+    fn edge_delta_then_inverse_restores_cover_values(
+        g in arb_graph(12),
+        ops in arb_delta_ops(12),
+    ) {
+        let (delta, inverse) = edge_delta_with_inverse(&g, &ops);
+        let perturbed = apply(&g, &delta).unwrap();
+        let restored = apply(&perturbed, &inverse).unwrap();
+        // Edge-only deltas never renormalize: node weights survive bitwise…
+        for v in g.node_ids() {
+            prop_assert_eq!(
+                restored.node_weight(v).to_bits(),
+                g.node_weight(v).to_bits(),
+                "node weight drifted through delta+inverse at {}", v
+            );
+        }
+        // …and the restored edges give back the original cover values.
+        for sel in sample_selections(g.node_count()) {
+            let before = npc_cover(&g, &sel);
+            let after = npc_cover(&restored, &sel);
+            prop_assert!(
+                (before - after).abs() < 1e-12,
+                "cover drifted: {} vs {} for {:?}", before, after, sel
+            );
+        }
+    }
 }
 
 proptest! {

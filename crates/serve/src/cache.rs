@@ -21,7 +21,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pcover_core::{SolveReport, SolverConfig, Variant};
+use pcover_core::{SolveReport, SolverConfig, Variant, WarmState};
+use pcover_graph::{ItemId, PreferenceGraph};
 
 use crate::sync::{Mutex, MutexGuard};
 
@@ -79,7 +80,8 @@ pub fn fingerprint(config: &SolverConfig) -> u64 {
 pub fn is_prefix_reusable(solver: &str) -> bool {
     matches!(
         solver,
-        "greedy" | "greedy-lowmem" | "lazy" | "parallel" | "topk-w" | "topk-c"
+        "greedy" | "greedy-lowmem" | "lazy" | "parallel" | "delta" | "delta-parallel" | "topk-w"
+            | "topk-c"
     )
 }
 
@@ -91,6 +93,9 @@ pub enum CacheOutcome {
     /// A stored report with a larger budget covered this one via the
     /// trajectory property.
     Prefix,
+    /// No cached report, but a previous generation's [`WarmState`] was
+    /// repaired into the answer instead of solving cold.
+    Warm,
     /// Nothing usable; the caller solves and [`SolveCache::insert`]s.
     Miss,
 }
@@ -101,6 +106,7 @@ impl CacheOutcome {
         match self {
             CacheOutcome::Exact => "hit",
             CacheOutcome::Prefix => "prefix",
+            CacheOutcome::Warm => "warm",
             CacheOutcome::Miss => "miss",
         }
     }
@@ -222,6 +228,89 @@ impl SolveCache {
         self.lock().map.retain(|k, _| k.generation == generation);
     }
 
+    /// Re-keys every generation-`from` entry to generation `to`, returning
+    /// how many survived. Sound only when the two generations' graphs are
+    /// bitwise identical — i.e. the applied delta's
+    /// [`touched_nodes`](pcover_graph::delta::GraphDelta::touched_nodes)
+    /// frontier was empty (a solve reads the whole graph, so any actual
+    /// touch intersects every entry's inputs); the caller checks that. An
+    /// entry whose target key already exists is dropped, not overwritten
+    /// (the existing entry was solved *on* generation `to` and is at least
+    /// as trustworthy). Exact-pair re-keying keeps this correct under
+    /// racing swaps: the bitwise-identity claim is per `(from, to)` pair.
+    pub fn migrate_generation(&self, from: u64, to: u64) -> u64 {
+        if from == to {
+            return 0;
+        }
+        let mut inner = self.lock();
+        let moved: Vec<CacheKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.generation == from)
+            .cloned()
+            .collect();
+        let mut survived = 0u64;
+        for old_key in moved {
+            let Some(entry) = inner.map.remove(&old_key) else {
+                continue;
+            };
+            let new_key = CacheKey {
+                generation: to,
+                ..old_key
+            };
+            if let std::collections::hash_map::Entry::Vacant(slot) = inner.map.entry(new_key) {
+                slot.insert(entry);
+                survived += 1;
+            }
+        }
+        survived
+    }
+
+    /// Collects the raw material for warm states from generation
+    /// `generation`'s entries: for every warm-capable, prefix-reusable
+    /// lineage (solver × variant × fingerprint), the stored order with the
+    /// largest budget (longest verified prefix → most reuse). Returns
+    /// captured [`WarmState`]s; the `O(n + m)` gain capture runs *after*
+    /// the cache lock is released.
+    pub fn harvest_warm(
+        &self,
+        generation: u64,
+        graph: &PreferenceGraph,
+        is_warm_capable: impl Fn(&str) -> bool,
+    ) -> Vec<(WarmKey, WarmState)> {
+        let mut best: HashMap<WarmKey, (usize, Vec<ItemId>)> = HashMap::new();
+        {
+            // lint: allow(lock-order-cycle) — the `insert` below is HashMap::insert on the local `best`, not SolveCache::insert; no lock is re-acquired
+            let inner = self.lock();
+            for (key, entry) in &inner.map {
+                if key.generation != generation
+                    || !is_prefix_reusable(&key.solver)
+                    || !is_warm_capable(&key.solver)
+                {
+                    continue;
+                }
+                let wkey = WarmKey {
+                    solver: key.solver.clone(),
+                    variant: key.variant,
+                    fingerprint: key.fingerprint,
+                };
+                let order = entry.report.order.clone();
+                match best.get(&wkey) {
+                    Some((k, _)) if *k >= key.k => {}
+                    _ => {
+                        best.insert(wkey, (key.k, order));
+                    }
+                }
+            }
+        }
+        best.into_iter()
+            .map(|(wkey, (_, order))| {
+                let state = WarmState::capture_variant(wkey.variant, graph, &order);
+                (wkey, state)
+            })
+            .collect()
+    }
+
     /// Current number of stored reports.
     pub fn len(&self) -> usize {
         self.lock().map.len()
@@ -235,6 +324,164 @@ impl SolveCache {
     /// Total LRU evictions since startup.
     pub fn evictions(&self) -> u64 {
         self.lock().evictions
+    }
+}
+
+/// Identity of a warm lineage across generations: the solver/config tuple
+/// that determines a bit-identical solve. Deliberately excludes the
+/// generation (the state survives swaps — that is the point) and the
+/// budget `k` (a warm state's round-0 gains are valid for every `k`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WarmKey {
+    /// Registry solver name (`"delta"`, `"delta-parallel"`).
+    pub solver: String,
+    /// Cover variant the state was captured under.
+    pub variant: Variant,
+    /// [`fingerprint`] of the [`SolverConfig`].
+    pub fingerprint: u64,
+}
+
+struct WarmEntry {
+    state: Arc<WarmState>,
+    /// Accumulated touched frontier of every delta applied since capture —
+    /// the dirty set a warm re-solve must recompute. Conservative for
+    /// queries still on an older generation `≥ min_generation` (extra
+    /// dirty nodes cost evaluations, never correctness).
+    touched: Vec<ItemId>,
+    /// The generation the state was captured on; the entry must not serve
+    /// snapshots older than this (their deltas are not in `touched`).
+    min_generation: u64,
+}
+
+struct WarmInner {
+    map: HashMap<WarmKey, WarmEntry>,
+    /// The last swap this store has fully accounted for. Swap bookkeeping
+    /// runs outside the snapshot writer lock, so it can arrive out of
+    /// order; this guard keeps the accumulated `touched` sets honest (see
+    /// [`WarmStore::apply_swap`]).
+    generation: u64,
+}
+
+/// Warm solver states surviving across snapshot generations, keyed by
+/// lineage ([`WarmKey`]).
+///
+/// Locking is leaf-only: no method acquires any other lock while holding
+/// the store's, and the `O(n + m)` state capture happens in the caller
+/// before [`Self::apply_swap`].
+pub struct WarmStore {
+    inner: Mutex<WarmInner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for WarmStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmStore")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WarmStore {
+    /// A store holding at most `capacity` lineages (0 disables warm
+    /// starts), beginning at snapshot generation 1 (the first generation
+    /// [`crate::SnapshotManager`] publishes).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(WarmInner {
+                map: HashMap::new(),
+                generation: 1,
+            }),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WarmInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Number of stored lineages.
+    pub fn len(&self) -> usize {
+        // lint: allow(lock-order-cycle) — name-collision false positive: SolveCache::len never calls WarmStore::len; each locks only its own leaf mutex
+        self.lock().map.len()
+    }
+
+    /// True when no warm state is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The warm state and accumulated touched frontier for `key`, usable
+    /// for a query pinned to snapshot `generation`. `None` when the lineage
+    /// is unknown, was captured after `generation` (an in-flight query on
+    /// an older snapshot must not use gains that postdate it), or when
+    /// `generation` is *ahead* of the store's last recorded swap (a query
+    /// racing the swap bookkeeping would use a touched set missing that
+    /// delta — it solves cold instead).
+    pub fn lookup(&self, key: &WarmKey, generation: u64) -> Option<(Arc<WarmState>, Vec<ItemId>)> {
+        let inner = self.lock();
+        if generation > inner.generation {
+            return None;
+        }
+        let entry = inner.map.get(key)?;
+        if generation < entry.min_generation {
+            return None;
+        }
+        Some((Arc::clone(&entry.state), entry.touched.clone()))
+    }
+
+    /// Records one snapshot swap `old_gen → new_gen`: folds `touched` into
+    /// every stored lineage and installs `fresh` states (captured on the
+    /// `old_gen` graph) with `touched` as their initial dirty set.
+    ///
+    /// The generation guard makes out-of-order bookkeeping safe without
+    /// holding any lock across the swap: when the store is exactly at
+    /// `old_gen` the swap chain is unbroken and everything accumulates;
+    /// when a later swap was already recorded (`new_gen` ≤ the store's
+    /// generation) this call is dropped wholesale — its fresh states would
+    /// overwrite entries that already account for newer deltas; when this
+    /// swap reveals a *gap* (`new_gen` ahead, but the store wasn't at
+    /// `old_gen`) the stored entries have missed a delta and are cleared
+    /// before installing the fresh ones. Dropping states costs warm starts,
+    /// never correctness.
+    pub fn apply_swap(
+        &self,
+        old_gen: u64,
+        new_gen: u64,
+        touched: &[ItemId],
+        fresh: Vec<(WarmKey, WarmState)>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.generation == old_gen {
+            for entry in inner.map.values_mut() {
+                entry.touched.extend_from_slice(touched);
+                entry.touched.sort_unstable();
+                entry.touched.dedup();
+            }
+        } else if inner.generation < new_gen {
+            inner.map.clear();
+        } else {
+            return;
+        }
+        inner.generation = new_gen;
+        for (key, state) in fresh {
+            if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+                continue;
+            }
+            inner.map.insert(
+                key,
+                WarmEntry {
+                    state: Arc::new(state),
+                    touched: touched.to_vec(),
+                    min_generation: old_gen,
+                },
+            );
+        }
     }
 }
 
@@ -322,6 +569,120 @@ mod tests {
         cache.retain_generation(2);
         assert_eq!(cache.lookup(&key(1, "lazy", 5)).1, CacheOutcome::Miss);
         assert_eq!(cache.lookup(&key(2, "lazy", 5)).1, CacheOutcome::Exact);
+    }
+
+    #[test]
+    fn migration_rekeys_survivors_and_defers_to_existing_targets() {
+        let cache = SolveCache::new(8);
+        cache.insert(key(1, "lazy", 3), report(3));
+        cache.insert(key(1, "lazy", 5), report(5));
+        cache.insert(key(2, "lazy", 5), report(5));
+
+        // k=5 collides with the entry already solved on generation 2 and is
+        // dropped; k=3 migrates.
+        assert_eq!(cache.migrate_generation(1, 2), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&key(1, "lazy", 3)).1, CacheOutcome::Miss);
+        assert_eq!(cache.lookup(&key(2, "lazy", 3)).1, CacheOutcome::Exact);
+        assert_eq!(cache.lookup(&key(2, "lazy", 5)).1, CacheOutcome::Exact);
+
+        // Degenerate same-generation migration is a counted no-op.
+        assert_eq!(cache.migrate_generation(2, 2), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn harvest_keeps_the_largest_budget_per_warm_capable_lineage() {
+        let (g, _) = pcover_graph::examples::figure1_ids();
+        let cache = SolveCache::new(8);
+        cache.insert(key(1, "delta", 2), report(2));
+        cache.insert(key(1, "delta", 4), report(4));
+        cache.insert(key(1, "lazy", 5), report(5)); // prefix-reusable, not warm-capable
+        cache.insert(key(1, "stochastic", 5), report(5)); // neither
+        cache.insert(key(2, "delta", 5), report(5)); // wrong generation
+
+        let harvested = cache.harvest_warm(1, &g, |s| s == "delta");
+        assert_eq!(harvested.len(), 1);
+        let (wkey, state) = &harvested[0];
+        assert_eq!(wkey.solver, "delta");
+        assert_eq!(wkey.variant, Variant::Normalized);
+        assert_eq!(state.order().len(), 4, "largest budget wins the lineage");
+        assert!(state.accepts(Variant::Normalized, &g));
+    }
+
+    fn warm_state(g: &PreferenceGraph, order: &[ItemId]) -> WarmState {
+        WarmState::capture_variant(Variant::Normalized, g, order)
+    }
+
+    fn wkey(tag: u64) -> WarmKey {
+        WarmKey {
+            solver: "delta".to_owned(),
+            variant: Variant::Normalized,
+            fingerprint: tag,
+        }
+    }
+
+    #[test]
+    fn warm_store_accumulates_touched_across_chained_swaps() {
+        let (g, ids) = pcover_graph::examples::figure1_ids();
+        let store = WarmStore::new(4);
+        assert!(store.is_empty());
+
+        store.apply_swap(1, 2, &[ids.a], vec![(wkey(7), warm_state(&g, &[ids.b]))]);
+        let (state, touched) = store.lookup(&wkey(7), 2).expect("fresh entry");
+        assert_eq!(state.order(), &[ids.b]);
+        assert_eq!(touched, vec![ids.a]);
+
+        // The next swap folds its frontier into the surviving entry.
+        store.apply_swap(2, 3, &[ids.c, ids.a], Vec::new());
+        let (_, touched) = store.lookup(&wkey(7), 3).expect("survivor");
+        assert_eq!(touched, vec![ids.a, ids.c], "deduped union of both deltas");
+
+        // A query pinned ahead of the recorded swaps must solve cold: the
+        // accumulated touched set cannot vouch for deltas it has not seen.
+        assert!(store.lookup(&wkey(7), 4).is_none());
+    }
+
+    #[test]
+    fn warm_store_drops_entries_on_gaps_and_late_swaps() {
+        let (g, ids) = pcover_graph::examples::figure1_ids();
+        let store = WarmStore::new(4);
+        store.apply_swap(1, 2, &[ids.a], vec![(wkey(1), warm_state(&g, &[ids.b]))]);
+
+        // Gap: the store never saw 2 → 5, so stale entries are cleared and
+        // only the fresh state survives.
+        store.apply_swap(5, 6, &[ids.d], vec![(wkey(2), warm_state(&g, &[ids.e]))]);
+        assert!(store.lookup(&wkey(1), 6).is_none());
+        let (_, touched) = store.lookup(&wkey(2), 6).expect("fresh after gap");
+        assert_eq!(touched, vec![ids.d]);
+
+        // Entries never serve snapshots older than their capture generation.
+        assert!(store.lookup(&wkey(2), 4).is_none());
+
+        // Late out-of-order bookkeeping is dropped wholesale.
+        store.apply_swap(2, 3, &[ids.a], vec![(wkey(3), warm_state(&g, &[ids.a]))]);
+        assert!(store.lookup(&wkey(3), 3).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn warm_store_respects_capacity() {
+        let (g, ids) = pcover_graph::examples::figure1_ids();
+        let disabled = WarmStore::new(0);
+        disabled.apply_swap(1, 2, &[], vec![(wkey(1), warm_state(&g, &[ids.a]))]);
+        assert!(disabled.is_empty());
+
+        let store = WarmStore::new(1);
+        store.apply_swap(
+            1,
+            2,
+            &[],
+            vec![
+                (wkey(1), warm_state(&g, &[ids.a])),
+                (wkey(2), warm_state(&g, &[ids.b])),
+            ],
+        );
+        assert_eq!(store.len(), 1, "second lineage rejected at capacity");
     }
 
     #[test]

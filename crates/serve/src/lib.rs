@@ -19,7 +19,15 @@
 //! * [`cache::SolveCache`] — LRU cache of solve reports keyed by
 //!   `(generation, solver, variant, k, config fingerprint)` with
 //!   trajectory reuse: one budget-`k` greedy-family report answers every
-//!   `k' ≤ k` query and every `/minimize` threshold (paper §3.2).
+//!   `k' ≤ k` query and every `/minimize` threshold (paper §3.2). On a
+//!   bitwise-identity swap (empty touched frontier) entries migrate to the
+//!   new generation instead of being dropped.
+//! * [`cache::WarmStore`] — warm solver states keyed by
+//!   `(solver, variant, fingerprint)` lineage *across* generations: on a
+//!   swap, warm-capable entries of the superseded generation are harvested
+//!   into [`pcover_core::WarmState`]s and the next query repairs one via
+//!   [`pcover_core::SolverSpec::solve_warm`] instead of solving cold
+//!   (bit-identical answer, `O(touched)` round-0 work; DESIGN §9.1).
 //! * [`queue::WorkQueue`] — the bounded MPMC work queue behind the load
 //!   shedder, extracted so the `--cfg loom` model tests (`tests/loom.rs`)
 //!   can exhaustively check its shed/drain/shutdown interleavings.
@@ -59,7 +67,7 @@ pub mod server;
 pub mod snapshot;
 mod sync;
 
-pub use cache::{CacheOutcome, SolveCache};
+pub use cache::{CacheOutcome, SolveCache, WarmKey, WarmStore};
 pub use queue::WorkQueue;
 pub use server::{DeadlineObserver, Server, ServerConfig, ServerHandle};
-pub use snapshot::{Snapshot, SnapshotManager};
+pub use snapshot::{Snapshot, SnapshotManager, SwapReceipt};

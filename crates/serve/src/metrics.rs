@@ -73,6 +73,18 @@ pub struct Metrics {
     pub cache_prefix_hits: AtomicU64,
     /// Solves that had to run a solver.
     pub cache_misses: AtomicU64,
+    /// Solves answered by repairing a previous generation's warm state
+    /// instead of solving cold.
+    pub warm_start_hits: AtomicU64,
+    /// Across all warm starts, rounds where the previous solution's pick
+    /// was re-verified and reused.
+    pub warm_rounds_reused: AtomicU64,
+    /// Across all warm starts, rounds selected fresh after the first
+    /// invalidated prefix position.
+    pub warm_rounds_repaired: AtomicU64,
+    /// Cache entries that survived a snapshot swap because the delta's
+    /// touched frontier was empty (bitwise-identical graphs).
+    pub cache_survived_swap: AtomicU64,
     /// Solves aborted by the per-request deadline.
     pub deadline_cancelled_total: AtomicU64,
     /// Snapshot swaps applied via `/admin/delta`.
@@ -126,6 +138,26 @@ impl Metrics {
         );
         let _ = writeln!(
             out,
+            "warm_start_hits {}",
+            self.warm_start_hits.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "warm_rounds_reused {}",
+            self.warm_rounds_reused.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "warm_rounds_repaired {}",
+            self.warm_rounds_repaired.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "cache_survived_swap {}",
+            self.cache_survived_swap.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
             "deadline_cancelled_total {}",
             self.deadline_cancelled_total.load(Ordering::Relaxed)
         );
@@ -172,6 +204,10 @@ mod tests {
         assert!(text.contains("requests_total 2"));
         assert!(text.contains("cache_hits 1"));
         assert!(text.contains("queue_shed_total 0"));
+        assert!(text.contains("warm_start_hits 0"));
+        assert!(text.contains("warm_rounds_reused 0"));
+        assert!(text.contains("warm_rounds_repaired 0"));
+        assert!(text.contains("cache_survived_swap 0"));
         assert!(text.contains("endpoint_solve_requests 0"));
         assert!(text.contains("endpoint_admin_delta_requests 0"));
     }

@@ -22,7 +22,7 @@ use pcover_core::{Observer, Registry, SolveCtx, SolveError, SolveReport, SolverC
 use pcover_graph::delta::GraphDelta;
 use pcover_graph::PreferenceGraph;
 
-use crate::cache::{fingerprint, CacheKey, CacheOutcome, SolveCache};
+use crate::cache::{fingerprint, CacheKey, CacheOutcome, SolveCache, WarmKey, WarmStore};
 use crate::http::{read_request, write_json, write_response, HttpError, Request, Status};
 use crate::metrics::Metrics;
 use crate::queue::WorkQueue;
@@ -64,6 +64,7 @@ struct AppState {
     registry: Registry,
     snapshots: SnapshotManager,
     cache: SolveCache,
+    warm: WarmStore,
     metrics: Metrics,
     queue: WorkQueue<TcpStream>,
     shutdown: AtomicBool,
@@ -112,6 +113,7 @@ impl Server {
             registry: Registry::builtin(),
             snapshots: SnapshotManager::new(graph),
             cache: SolveCache::new(config.cache_capacity),
+            warm: WarmStore::new(config.cache_capacity),
             metrics: Metrics::default(),
             queue: WorkQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
@@ -265,6 +267,7 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut
             let _ = writeln!(text, "queue_capacity {}", state.config.queue_capacity);
             let _ = writeln!(text, "cache_entries {}", state.cache.len());
             let _ = writeln!(text, "cache_evictions {}", state.cache.evictions());
+            let _ = writeln!(text, "warm_states {}", state.warm.len());
             let _ = writeln!(text, "workers {}", state.config.workers);
             let _ = write_response(
                 stream,
@@ -442,21 +445,19 @@ fn cached_solve(
         fingerprint: fingerprint(&params.config),
     };
     let (cached, outcome) = state.cache.lookup(&key);
-    match outcome {
-        CacheOutcome::Exact => {
-            state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        CacheOutcome::Prefix => {
-            state
-                .metrics
-                .cache_prefix_hits
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        CacheOutcome::Miss => {
-            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-        }
-    }
     if let Some(report) = cached {
+        match outcome {
+            CacheOutcome::Exact => {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Prefix => {
+                state
+                    .metrics
+                    .cache_prefix_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Warm | CacheOutcome::Miss => {}
+        }
         return Ok((report, snapshot.generation, outcome));
     }
 
@@ -464,6 +465,79 @@ fn cached_solve(
         .registry
         .get(&params.solver)
         .ok_or_else(|| (Status::Internal, "solver vanished from registry".to_owned()))?;
+
+    // Warm path: a previous generation's state for this lineage, repaired
+    // against the current snapshot through the registry spec — strictly
+    // fewer gain recomputations, bit-identical answer. Any repair error
+    // other than a deadline falls back to the cold path below.
+    if spec.supports_warm_start() {
+        let warm_key = WarmKey {
+            solver: params.solver.clone(),
+            variant: params.variant,
+            fingerprint: key.fingerprint,
+        };
+        if let Some((warm_state, touched)) = state.warm.lookup(&warm_key, snapshot.generation) {
+            if warm_state.accepts(params.variant, &snapshot.graph) {
+                let result = match params.deadline {
+                    Some(deadline) => {
+                        let mut observer = DeadlineObserver::new(Instant::now() + deadline);
+                        let mut ctx = SolveCtx::with_observer(params.config, &mut observer);
+                        spec.solve_warm(
+                            params.variant,
+                            &snapshot.graph,
+                            k,
+                            &touched,
+                            &warm_state,
+                            &mut ctx,
+                        )
+                    }
+                    None => {
+                        let mut ctx = SolveCtx::new(params.config);
+                        spec.solve_warm(
+                            params.variant,
+                            &snapshot.graph,
+                            k,
+                            &touched,
+                            &warm_state,
+                            &mut ctx,
+                        )
+                    }
+                };
+                match result {
+                    Ok(warm) => {
+                        state
+                            .metrics
+                            .warm_start_hits
+                            .fetch_add(1, Ordering::Relaxed);
+                        state
+                            .metrics
+                            .warm_rounds_reused
+                            .fetch_add(warm.rounds_reused as u64, Ordering::Relaxed);
+                        state
+                            .metrics
+                            .warm_rounds_repaired
+                            .fetch_add(warm.rounds_repaired as u64, Ordering::Relaxed);
+                        let report = Arc::new(warm.report);
+                        state.cache.insert(key, Arc::clone(&report));
+                        return Ok((report, snapshot.generation, CacheOutcome::Warm));
+                    }
+                    Err(SolveError::Cancelled) => {
+                        state
+                            .metrics
+                            .deadline_cancelled_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Err((
+                            Status::DeadlineExceeded,
+                            format!("deadline exceeded after {:?}", params.deadline),
+                        ));
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     let result = match params.deadline {
         Some(deadline) => {
             let mut observer = DeadlineObserver::new(Instant::now() + deadline);
@@ -607,10 +681,40 @@ fn delta_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, St
         .map_err(|_| (Status::BadRequest, "delta body is not UTF-8".to_owned()))?;
     let delta = GraphDelta::from_json_str(text)
         .map_err(|e| (Status::BadRequest, format!("bad delta: {e}")))?;
-    let generation = state
+    let receipt = state
         .snapshots
-        .apply_delta(&delta)
+        .apply_delta_swap(&delta)
         .map_err(|e| (Status::BadRequest, format!("delta rejected: {e}")))?;
+    let generation = receipt.new.generation;
+    let touched = delta.touched_nodes(&receipt.old.graph);
+
+    // An empty touched frontier means the swap was a bitwise identity:
+    // every cached answer is still valid and migrates to the new
+    // generation instead of being dropped.
+    if touched.is_empty() {
+        let survived = state
+            .cache
+            .migrate_generation(receipt.old.generation, generation);
+        state
+            .metrics
+            .cache_survived_swap
+            .fetch_add(survived, Ordering::Relaxed);
+    }
+    // Harvest warm states from the superseded generation's warm-capable
+    // entries (their orders + the old graph's round-0 gains), then record
+    // the swap in the warm store — its generation guard keeps racing
+    // bookkeeping sound.
+    let fresh = state
+        .cache
+        .harvest_warm(receipt.old.generation, &receipt.old.graph, |name| {
+            state
+                .registry
+                .get(name)
+                .is_some_and(|spec| spec.supports_warm_start())
+        });
+    state
+        .warm
+        .apply_swap(receipt.old.generation, generation, &touched, fresh);
     state.cache.retain_generation(generation);
     state
         .metrics

@@ -23,6 +23,19 @@ pub struct Snapshot {
     pub graph: Arc<PreferenceGraph>,
 }
 
+/// The outcome of one applied delta: the superseded and the newly
+/// published snapshots, captured as a consistent pair under the writer
+/// lock. Post-swap bookkeeping (solve-cache migration, warm-state harvest)
+/// needs both sides — under concurrent swaps, `current()` called after
+/// [`SnapshotManager::apply_delta`] may already be generations ahead.
+#[derive(Debug)]
+pub struct SwapReceipt {
+    /// The generation the delta was applied to.
+    pub old: Arc<Snapshot>,
+    /// The generation the delta produced (`old.generation + 1`).
+    pub new: Arc<Snapshot>,
+}
+
 /// Holder of the current [`Snapshot`] with atomic swap.
 #[derive(Debug)]
 pub struct SnapshotManager {
@@ -74,6 +87,17 @@ impl SnapshotManager {
     /// [`GraphError`] when the delta does not validate against the current
     /// graph; the published snapshot is unchanged in that case.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<u64, GraphError> {
+        self.apply_delta_swap(delta).map(|r| r.new.generation)
+    }
+
+    /// [`Self::apply_delta`], returning the old/new snapshot pair the swap
+    /// moved between. The pair is consistent (`new` directly supersedes
+    /// `old`) even when other writers swap again immediately after.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_delta`].
+    pub fn apply_delta_swap(&self, delta: &GraphDelta) -> Result<SwapReceipt, GraphError> {
         let _writer = match self.writer.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -85,10 +109,13 @@ impl SnapshotManager {
             graph: Arc::new(next_graph),
         });
         match self.current.write() {
-            Ok(mut slot) => *slot = next,
-            Err(poisoned) => *poisoned.into_inner() = next,
+            Ok(mut slot) => *slot = Arc::clone(&next),
+            Err(poisoned) => *poisoned.into_inner() = Arc::clone(&next),
         }
-        Ok(base.generation + 1)
+        Ok(SwapReceipt {
+            old: base,
+            new: next,
+        })
     }
 }
 

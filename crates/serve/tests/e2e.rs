@@ -258,6 +258,89 @@ fn end_to_end_solve_cache_swap_deadline_and_shutdown() {
     );
 }
 
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_ascii_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("missing metric '{name}' in:\n{metrics}"))
+}
+
+#[test]
+fn warm_resolve_after_swap_matches_a_cold_server_byte_for_byte() {
+    let warm_srv = start_server();
+    let cold_srv = start_server();
+    let wa = warm_srv.addr();
+    let ca = cold_srv.addr();
+
+    // Seed the warm server's cache with a full-budget delta-greedy solve on
+    // generation 1; its order + round-0 gains become the warm state.
+    let (status, seeded) = get_json(wa, "/solve?k=5&algorithm=delta");
+    assert_eq!(status, 200, "{seeded}");
+    assert_eq!(text(&seeded, "cache"), "miss");
+
+    // Apply the same edge-only delta to both servers (reweights A→B; no
+    // node-weight renormalization, so the warm state's weights stay valid).
+    let delta = r#"{"changes":[{"UpsertEdge":{"source":0,"target":1,"weight":0.25}}]}"#;
+    assert_eq!(request(wa, "POST", "/admin/delta", delta).0, 200);
+    assert_eq!(request(ca, "POST", "/admin/delta", delta).0, 200);
+
+    // Warm server repairs the harvested state; cold server solves fresh.
+    let (status, warm) = get_json(wa, "/solve?k=5&algorithm=delta");
+    assert_eq!(status, 200, "{warm}");
+    assert_eq!(uint(&warm, "generation"), 2);
+    assert_eq!(
+        text(&warm, "cache"),
+        "warm",
+        "post-swap delta-greedy solve must repair the warm state"
+    );
+    let (status, cold) = get_json(ca, "/solve?k=5&algorithm=delta");
+    assert_eq!(status, 200, "{cold}");
+    assert_eq!(uint(&cold, "generation"), 2);
+    assert_eq!(text(&cold, "cache"), "miss");
+
+    // Byte-for-byte equality of the re-serialized answer fields: JSON float
+    // printing is shortest-roundtrip, so equal strings mean equal f64 bits.
+    for key in ["cover", "order", "variant", "k"] {
+        assert_eq!(
+            serde_json::to_string(field(&warm, key)).expect("serializable"),
+            serde_json::to_string(field(&cold, key)).expect("serializable"),
+            "warm and cold must agree byte-for-byte on '{key}'"
+        );
+    }
+
+    // The repair is visible in /metrics, and every round is accounted for.
+    let (_, metrics) = request(wa, "GET", "/metrics", "");
+    assert_eq!(metric_value(&metrics, "warm_start_hits"), 1);
+    assert_eq!(
+        metric_value(&metrics, "warm_rounds_reused")
+            + metric_value(&metrics, "warm_rounds_repaired"),
+        5,
+        "reused + repaired must cover all k rounds"
+    );
+
+    // A bitwise no-op delta (same edge, same weight) migrates the cache
+    // instead of dropping it: the same query stays an exact hit afterward.
+    let noop = r#"{"changes":[{"UpsertEdge":{"source":0,"target":1,"weight":0.25}}]}"#;
+    assert_eq!(request(wa, "POST", "/admin/delta", noop).0, 200);
+    let (status, carried) = get_json(wa, "/solve?k=5&algorithm=delta");
+    assert_eq!(status, 200, "{carried}");
+    assert_eq!(uint(&carried, "generation"), 3);
+    assert_eq!(
+        text(&carried, "cache"),
+        "hit",
+        "identity swap must carry cached answers across the generation"
+    );
+    let (_, metrics) = request(wa, "GET", "/metrics", "");
+    assert!(metric_value(&metrics, "cache_survived_swap") >= 1, "{metrics}");
+
+    warm_srv.shutdown();
+    warm_srv.join();
+    cold_srv.shutdown();
+    cold_srv.join();
+}
+
 #[test]
 fn shutdown_via_handle_drains_and_joins() {
     let handle = start_server();

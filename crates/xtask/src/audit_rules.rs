@@ -140,7 +140,7 @@ pub(crate) const DISPATCH_MODULES: [&str; 11] = [
 /// the same modules (`brute_force::subset_count`, `evaluate_selection`, the
 /// extension solvers) are utilities the registry deliberately does not
 /// wrap, and stay callable.
-const DISPATCH_FNS: [&str; 8] = [
+const DISPATCH_FNS: [&str; 9] = [
     "solve",
     "parallel_solve",
     "refine",
@@ -149,6 +149,7 @@ const DISPATCH_FNS: [&str; 8] = [
     "random",
     "random_best_of",
     "solve_low_memory_normalized",
+    "resolve_warm",
 ];
 
 /// Path prefixes where `solver-dispatch` applies: every layer downstream
