@@ -1,17 +1,34 @@
 //! Minimal `--key value` argument parsing.
 //!
 //! A hand-rolled parser keeps the dependency tree small (see DESIGN.md);
-//! the grammar is strictly `<subcommand> (--key value | --flag)*`.
+//! the grammar is `<subcommand> <positional>{arity} (--key value | --flag)*`
+//! where the positional arity is declared per subcommand in
+//! [`positional_arity`] — zero for every command except the file-operand
+//! container commands (`convert`, `probe`). Positionals must precede
+//! options; a stray positional after a zero-arity subcommand is still a
+//! usage error.
 
 use std::collections::HashMap;
 
 use crate::CliError;
 
-/// Parsed arguments: a subcommand plus key→value options.
+/// How many positional operands a subcommand takes (exactly). Commands not
+/// listed here accept none, so `pcover solve stray` stays a usage error.
+fn positional_arity(command: &str) -> usize {
+    match command {
+        "convert" => 2,
+        "probe" => 1,
+        _ => 0,
+    }
+}
+
+/// Parsed arguments: a subcommand plus positionals and key→value options.
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     /// The subcommand (first positional token).
     pub command: String,
+    /// Positional operands (only for subcommands that declare them).
+    positionals: Vec<String>,
     options: HashMap<String, String>,
     /// Keys that appeared without a value (boolean flags).
     flags: Vec<String>,
@@ -28,6 +45,16 @@ impl Args {
             return Err(CliError(format!(
                 "expected a subcommand before options, found {command:?}"
             )));
+        }
+        let arity = positional_arity(&command);
+        let mut positionals = Vec::new();
+        while positionals.len() < arity {
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    positionals.push(iter.next().expect("peeked"));
+                }
+                _ => break,
+            }
         }
         let mut options = HashMap::new();
         let mut flags = Vec::new();
@@ -51,9 +78,18 @@ impl Args {
         }
         Ok(Args {
             command,
+            positionals,
             options,
             flags,
         })
+    }
+
+    /// The `idx`-th positional operand, named for the error message.
+    pub fn positional(&self, idx: usize, name: &str) -> Result<&str, CliError> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| CliError(format!("missing required operand <{name}>")))
     }
 
     /// A required string option.
@@ -142,5 +178,31 @@ mod tests {
     #[test]
     fn positional_after_command_rejected() {
         assert!(parse(&["solve", "stray"]).is_err());
+    }
+
+    #[test]
+    fn declared_positionals_are_accepted_in_order() {
+        let a = parse(&["convert", "in.json", "out.pcov", "--to", "container"]).unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "in.json");
+        assert_eq!(a.positional(1, "output").unwrap(), "out.pcov");
+        assert_eq!(a.optional("to"), Some("container"));
+
+        let a = parse(&["probe", "g.pcov", "--verify"]).unwrap();
+        assert_eq!(a.positional(0, "file").unwrap(), "g.pcov");
+        assert!(a.flag("verify"));
+    }
+
+    #[test]
+    fn missing_positional_reports_operand_name() {
+        let a = parse(&["probe"]).unwrap();
+        let err = a.positional(0, "file").unwrap_err();
+        assert!(err.to_string().contains("<file>"), "{err}");
+    }
+
+    #[test]
+    fn excess_positionals_rejected() {
+        // A third operand after convert's two is a usage error.
+        assert!(parse(&["convert", "a", "b", "c"]).is_err());
+        assert!(parse(&["probe", "a", "b"]).is_err());
     }
 }

@@ -43,6 +43,9 @@ pub fn run_with_registry(args: &Args, registry: &Registry) -> Result<String, Cli
         "closure" => closure_cmd(args),
         "delta" => delta_cmd(args),
         "serve" => serve_cmd(args),
+        "convert" => convert_cmd(args),
+        "probe" => probe_cmd(args),
+        "gen-graph" => gen_graph_cmd(args),
         "bench-snapshot" => bench_snapshot_cmd(args, registry),
         "help" | "--help" => Ok(help_with(registry)),
         other => Err(CliError(format!(
@@ -91,8 +94,20 @@ SUBCOMMANDS
             graph (Section 2's modeling step).
   delta     --graph graph.json --changes delta.json --out new-graph.json
             Apply a JSON batch of demand/edge/delisting changes.
-  bench-snapshot [--out BENCH_5.json] [--grid default|small] [--seed 42] [--pr 5]
-                 [--repeats 1] [--warm]
+  convert   <input> <output> [--to container|json]
+            [--variant independent|normalized|unspecified]
+            Re-encode a graph between the JSON interchange format and the
+            .pcov binary container (input format sniffed from its bytes);
+            --variant stamps advisory metadata into the container header.
+  probe     <file> [--verify]
+            Print a container's header metadata; --verify additionally
+            checksums every section and re-validates the CSR invariants.
+  gen-graph --nodes N --out graph.pcov [--degree 4] [--seed 42]
+            [--normalized] [--container]
+            Generate a seeded synthetic graph straight to disk; .pcov (or
+            --container) streams without materializing the graph.
+  bench-snapshot [--out BENCH_5.json] [--grid default|small|large] [--seed 42]
+                 [--pr 5] [--repeats 1] [--warm] [--smoke]
             Run the fixed solver × variant × (n, D, k) perf grid on seeded
             synthetic graphs and write a machine-readable snapshot (schema
             pcover-bench-snapshot/1). Fails if the delta solver evaluates
@@ -101,6 +116,11 @@ SUBCOMMANDS
             and records warm-start repair vs cold post-delta re-solve as
             delta-cold / delta-warm entries; fails unless the warm solve is
             bit-identical and (at n >= 1000) evaluates strictly fewer gains.
+            --grid large is the container tier (n = 10^5 and 10^6, k = 50;
+            --smoke drops the 10^6 shape): streams each graph to a .pcov
+            container, gates container cold-load at >= 10x faster than the
+            JSON parse, and times greedy/lazy/delta + warm delta repair
+            over the mapped CSR, checked bit-identical to in-memory solves.
   serve     --graph graph.json [--threads 8] [--port 7878] [--host 127.0.0.1]
             [--queue 64] [--cache 128] [--deadline-ms 0]
             Run the resident query service: GET /solve, /cover, /minimize,
@@ -132,8 +152,14 @@ fn load_clickstream(path: &str) -> Result<Clickstream, CliError> {
     cs_io::read_jsonl(path).map_err(CliError::from_display)
 }
 
+/// Opens a graph file on any `--graph` option: `.pcov` containers load
+/// zero-copy (mmap where supported, buffered pread otherwise), everything
+/// else parses as JSON. The format is sniffed from the file's magic, not
+/// its name.
 fn load_graph(path: &str) -> Result<PreferenceGraph, CliError> {
-    graph_json::read_json(path, &LoadOptions::default()).map_err(CliError::from_display)
+    pcover_store::read_graph_auto(Path::new(path), pcover_store::OpenMode::Auto)
+        .map(|(g, _)| g)
+        .map_err(CliError::from_display)
 }
 
 fn parse_variant(args: &Args) -> Result<Variant, CliError> {
@@ -392,7 +418,7 @@ fn delta_cmd(args: &Args) -> Result<String, CliError> {
 }
 
 fn serve_cmd(args: &Args) -> Result<String, CliError> {
-    let g = load_graph(args.required("graph")?)?;
+    let graph_path = args.required("graph")?;
     let host = args.optional("host").unwrap_or("127.0.0.1");
     let port: u16 = args.parse_or("port", 7878)?;
     let workers: usize = args.parse_or("threads", 8)?;
@@ -407,16 +433,147 @@ fn serve_cmd(args: &Args) -> Result<String, CliError> {
         default_deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         ..pcover_serve::ServerConfig::default()
     };
-    let handle = pcover_serve::Server::start(g, config).map_err(CliError::from_display)?;
+    let (handle, loaded_via) = pcover_serve::Server::start_from_path(Path::new(graph_path), config)
+        .map_err(CliError::from_display)?;
     let addr = handle.addr();
     // Announce on stderr immediately — the Ok(..) string only prints once
     // the server has fully drained and exited.
     eprintln!(
         "pcover-serve listening on http://{addr} \
-         ({workers} workers; POST /admin/shutdown to stop)"
+         (graph loaded via {loaded_via}; {workers} workers; \
+         POST /admin/shutdown to stop)"
     );
     handle.join();
     Ok(format!("server on {addr} shut down\n"))
+}
+
+/// `pcover convert <input> <output>`: re-encode a graph between the JSON
+/// interchange format and the `.pcov` binary container. The input format
+/// is sniffed from its magic bytes; the output format defaults to the
+/// container and can be forced with `--to container|json`.
+fn convert_cmd(args: &Args) -> Result<String, CliError> {
+    let input = args.positional(0, "input")?.to_owned();
+    let output = args.positional(1, "output")?.to_owned();
+    let to = args.optional("to").unwrap_or("container");
+    // Advisory variant metadata stamped into the container header (JSON
+    // has no equivalent field, so it must be supplied here).
+    let variant = match args.optional("variant").unwrap_or("unspecified") {
+        "independent" => pcover_store::VariantHint::Independent,
+        "normalized" => pcover_store::VariantHint::Normalized,
+        "unspecified" => pcover_store::VariantHint::Unspecified,
+        other => {
+            return Err(CliError(format!(
+                "unknown --variant {other:?}; use independent, normalized or unspecified"
+            )))
+        }
+    };
+    let (g, read_via) =
+        pcover_store::read_graph_auto(Path::new(&input), pcover_store::OpenMode::Auto)
+            .map_err(CliError::from_display)?;
+    match to {
+        "container" => {
+            let options = pcover_store::WriteOptions { variant };
+            let summary = pcover_store::write_graph(&g, Path::new(&output), options)
+                .map_err(CliError::from_display)?;
+            Ok(format!(
+                "converted {input} ({read_via}) -> {output}: {} nodes, {} edges, {} bytes\n",
+                summary.nodes, summary.edges, summary.bytes
+            ))
+        }
+        "json" => {
+            graph_json::write_json(&g, &output).map_err(CliError::from_display)?;
+            let bytes = std::fs::metadata(&output)
+                .map_err(CliError::from_display)?
+                .len();
+            Ok(format!(
+                "converted {input} ({read_via}) -> {output}: {} nodes, {} edges, {bytes} bytes\n",
+                g.node_count(),
+                g.edge_count(),
+            ))
+        }
+        other => Err(CliError(format!(
+            "unknown --to format {other:?}; use container or json"
+        ))),
+    }
+}
+
+/// `pcover probe <file> [--verify]`: print a container's header metadata
+/// without loading the graph; `--verify` additionally checksums every
+/// section and re-validates the CSR invariants.
+fn probe_cmd(args: &Args) -> Result<String, CliError> {
+    let file = args.positional(0, "file")?.to_owned();
+    let path = Path::new(&file);
+    let info = if args.flag("verify") {
+        pcover_store::verify(path).map_err(CliError::from_display)?
+    } else {
+        pcover_store::probe(path).map_err(CliError::from_display)?
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "container: {file}");
+    let _ = writeln!(out, "  format version: {}", info.version);
+    let _ = writeln!(out, "  nodes: {}", info.node_count);
+    let _ = writeln!(out, "  edges: {}", info.edge_count);
+    let _ = writeln!(out, "  variant hint: {:?}", info.variant);
+    let _ = writeln!(
+        out,
+        "  labels: {}",
+        if info.has_labels { "yes" } else { "no" }
+    );
+    let _ = writeln!(out, "  sections: {}", info.sections.len());
+    let _ = writeln!(out, "  file bytes: {}", info.file_len);
+    let _ = writeln!(
+        out,
+        "  mmap: {}",
+        if info.mmap_supported {
+            "supported"
+        } else {
+            "unsupported (pread fallback)"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  verified: {}",
+        if args.flag("verify") {
+            "checksums + CSR invariants"
+        } else {
+            "header only"
+        }
+    );
+    Ok(out)
+}
+
+/// `pcover gen-graph`: generate a seeded synthetic graph straight to disk.
+/// A `--container` output streams through [`generate_graph_container`]
+/// without materializing the graph, so million-node files need tens of MB,
+/// not gigabytes; otherwise the graph is built in memory and written JSON.
+fn gen_graph_cmd(args: &Args) -> Result<String, CliError> {
+    use pcover_datagen::graphgen::{generate_graph, generate_graph_container, GraphGenConfig};
+
+    let out = args.required("out")?.to_owned();
+    let cfg = GraphGenConfig {
+        nodes: args.required_parse("nodes")?,
+        avg_out_degree: args.parse_or("degree", 4)?,
+        normalized: args.flag("normalized"),
+        seed: args.parse_or("seed", 42)?,
+        ..GraphGenConfig::default()
+    };
+    let container = args.flag("container") || out.ends_with(".pcov");
+    if container {
+        let summary =
+            generate_graph_container(&cfg, Path::new(&out)).map_err(CliError::from_display)?;
+        Ok(format!(
+            "generated container {out}: {} nodes, {} edges, {} bytes (streamed)\n",
+            summary.nodes, summary.edges, summary.bytes
+        ))
+    } else {
+        let g = generate_graph(&cfg).map_err(CliError::from_display)?;
+        graph_json::write_json(&g, &out).map_err(CliError::from_display)?;
+        Ok(format!(
+            "generated JSON graph {out}: {} nodes, {} edges\n",
+            g.node_count(),
+            g.edge_count(),
+        ))
+    }
 }
 
 /// The solvers every snapshot records. `BENCH_*.json` files are a
@@ -454,9 +611,10 @@ fn bench_snapshot_cmd(args: &Args, registry: &Registry) -> Result<String, CliErr
                 &[16, 64],
             ),
             "small" => (&[(200, 4)], &[8, 32]),
+            "large" => return bench_large_grid(args, registry),
             other => {
                 return Err(CliError(format!(
-                    "unknown grid {other:?}; use default or small"
+                    "unknown grid {other:?}; use default, small or large"
                 )))
             }
         };
@@ -689,6 +847,309 @@ fn bench_snapshot_cmd(args: &Args, registry: &Registry) -> Result<String, CliErr
     ))
 }
 
+/// Solvers the large grid times over the container-loaded CSR. A subset of
+/// [`BENCH_SOLVERS`]: the thread-pool solvers are covered by the default
+/// grid, and at n >= 10^5 the single-thread delta family is what the
+/// instant-load story is about.
+const BENCH_LARGE_SOLVERS: [&str; 3] = ["greedy", "lazy", "delta"];
+
+/// `--grid large`: the million-node container tier. Per shape it streams a
+/// seeded graph straight to a `.pcov` container, writes a JSON twin,
+/// records cold-load wall time for both (gated: the container must load at
+/// least 10x faster than JSON at n >= 10^5), then times
+/// greedy/lazy/delta plus a warm-start delta repair over the mapped CSR —
+/// asserting every solve is bit-identical to the same solve on the
+/// JSON-loaded in-memory graph.
+fn bench_large_grid(args: &Args, registry: &Registry) -> Result<String, CliError> {
+    use pcover_core::WarmState;
+    use pcover_datagen::graphgen::{generate_graph_container, GraphGenConfig};
+    use pcover_graph::delta::{apply, Change, GraphDelta};
+    use std::time::Instant;
+
+    let out = args.optional("out").unwrap_or("BENCH_9.json");
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let pr: u64 = args.parse_or("pr", 9)?;
+    let repeats: usize = args.parse_or("repeats", 1)?;
+    if repeats == 0 {
+        return Err(CliError("--repeats must be at least 1".into()));
+    }
+    // --smoke drops the million-node shape so CI can run the tier in
+    // seconds; the committed BENCH_9.json records the full grid.
+    let shapes: &[(usize, usize)] = if args.flag("smoke") {
+        &[(100_000, 4)]
+    } else {
+        &[(100_000, 4), (1_000_000, 4)]
+    };
+    let budgets: &[usize] = &[50];
+
+    let dir = std::env::temp_dir().join(format!("pcover-bench-large-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(CliError::from_display)?;
+
+    let mut entries = Vec::new();
+    let mut violations = Vec::new();
+    for &(n, d) in shapes {
+        let cfg = GraphGenConfig {
+            nodes: n,
+            avg_out_degree: d,
+            normalized: true,
+            seed,
+            ..GraphGenConfig::default()
+        };
+        let cpath = dir.join(format!("bench-{n}.pcov"));
+        let jpath = dir.join(format!("bench-{n}.json"));
+        generate_graph_container(&cfg, &cpath).map_err(CliError::from_display)?;
+        // The JSON twin is derived from the container so both loads read
+        // the exact same graph bits.
+        let (owned, _) = pcover_store::read_graph_auto(&cpath, pcover_store::OpenMode::Pread)
+            .map_err(CliError::from_display)?;
+        graph_json::write_json(&owned, &jpath).map_err(CliError::from_display)?;
+        drop(owned);
+
+        // Cold-load timing, min over `repeats`: full parse + validation
+        // for JSON vs checksum + (mmap | pread) for the container.
+        let mut json_ms = f64::INFINITY;
+        let mut reference = None;
+        for _ in 0..repeats {
+            let t = Instant::now();
+            let g = graph_json::read_json(&jpath, &LoadOptions::default())
+                .map_err(CliError::from_display)?;
+            json_ms = json_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            reference = Some(g);
+        }
+        let reference = reference.expect("repeats >= 1");
+        let mut container_ms = f64::INFINITY;
+        let mut mapped = None;
+        let mut backend = "pread";
+        for _ in 0..repeats {
+            let t = Instant::now();
+            let (g, how) = pcover_store::read_graph_auto(&cpath, pcover_store::OpenMode::Auto)
+                .map_err(CliError::from_display)?;
+            container_ms = container_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            mapped = Some(g);
+            backend = how;
+        }
+        let mapped = mapped.expect("repeats >= 1");
+        let speedup = json_ms / container_ms;
+        if n >= 100_000 && speedup < 10.0 {
+            violations.push(format!(
+                "container cold-load was only {speedup:.1}x faster than JSON \
+                 ({container_ms:.1} ms vs {json_ms:.1} ms) on n={n} D={d}; need >= 10x"
+            ));
+        }
+        for (solver, wall_ms, load_backend) in [
+            ("load-json", json_ms, "serde"),
+            ("load-container", container_ms, backend),
+        ] {
+            let mut entry = serde_json::json!({
+                "solver": solver,
+                "variant": "n/a",
+                "n": n,
+                "avg_out_degree": d,
+                "k": 0,
+                "seed": seed,
+                "wall_ms": wall_ms,
+                "gain_evaluations": 0,
+                "memory_bytes": reference.memory_bytes(),
+                "cover": 0.0,
+                "backend": load_backend,
+            });
+            if solver == "load-container" {
+                if let serde_json::Value::Object(obj) = &mut entry {
+                    obj.insert("speedup_vs_json".into(), serde_json::json!(speedup));
+                }
+            }
+            entries.push(entry);
+        }
+
+        // Solver timings over the mapped CSR, each checked bit-identical
+        // against the same solve on the JSON-loaded in-memory graph.
+        let memory_bytes = mapped.memory_bytes();
+        for &k in budgets {
+            for name in BENCH_LARGE_SOLVERS {
+                let spec = *registry
+                    .get(name)
+                    .ok_or_else(|| CliError(registry.unknown_algorithm_message(name)))?;
+                for variant in [Variant::Independent, Variant::Normalized] {
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let mut report = spec
+                        .solve(variant, &mapped, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    for _ in 1..repeats {
+                        let mut ctx = SolveCtx::new(SolverConfig::default());
+                        let again = spec
+                            .solve(variant, &mapped, k, &mut ctx)
+                            .map_err(CliError::from_display)?;
+                        if again.elapsed < report.elapsed {
+                            report.elapsed = again.elapsed;
+                        }
+                    }
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let in_memory = spec
+                        .solve(variant, &reference, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    if !report.bit_identical_to(&in_memory) {
+                        violations.push(format!(
+                            "{name} on the container-backed graph drifted from the \
+                             in-memory solve on variant={} n={n} D={d} k={k}",
+                            variant.name(),
+                        ));
+                    }
+                    entries.push(serde_json::json!({
+                        "solver": name,
+                        "variant": variant.name(),
+                        "n": n,
+                        "avg_out_degree": d,
+                        "k": k,
+                        "seed": seed,
+                        "wall_ms": report.elapsed.as_secs_f64() * 1e3,
+                        "gain_evaluations": report.gain_evaluations,
+                        "memory_bytes": memory_bytes,
+                        "cover": report.cover,
+                        "backend": backend,
+                    }));
+                }
+            }
+        }
+
+        // Warm-start delta repair on the mapped graph: same seeded <=1%
+        // edge perturbation as the default grid's --warm pass.
+        let spec = *registry
+            .get("delta")
+            .ok_or_else(|| CliError(registry.unknown_algorithm_message("delta")))?;
+        let changes = (n / 200).max(1);
+        let stride = (n / changes).max(1);
+        let mut delta = GraphDelta::new();
+        let mut applied = 0usize;
+        for i in 0..changes {
+            let v = ItemId::from_index((i * stride) % n);
+            if let Some((target, w)) = mapped.out_edges(v).next() {
+                delta = delta.push(Change::UpsertEdge {
+                    source: v,
+                    target,
+                    weight: w * 0.5,
+                });
+                applied += 1;
+            }
+        }
+        if applied == 0 {
+            return Err(CliError(format!(
+                "large-grid warm delta for n={n} D={d} found no edges to perturb"
+            )));
+        }
+        let touched = delta.touched_nodes(&mapped);
+        let g2 = apply(&mapped, &delta).map_err(CliError::from_display)?;
+        let post_memory_bytes = g2.memory_bytes();
+        for &k in budgets {
+            for variant in [Variant::Independent, Variant::Normalized] {
+                let mut ctx = SolveCtx::new(SolverConfig::default());
+                let previous = spec
+                    .solve(variant, &mapped, k, &mut ctx)
+                    .map_err(CliError::from_display)?;
+                let warm_state = WarmState::capture_variant(variant, &mapped, &previous.order);
+
+                let mut ctx = SolveCtx::new(SolverConfig::default());
+                let mut cold = spec
+                    .solve(variant, &g2, k, &mut ctx)
+                    .map_err(CliError::from_display)?;
+                let mut ctx = SolveCtx::new(SolverConfig::default());
+                let mut warm = spec
+                    .solve_warm(variant, &g2, k, &touched, &warm_state, &mut ctx)
+                    .map_err(CliError::from_display)?;
+                for _ in 1..repeats {
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let again = spec
+                        .solve(variant, &g2, k, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    if again.elapsed < cold.elapsed {
+                        cold.elapsed = again.elapsed;
+                    }
+                    let mut ctx = SolveCtx::new(SolverConfig::default());
+                    let again = spec
+                        .solve_warm(variant, &g2, k, &touched, &warm_state, &mut ctx)
+                        .map_err(CliError::from_display)?;
+                    if again.report.elapsed < warm.report.elapsed {
+                        warm.report.elapsed = again.report.elapsed;
+                    }
+                }
+                if !warm.report.bit_identical_to(&cold) {
+                    violations.push(format!(
+                        "warm re-solve drifted from the cold solve on variant={} \
+                         n={n} D={d} k={k}",
+                        variant.name(),
+                    ));
+                }
+                if warm.report.gain_evaluations >= cold.gain_evaluations {
+                    violations.push(format!(
+                        "warm re-solve did {} gain evaluations vs cold's {} after a \
+                         {applied}-change delta on variant={} n={n} D={d} k={k}",
+                        warm.report.gain_evaluations,
+                        cold.gain_evaluations,
+                        variant.name(),
+                    ));
+                }
+                for (solver, report, extra_rounds) in [
+                    ("delta-cold", &cold, None),
+                    (
+                        "delta-warm",
+                        &warm.report,
+                        Some((warm.rounds_reused, warm.rounds_repaired)),
+                    ),
+                ] {
+                    let mut entry = serde_json::json!({
+                        "solver": solver,
+                        "variant": variant.name(),
+                        "n": n,
+                        "avg_out_degree": d,
+                        "k": k,
+                        "seed": seed,
+                        "wall_ms": report.elapsed.as_secs_f64() * 1e3,
+                        "gain_evaluations": report.gain_evaluations,
+                        "memory_bytes": post_memory_bytes,
+                        "cover": report.cover,
+                        "backend": backend,
+                        "delta_changes": applied,
+                    });
+                    if let (Some((reused, repaired)), serde_json::Value::Object(obj)) =
+                        (extra_rounds, &mut entry)
+                    {
+                        obj.insert("rounds_reused".into(), serde_json::json!(reused));
+                        obj.insert("rounds_repaired".into(), serde_json::json!(repaired));
+                    }
+                    entries.push(entry);
+                }
+            }
+        }
+        std::fs::remove_file(&cpath).ok();
+        std::fs::remove_file(&jpath).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+
+    let count = entries.len();
+    let snapshot = serde_json::json!({
+        "schema": BENCH_SCHEMA,
+        "pr": pr,
+        "seed": seed,
+        "entries": entries,
+    });
+    let json = serde_json::to_string_pretty(&snapshot).map_err(CliError::from_display)?;
+    std::fs::write(out, json + "\n").map_err(CliError::from_display)?;
+
+    if !violations.is_empty() {
+        return Err(CliError(format!(
+            "bench snapshot written to {out}, but the container-tier guarantees \
+             (>= 10x cold-load speedup; mapped solves bit-identical to in-memory; \
+             warm repairs bit-identical and cheaper than cold) failed:\n  {}",
+            violations.join("\n  ")
+        )));
+    }
+    Ok(format!(
+        "bench snapshot: {count} entries (large container grid, {} solvers + loads + \
+         warm deltas x {} shapes, seed {seed}) -> {out}\n",
+        BENCH_LARGE_SOLVERS.len(),
+        shapes.len(),
+    ))
+}
+
 fn export_dot_cmd(args: &Args) -> Result<String, CliError> {
     let out = args.required("out")?;
     let min_weight: f64 = args.parse_or("min-weight", 0.0)?;
@@ -815,7 +1276,106 @@ mod tests {
         assert!(help_text.contains("SUBCOMMANDS"));
         assert!(help_text.contains("serve"), "serve must be documented");
         assert!(help_text.contains("/admin/delta"));
+        assert!(help_text.contains("convert"), "convert must be documented");
+        assert!(help_text.contains("probe"), "probe must be documented");
+        assert!(
+            help_text.contains("gen-graph"),
+            "gen-graph must be documented"
+        );
         assert!(run_tokens(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn convert_and_probe_round_trip_a_container() {
+        let json_in = tmp("convert-in.json");
+        let container = tmp("convert-out.pcov");
+        let json_back = tmp("convert-back.json");
+        let g = pcover_graph::examples::figure1();
+        pcover_graph::io::json::write_json(&g, &json_in).unwrap();
+
+        let out = run_tokens(&["convert", &json_in, &container]).unwrap();
+        assert!(out.contains("5 nodes"), "{out}");
+
+        let probed = run_tokens(&["probe", &container]).unwrap();
+        assert!(probed.contains("nodes: 5"), "{probed}");
+        assert!(probed.contains("labels: yes"), "{probed}");
+        assert!(probed.contains("header only"), "{probed}");
+        let verified = run_tokens(&["probe", &container, "--verify"]).unwrap();
+        assert!(
+            verified.contains("checksums + CSR invariants"),
+            "{verified}"
+        );
+
+        // Every --graph option accepts the container directly (sniffed by
+        // magic, not extension).
+        let stats = run_tokens(&["stats", "--graph", &container]).unwrap();
+        assert_eq!(stats, run_tokens(&["stats", "--graph", &json_in]).unwrap());
+
+        let out = run_tokens(&["convert", &container, &json_back, "--to", "json"]).unwrap();
+        assert!(out.contains("5 nodes"), "{out}");
+        let round = pcover_graph::io::json::read_json(&json_back, &LoadOptions::default()).unwrap();
+        assert_eq!(round.node_count(), g.node_count());
+        assert_eq!(round.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn convert_and_probe_error_paths() {
+        // Unknown target format.
+        let json_in = tmp("convert-err.json");
+        pcover_graph::io::json::write_json(&pcover_graph::examples::figure1(), &json_in).unwrap();
+        let err =
+            run_tokens(&["convert", &json_in, &tmp("x.pcov"), "--to", "parquet"]).unwrap_err();
+        assert!(err.to_string().contains("parquet"), "{err}");
+        // Probing a JSON file is a typed "not a container" error, not a
+        // panic or a garbage header dump.
+        let err = run_tokens(&["probe", &json_in]).unwrap_err();
+        assert!(err.to_string().contains("container"), "{err}");
+        // Missing operands name the operand.
+        let err = run_tokens(&["probe"]).unwrap_err();
+        assert!(err.to_string().contains("<file>"), "{err}");
+        let err = run_tokens(&["convert", &json_in]).unwrap_err();
+        assert!(err.to_string().contains("<output>"), "{err}");
+    }
+
+    #[test]
+    fn gen_graph_streamed_container_matches_json_convert() {
+        let direct = tmp("gen-direct.pcov");
+        let json = tmp("gen-via.json");
+        let via = tmp("gen-via.pcov");
+        let out = run_tokens(&[
+            "gen-graph",
+            "--nodes",
+            "500",
+            "--degree",
+            "3",
+            "--seed",
+            "7",
+            "--normalized",
+            "--out",
+            &direct,
+        ])
+        .unwrap();
+        assert!(out.contains("streamed"), "{out}");
+        run_tokens(&[
+            "gen-graph",
+            "--nodes",
+            "500",
+            "--degree",
+            "3",
+            "--seed",
+            "7",
+            "--normalized",
+            "--out",
+            &json,
+        ])
+        .unwrap();
+        run_tokens(&["convert", &json, &via, "--variant", "normalized"]).unwrap();
+        // The streamed writer, the in-memory writer, and a JSON round trip
+        // all land on identical bytes.
+        assert_eq!(
+            std::fs::read(&direct).unwrap(),
+            std::fs::read(&via).unwrap()
+        );
     }
 
     #[test]

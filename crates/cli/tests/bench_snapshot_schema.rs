@@ -1,8 +1,12 @@
-//! Round-trip guard for the committed bench snapshots: `BENCH_5.json`
-//! and `BENCH_7.json` must parse against the `pcover-bench-snapshot/1`
-//! schema *exactly* — a missing field or an unknown field fails, so the
-//! snapshot format cannot drift under the CI perf gate that diffs the
-//! two files.
+//! Round-trip guard for the committed bench snapshots: `BENCH_5.json`,
+//! `BENCH_7.json` and `BENCH_9.json` must parse against the
+//! `pcover-bench-snapshot/1` schema *exactly* — a missing field or an
+//! unknown field fails, so the snapshot format cannot drift under the CI
+//! perf gate that diffs the files.
+//!
+//! `BENCH_9.json` is the `--grid large` container tier; its entries carry
+//! a fixed set of *optional* extras ([`LARGE_ENTRY_KEYS`]: load backend,
+//! load speedup, warm-delta bookkeeping) on top of the same required core.
 
 use std::path::PathBuf;
 
@@ -22,6 +26,14 @@ const ENTRY_KEYS: [&str; 10] = [
     "memory_bytes",
     "cover",
 ];
+/// Extra entry fields the large container grid may attach.
+const LARGE_ENTRY_KEYS: [&str; 5] = [
+    "backend",
+    "speedup_vs_json",
+    "delta_changes",
+    "rounds_reused",
+    "rounds_repaired",
+];
 
 fn is_u64(v: &Value) -> bool {
     matches!(v, Value::Number(Number::U64(_)))
@@ -34,6 +46,17 @@ fn is_f64(v: &Value) -> bool {
 /// Strict `pcover-bench-snapshot/1` validation: exact key sets at both
 /// levels, field types as written by `bench-snapshot`, non-empty entries.
 fn validate(snapshot: &Value) -> Result<(), String> {
+    validate_profile(snapshot, false)
+}
+
+/// [`validate`] for the `--grid large` tier: the same required core, plus
+/// the fixed optional extras in [`LARGE_ENTRY_KEYS`] (type-checked when
+/// present; anything else is still rejected).
+fn validate_large(snapshot: &Value) -> Result<(), String> {
+    validate_profile(snapshot, true)
+}
+
+fn validate_profile(snapshot: &Value, large: bool) -> Result<(), String> {
     let Value::Object(obj) = snapshot else {
         return Err("top level is not an object".into());
     };
@@ -62,7 +85,8 @@ fn validate(snapshot: &Value) -> Result<(), String> {
             return Err(format!("entry {i} is not an object"));
         };
         for key in e.keys() {
-            if !ENTRY_KEYS.contains(&key.as_str()) {
+            let extra = large && LARGE_ENTRY_KEYS.contains(&key.as_str());
+            if !ENTRY_KEYS.contains(&key.as_str()) && !extra {
                 return Err(format!("entry {i}: unknown field {key:?}"));
             }
         }
@@ -93,6 +117,25 @@ fn validate(snapshot: &Value) -> Result<(), String> {
                 return Err(format!("entry {i}: {key} must be a float"));
             }
         }
+        if large {
+            if let Some(v) = e.get("backend") {
+                if v.as_str().is_none() {
+                    return Err(format!("entry {i}: backend must be a string"));
+                }
+            }
+            if let Some(v) = e.get("speedup_vs_json") {
+                if !is_f64(v) {
+                    return Err(format!("entry {i}: speedup_vs_json must be a float"));
+                }
+            }
+            for key in ["delta_changes", "rounds_reused", "rounds_repaired"] {
+                if let Some(v) = e.get(key) {
+                    if !is_u64(v) {
+                        return Err(format!("entry {i}: {key} must be an unsigned integer"));
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -108,28 +151,106 @@ fn committed(name: &str) -> Value {
 
 #[test]
 fn committed_snapshots_round_trip_strictly() {
-    for name in ["BENCH_5.json", "BENCH_7.json"] {
+    for (name, check) in [
+        ("BENCH_5.json", validate as fn(&Value) -> Result<(), String>),
+        ("BENCH_7.json", validate),
+        ("BENCH_9.json", validate_large),
+    ] {
         let snapshot = committed(name);
-        validate(&snapshot).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check(&snapshot).unwrap_or_else(|e| panic!("{name}: {e}"));
         // Round trip: serialize and re-validate; serde must not change
         // any field's shape on the way through.
         let again: Value =
             serde_json::from_str(&serde_json::to_string(&snapshot).unwrap()).unwrap();
-        validate(&again).unwrap_or_else(|e| panic!("{name} after round trip: {e}"));
+        check(&again).unwrap_or_else(|e| panic!("{name} after round trip: {e}"));
         assert_eq!(snapshot, again, "{name} round trip changed the value");
     }
 }
 
 #[test]
 fn snapshot_pr_stamps_identify_the_files() {
-    assert_eq!(
-        committed("BENCH_5.json").get("pr"),
-        Some(&Value::Number(Number::U64(5)))
+    for (name, pr) in [
+        ("BENCH_5.json", 5),
+        ("BENCH_7.json", 7),
+        ("BENCH_9.json", 9),
+    ] {
+        assert_eq!(
+            committed(name).get("pr"),
+            Some(&Value::Number(Number::U64(pr))),
+            "{name}"
+        );
+    }
+}
+
+/// The committed large-tier snapshot must carry the container cold-load
+/// evidence the PR-9 acceptance gate demands: a `load-container` entry per
+/// shape, at least 10x faster than its `load-json` twin at n >= 10^5.
+#[test]
+fn large_snapshot_records_a_tenfold_load_speedup() {
+    let snapshot = committed("BENCH_9.json");
+    let entries = snapshot
+        .get("entries")
+        .and_then(Value::as_array)
+        .expect("entries");
+    let solver = |e: &Value| e.get("solver").and_then(Value::as_str).map(str::to_string);
+    let loads: Vec<_> = entries
+        .iter()
+        .filter(|e| solver(e).as_deref() == Some("load-container"))
+        .collect();
+    assert!(!loads.is_empty(), "no load-container entries");
+    for e in loads {
+        let n = e.get("n").and_then(Value::as_u64).expect("n");
+        let speedup = e
+            .get("speedup_vs_json")
+            .and_then(Value::as_f64)
+            .expect("speedup_vs_json");
+        assert!(n >= 100_000, "large grid shapes start at 10^5, got {n}");
+        assert!(
+            speedup >= 10.0,
+            "container load speedup {speedup:.1}x below the 10x gate at n={n}"
+        );
+    }
+    // The solver tier must actually run over the container-backed graph.
+    assert!(
+        entries
+            .iter()
+            .any(|e| solver(e).as_deref() == Some("delta-warm")
+                && e.get("backend").and_then(Value::as_str).is_some()),
+        "no warm-delta entries with a backend stamp"
     );
-    assert_eq!(
-        committed("BENCH_7.json").get("pr"),
-        Some(&Value::Number(Number::U64(7)))
-    );
+}
+
+/// The large-tier extras stay confined to the large profile: the strict
+/// validator must reject them, and the large validator must still reject
+/// anything outside its fixed optional set.
+#[test]
+fn large_extras_are_rejected_by_the_strict_profile() {
+    let mut snapshot = committed("BENCH_5.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(entries)) = obj.get_mut("entries") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = entries.first_mut() else {
+        unreachable!()
+    };
+    first.insert("backend".into(), Value::String("mmap".into()));
+    assert!(validate(&snapshot).unwrap_err().contains("backend"));
+    validate_large(&snapshot).expect("backend is a valid large-tier extra");
+
+    let mut snapshot = committed("BENCH_9.json");
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(entries)) = obj.get_mut("entries") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = entries.first_mut() else {
+        unreachable!()
+    };
+    first.insert("p99_ms".into(), Value::Number(Number::F64(1.0)));
+    assert!(validate_large(&snapshot).unwrap_err().contains("p99_ms"));
 }
 
 #[test]

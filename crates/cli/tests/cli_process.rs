@@ -147,6 +147,229 @@ fn generate_adapt_solve_pipeline_exits_zero() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds"));
 }
 
+/// Table-driven end-to-end coverage of the container commands: every row is
+/// one process invocation with the expected exit code and a substring that
+/// must appear on the expected stream.
+#[test]
+fn container_commands_exit_codes_and_messages() {
+    // Seed one JSON graph and one container through the binary itself.
+    let json = tmp("table-graph.json");
+    let container = tmp("table-graph.pcov");
+    for out_path in [&json, &container] {
+        let out = pcover(&[
+            "gen-graph",
+            "--nodes",
+            "300",
+            "--degree",
+            "3",
+            "--seed",
+            "11",
+            "--out",
+            out_path,
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "gen-graph {out_path} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // A corrupt container: valid header, flipped payload byte.
+    let corrupt = tmp("table-corrupt.pcov");
+    let mut bytes = std::fs::read(&container).expect("read container");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&corrupt, bytes).expect("write corrupt container");
+
+    let reconverted = tmp("table-reconverted.pcov");
+    struct Case<'a> {
+        args: Vec<&'a str>,
+        code: i32,
+        /// (look at stderr?, required substring)
+        expect: (bool, &'a str),
+    }
+    let cases = [
+        // Happy paths.
+        Case {
+            args: vec!["convert", &json, &reconverted],
+            code: 0,
+            expect: (false, "300 nodes"),
+        },
+        Case {
+            args: vec!["probe", &container],
+            code: 0,
+            expect: (false, "nodes: 300"),
+        },
+        Case {
+            args: vec!["probe", &container, "--verify"],
+            code: 0,
+            expect: (false, "checksums + CSR invariants"),
+        },
+        Case {
+            args: vec!["stats", "--graph", &container],
+            code: 0,
+            expect: (false, "nodes"),
+        },
+        Case {
+            args: vec![
+                "solve",
+                "--graph",
+                &container,
+                "--k",
+                "5",
+                "--variant",
+                "independent",
+            ],
+            code: 0,
+            expect: (false, "retained 5"),
+        },
+        // Run errors (exit 1): missing operands, wrong formats, corruption.
+        Case {
+            args: vec!["probe"],
+            code: 1,
+            expect: (true, "<file>"),
+        },
+        Case {
+            args: vec!["convert", &json],
+            code: 1,
+            expect: (true, "<output>"),
+        },
+        Case {
+            args: vec!["probe", &json],
+            code: 1,
+            expect: (true, "container"),
+        },
+        Case {
+            args: vec!["probe", "/nonexistent/g.pcov"],
+            code: 1,
+            expect: (true, "error:"),
+        },
+        Case {
+            args: vec!["convert", &json, &reconverted, "--to", "parquet"],
+            code: 1,
+            expect: (true, "parquet"),
+        },
+        Case {
+            args: vec!["probe", &corrupt, "--verify"],
+            code: 1,
+            expect: (true, "checksum"),
+        },
+        Case {
+            args: vec![
+                "solve",
+                "--graph",
+                &corrupt,
+                "--k",
+                "2",
+                "--variant",
+                "independent",
+            ],
+            code: 1,
+            expect: (true, "checksum"),
+        },
+        Case {
+            args: vec!["gen-graph", "--out", "/tmp/x.pcov"],
+            code: 1,
+            expect: (true, "--nodes"),
+        },
+        // Usage errors (exit 2): excess positionals.
+        Case {
+            args: vec!["convert", "a", "b", "c"],
+            code: 2,
+            expect: (true, "USAGE"),
+        },
+        Case {
+            args: vec!["probe", "a", "b"],
+            code: 2,
+            expect: (true, "USAGE"),
+        },
+    ];
+    for case in &cases {
+        let out = pcover(&case.args);
+        assert_eq!(
+            out.status.code(),
+            Some(case.code),
+            "{:?}: stderr {}",
+            case.args,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let (on_stderr, needle) = case.expect;
+        let stream = if on_stderr { &out.stderr } else { &out.stdout };
+        let text = String::from_utf8_lossy(stream);
+        assert!(
+            text.contains(needle),
+            "{:?}: {needle:?} not in {text}",
+            case.args
+        );
+    }
+}
+
+/// `serve --graph <container>` must start instantly from the mapped file
+/// and answer queries; driven over real TCP against the real binary.
+#[test]
+fn serve_starts_from_a_container_file() {
+    use std::io::{Read as _, Write as _};
+
+    let container = tmp("serve-graph.pcov");
+    let out = pcover(&[
+        "gen-graph",
+        "--nodes",
+        "200",
+        "--degree",
+        "3",
+        "--seed",
+        "3",
+        "--out",
+        &container,
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+    let port = probe.local_addr().expect("addr").port().to_string();
+    drop(probe);
+    let mut server = Command::new(env!("CARGO_BIN_EXE_pcover"))
+        .args([
+            "serve",
+            "--graph",
+            &container,
+            "--port",
+            &port,
+            "--threads",
+            "2",
+        ])
+        .spawn()
+        .expect("spawn serve");
+
+    let addr = format!("127.0.0.1:{port}");
+    let send = |target: &str, method: &str| -> Option<String> {
+        for _ in 0..200 {
+            if let Ok(mut s) = std::net::TcpStream::connect(&addr) {
+                s.write_all(
+                    format!(
+                        "{method} {target} HTTP/1.1\r\nHost: t\r\n\
+                         Content-Length: 0\r\nConnection: close\r\n\r\n"
+                    )
+                    .as_bytes(),
+                )
+                .ok()?;
+                let mut out = String::new();
+                s.read_to_string(&mut out).ok()?;
+                return Some(out);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        None
+    };
+    let health = send("/healthz", "GET").expect("healthz reachable");
+    assert!(health.contains("200"), "{health}");
+    let solved = send("/solve?k=3&variant=independent", "GET").expect("solve reachable");
+    assert!(solved.contains("200"), "{solved}");
+    let bye = send("/admin/shutdown", "POST").expect("shutdown reachable");
+    assert!(bye.contains("200"), "{bye}");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve should exit 0 after drain");
+}
+
 #[test]
 fn xtask_lint_flags_planted_fixture_tree() {
     // Cross-binary check required by the issue: run the workspace linter over

@@ -835,15 +835,9 @@ mod tests {
         let k = 25;
         let base = solve::<Normalized>(&g, k).unwrap();
         let warm = WarmState::capture::<Normalized>(&g, &base.order);
-        let out = resolve_warm::<Normalized>(
-            &g,
-            k,
-            &[],
-            &warm,
-            Algorithm::DeltaGreedy,
-            &mut warm_ctx(),
-        )
-        .unwrap();
+        let out =
+            resolve_warm::<Normalized>(&g, k, &[], &warm, Algorithm::DeltaGreedy, &mut warm_ctx())
+                .unwrap();
         assert!(out.report.bit_identical_to(&base));
         assert_eq!(out.rounds_reused, k);
         assert_eq!(out.rounds_repaired, 0);
@@ -882,15 +876,9 @@ mod tests {
         let back: WarmState = serde_json::from_str(&json).unwrap();
         assert_eq!(back.variant(), Variant::Independent);
         assert_eq!(back.order(), warm.order());
-        let out = resolve_warm::<Independent>(
-            &g,
-            5,
-            &[],
-            &back,
-            Algorithm::DeltaGreedy,
-            &mut warm_ctx(),
-        )
-        .unwrap();
+        let out =
+            resolve_warm::<Independent>(&g, 5, &[], &back, Algorithm::DeltaGreedy, &mut warm_ctx())
+                .unwrap();
         assert!(out.report.bit_identical_to(&base));
     }
 
@@ -903,28 +891,14 @@ mod tests {
         let s = spec();
         assert!(s.supports_warm_start());
         let out = s
-            .solve_warm(
-                Variant::Normalized,
-                &g,
-                k,
-                &[],
-                &warm,
-                &mut warm_ctx(),
-            )
+            .solve_warm(Variant::Normalized, &g, k, &[], &warm, &mut warm_ctx())
             .unwrap();
         assert!(out.report.bit_identical_to(&base));
         assert_eq!(out.report.algorithm, Algorithm::DeltaGreedy);
         let p = parallel_spec();
         assert!(p.supports_warm_start());
         let pout = p
-            .solve_warm(
-                Variant::Normalized,
-                &g,
-                k,
-                &[],
-                &warm,
-                &mut warm_ctx(),
-            )
+            .solve_warm(Variant::Normalized, &g, k, &[], &warm, &mut warm_ctx())
             .unwrap();
         assert!(pout.report.bit_identical_to(&base));
         assert_eq!(pout.report.algorithm, Algorithm::DeltaParallelGreedy);

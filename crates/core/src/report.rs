@@ -191,8 +191,9 @@ impl SolveReport {
     /// check (a warm re-solve must match the cold solve's *solution*
     /// exactly while doing less work).
     pub fn bit_identical_to(&self, other: &SolveReport) -> bool {
-        let bits_eq =
-            |a: &[f64], b: &[f64]| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+        let bits_eq = |a: &[f64], b: &[f64]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        };
         self.variant == other.variant
             && self.order == other.order
             // lint: allow(float-eq) — to_bits comparison IS the bit-identity check; approx_eq would defeat it

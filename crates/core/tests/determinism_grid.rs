@@ -14,8 +14,8 @@
 use rand::{RngExt, SeedableRng};
 
 use pcover_core::{
-    delta, greedy, parallel, partitioned, Algorithm, CoverModel, Independent, Normalized,
-    SolveCtx, SolveReport, WarmState,
+    delta, greedy, parallel, partitioned, Algorithm, CoverModel, Independent, Normalized, SolveCtx,
+    SolveReport, WarmState,
 };
 use pcover_graph::delta::{apply, Change, GraphDelta};
 use pcover_graph::{DuplicateEdgePolicy, GraphBuilder, ItemId, PreferenceGraph};
@@ -205,9 +205,11 @@ fn warm_resolve_matches_cold_across_seeds_models_and_delta_sizes() {
         let g = random_graph(60, seed);
         // Delta sizes: single edge, several edges, and a mixed batch whose
         // node reweights renormalize every weight (full-drift worst case).
-        for (dseed, changes, edge_only) in
-            [(seed, 1, true), (seed + 100, 4, true), (seed + 200, 6, false)]
-        {
+        for (dseed, changes, edge_only) in [
+            (seed, 1, true),
+            (seed + 100, 4, true),
+            (seed + 200, 6, false),
+        ] {
             let delta = perturbing_delta(&g, changes, dseed, edge_only);
             let ctx = format!("random(seed={seed}) delta(seed={dseed},changes={changes})");
             run_warm_grid::<Independent>("IPC", &g, &delta, edge_only, &ctx);

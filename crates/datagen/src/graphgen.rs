@@ -10,9 +10,12 @@
 
 // lint: allow-file(no-index) — generators index catalogs/weight tables with values drawn in
 // 0..len by the seeded RNG, in bounds by construction.
+use std::path::Path;
+
 use rand::{RngExt, SeedableRng};
 
-use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph};
+use pcover_graph::{GraphBuilder, GraphError, ItemId, PreferenceGraph, WEIGHT_EPSILON};
+use pcover_store::{StoreError, StreamingWriter, VariantHint, WriteOptions, WriteSummary};
 
 use crate::sampling::zipf_weights;
 
@@ -121,6 +124,105 @@ pub fn generate_graph(config: &GraphGenConfig) -> Result<PreferenceGraph, GraphE
     }
 }
 
+/// Generates the same graph as [`generate_graph`] but streams it straight
+/// into an on-disk `.pcov` container, never materializing the edge list
+/// (peak memory is `O(n + m)` *bytes of CSR state*, not graph + JSON text).
+///
+/// The output is **bit-identical** to
+/// `pcover_store::write_graph(&generate_graph(config)?, path, ..)`: this
+/// function replays the exact RNG draw sequence and normalization order of
+/// [`generate_graph`], and sorts each out-row by target just as
+/// `GraphBuilder::build` does. The two functions must stay in lockstep —
+/// `container_matches_in_memory_build` in this module's tests pins the
+/// equivalence.
+///
+/// The container's variant hint is stamped `Normalized` or `Independent`
+/// per `config.normalized`.
+///
+/// # Errors
+///
+/// IO failures and writer-contract violations as [`StoreError`]s.
+pub fn generate_graph_container(
+    config: &GraphGenConfig,
+    path: &Path,
+) -> Result<WriteSummary, StoreError> {
+    assert!(config.nodes > 0, "graph needs at least one node");
+    assert!(config.locality >= 1, "locality must be at least 1");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let n = config.nodes;
+
+    // Node weights: identical draws and identical normalization order to
+    // generate_graph + GraphBuilder (naive left-to-right sum, then divide).
+    let ranked = zipf_weights(n, config.popularity_exponent);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut node_weights: Vec<f64> = perm.iter().map(|&p| ranked[p]).collect();
+    drop(perm);
+    drop(ranked);
+    let sum: f64 = node_weights.iter().sum();
+    if sum > 0.0 {
+        for w in &mut node_weights {
+            *w /= sum;
+        }
+    }
+
+    let options = WriteOptions {
+        variant: if config.normalized {
+            VariantHint::Normalized
+        } else {
+            VariantHint::Independent
+        },
+    };
+    let mut writer = StreamingWriter::create(path, node_weights, options)?;
+
+    let mut row: Vec<(u32, f64)> = Vec::with_capacity(2 * config.avg_out_degree);
+    for v in 0..n {
+        row.clear();
+        let degree = rng.random_range(0..=2 * config.avg_out_degree);
+        let mut attempts = 0;
+        while row.len() < degree && attempts < 4 * degree + 8 {
+            attempts += 1;
+            let offset = rng.random_range(1..=config.locality) as i64;
+            let sign = if rng.random::<bool>() { 1 } else { -1 };
+            let u = v as i64 + sign * offset;
+            if u < 0 || u >= n as i64 || u == v as i64 {
+                continue;
+            }
+            let u = u as u32;
+            if row.iter().any(|&(t, _)| t == u) {
+                continue;
+            }
+            let dist = offset as f64;
+            let jitter = 0.8 + 0.4 * rng.random::<f64>();
+            let w = (0.9 / (1.0 + dist) * jitter).clamp(0.01, 1.0);
+            row.push((u, w));
+        }
+        if config.normalized {
+            // Sum in generation order, exactly like generate_graph.
+            let sum: f64 = row.iter().map(|&(_, w)| w).sum();
+            if sum > 1.0 {
+                for (_, w) in &mut row {
+                    *w /= sum;
+                }
+            }
+            let rescaled: f64 = row.iter().map(|&(_, w)| w).sum();
+            if rescaled > 1.0 + WEIGHT_EPSILON {
+                return Err(StoreError::WriterContract {
+                    message: format!("node {v} out-weights sum to {rescaled} > 1"),
+                });
+            }
+        }
+        // GraphBuilder sorts the edge list by (source, target); rows are
+        // already emitted in source order, so sorting by target matches.
+        row.sort_unstable_by_key(|&(t, _)| t);
+        writer.append_row(&row)?;
+    }
+    writer.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use pcover_graph::GraphStats;
@@ -198,6 +300,45 @@ mod tests {
         // Top 1% of items carry a large share of demand.
         let head: f64 = weights[..10].iter().sum();
         assert!(head > 0.2, "head share {head}");
+    }
+
+    #[test]
+    fn container_matches_in_memory_build() {
+        // The streaming generator must produce byte-identical containers to
+        // the build-then-write path, for both variants.
+        let dir = std::env::temp_dir().join(format!("pcover-graphgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for normalized in [false, true] {
+            let cfg = GraphGenConfig {
+                nodes: 3000,
+                normalized,
+                seed: 42,
+                ..GraphGenConfig::default()
+            };
+            let streamed = dir.join(format!("streamed-{normalized}.pcov"));
+            let summary = generate_graph_container(&cfg, &streamed).unwrap();
+
+            let g = generate_graph(&cfg).unwrap();
+            assert_eq!(summary.nodes as usize, g.node_count());
+            assert_eq!(summary.edges as usize, g.edge_count());
+
+            let whole = dir.join(format!("whole-{normalized}.pcov"));
+            let options = WriteOptions {
+                variant: if normalized {
+                    VariantHint::Normalized
+                } else {
+                    VariantHint::Independent
+                },
+            };
+            pcover_store::write_graph(&g, &whole, options).unwrap();
+            assert_eq!(
+                std::fs::read(&streamed).unwrap(),
+                std::fs::read(&whole).unwrap(),
+                "streamed container differs from in-memory build (normalized = {normalized})"
+            );
+            std::fs::remove_file(&streamed).ok();
+            std::fs::remove_file(&whole).ok();
+        }
     }
 
     #[test]

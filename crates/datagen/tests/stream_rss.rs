@@ -1,0 +1,63 @@
+//! Process-level peak-memory bound for the streaming container generator.
+//!
+//! This file holds exactly one test so the process's high-water mark
+//! (`VmHWM`) reflects the streaming path alone: generating a million-node
+//! container must stay within a budget far below what materializing the
+//! graph plus its JSON text would need (~48 bytes/edge of CSR twice over,
+//! plus hundreds of MB of serialized text).
+
+#![cfg(target_os = "linux")]
+
+use pcover_datagen::graphgen::{generate_graph_container, GraphGenConfig};
+
+/// Reads the process peak resident set size in bytes from
+/// `/proc/self/status` (`VmHWM` line, reported in kB).
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("parse VmHWM");
+            return kb * 1024;
+        }
+    }
+    panic!("VmHWM not found in /proc/self/status");
+}
+
+#[test]
+fn million_node_generation_is_memory_bounded() {
+    let dir = std::env::temp_dir().join(format!("pcover-stream-rss-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("million.pcov");
+
+    let cfg = GraphGenConfig {
+        nodes: 1_000_000,
+        avg_out_degree: 4,
+        seed: 9,
+        ..GraphGenConfig::default()
+    };
+    let summary = generate_graph_container(&cfg, &path).expect("stream container");
+    assert_eq!(summary.nodes, 1_000_000);
+    assert!(summary.edges > 3_000_000, "edges {}", summary.edges);
+    assert_eq!(
+        summary.bytes,
+        std::fs::metadata(&path).expect("metadata").len()
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir(&dir).ok();
+
+    // Streaming state is ~16 bytes/node + ~12 bytes/edge (~65 MB here).
+    // 256 MB leaves headroom for allocator slack and the test harness while
+    // still ruling out any path that holds the owned graph (~130 MB) plus
+    // its JSON text (~350 MB) in memory.
+    let peak = peak_rss_bytes();
+    assert!(
+        peak < 256 * 1024 * 1024,
+        "peak RSS {} MB exceeds the streaming budget",
+        peak / (1024 * 1024)
+    );
+}

@@ -282,16 +282,18 @@ impl GraphBuilder {
             None
         };
 
-        Ok(PreferenceGraph {
-            node_weights: self.node_weights,
+        Ok(PreferenceGraph::new_owned(
+            crate::graph::OwnedCsr {
+                node_weights: self.node_weights,
+                out_offsets,
+                out_targets,
+                out_weights,
+                in_offsets,
+                in_sources,
+                in_weights,
+            },
             labels,
-            out_offsets,
-            out_targets,
-            out_weights,
-            in_offsets,
-            in_sources,
-            in_weights,
-        })
+        ))
     }
 
     /// Like [`build`](Self::build) but additionally enforces the Normalized

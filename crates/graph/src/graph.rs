@@ -3,15 +3,108 @@
 // lint: allow-file(no-index) — ItemId values are dense indices assigned by GraphBuilder and every
 // per-node/per-edge array is sized to node_count/edge_count, so accesses are in
 // bounds by construction.
-use crate::{Edge, ItemId};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{Edge, GraphError, ItemId};
+
+/// Read-only access to the seven CSR sections of a preference graph that
+/// live outside the graph's own allocations — typically a memory-mapped
+/// on-disk container (`pcover-store`).
+///
+/// Implementations must return slices whose lengths are mutually consistent
+/// (`out_offsets.len() == in_offsets.len() == node_weights.len() + 1`, edge
+/// arrays all of equal length); [`PreferenceGraph::from_csr_source`]
+/// re-validates the full CSR structure before accepting a source, so a
+/// malformed implementation is rejected rather than causing out-of-bounds
+/// panics later.
+pub trait CsrSource: Send + Sync + fmt::Debug {
+    /// `W(v)` per node, indexed by `ItemId::index`.
+    fn node_weights(&self) -> &[f64];
+    /// Out-CSR row offsets, length `n + 1`.
+    fn out_offsets(&self) -> &[u32];
+    /// Out-CSR edge targets, length `m`, each row sorted by target id.
+    fn out_targets(&self) -> &[ItemId];
+    /// Out-CSR edge weights, parallel to `out_targets`.
+    fn out_weights(&self) -> &[f64];
+    /// In-CSR row offsets, length `n + 1`.
+    fn in_offsets(&self) -> &[u32];
+    /// In-CSR edge sources, length `m`, each row sorted by source id.
+    fn in_sources(&self) -> &[ItemId];
+    /// In-CSR edge weights, parallel to `in_sources`.
+    fn in_weights(&self) -> &[f64];
+}
+
+/// Owned CSR arrays — the storage produced by [`GraphBuilder`] and by
+/// materializing an external source.
+#[derive(Clone, Debug)]
+pub(crate) struct OwnedCsr {
+    pub(crate) node_weights: Vec<f64>,
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_targets: Vec<ItemId>,
+    pub(crate) out_weights: Vec<f64>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_sources: Vec<ItemId>,
+    pub(crate) in_weights: Vec<f64>,
+}
+
+impl OwnedCsr {
+    fn copied_from(src: &dyn CsrSource) -> Self {
+        OwnedCsr {
+            node_weights: src.node_weights().to_vec(),
+            out_offsets: src.out_offsets().to_vec(),
+            out_targets: src.out_targets().to_vec(),
+            out_weights: src.out_weights().to_vec(),
+            in_offsets: src.in_offsets().to_vec(),
+            in_sources: src.in_sources().to_vec(),
+            in_weights: src.in_weights().to_vec(),
+        }
+    }
+}
+
+/// Raw CSR parts for [`PreferenceGraph::from_csr_parts`]: an owned graph
+/// assembled outside [`GraphBuilder`](crate::GraphBuilder), e.g. by the
+/// buffered (pread) load path of `pcover-store`.
+#[derive(Clone, Debug, Default)]
+pub struct CsrParts {
+    /// `W(v)` per node.
+    pub node_weights: Vec<f64>,
+    /// Out-CSR row offsets, length `n + 1`.
+    pub out_offsets: Vec<u32>,
+    /// Out-CSR edge targets, each row strictly ascending.
+    pub out_targets: Vec<ItemId>,
+    /// Out-CSR edge weights, parallel to `out_targets`.
+    pub out_weights: Vec<f64>,
+    /// In-CSR row offsets, length `n + 1`.
+    pub in_offsets: Vec<u32>,
+    /// In-CSR edge sources, each row strictly ascending.
+    pub in_sources: Vec<ItemId>,
+    /// In-CSR edge weights, parallel to `in_sources`.
+    pub in_weights: Vec<f64>,
+    /// Optional node labels, length `n` when present.
+    pub labels: Option<Vec<String>>,
+}
+
+/// Where a graph's CSR arrays live.
+#[derive(Clone)]
+enum Store {
+    /// Heap-allocated vectors owned by the graph.
+    Owned(OwnedCsr),
+    /// Borrowed from an external backing (e.g. a memory-mapped container);
+    /// cloning shares the backing via the `Arc`.
+    External(Arc<dyn CsrSource>),
+}
 
 /// An immutable weighted directed preference graph in compressed sparse row
 /// (CSR) form, storing both adjacency directions.
 ///
 /// Construction goes through [`GraphBuilder`](crate::GraphBuilder), which
-/// validates weights and assembles the CSR arrays. Once built, the graph is
-/// read-only and safe to share across threads (`&PreferenceGraph` is `Sync`),
-/// which is what the parallel greedy solver relies on.
+/// validates weights and assembles the CSR arrays, or through
+/// [`from_csr_parts`](Self::from_csr_parts) /
+/// [`from_csr_source`](Self::from_csr_source), which re-validate
+/// pre-assembled CSR data (the `pcover-store` load paths). Once built, the
+/// graph is read-only and safe to share across threads (`&PreferenceGraph`
+/// is `Sync`), which is what the parallel greedy solver relies on.
 ///
 /// # Representation
 ///
@@ -24,37 +117,310 @@ use crate::{Edge, ItemId};
 ///   row sorted by source id. This direction drives the solver's
 ///   `Gain`/`AddNode` loops ("for each `u ∉ S` such that `(u, v) ∈ E`").
 /// * Optional string labels mapping dense ids back to external identifiers.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The arrays are either owned vectors or zero-copy views into an external
+/// [`CsrSource`] (a memory-mapped container); every accessor dispatches with
+/// an `#[inline]` match, so solvers are oblivious to the backing.
+#[derive(Clone)]
 pub struct PreferenceGraph {
-    pub(crate) node_weights: Vec<f64>,
-    pub(crate) labels: Option<Vec<String>>,
+    store: Store,
+    labels: Option<Vec<String>>,
+}
 
-    pub(crate) out_offsets: Vec<u32>,
-    pub(crate) out_targets: Vec<ItemId>,
-    pub(crate) out_weights: Vec<f64>,
-
-    pub(crate) in_offsets: Vec<u32>,
-    pub(crate) in_sources: Vec<ItemId>,
-    pub(crate) in_weights: Vec<f64>,
+/// Validates pre-assembled CSR arrays: offset shape and monotonicity, edge
+/// array lengths, id bounds, strictly ascending rows, and weight domains.
+/// Shared by the two non-builder constructors so an external source gets
+/// exactly the owned-parts guarantees.
+#[allow(clippy::too_many_arguments)]
+fn validate_csr(
+    node_weights: &[f64],
+    out_offsets: &[u32],
+    out_targets: &[ItemId],
+    out_weights: &[f64],
+    in_offsets: &[u32],
+    in_sources: &[ItemId],
+    in_weights: &[f64],
+    labels: Option<&[String]>,
+) -> Result<(), GraphError> {
+    let n = node_weights.len();
+    let fail = |message: String| GraphError::Parse {
+        line: None,
+        message,
+    };
+    if n > u32::MAX as usize {
+        return Err(GraphError::CapacityExceeded {
+            what: "node count exceeds u32 index space",
+        });
+    }
+    if out_targets.len() > u32::MAX as usize {
+        return Err(GraphError::CapacityExceeded {
+            what: "edge count exceeds u32 index space",
+        });
+    }
+    if let Some(labels) = labels {
+        if labels.len() != n {
+            return Err(fail(format!("csr: {} labels for {n} nodes", labels.len())));
+        }
+    }
+    for (i, &w) in node_weights.iter().enumerate() {
+        if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+            return Err(GraphError::InvalidNodeWeight {
+                node: ItemId::from_index(i),
+                weight: w,
+            });
+        }
+    }
+    for (direction, offsets, ids, weights) in [
+        ("out", out_offsets, out_targets, out_weights),
+        ("in", in_offsets, in_sources, in_weights),
+    ] {
+        let m = ids.len();
+        if offsets.len() != n + 1 {
+            return Err(fail(format!(
+                "csr: {direction}_offsets has length {} for {n} nodes (want {})",
+                offsets.len(),
+                n + 1
+            )));
+        }
+        if weights.len() != m {
+            return Err(fail(format!(
+                "csr: {direction} weights/ids length mismatch ({} vs {m})",
+                weights.len()
+            )));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(fail(format!("csr: {direction}_offsets[0] must be 0")));
+        }
+        if offsets.last().map(|&o| o as usize) != Some(m) {
+            return Err(fail(format!(
+                "csr: {direction}_offsets must end at the edge count {m}"
+            )));
+        }
+        for i in 0..n {
+            if offsets[i] > offsets[i + 1] {
+                return Err(fail(format!(
+                    "csr: {direction}_offsets decreases at node {i}"
+                )));
+            }
+            if offsets[i + 1] as usize > m {
+                return Err(fail(format!(
+                    "csr: {direction}_offsets[{}] exceeds the edge count {m}",
+                    i + 1
+                )));
+            }
+        }
+        for i in 0..n {
+            let row = &ids[offsets[i] as usize..offsets[i + 1] as usize];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(fail(format!(
+                        "csr: {direction} row of node {i} is not strictly ascending"
+                    )));
+                }
+            }
+        }
+        for (slot, &id) in ids.iter().enumerate() {
+            if id.index() >= n {
+                return Err(fail(format!(
+                    "csr: {direction} edge slot {slot} references node {id} out of range (n = {n})"
+                )));
+            }
+        }
+    }
+    if out_targets.len() != in_sources.len() {
+        return Err(fail(format!(
+            "csr: out edge count {} != in edge count {}",
+            out_targets.len(),
+            in_sources.len()
+        )));
+    }
+    for (slot, &w) in out_weights.iter().chain(in_weights.iter()).enumerate() {
+        if !(w.is_finite() && w > 0.0 && w <= 1.0) {
+            return Err(fail(format!(
+                "csr: edge weight {w} at slot {slot} outside (0, 1]"
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl PreferenceGraph {
+    /// Assembles a graph from owned, builder-validated CSR arrays.
+    pub(crate) fn new_owned(csr: OwnedCsr, labels: Option<Vec<String>>) -> Self {
+        PreferenceGraph {
+            store: Store::Owned(csr),
+            labels,
+        }
+    }
+
+    /// Assembles a graph from raw owned CSR parts, re-validating the full
+    /// CSR structure (offset shape, row sortedness, id bounds, weight
+    /// domains). This is the buffered load path of on-disk containers.
+    ///
+    /// Unlike [`GraphBuilder`](crate::GraphBuilder), no node-weight sum
+    /// check is applied: a container faithfully round-trips graphs built
+    /// with `skip_weight_sum_check`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Parse`] for structural violations,
+    /// [`GraphError::InvalidNodeWeight`] / [`GraphError::InvalidEdgeWeight`]
+    /// domains via their `Parse` rendering, [`GraphError::CapacityExceeded`]
+    /// past `u32` index space.
+    pub fn from_csr_parts(parts: CsrParts) -> Result<Self, GraphError> {
+        validate_csr(
+            &parts.node_weights,
+            &parts.out_offsets,
+            &parts.out_targets,
+            &parts.out_weights,
+            &parts.in_offsets,
+            &parts.in_sources,
+            &parts.in_weights,
+            parts.labels.as_deref(),
+        )?;
+        Ok(PreferenceGraph {
+            store: Store::Owned(OwnedCsr {
+                node_weights: parts.node_weights,
+                out_offsets: parts.out_offsets,
+                out_targets: parts.out_targets,
+                out_weights: parts.out_weights,
+                in_offsets: parts.in_offsets,
+                in_sources: parts.in_sources,
+                in_weights: parts.in_weights,
+            }),
+            labels: parts.labels,
+        })
+    }
+
+    /// Assembles a graph over an external zero-copy [`CsrSource`] (e.g. a
+    /// memory-mapped container section table), re-validating the full CSR
+    /// structure up front so later accessors cannot go out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`from_csr_parts`](Self::from_csr_parts).
+    pub fn from_csr_source(
+        source: Arc<dyn CsrSource>,
+        labels: Option<Vec<String>>,
+    ) -> Result<Self, GraphError> {
+        validate_csr(
+            source.node_weights(),
+            source.out_offsets(),
+            source.out_targets(),
+            source.out_weights(),
+            source.in_offsets(),
+            source.in_sources(),
+            source.in_weights(),
+            labels.as_deref(),
+        )?;
+        Ok(PreferenceGraph {
+            store: Store::External(source),
+            labels,
+        })
+    }
+
+    /// Whether the CSR arrays live in an external backing (memory-mapped
+    /// container) rather than heap vectors owned by this graph.
+    pub fn is_externally_backed(&self) -> bool {
+        matches!(self.store, Store::External(_))
+    }
+
+    /// Materializes owned storage (no-op when already owned) and returns it
+    /// mutably. Used by transforms that patch arrays in place.
+    pub(crate) fn owned_mut(&mut self) -> &mut OwnedCsr {
+        if let Store::External(src) = &self.store {
+            self.store = Store::Owned(OwnedCsr::copied_from(src.as_ref()));
+        }
+        match &mut self.store {
+            Store::Owned(csr) => csr,
+            Store::External(_) => unreachable!("external store was just materialized"),
+        }
+    }
+
+    /// All node weights as a slice indexed by `ItemId::index`.
+    #[inline]
+    pub fn node_weights(&self) -> &[f64] {
+        match &self.store {
+            Store::Owned(csr) => &csr.node_weights,
+            Store::External(src) => src.node_weights(),
+        }
+    }
+
+    /// Out-CSR row offsets, length `n + 1`.
+    #[inline]
+    pub fn csr_out_offsets(&self) -> &[u32] {
+        match &self.store {
+            Store::Owned(csr) => &csr.out_offsets,
+            Store::External(src) => src.out_offsets(),
+        }
+    }
+
+    /// Out-CSR edge targets (all rows concatenated, each sorted).
+    #[inline]
+    pub fn csr_out_targets(&self) -> &[ItemId] {
+        match &self.store {
+            Store::Owned(csr) => &csr.out_targets,
+            Store::External(src) => src.out_targets(),
+        }
+    }
+
+    /// Out-CSR edge weights, parallel to [`csr_out_targets`](Self::csr_out_targets).
+    #[inline]
+    pub fn csr_out_weights(&self) -> &[f64] {
+        match &self.store {
+            Store::Owned(csr) => &csr.out_weights,
+            Store::External(src) => src.out_weights(),
+        }
+    }
+
+    /// In-CSR row offsets, length `n + 1`.
+    #[inline]
+    pub fn csr_in_offsets(&self) -> &[u32] {
+        match &self.store {
+            Store::Owned(csr) => &csr.in_offsets,
+            Store::External(src) => src.in_offsets(),
+        }
+    }
+
+    /// In-CSR edge sources (all rows concatenated, each sorted).
+    #[inline]
+    pub fn csr_in_sources(&self) -> &[ItemId] {
+        match &self.store {
+            Store::Owned(csr) => &csr.in_sources,
+            Store::External(src) => src.in_sources(),
+        }
+    }
+
+    /// In-CSR edge weights, parallel to [`csr_in_sources`](Self::csr_in_sources).
+    #[inline]
+    pub fn csr_in_weights(&self) -> &[f64] {
+        match &self.store {
+            Store::Owned(csr) => &csr.in_weights,
+            Store::External(src) => src.in_weights(),
+        }
+    }
+
+    /// Node labels, length `n`, if labels were provided at build time.
+    pub fn labels(&self) -> Option<&[String]> {
+        self.labels.as_deref()
+    }
+
     /// Number of nodes (items).
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.node_weights.len()
+        self.node_weights().len()
     }
 
     /// Number of directed edges.
     #[inline]
     pub fn edge_count(&self) -> usize {
-        self.out_targets.len()
+        self.csr_out_targets().len()
     }
 
     /// Returns true if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.node_weights.is_empty()
+        self.node_weights().is_empty()
     }
 
     /// Iterator over all node ids in ascending order.
@@ -70,19 +436,13 @@ impl PreferenceGraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn node_weight(&self, v: ItemId) -> f64 {
-        self.node_weights[v.index()]
-    }
-
-    /// All node weights as a slice indexed by `ItemId::index`.
-    #[inline]
-    pub fn node_weights(&self) -> &[f64] {
-        &self.node_weights
+        self.node_weights()[v.index()]
     }
 
     /// Sum of all node weights (1.0 for a well-formed preference graph, up
     /// to floating-point error).
     pub fn total_node_weight(&self) -> f64 {
-        crate::float::sum_stable(self.node_weights.iter().copied())
+        crate::float::sum_stable(self.node_weights().iter().copied())
     }
 
     /// The label of `v`, if labels were provided at build time.
@@ -98,15 +458,17 @@ impl PreferenceGraph {
     /// Out-degree of `v` (number of alternatives consumers consider for it).
     #[inline]
     pub fn out_degree(&self, v: ItemId) -> usize {
+        let offsets = self.csr_out_offsets();
         let i = v.index();
-        (self.out_offsets[i + 1] - self.out_offsets[i]) as usize
+        (offsets[i + 1] - offsets[i]) as usize
     }
 
     /// In-degree of `v` (number of items for which `v` is an alternative).
     #[inline]
     pub fn in_degree(&self, v: ItemId) -> usize {
+        let offsets = self.csr_in_offsets();
         let i = v.index();
-        (self.in_offsets[i + 1] - self.in_offsets[i]) as usize
+        (offsets[i + 1] - offsets[i]) as usize
     }
 
     /// Maximum in-degree `D` over all nodes — the degree bound in the
@@ -130,12 +492,13 @@ impl PreferenceGraph {
     /// sorted by target id.
     #[inline]
     pub fn out_edges(&self, v: ItemId) -> OutEdgesIter<'_> {
+        let offsets = self.csr_out_offsets();
         let i = v.index();
-        let lo = self.out_offsets[i] as usize;
-        let hi = self.out_offsets[i + 1] as usize;
+        let lo = offsets[i] as usize;
+        let hi = offsets[i + 1] as usize;
         OutEdgesIter {
-            targets: &self.out_targets[lo..hi],
-            weights: &self.out_weights[lo..hi],
+            targets: &self.csr_out_targets()[lo..hi],
+            weights: &self.csr_out_weights()[lo..hi],
             pos: 0,
         }
     }
@@ -144,12 +507,13 @@ impl PreferenceGraph {
     /// by source id. This is the iteration order of Algorithms 2–5.
     #[inline]
     pub fn in_edges(&self, v: ItemId) -> InEdgesIter<'_> {
+        let offsets = self.csr_in_offsets();
         let i = v.index();
-        let lo = self.in_offsets[i] as usize;
-        let hi = self.in_offsets[i + 1] as usize;
+        let lo = offsets[i] as usize;
+        let hi = offsets[i + 1] as usize;
         InEdgesIter {
-            sources: &self.in_sources[lo..hi],
-            weights: &self.in_weights[lo..hi],
+            sources: &self.csr_in_sources()[lo..hi],
+            weights: &self.csr_in_weights()[lo..hi],
             pos: 0,
         }
     }
@@ -158,13 +522,14 @@ impl PreferenceGraph {
     ///
     /// `O(log out_degree(v))` via binary search on the sorted out-row.
     pub fn edge_weight(&self, v: ItemId, u: ItemId) -> Option<f64> {
+        let offsets = self.csr_out_offsets();
         let i = v.index();
-        let lo = self.out_offsets[i] as usize;
-        let hi = self.out_offsets[i + 1] as usize;
-        let row = &self.out_targets[lo..hi];
+        let lo = offsets[i] as usize;
+        let hi = offsets[i + 1] as usize;
+        let row = &self.csr_out_targets()[lo..hi];
         row.binary_search(&u)
             .ok()
-            .map(|pos| self.out_weights[lo + pos])
+            .map(|pos| self.csr_out_weights()[lo + pos])
     }
 
     /// Whether edge `v → u` exists.
@@ -178,10 +543,11 @@ impl PreferenceGraph {
     /// In the Normalized variant this is at most 1 (each consumer considers
     /// at most one alternative).
     pub fn out_weight_sum(&self, v: ItemId) -> f64 {
+        let offsets = self.csr_out_offsets();
         let i = v.index();
-        let lo = self.out_offsets[i] as usize;
-        let hi = self.out_offsets[i + 1] as usize;
-        crate::float::sum_stable(self.out_weights[lo..hi].iter().copied())
+        let lo = offsets[i] as usize;
+        let hi = offsets[i + 1] as usize;
+        crate::float::sum_stable(self.csr_out_weights()[lo..hi].iter().copied())
     }
 
     /// Iterates all edges of the graph in `(source, target)` order.
@@ -203,13 +569,57 @@ impl PreferenceGraph {
     }
 
     /// Approximate resident memory of the CSR arrays in bytes, excluding
-    /// labels. Useful for capacity planning in scalability experiments.
+    /// labels. For an externally backed graph this is the mapped footprint
+    /// rather than heap usage. Useful for capacity planning in scalability
+    /// experiments.
     pub fn memory_bytes(&self) -> usize {
-        use std::mem::size_of;
-        self.node_weights.len() * size_of::<f64>()
-            + (self.out_offsets.len() + self.in_offsets.len()) * size_of::<u32>()
-            + (self.out_targets.len() + self.in_sources.len()) * size_of::<ItemId>()
-            + (self.out_weights.len() + self.in_weights.len()) * size_of::<f64>()
+        use std::mem::size_of_val;
+        size_of_val(self.node_weights())
+            + size_of_val(self.csr_out_offsets())
+            + size_of_val(self.csr_in_offsets())
+            + size_of_val(self.csr_out_targets())
+            + size_of_val(self.csr_in_sources())
+            + size_of_val(self.csr_out_weights())
+            + size_of_val(self.csr_in_weights())
+    }
+}
+
+/// Bitwise equality on an `f64` slice pair. Weight arrays are compared by
+/// bit pattern — the container round-trip contract is "the same bytes", and
+/// this avoids both the `NaN != NaN` trap and tolerance-based float
+/// comparison in what is fundamentally a storage equality.
+fn f64_bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+impl PartialEq for PreferenceGraph {
+    fn eq(&self, other: &Self) -> bool {
+        f64_bits_eq(self.node_weights(), other.node_weights())
+            && self.csr_out_offsets() == other.csr_out_offsets()
+            && self.csr_out_targets() == other.csr_out_targets()
+            && f64_bits_eq(self.csr_out_weights(), other.csr_out_weights())
+            && self.csr_in_offsets() == other.csr_in_offsets()
+            && self.csr_in_sources() == other.csr_in_sources()
+            && f64_bits_eq(self.csr_in_weights(), other.csr_in_weights())
+            && self.labels == other.labels
+    }
+}
+
+impl fmt::Debug for PreferenceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreferenceGraph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .field("labels", &self.has_labels())
+            .field(
+                "backing",
+                &if self.is_externally_backed() {
+                    "external"
+                } else {
+                    "owned"
+                },
+            )
+            .finish()
     }
 }
 
@@ -293,6 +703,20 @@ mod tests {
         b.add_edge(a, c, 0.25).unwrap();
         b.add_edge(bb, c, 1.0).unwrap();
         b.build().unwrap()
+    }
+
+    fn diamond_parts() -> CsrParts {
+        let g = diamond();
+        CsrParts {
+            node_weights: g.node_weights().to_vec(),
+            out_offsets: g.csr_out_offsets().to_vec(),
+            out_targets: g.csr_out_targets().to_vec(),
+            out_weights: g.csr_out_weights().to_vec(),
+            in_offsets: g.csr_in_offsets().to_vec(),
+            in_sources: g.csr_in_sources().to_vec(),
+            in_weights: g.csr_in_weights().to_vec(),
+            labels: None,
+        }
     }
 
     #[test]
@@ -379,5 +803,121 @@ mod tests {
     fn memory_accounting_positive() {
         let g = diamond();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn from_csr_parts_round_trips_builder_output() {
+        let g = diamond();
+        let back = PreferenceGraph::from_csr_parts(diamond_parts()).unwrap();
+        assert_eq!(back, g);
+        assert!(!back.is_externally_backed());
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_structural_violations() {
+        // Offsets not ending at the edge count.
+        let mut p = diamond_parts();
+        p.out_offsets[4] = 2;
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Decreasing offsets.
+        let mut p = diamond_parts();
+        p.out_offsets[1] = 3;
+        p.out_offsets[2] = 2;
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Out-of-range target id.
+        let mut p = diamond_parts();
+        p.out_targets[0] = ItemId::new(99);
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Unsorted row (duplicate target).
+        let mut p = diamond_parts();
+        p.out_targets[1] = p.out_targets[0];
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Edge weight out of domain.
+        let mut p = diamond_parts();
+        p.out_weights[0] = 0.0;
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Node weight out of domain.
+        let mut p = diamond_parts();
+        p.node_weights[0] = f64::NAN;
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Label count mismatch.
+        let mut p = diamond_parts();
+        p.labels = Some(vec!["only-one".into()]);
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+
+        // Out/in edge count mismatch.
+        let mut p = diamond_parts();
+        p.in_sources.pop();
+        p.in_weights.pop();
+        assert!(PreferenceGraph::from_csr_parts(p).is_err());
+    }
+
+    #[derive(Debug)]
+    struct VecSource(CsrParts);
+
+    impl CsrSource for VecSource {
+        fn node_weights(&self) -> &[f64] {
+            &self.0.node_weights
+        }
+        fn out_offsets(&self) -> &[u32] {
+            &self.0.out_offsets
+        }
+        fn out_targets(&self) -> &[ItemId] {
+            &self.0.out_targets
+        }
+        fn out_weights(&self) -> &[f64] {
+            &self.0.out_weights
+        }
+        fn in_offsets(&self) -> &[u32] {
+            &self.0.in_offsets
+        }
+        fn in_sources(&self) -> &[ItemId] {
+            &self.0.in_sources
+        }
+        fn in_weights(&self) -> &[f64] {
+            &self.0.in_weights
+        }
+    }
+
+    #[test]
+    fn external_source_behaves_like_owned() {
+        let g = diamond();
+        let ext =
+            PreferenceGraph::from_csr_source(Arc::new(VecSource(diamond_parts())), None).unwrap();
+        assert!(ext.is_externally_backed());
+        assert_eq!(ext, g);
+        let a = ItemId::new(0);
+        assert_eq!(ext.out_degree(a), g.out_degree(a));
+        assert_eq!(
+            ext.out_edges(a).collect::<Vec<_>>(),
+            g.out_edges(a).collect::<Vec<_>>()
+        );
+        // Clones share the external backing.
+        let clone = ext.clone();
+        assert!(clone.is_externally_backed());
+        assert_eq!(clone, g);
+    }
+
+    #[test]
+    fn external_source_with_bad_structure_is_rejected() {
+        let mut p = diamond_parts();
+        p.in_offsets[1] = 7;
+        assert!(PreferenceGraph::from_csr_source(Arc::new(VecSource(p)), None).is_err());
+    }
+
+    #[test]
+    fn debug_names_the_backing() {
+        let g = diamond();
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("owned"), "{dbg}");
+        let ext =
+            PreferenceGraph::from_csr_source(Arc::new(VecSource(diamond_parts())), None).unwrap();
+        assert!(format!("{ext:?}").contains("external"));
     }
 }

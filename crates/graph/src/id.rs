@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 /// handle. Use [`ItemId::index`] when an array index is required.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
+#[repr(transparent)]
 pub struct ItemId(u32);
 
 impl ItemId {

@@ -65,7 +65,7 @@ pub mod transform;
 pub use builder::{DuplicateEdgePolicy, GraphBuilder};
 pub use edge::Edge;
 pub use error::GraphError;
-pub use graph::{InEdgesIter, OutEdgesIter, PreferenceGraph};
+pub use graph::{CsrParts, CsrSource, InEdgesIter, OutEdgesIter, PreferenceGraph};
 pub use id::ItemId;
 pub use stats::{DegreeHistogram, GraphStats};
 pub use validate::{validate, ValidationIssue, ValidationOptions, ValidationReport};

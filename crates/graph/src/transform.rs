@@ -24,7 +24,7 @@ pub fn normalize_node_weights(g: &PreferenceGraph) -> Result<PreferenceGraph, Gr
         return Err(GraphError::EmptyGraph);
     }
     let mut out = g.clone();
-    for w in &mut out.node_weights {
+    for w in &mut out.owned_mut().node_weights {
         *w /= sum;
     }
     Ok(out)
@@ -36,16 +36,18 @@ pub fn normalize_node_weights(g: &PreferenceGraph) -> Result<PreferenceGraph, Gr
 /// "out of S" in the dominating-set instance corresponds to coverage "into
 /// S" in the preference graph.
 pub fn reverse(g: &PreferenceGraph) -> PreferenceGraph {
-    PreferenceGraph {
-        node_weights: g.node_weights.clone(),
-        labels: g.labels.clone(),
-        out_offsets: g.in_offsets.clone(),
-        out_targets: g.in_sources.clone(),
-        out_weights: g.in_weights.clone(),
-        in_offsets: g.out_offsets.clone(),
-        in_sources: g.out_targets.clone(),
-        in_weights: g.out_weights.clone(),
-    }
+    PreferenceGraph::new_owned(
+        crate::graph::OwnedCsr {
+            node_weights: g.node_weights().to_vec(),
+            out_offsets: g.csr_in_offsets().to_vec(),
+            out_targets: g.csr_in_sources().to_vec(),
+            out_weights: g.csr_in_weights().to_vec(),
+            in_offsets: g.csr_out_offsets().to_vec(),
+            in_sources: g.csr_out_targets().to_vec(),
+            in_weights: g.csr_out_weights().to_vec(),
+        },
+        g.labels().map(|l| l.to_vec()),
+    )
 }
 
 /// The result of [`induced_subgraph`]: the subgraph plus the id mapping.

@@ -80,7 +80,13 @@ pub fn fingerprint(config: &SolverConfig) -> u64 {
 pub fn is_prefix_reusable(solver: &str) -> bool {
     matches!(
         solver,
-        "greedy" | "greedy-lowmem" | "lazy" | "parallel" | "delta" | "delta-parallel" | "topk-w"
+        "greedy"
+            | "greedy-lowmem"
+            | "lazy"
+            | "parallel"
+            | "delta"
+            | "delta-parallel"
+            | "topk-w"
             | "topk-c"
     )
 }

@@ -149,6 +149,25 @@ impl Server {
             workers,
         })
     }
+
+    /// Like [`start`](Self::start) but loads the graph from a file first:
+    /// a `.pcov` container (instant cold-start — the CSR is mmapped, not
+    /// re-parsed) or a JSON graph. Returns the handle plus the load path
+    /// used (`"mmap"`, `"pread"` or `"json"`).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] for bind failures and for unreadable or corrupt
+    /// graph files (store errors are wrapped).
+    pub fn start_from_path(
+        path: &std::path::Path,
+        config: ServerConfig,
+    ) -> std::io::Result<(ServerHandle, &'static str)> {
+        let (graph, how) = pcover_store::read_graph_auto(path, pcover_store::OpenMode::Auto)
+            .map_err(std::io::Error::other)?;
+        let handle = Self::start(graph, config)?;
+        Ok((handle, how))
+    }
 }
 
 impl ServerHandle {

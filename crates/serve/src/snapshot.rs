@@ -66,6 +66,21 @@ impl SnapshotManager {
         }
     }
 
+    /// Opens a graph file — a `.pcov` container (zero-copy mmap where
+    /// supported, so cold-start cost is checksum verification rather than
+    /// JSON parsing + CSR rebuild) or a JSON graph — and publishes it as
+    /// generation 1. Returns the manager plus the load path used
+    /// (`"mmap"`, `"pread"` or `"json"`) for startup logs.
+    ///
+    /// # Errors
+    ///
+    /// [`pcover_store::StoreError`] for unreadable, corrupt, or invalid
+    /// files.
+    pub fn open(path: &std::path::Path) -> Result<(Self, &'static str), pcover_store::StoreError> {
+        let (graph, how) = pcover_store::read_graph_auto(path, pcover_store::OpenMode::Auto)?;
+        Ok((Self::new(graph), how))
+    }
+
     /// The currently published snapshot. Cheap: one `RwLock` read and an
     /// `Arc` clone.
     pub fn current(&self) -> Arc<Snapshot> {
@@ -153,6 +168,26 @@ mod tests {
         });
         assert!(mgr.apply_delta(&bad).is_err());
         assert_eq!(mgr.generation(), 1);
+    }
+
+    #[test]
+    fn open_publishes_container_file_as_generation_one() {
+        let dir = std::env::temp_dir().join(format!("pcover-serve-open-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("figure1.pcov");
+        let (g, ids) = figure1_ids();
+        pcover_store::write_graph(&g, &path, pcover_store::WriteOptions::default())
+            .expect("write container");
+
+        let (mgr, how) = SnapshotManager::open(&path).expect("open container");
+        assert!(matches!(how, "mmap" | "pread"), "unexpected path {how}");
+        assert_eq!(mgr.generation(), 1);
+        let snap = mgr.current();
+        assert_eq!(snap.graph.node_count(), g.node_count());
+        assert_eq!(snap.graph.node_weight(ids.a), g.node_weight(ids.a));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 
     #[test]

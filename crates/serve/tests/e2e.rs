@@ -333,7 +333,10 @@ fn warm_resolve_after_swap_matches_a_cold_server_byte_for_byte() {
         "identity swap must carry cached answers across the generation"
     );
     let (_, metrics) = request(wa, "GET", "/metrics", "");
-    assert!(metric_value(&metrics, "cache_survived_swap") >= 1, "{metrics}");
+    assert!(
+        metric_value(&metrics, "cache_survived_swap") >= 1,
+        "{metrics}"
+    );
 
     warm_srv.shutdown();
     warm_srv.join();

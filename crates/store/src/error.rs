@@ -1,0 +1,186 @@
+//! Typed errors for container reading and writing.
+//!
+//! Every malformed input — truncated file, wrong magic, future version,
+//! misaligned or out-of-bounds section, checksum mismatch — maps to a
+//! dedicated variant; the crate never panics on untrusted bytes.
+
+use std::fmt;
+use std::io;
+
+use pcover_graph::GraphError;
+
+/// Errors raised while writing, probing or loading a `.pcov` container.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying IO failure.
+    Io(io::Error),
+    /// The file is shorter than a structure the parser needed to read.
+    Truncated {
+        /// What the parser was reading when the file ended.
+        what: &'static str,
+        /// Bytes required.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// The first 8 bytes are not the container magic.
+    BadMagic {
+        /// The bytes found in place of the magic.
+        found: [u8; 8],
+    },
+    /// The container was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version stamped in the header.
+        found: u32,
+        /// The version this build understands.
+        supported: u32,
+    },
+    /// A section offset violates the 64-byte alignment contract.
+    MisalignedSection {
+        /// Section id (see `format::section_name`).
+        section: u32,
+        /// The offending file offset.
+        offset: u64,
+    },
+    /// Stored and recomputed checksums disagree for a section (or for the
+    /// header itself, `section == 0`).
+    ChecksumMismatch {
+        /// Section id, or 0 for the header + section table.
+        section: u32,
+        /// Checksum stored in the section table.
+        stored: u64,
+        /// Checksum recomputed from the bytes on disk.
+        computed: u64,
+    },
+    /// The section table is structurally invalid: duplicate or missing
+    /// sections, lengths inconsistent with the header's node/edge counts,
+    /// overlapping or out-of-bounds extents.
+    SectionTable {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The sections decoded, but the CSR they describe failed
+    /// `PreferenceGraph` validation (or a wrapped JSON load failed).
+    InvalidGraph(GraphError),
+    /// The requested load path is not available on this platform/build
+    /// (e.g. mmap on non-unix or big-endian targets).
+    Unsupported {
+        /// What is unavailable and why.
+        message: &'static str,
+    },
+    /// A count in the header does not fit in this platform's `usize`.
+    TooLarge {
+        /// The dimension that overflowed.
+        what: &'static str,
+    },
+    /// The streaming writer was driven out of contract (rows out of order,
+    /// wrong row count at finish, invalid weight).
+    WriterContract {
+        /// What the caller did wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated container: {what} needs {needed} bytes, only {available} available"
+            ),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a pcover container (magic {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "container format version {found} not supported (this build reads version {supported})"
+            ),
+            StoreError::MisalignedSection { section, offset } => write!(
+                f,
+                "section {} at offset {offset} violates 64-byte alignment",
+                crate::format::section_name(*section)
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {}: stored {stored:#018x}, computed {computed:#018x}",
+                crate::format::section_name(*section)
+            ),
+            StoreError::SectionTable { message } => {
+                write!(f, "invalid section table: {message}")
+            }
+            StoreError::InvalidGraph(e) => write!(f, "container holds an invalid graph: {e}"),
+            StoreError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            StoreError::TooLarge { what } => {
+                write!(f, "container too large for this platform: {what}")
+            }
+            StoreError::WriterContract { message } => {
+                write!(f, "streaming writer misuse: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::InvalidGraph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::InvalidGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::BadMagic {
+            found: *b"NOTMAGIC",
+        };
+        assert!(e.to_string().contains("magic"));
+
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+
+        let e = StoreError::ChecksumMismatch {
+            section: crate::format::SEC_NODE_WEIGHTS,
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("node_weights"));
+    }
+
+    #[test]
+    fn io_and_graph_errors_preserve_their_source() {
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: StoreError = GraphError::EmptyGraph.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

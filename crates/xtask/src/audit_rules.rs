@@ -21,6 +21,12 @@
 //!   to the registry is reachable everywhere with no downstream edits.
 //!   `pcover-core` itself and the criterion benches (which measure the raw
 //!   free functions against the harness) are out of scope.
+//! - **`unsafe-scope`** — `unsafe` tokens are pinned to the one audited
+//!   module allowed to contain them (`crates/store/src/mmap.rs`, the mmap
+//!   wrapper behind the zero-copy container path). The store crate root
+//!   carries `#![deny(unsafe_code)]` instead of the workspace-wide
+//!   `forbid` precisely so that module can `allow` it; this rule is what
+//!   keeps the relaxation from leaking anywhere else.
 //! - **`lock-order-cycle`** / **`lock-across-blocking`** /
 //!   **`condvar-misuse`** / **`guard-across-callback`** — the concurrency
 //!   pass ([`crate::lockgraph`]): guard scopes are tracked lexically, lock
@@ -236,6 +242,11 @@ pub fn run(root: &Path, files: &[AuditFile], bless: bool) -> AuditOutcome {
     // --- Rule family 3: registry dispatch in downstream layers -----------
     for (i, f) in files.iter().enumerate() {
         solver_dispatch_findings(&f.rel, &lexed[i].tokens, &mut raw_audit[i]);
+    }
+
+    // --- Rule family 3b: unsafe confined to the audited mmap module ------
+    for (i, f) in files.iter().enumerate() {
+        unsafe_scope_findings(&f.rel, &lexed[i].tokens, &mut raw_audit[i]);
     }
 
     // --- Rule family 4: concurrency safety (lockgraph) -------------------
@@ -503,6 +514,37 @@ fn solver_dispatch_findings(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>)
                 t.text
             ),
         });
+    }
+}
+
+/// The only files allowed to contain `unsafe` tokens: the audited mmap
+/// wrapper behind `pcover-store`'s zero-copy load path. Everything else in
+/// the workspace lives under `#![forbid(unsafe_code)]` (or, for the store
+/// crate root, `#![deny(unsafe_code)]`), and this rule is the cross-check
+/// that the allowance never spreads.
+const UNSAFE_ALLOWED_FILES: [&str; 1] = ["crates/store/src/mmap.rs"];
+
+/// Scans one file for `unsafe` tokens outside the allowed module
+/// (`unsafe-scope`). Test regions are *not* exempt: unsafe in a test is
+/// still unsafe, and the allowed-module list is the only escape hatch
+/// (besides a reviewed waiver).
+fn unsafe_scope_findings(rel: &str, tokens: &[Tok], out: &mut Vec<Violation>) {
+    if UNSAFE_ALLOWED_FILES.contains(&rel) {
+        return;
+    }
+    for t in tokens {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            out.push(Violation {
+                rule: "unsafe-scope",
+                file: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` outside the audited mmap module ({}); move the code there \
+                     or waive with a reviewed justification",
+                    UNSAFE_ALLOWED_FILES[0]
+                ),
+            });
+        }
     }
 }
 
@@ -775,6 +817,37 @@ mod tests {
                       let a = parallel::solve::<Independent>(g, k, 4);\n\
                       }\n";
         let out = audit_single("crates/bench/src/experiments/fig4e.rs", waived);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert_eq!(out.waivers_used, 1);
+    }
+
+    #[test]
+    fn unsafe_scope_fires_everywhere_but_the_mmap_module() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        for rel in [
+            "crates/store/src/container.rs",
+            "crates/graph/src/graph.rs",
+            "crates/serve/src/server.rs",
+        ] {
+            let out = audit_single(rel, src);
+            assert_eq!(rules_of(&out), ["unsafe-scope"], "{rel}");
+            assert!(out.violations[0].message.contains("mmap"));
+        }
+        let out = audit_single("crates/store/src/mmap.rs", src);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn unsafe_scope_fires_in_test_regions_and_is_waivable() {
+        let in_test = "#[cfg(test)]\nmod tests {\n\
+                       fn t(p: *const u8) -> u8 { unsafe { *p } }\n\
+                       }\n";
+        let out = audit_single("crates/store/src/writer.rs", in_test);
+        assert_eq!(rules_of(&out), ["unsafe-scope"]);
+
+        let waived = "// lint: allow(unsafe-scope) — FFI probe audited in review\n\
+                      fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let out = audit_single("crates/store/src/writer.rs", waived);
         assert!(out.violations.is_empty(), "{:?}", out.violations);
         assert_eq!(out.waivers_used, 1);
     }

@@ -43,10 +43,10 @@ OPTIONS (audit):
 RULES (lint): float-eq, no-unwrap, no-expect, no-panic, no-index,
 crate-header, ambient-entropy (plus waiver-form for malformed waivers).
 RULES (audit): panic-path, par-argmax, par-float-accum, par-shared-state,
-solver-dispatch, lock-order-cycle, lock-across-blocking, condvar-misuse,
-guard-across-callback, alloc-in-hot-loop, alloc-per-request,
-copy-in-kernel, growable-unreserved, stale-waiver, shadowed-waiver,
-api-drift.
+solver-dispatch, unsafe-scope, lock-order-cycle, lock-across-blocking,
+condvar-misuse, guard-across-callback, alloc-in-hot-loop,
+alloc-per-request, copy-in-kernel, growable-unreserved, stale-waiver,
+shadowed-waiver, api-drift.
 Waive a finding with `// lint: allow(<rule>) — <reason>` on the offending
 line (or the line above), or `// lint: allow-file(<rule>) — <reason>` for a
 whole file. The reason is mandatory. The hygiene and drift rules are not

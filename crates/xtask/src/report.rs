@@ -6,13 +6,15 @@
 //! ingest both passes' artifacts; `xtask-lint/3` added the `rules` array
 //! enumerating every rule the producing binary knows, so a consumer can
 //! tell "rule not present" from "rule not yet in this version";
-//! `xtask-lint/4` adds the four hot-path allocation rules
+//! `xtask-lint/4` added the four hot-path allocation rules
 //! (`alloc-in-hot-loop`, `alloc-per-request`, `copy-in-kernel`,
-//! `growable-unreserved`) to that array:
+//! `growable-unreserved`) to that array; `xtask-lint/5` adds
+//! `unsafe-scope` (unsafe confined to the store crate's audited mmap
+//! module):
 //!
 //! ```json
 //! {
-//!   "schema": "xtask-lint/4",
+//!   "schema": "xtask-lint/5",
 //!   "pass": "lint",
 //!   "root": ".",
 //!   "files_scanned": 123,
@@ -56,7 +58,7 @@ pub fn to_json(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"xtask-lint/4\",\n");
+    out.push_str("  \"schema\": \"xtask-lint/5\",\n");
     out.push_str(&format!("  \"pass\": \"{}\",\n", esc(pass)));
     out.push_str(&format!("  \"root\": \"{}\",\n", esc(root)));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
@@ -100,12 +102,13 @@ mod tests {
             message: "say \"no\"\nplease".to_string(),
         }];
         let j = to_json("lint", ".", 3, 1, &v);
-        assert!(j.contains("\"schema\": \"xtask-lint/4\""));
+        assert!(j.contains("\"schema\": \"xtask-lint/5\""));
         assert!(j.contains("\"pass\": \"lint\""));
         assert!(
             j.contains("\"rules\": [\"float-eq\"")
                 && j.contains("\"lock-order-cycle\"")
-                && j.contains("\"alloc-in-hot-loop\""),
+                && j.contains("\"alloc-in-hot-loop\"")
+                && j.contains("\"unsafe-scope\""),
             "rules array enumerates the binary's rule set"
         );
         assert!(j.contains("\"files_scanned\": 3"));

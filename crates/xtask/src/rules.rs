@@ -21,7 +21,7 @@ use crate::lexer::{lex, Tok, TokKind};
 /// The first eight are the lexical `lint` pass (PR 1); the rest belong to
 /// the semantic `audit` pass (see [`crate::audit_rules`]). Waivers may name
 /// any of them — the two passes share one waiver grammar.
-pub const RULES: [&str; 24] = [
+pub const RULES: [&str; 25] = [
     "float-eq",
     "no-unwrap",
     "no-expect",
@@ -36,6 +36,7 @@ pub const RULES: [&str; 24] = [
     "par-float-accum",
     "par-shared-state",
     "solver-dispatch",
+    "unsafe-scope",
     // concurrency (lockgraph) rules:
     "lock-order-cycle",
     "lock-across-blocking",
@@ -55,12 +56,13 @@ pub const RULES: [&str; 24] = [
 /// `shadowed-waiver`, and `api-drift` are deliberately *not* waivable: a
 /// waiver about waivers would defeat the hygiene check, and API drift is
 /// resolved by blessing the snapshot, not by silencing the diff.
-pub const WAIVABLE_AUDIT_RULES: [&str; 13] = [
+pub const WAIVABLE_AUDIT_RULES: [&str; 14] = [
     "panic-path",
     "par-argmax",
     "par-float-accum",
     "par-shared-state",
     "solver-dispatch",
+    "unsafe-scope",
     "lock-order-cycle",
     "lock-across-blocking",
     "condvar-misuse",
@@ -99,7 +101,7 @@ pub struct FileClass {
 }
 
 /// Library crates whose `src/` trees must not unwrap/expect/panic/index.
-const LIB_CRATES: [&str; 5] = ["graph", "core", "clickstream", "datagen", "adapt"];
+const LIB_CRATES: [&str; 6] = ["graph", "core", "clickstream", "datagen", "adapt", "store"];
 
 /// Solver crates that must stay free of ambient entropy: everything they
 /// produce is required to be reproducible from explicit seeds.
@@ -107,6 +109,13 @@ const SOLVER_CRATES: [&str; 3] = ["core", "graph", "adapt"];
 
 /// The one module allowed to compare cover/gain floats exactly.
 const FLOAT_APPROVED: [&str; 1] = ["crates/core/src/float.rs"];
+
+/// Crate roots allowed to carry `#![deny(unsafe_code)]` instead of
+/// `#![forbid(unsafe_code)]`: pcover-store hosts the one audited mmap
+/// module, whose `#[allow(unsafe_code)]` a crate-level `forbid` could not
+/// be overridden by. The audit pass's `unsafe-scope` rule pins every
+/// `unsafe` token to that module, so the relaxation has teeth elsewhere.
+const DENY_UNSAFE_ROOTS: [&str; 1] = ["crates/store/src/lib.rs"];
 
 /// Classifies a workspace-relative path (forward slashes).
 pub fn classify(rel: &str) -> FileClass {
@@ -510,7 +519,8 @@ pub fn raw_violations(rel: &str, lexed: &crate::lexer::Lexed) -> Vec<Violation> 
                 }
             })
         };
-        if !has_inner(["forbid", "unsafe_code"]) {
+        let deny_ok = DENY_UNSAFE_ROOTS.contains(&rel) && has_inner(["deny", "unsafe_code"]);
+        if !has_inner(["forbid", "unsafe_code"]) && !deny_ok {
             raw.push(Violation {
                 rule: "crate-header",
                 file: rel.to_string(),
@@ -711,6 +721,18 @@ mod tests {
     fn crate_root_missing_headers_flagged() {
         let out = lint_source("crates/core/src/lib.rs", "//! Docs.\npub fn f() {}\n");
         assert_eq!(rules_of(&out), ["crate-header", "crate-header"]);
+    }
+
+    #[test]
+    fn store_root_may_deny_instead_of_forbid_unsafe() {
+        let deny = "//! Docs.\n#![deny(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+        // The store crate root is the one place `deny` substitutes for
+        // `forbid` (its mmap module carries an audited `allow`).
+        let out = lint_source("crates/store/src/lib.rs", deny);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        // Everywhere else `deny` is not enough.
+        let out = lint_source("crates/core/src/lib.rs", deny);
+        assert_eq!(rules_of(&out), ["crate-header"]);
     }
 
     #[test]

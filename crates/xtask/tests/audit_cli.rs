@@ -43,11 +43,11 @@ fn planted_tree_fires_every_audit_rule_family() {
     let report = report_of(&out);
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("xtask-lint/4")
+        Some("xtask-lint/5")
     );
     assert_eq!(report.get("pass").and_then(|v| v.as_str()), Some("audit"));
     // Schema 3+: the report enumerates the producing binary's rule set
-    // (schema 4 adds the four heatpath rules).
+    // (schema 4 added the four heatpath rules, 5 adds unsafe-scope).
     let known: Vec<&str> = report
         .get("rules")
         .and_then(serde_json::Value::as_array)
@@ -64,6 +64,7 @@ fn planted_tree_fires_every_audit_rule_family() {
         "par-float-accum",
         "par-shared-state",
         "solver-dispatch",
+        "unsafe-scope",
         "lock-order-cycle",
         "lock-across-blocking",
         "condvar-misuse",

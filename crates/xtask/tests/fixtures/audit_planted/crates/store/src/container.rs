@@ -1,0 +1,8 @@
+//! Planted `unsafe` outside the audited mmap module: the unsafe-scope
+//! rule must anchor it here, since only `crates/store/src/mmap.rs` may
+//! hold unsafe code.
+
+/// Reads the first byte through a raw pointer (unsafe-scope).
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -58,7 +58,7 @@ fn clean_fixture_tree_exits_zero_and_counts_waivers() {
         serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     assert_eq!(
         report.get("schema").and_then(|v| v.as_str()),
-        Some("xtask-lint/4")
+        Some("xtask-lint/5")
     );
     assert_eq!(report.get("pass").and_then(|v| v.as_str()), Some("lint"));
     assert_eq!(

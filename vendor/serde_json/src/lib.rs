@@ -551,17 +551,28 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("control character in string"));
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so the
-                    // byte stream is valid UTF-8).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.error("invalid utf-8"))?;
-                    let ch = rest.chars().next().ok_or_else(|| self.error("eof"))?;
-                    if (ch as u32) < 0x20 {
-                        return Err(self.error("control character in string"));
+                    // Consume the maximal run of plain characters in one
+                    // slice. `"` (0x22) and `\` (0x5C) never occur as UTF-8
+                    // continuation bytes, so a byte scan cannot split a
+                    // multi-byte character, and the input arrived as a &str
+                    // so the run is valid UTF-8. (A per-character
+                    // `from_utf8(&bytes[pos..])` here would re-validate the
+                    // whole remaining document per character — quadratic on
+                    // key-heavy documents like serialized edge lists.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
                     }
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }
