@@ -1,0 +1,240 @@
+//! Round-trip guard for the committed serving benchmark: `BENCH_SERVE_10.json`
+//! must parse against the `pcover-bench-serve/1` schema *exactly* — a
+//! missing field or an unknown field fails, so the loadgen snapshot format
+//! cannot drift under the CI job that regenerates and diffs it.
+
+use std::path::PathBuf;
+
+use serde_json::{Number, Value};
+
+const SCHEMA: &str = "pcover-bench-serve/1";
+const TOP_KEYS: [&str; 13] = [
+    "schema",
+    "pr",
+    "seed",
+    "profile",
+    "connections",
+    "requests",
+    "mix",
+    "zipf_s",
+    "k_max",
+    "deltas",
+    "phases",
+    "speedup",
+    "coalesced_hits",
+];
+const PHASE_KEYS: [&str; 8] = [
+    "mode",
+    "requests",
+    "errors",
+    "wall_ms",
+    "throughput_rps",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+];
+
+fn is_u64(v: &Value) -> bool {
+    matches!(v, Value::Number(Number::U64(_)))
+}
+
+fn is_f64(v: &Value) -> bool {
+    matches!(v, Value::Number(Number::F64(_)))
+}
+
+/// Strict `pcover-bench-serve/1` validation: exact key sets at both
+/// levels, field types as written by `pcover loadgen`, exactly one
+/// keep-alive phase and one close phase, in that order.
+fn validate(snapshot: &Value) -> Result<(), String> {
+    let Value::Object(obj) = snapshot else {
+        return Err("top level is not an object".into());
+    };
+    for key in obj.keys() {
+        if !TOP_KEYS.contains(&key.as_str()) {
+            return Err(format!("unknown top-level field {key:?}"));
+        }
+    }
+    for key in TOP_KEYS {
+        if !obj.contains_key(key) {
+            return Err(format!("missing top-level field {key:?}"));
+        }
+    }
+    if obj["schema"].as_str() != Some(SCHEMA) {
+        return Err(format!("schema is {}, want {SCHEMA:?}", obj["schema"]));
+    }
+    for key in ["profile", "mix"] {
+        if obj[key].as_str().is_none() {
+            return Err(format!("{key} must be a string"));
+        }
+    }
+    for key in [
+        "pr",
+        "seed",
+        "connections",
+        "requests",
+        "k_max",
+        "deltas",
+        "coalesced_hits",
+    ] {
+        if !is_u64(&obj[key]) {
+            return Err(format!("{key} must be an unsigned integer"));
+        }
+    }
+    for key in ["zipf_s", "speedup"] {
+        if !is_f64(&obj[key]) {
+            return Err(format!("{key} must be a float"));
+        }
+    }
+    let phases = obj["phases"].as_array().ok_or("phases is not an array")?;
+    let modes: Vec<_> = phases
+        .iter()
+        .map(|p| p.get("mode").and_then(Value::as_str).unwrap_or(""))
+        .collect();
+    if modes != ["keepalive", "close"] {
+        return Err(format!("phases must be [keepalive, close], got {modes:?}"));
+    }
+    for (i, phase) in phases.iter().enumerate() {
+        let Value::Object(p) = phase else {
+            return Err(format!("phase {i} is not an object"));
+        };
+        for key in p.keys() {
+            if !PHASE_KEYS.contains(&key.as_str()) {
+                return Err(format!("phase {i}: unknown field {key:?}"));
+            }
+        }
+        for key in PHASE_KEYS {
+            if !p.contains_key(key) {
+                return Err(format!("phase {i}: missing field {key:?}"));
+            }
+        }
+        for key in ["requests", "errors"] {
+            if !is_u64(&p[key]) {
+                return Err(format!("phase {i}: {key} must be an unsigned integer"));
+            }
+        }
+        for key in ["wall_ms", "throughput_rps", "p50_ms", "p99_ms", "p999_ms"] {
+            if !is_f64(&p[key]) {
+                return Err(format!("phase {i}: {key} must be a float"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn committed() -> Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_SERVE_10.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse BENCH_SERVE_10.json: {e}"))
+}
+
+#[test]
+fn committed_serve_snapshot_round_trips_strictly() {
+    let snapshot = committed();
+    validate(&snapshot).unwrap_or_else(|e| panic!("BENCH_SERVE_10.json: {e}"));
+    // Round trip: serialize and re-validate; serde must not change any
+    // field's shape on the way through.
+    let again: Value = serde_json::from_str(&serde_json::to_string(&snapshot).unwrap()).unwrap();
+    validate(&again).unwrap_or_else(|e| panic!("after round trip: {e}"));
+    assert_eq!(snapshot, again, "round trip changed the value");
+}
+
+/// The committed snapshot must carry the PR-10 acceptance evidence: the
+/// default blended mix served error-free in both phases, with keep-alive at
+/// least 2x the connection-per-request throughput and a resolvable tail.
+#[test]
+fn serve_snapshot_proves_the_keep_alive_gate() {
+    let snapshot = committed();
+    assert_eq!(snapshot.get("pr"), Some(&Value::Number(Number::U64(10))));
+    let speedup = snapshot
+        .get("speedup")
+        .and_then(Value::as_f64)
+        .expect("speedup");
+    assert!(
+        speedup >= 2.0,
+        "keep-alive speedup {speedup:.2}x below the 2x gate"
+    );
+    let phases = snapshot
+        .get("phases")
+        .and_then(Value::as_array)
+        .expect("phases");
+    for phase in phases {
+        let mode = phase.get("mode").and_then(Value::as_str).unwrap();
+        assert_eq!(
+            phase.get("errors").and_then(Value::as_u64),
+            Some(0),
+            "{mode}: request errors in the committed run"
+        );
+        // The latency ladder must be monotone and resolved past p99 —
+        // p999 only exists because the histograms carry enough buckets.
+        let at = |key: &str| phase.get(key).and_then(Value::as_f64).unwrap();
+        assert!(
+            at("p50_ms") <= at("p99_ms") && at("p99_ms") <= at("p999_ms"),
+            "{mode}: percentile ladder not monotone"
+        );
+        assert!(at("p999_ms") > 0.0, "{mode}: p999 unresolved");
+    }
+}
+
+#[test]
+fn unknown_field_is_rejected() {
+    let mut snapshot = committed();
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    obj.insert("surprise".into(), Value::Bool(true));
+    assert!(validate(&snapshot).unwrap_err().contains("surprise"));
+
+    let mut snapshot = committed();
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(phases)) = obj.get_mut("phases") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = phases.first_mut() else {
+        unreachable!()
+    };
+    first.insert("p9999_ms".into(), Value::Number(Number::F64(1.0)));
+    assert!(validate(&snapshot).unwrap_err().contains("p9999_ms"));
+}
+
+#[test]
+fn missing_field_is_rejected() {
+    let mut snapshot = committed();
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    obj.remove("coalesced_hits");
+    assert!(validate(&snapshot).unwrap_err().contains("coalesced_hits"));
+
+    let mut snapshot = committed();
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(phases)) = obj.get_mut("phases") else {
+        unreachable!()
+    };
+    let Some(Value::Object(first)) = phases.first_mut() else {
+        unreachable!()
+    };
+    first.remove("p999_ms");
+    assert!(validate(&snapshot).unwrap_err().contains("p999_ms"));
+}
+
+#[test]
+fn phase_order_is_enforced() {
+    let mut snapshot = committed();
+    let Value::Object(obj) = &mut snapshot else {
+        unreachable!()
+    };
+    let Some(Value::Array(phases)) = obj.get_mut("phases") else {
+        unreachable!()
+    };
+    phases.reverse();
+    assert!(validate(&snapshot)
+        .unwrap_err()
+        .contains("phases must be [keepalive, close]"));
+}

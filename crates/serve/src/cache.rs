@@ -104,6 +104,10 @@ pub enum CacheOutcome {
     Warm,
     /// Nothing usable; the caller solves and [`SolveCache::insert`]s.
     Miss,
+    /// Another request was already solving the same key; this one parked
+    /// on the single-flight table and received that solve's result
+    /// (`crate::flight`).
+    Coalesced,
 }
 
 impl CacheOutcome {
@@ -114,6 +118,7 @@ impl CacheOutcome {
             CacheOutcome::Prefix => "prefix",
             CacheOutcome::Warm => "warm",
             CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
         }
     }
 }

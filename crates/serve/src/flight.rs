@@ -1,0 +1,333 @@
+//! Single-flight request coalescing: an in-flight table that collapses N
+//! concurrent identical solves into one.
+//!
+//! When several requests race to the same [`crate::cache::CacheKey`]
+//! before the first one finishes, the cache alone cannot help — every
+//! racer misses and solves redundantly (the classic cache stampede). The
+//! [`SingleFlight`] table closes that window: the first arrival becomes
+//! the *leader* and computes; later arrivals park on a `Condvar` and all
+//! receive the leader's published value.
+//!
+//! Built on the `crate::sync` shim (`Mutex<HashMap>` + `Condvar`), so a
+//! `--cfg loom` build model-checks the protocol in `tests/loom.rs`: no
+//! lost wakeups, no double-solve on the same key, and a clean drain on
+//! shutdown. Guard discipline matches [`crate::queue::WorkQueue`]: waits
+//! happen only in a predicate loop on the table's own guard, and every
+//! `notify_all` runs guard-free.
+//!
+//! The leader's token publishes through [`FlightLeader::publish`]; if the
+//! leader unwinds without publishing (solver panic), the token's `Drop`
+//! aborts the flight so waiters wake and fall back to solving themselves
+//! — a waiter can never hang on a dead leader.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::sync::{Condvar, Mutex, MutexGuard};
+
+/// How [`SingleFlight::begin`] classified the caller.
+pub enum Flight<'a, K: Eq + Hash + Clone, V: Clone> {
+    /// First arrival for the key: compute, then [`FlightLeader::publish`].
+    Leader(FlightLeader<'a, K, V>),
+    /// A leader already computed (or is being waited out): here is its
+    /// published value.
+    Joined(V),
+    /// No coalescing available (table closed, or the previous leader
+    /// aborted): compute independently and do not publish.
+    Bypass,
+}
+
+/// The leader's obligation token (see [`Flight::Leader`]).
+pub struct FlightLeader<'a, K: Eq + Hash + Clone, V: Clone> {
+    table: &'a SingleFlight<K, V>,
+    key: Option<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> FlightLeader<'_, K, V> {
+    /// Publishes the computed value to every parked waiter.
+    pub fn publish(mut self, value: V) {
+        if let Some(key) = self.key.take() {
+            self.table.finish(&key, Some(value));
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for FlightLeader<'_, K, V> {
+    fn drop(&mut self) {
+        // Leader unwound without publishing: abort so waiters never hang.
+        if let Some(key) = self.key.take() {
+            self.table.finish(&key, None);
+        }
+    }
+}
+
+enum SlotState<V> {
+    /// The leader is computing.
+    Running,
+    /// The leader published; waiters drain this value.
+    Done(V),
+    /// The leader dropped without publishing; waiters bypass.
+    Aborted,
+}
+
+struct Slot<V> {
+    state: SlotState<V>,
+    /// Parked followers still owed a wakeup; the last one out removes the
+    /// finished slot.
+    waiters: usize,
+}
+
+struct FlightMap<K, V> {
+    flights: HashMap<K, Slot<V>>,
+    open: bool,
+}
+
+/// The in-flight table (see the module docs).
+pub struct SingleFlight<K: Eq + Hash + Clone, V: Clone> {
+    inner: Mutex<FlightMap<K, V>>,
+    done: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> std::fmt::Debug for SingleFlight<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleFlight")
+            .field("in_flight", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
+    /// An open table with nothing in flight.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(FlightMap {
+                flights: HashMap::new(),
+                open: true,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Recovers from a poisoned lock: the table's invariants (a map and a
+    /// flag) cannot be left torn by a panicking holder, and the leader's
+    /// `Drop` abort runs *during* unwinding — waiters must still drain.
+    fn lock(&self) -> MutexGuard<'_, FlightMap<K, V>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Joins or starts the flight for `key`; blocks while a leader for the
+    /// same key is computing. See [`Flight`] for the three outcomes.
+    pub fn begin(&self, key: K) -> Flight<'_, K, V> {
+        let mut inner = self.lock();
+        if !inner.open {
+            return Flight::Bypass;
+        }
+        match inner.flights.get_mut(&key) {
+            None => {
+                inner.flights.insert(
+                    key.clone(),
+                    Slot {
+                        state: SlotState::Running,
+                        waiters: 0,
+                    },
+                );
+                return Flight::Leader(FlightLeader {
+                    table: self,
+                    key: Some(key),
+                });
+            }
+            Some(slot) => match &slot.state {
+                // A finished flight still draining its waiters: take the
+                // value without registering.
+                SlotState::Done(v) => return Flight::Joined(v.clone()),
+                SlotState::Aborted => return Flight::Bypass,
+                SlotState::Running => slot.waiters += 1,
+            },
+        }
+        // Registered as a waiter: park until the leader finishes (or the
+        // table closes). Predicate loop on this table's own guard — the
+        // sanctioned wait shape.
+        loop {
+            inner = match self.done.wait(inner) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if !inner.open {
+                Self::detach(&mut inner, &key);
+                return Flight::Bypass;
+            }
+            let Some(slot) = inner.flights.get(&key) else {
+                // Defensive: a registered waiter pins the slot, so it
+                // cannot vanish — but bypassing beats hanging if it did.
+                return Flight::Bypass;
+            };
+            match &slot.state {
+                SlotState::Running => continue,
+                SlotState::Done(v) => {
+                    let value = v.clone();
+                    Self::detach(&mut inner, &key);
+                    return Flight::Joined(value);
+                }
+                SlotState::Aborted => {
+                    Self::detach(&mut inner, &key);
+                    return Flight::Bypass;
+                }
+            }
+        }
+    }
+
+    /// Unregisters a waiter; the last one out removes a finished slot so
+    /// the table drains to empty.
+    fn detach(inner: &mut FlightMap<K, V>, key: &K) {
+        let remove = match inner.flights.get_mut(key) {
+            Some(slot) => {
+                slot.waiters = slot.waiters.saturating_sub(1);
+                slot.waiters == 0 && !matches!(slot.state, SlotState::Running)
+            }
+            None => false,
+        };
+        if remove {
+            inner.flights.remove(key);
+        }
+    }
+
+    /// Leader completion: publish `Some(value)` or abort with `None`.
+    fn finish(&self, key: &K, value: Option<V>) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.flights.get_mut(key) {
+            if slot.waiters == 0 {
+                // Nobody is parked; remove immediately so a later request
+                // for the same key starts fresh.
+                inner.flights.remove(key);
+            } else {
+                slot.state = match value {
+                    Some(v) => SlotState::Done(v),
+                    None => SlotState::Aborted,
+                };
+            }
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Closes the table for shutdown: parked waiters wake and bypass, new
+    /// [`SingleFlight::begin`] calls bypass, running leaders may still
+    /// finish harmlessly. Idempotent.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.done.notify_all();
+    }
+
+    /// Number of keys currently tracked (running or draining).
+    pub fn len(&self) -> usize {
+        // lint: allow(lock-order-cycle) — name-collision false positive: the inner `len` is HashMap::len on the guarded map, not a re-entrant SingleFlight::len
+        self.lock().flights.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn leader_publishes_and_waiters_join() {
+        let table: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let Flight::Leader(token) = table.begin(7) else {
+            panic!("first arrival must lead");
+        };
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || match table.begin(7) {
+                    Flight::Joined(v) => v,
+                    Flight::Leader(t) => {
+                        // Raced in after the table drained: lead a fresh
+                        // flight (the coalescing window simply closed).
+                        t.publish(99);
+                        99
+                    }
+                    Flight::Bypass => panic!("open table never bypasses"),
+                })
+            })
+            .collect();
+        // Give the waiters a moment to park (correctness does not depend
+        // on it — late arrivals lead their own flight).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        token.publish(42);
+        for w in waiters {
+            let v = w.join().expect("waiter");
+            assert!(v == 42 || v == 99, "unexpected value {v}");
+        }
+        assert!(table.is_empty(), "table must drain to empty");
+    }
+
+    #[test]
+    fn dropped_leader_aborts_instead_of_stranding_waiters() {
+        let table: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let Flight::Leader(token) = table.begin(1) else {
+            panic!("leader");
+        };
+        let waiter = {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || matches!(table.begin(1), Flight::Bypass | Flight::Leader(_)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(token); // abort
+        assert!(
+            waiter.join().expect("waiter"),
+            "waiter must bypass (or lead a fresh flight), never receive a value"
+        );
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn closed_table_bypasses_everyone() {
+        let table: SingleFlight<u32, u32> = SingleFlight::new();
+        table.close();
+        assert!(matches!(table.begin(5), Flight::Bypass));
+        table.close(); // idempotent
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let table: SingleFlight<u32, u32> = SingleFlight::new();
+        let Flight::Leader(a) = table.begin(1) else {
+            panic!("a leads");
+        };
+        let Flight::Leader(b) = table.begin(2) else {
+            panic!("b leads independently");
+        };
+        assert_eq!(table.len(), 2);
+        a.publish(10);
+        b.publish(20);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn sequential_flights_on_one_key_each_lead() {
+        let table: SingleFlight<u32, u32> = SingleFlight::new();
+        for round in 0..3 {
+            let Flight::Leader(t) = table.begin(9) else {
+                panic!("round {round} must lead after the previous drained");
+            };
+            t.publish(round);
+        }
+        assert!(table.is_empty());
+    }
+}

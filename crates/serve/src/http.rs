@@ -2,25 +2,39 @@
 //!
 //! The service is std-only by design (no vendored HTTP stack), so this
 //! module implements exactly the slice of RFC 9112 the endpoints need:
-//! one request per connection (`Connection: close` semantics), request
-//! line + headers + optional `Content-Length` body on the way in, status
-//! line + fixed headers + body on the way out. Header and body sizes are
-//! capped so a misbehaving client cannot balloon worker memory.
+//! persistent connections with `Connection: keep-alive`/`close`
+//! semantics, request line + headers + optional `Content-Length` body on
+//! the way in, status line + fixed headers + body on the way out. Header
+//! and body sizes are capped so a misbehaving client cannot balloon
+//! worker memory.
+//!
+//! Reading goes through a [`ConnBuffer`] — one growable buffer per
+//! worker, reused across every connection and request that worker
+//! handles. Socket reads land in the buffer in chunks; a parsed request
+//! consumes its bytes and leaves anything pipelined behind it for the
+//! next [`ConnBuffer::read_request`] call, so back-to-back requests on
+//! one connection never trigger a re-read and steady-state parsing
+//! allocates nothing (the buffer only grows until it fits the largest
+//! head seen).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::TcpStream;
 
 /// Upper bound on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body (`POST /admin/delta` payloads).
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
+/// How many bytes one socket read pulls into the connection buffer.
+const READ_CHUNK: usize = 4096;
+
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
     /// Socket-level failure (including read timeouts).
     Io(std::io::Error),
+    /// Clean EOF on a request boundary: the client finished and hung up.
+    Closed,
     /// The bytes on the wire are not a well-formed HTTP/1.1 request.
     Malformed(&'static str),
     /// The head or body exceeded its size cap.
@@ -31,6 +45,7 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Closed => write!(f, "connection closed"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
             HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
         }
@@ -54,6 +69,10 @@ pub struct Request {
     pub query: HashMap<String, String>,
     /// Raw request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to `true`, HTTP/1.0 to `false`, and a `Connection:
+    /// close`/`keep-alive` header overrides either way.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -63,81 +82,142 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from the stream.
-///
-/// # Errors
-///
-/// [`HttpError`] on socket failures, malformed syntax, or size-cap
-/// violations; the caller turns these into a 400 and closes.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    // lint: allow(alloc-per-request) — the request head must own its bytes across parsing; capped at MAX_HEAD_BYTES
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    // Byte-at-a-time until CRLFCRLF: simple, and the head cap bounds the
-    // cost; request heads here are a few hundred bytes.
-    loop {
-        let n = stream.read(&mut byte)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-head"));
+/// Per-worker connection read buffer (see the module docs): bytes read
+/// off the socket accumulate here, parsed requests consume a prefix, and
+/// pipelined leftovers survive for the next request on the connection.
+#[derive(Debug, Default)]
+pub struct ConnBuffer {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`.
+    start: usize,
+}
+
+impl ConnBuffer {
+    /// An empty buffer; capacity grows on first use and is then reused
+    /// for the worker's lifetime.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
         }
-        head.push(byte[0]);
-        if head.len() > MAX_HEAD_BYTES {
+    }
+
+    /// Discards any buffered bytes. Call between connections so one
+    /// client's pipelined leftovers can never leak into the next.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Reads and parses one request, buffering across calls.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Closed`] on a clean EOF between requests,
+    /// [`HttpError::Io`] on socket failures (including idle timeouts),
+    /// and `Malformed`/`TooLarge` for protocol violations — the caller
+    /// answers 400/413 and closes.
+    pub fn read_request<R: Read>(&mut self, stream: &mut R) -> Result<Request, HttpError> {
+        // Slide any unconsumed (pipelined) bytes to the front so the
+        // request head starts at offset 0.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge("head"));
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                if self.buf.is_empty() {
+                    // EOF on a request boundary: the client simply closed.
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Malformed("connection closed mid-head"));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        if head_end > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge("head"));
         }
-        if head.ends_with(b"\r\n\r\n") {
-            break;
-        }
-    }
-    let head_text =
-        std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
-    let mut lines = head_text.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_ascii_whitespace();
-    let method = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing method"))?
-        .to_ascii_uppercase();
-    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
-    let version = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
-    }
 
-    let mut content_length = 0usize;
-    for line in lines {
-        if line.is_empty() {
-            continue;
+        let head_text = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+        let mut lines = head_text.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split_ascii_whitespace();
+        let method = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing method"))?
+            .to_ascii_uppercase();
+        let target = parts.next().ok_or(HttpError::Malformed("missing target"))?;
+        let version = parts
+            .next()
+            .ok_or(HttpError::Malformed("missing version"))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed("header without colon"));
+        // HTTP/1.1 defaults to persistent connections; 1.0 must opt in.
+        let mut keep_alive = version != "HTTP/1.0";
+
+        let mut content_length = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(HttpError::Malformed("header without colon"));
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge("body"));
+        }
+
+        // lint: allow(alloc-per-request) — the body is moved into the Request and must own its bytes
+        let mut body = vec![0u8; content_length];
+        // Take what is already buffered, then read the remainder exactly.
+        let buffered = (self.buf.len() - head_end).min(content_length);
+        body[..buffered].copy_from_slice(&self.buf[head_end..head_end + buffered]);
+        self.start = head_end + buffered;
+        if buffered < content_length {
+            stream.read_exact(&mut body[buffered..])?;
+        }
+
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
         };
-        if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::Malformed("bad content-length"))?;
-        }
+        Ok(Request {
+            method,
+            path: path.to_owned(),
+            query: parse_query(query_str),
+            body,
+            keep_alive,
+        })
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge("body"));
-    }
+}
 
-    // lint: allow(alloc-per-request) — the body is moved into the Request and must own its bytes
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-
-    let (path, query_str) = match target.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (target, ""),
-    };
-    Ok(Request {
-        method,
-        path: path.to_owned(),
-        query: parse_query(query_str),
-        body,
-    })
+/// Position one past the `\r\n\r\n` terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
 /// Decodes `a=1&b=x%20y` into a map; `+` and `%XX` escapes are resolved.
@@ -202,6 +282,8 @@ pub enum Status {
     NotFound,
     /// 405 — endpoint exists, wrong method.
     MethodNotAllowed,
+    /// 413 — the head or body exceeded its size cap.
+    PayloadTooLarge,
     /// 503 — queue full (load shed) or shutting down.
     Unavailable,
     /// 504 — the per-request deadline expired mid-solve.
@@ -218,6 +300,7 @@ impl Status {
             Status::BadRequest => 400,
             Status::NotFound => 404,
             Status::MethodNotAllowed => 405,
+            Status::PayloadTooLarge => 413,
             Status::Unavailable => 503,
             Status::DeadlineExceeded => 504,
             Status::Internal => 500,
@@ -231,6 +314,7 @@ impl Status {
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
             Status::MethodNotAllowed => "Method Not Allowed",
+            Status::PayloadTooLarge => "Payload Too Large",
             Status::Unavailable => "Service Unavailable",
             Status::DeadlineExceeded => "Gateway Timeout",
             Status::Internal => "Internal Server Error",
@@ -238,38 +322,45 @@ impl Status {
     }
 }
 
-/// Writes a complete response and flushes. The status line and headers are
-/// rendered into `head_buf` — a reusable per-worker buffer (cleared here,
-/// never reallocated once warm) rather than a per-response `format!`, so
-/// the response head costs no heap traffic on the request path. Write
-/// errors are returned so the worker can count them, but the connection is
-/// closed either way.
-pub fn write_response(
-    stream: &mut TcpStream,
+/// Writes a complete response and flushes. The status line, headers, and
+/// body are rendered into `head_buf` — a reusable per-worker buffer
+/// (cleared here, never reallocated once warm) rather than a per-response
+/// `format!`, so the response costs no heap traffic on the request path
+/// and goes out in a single `write` (one syscall, one TCP segment — the
+/// difference is measurable at keep-alive request rates). Every response —
+/// success or error — carries an exact `Content-Length` and an explicit
+/// `Connection` disposition, so a keep-alive client can always frame the
+/// next response; `close: true` tells the client this is the connection's
+/// last response. Write errors are returned so the worker can count them.
+pub fn write_response<W: Write>(
+    stream: &mut W,
     head_buf: &mut Vec<u8>,
     status: Status,
     content_type: &str,
+    close: bool,
     body: &[u8],
 ) -> std::io::Result<()> {
     head_buf.clear();
     write!(
         head_buf,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status.code(),
         status.reason(),
         content_type,
-        body.len()
+        body.len(),
+        if close { "close" } else { "keep-alive" },
     )?;
+    head_buf.extend_from_slice(body);
     stream.write_all(head_buf)?;
-    stream.write_all(body)?;
     stream.flush()
 }
 
 /// [`write_response`] with a JSON body.
-pub fn write_json(
-    stream: &mut TcpStream,
+pub fn write_json<W: Write>(
+    stream: &mut W,
     head_buf: &mut Vec<u8>,
     status: Status,
+    close: bool,
     body: &str,
 ) -> std::io::Result<()> {
     write_response(
@@ -277,6 +368,7 @@ pub fn write_json(
         head_buf,
         status,
         "application/json",
+        close,
         body.as_bytes(),
     )
 }
@@ -284,6 +376,11 @@ pub fn write_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        ConnBuffer::new().read_request(&mut Cursor::new(bytes.to_vec()))
+    }
 
     #[test]
     fn query_decoding() {
@@ -297,8 +394,150 @@ mod tests {
     #[test]
     fn status_codes() {
         assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::PayloadTooLarge.code(), 413);
         assert_eq!(Status::Unavailable.code(), 503);
         assert_eq!(Status::DeadlineExceeded.code(), 504);
         assert!(!Status::BadRequest.reason().is_empty());
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let r = parse(b"GET / HTTP/1.1\r\n\r\n").expect("parses");
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let r = parse(b"GET / HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert!(!r.keep_alive, "Connection: close overrides 1.1");
+        let r = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").expect("parses");
+        assert!(r.keep_alive, "Connection: keep-alive overrides 1.0");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_from_one_buffer_fill() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyzGET /c HTTP/1.1\r\n\r\n";
+        let mut conn = ConnBuffer::new();
+        let mut stream = Cursor::new(wire.to_vec());
+        let a = conn.read_request(&mut stream).expect("first");
+        assert_eq!((a.method.as_str(), a.path.as_str()), ("GET", "/a"));
+        let b = conn.read_request(&mut stream).expect("second");
+        assert_eq!((b.method.as_str(), b.path.as_str()), ("POST", "/b"));
+        assert_eq!(b.body, b"xyz");
+        let c = conn.read_request(&mut stream).expect("third");
+        assert_eq!(c.path, "/c");
+        assert!(
+            matches!(conn.read_request(&mut stream), Err(HttpError::Closed)),
+            "EOF on a request boundary is a clean close"
+        );
+    }
+
+    #[test]
+    fn eof_mid_head_is_malformed_not_clean() {
+        let mut conn = ConnBuffer::new();
+        let mut stream = Cursor::new(b"GET / HT".to_vec());
+        assert!(matches!(
+            conn.read_request(&mut stream),
+            Err(HttpError::Malformed("connection closed mid-head"))
+        ));
+    }
+
+    #[test]
+    fn reset_drops_pipelined_leftovers() {
+        let mut conn = ConnBuffer::new();
+        let mut stream = Cursor::new(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec());
+        conn.read_request(&mut stream).expect("first");
+        conn.reset();
+        let mut next = Cursor::new(b"GET /c HTTP/1.1\r\n\r\n".to_vec());
+        let r = conn.read_request(&mut next).expect("fresh connection");
+        assert_eq!(r.path, "/c", "stale /b must not leak across connections");
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_too_large() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(b"GET / HTTP/1.1\r\n");
+        while huge.len() <= MAX_HEAD_BYTES {
+            huge.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        huge.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&huge), Err(HttpError::TooLarge("head"))));
+
+        let big_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(big_body.as_bytes()),
+            Err(HttpError::TooLarge("body"))
+        ));
+    }
+
+    /// Byte-exact framing: under keep-alive a mis-framed error response
+    /// desynchronizes the stream, so the exact head matters.
+    #[test]
+    fn error_responses_are_framed_byte_exactly() {
+        let mut head_buf = Vec::new();
+        let mut out = Vec::new();
+        write_json(
+            &mut out,
+            &mut head_buf,
+            Status::BadRequest,
+            true,
+            "{\"error\":\"x\"}",
+        )
+        .expect("write");
+        assert_eq!(
+            out,
+            b"HTTP/1.1 400 Bad Request\r\nContent-Type: application/json\r\nContent-Length: 13\r\nConnection: close\r\n\r\n{\"error\":\"x\"}"
+        );
+
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            &mut head_buf,
+            Status::Ok,
+            "text/plain",
+            false,
+            b"hi",
+        )
+        .expect("write");
+        assert_eq!(
+            out,
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nhi"
+        );
+
+        let mut out = Vec::new();
+        write_json(&mut out, &mut head_buf, Status::PayloadTooLarge, true, "{}").expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 413 Payload Too Large\r\n"));
+        assert!(text.contains("\r\nContent-Length: 2\r\n"));
+        assert!(text.contains("\r\nConnection: close\r\n"));
+    }
+
+    /// Every error status the server emits frames with an exact
+    /// Content-Length so keep-alive clients never desynchronize.
+    #[test]
+    fn every_error_status_carries_exact_content_length() {
+        for status in [
+            Status::BadRequest,
+            Status::NotFound,
+            Status::MethodNotAllowed,
+            Status::PayloadTooLarge,
+            Status::Unavailable,
+            Status::DeadlineExceeded,
+            Status::Internal,
+        ] {
+            let body = "{\"error\":\"probe\"}";
+            let mut head_buf = Vec::new();
+            let mut out = Vec::new();
+            write_json(&mut out, &mut head_buf, status, false, body).expect("write");
+            let text = String::from_utf8(out).expect("utf8");
+            let (head, tail) = text.split_once("\r\n\r\n").expect("head/body split");
+            assert_eq!(tail, body, "{status:?}");
+            assert!(
+                head.contains(&format!("Content-Length: {}", body.len())),
+                "{status:?}: {head}"
+            );
+            assert!(head.contains("Connection: keep-alive"), "{status:?}");
+        }
     }
 }

@@ -28,17 +28,31 @@
 //!   into [`pcover_core::WarmState`]s and the next query repairs one via
 //!   [`pcover_core::SolverSpec::solve_warm`] instead of solving cold
 //!   (bit-identical answer, `O(touched)` round-0 work; DESIGN §9.1).
+//! * [`flight::SingleFlight`] — single-flight request coalescing: N
+//!   concurrent identical solve requests (same `SolveCache` key and
+//!   deadline class) collapse into one solver run; the leader publishes
+//!   and every parked follower receives the same `Arc`'d report. Built on
+//!   the same `crate::sync` loom shim as the queue and model-checked in
+//!   `tests/loom.rs`.
 //! * [`queue::WorkQueue`] — the bounded MPMC work queue behind the load
 //!   shedder, extracted so the `--cfg loom` model tests (`tests/loom.rs`)
 //!   can exhaustively check its shed/drain/shutdown interleavings.
 //! * [`server::Server`] — `std::net` accept loop, bounded work queue with
-//!   503 load shedding, thread-per-worker pool, per-request deadlines via
-//!   a cancellation-checking [`pcover_core::Observer`], and graceful
-//!   drain-then-exit shutdown.
+//!   503 load shedding, thread-per-worker pool with per-connection
+//!   HTTP/1.1 keep-alive loops (idle timeout + requests-per-connection
+//!   cap), per-request deadlines via a cancellation-checking
+//!   [`pcover_core::Observer`], and graceful drain-then-exit shutdown.
 //! * [`http`] — the minimal hand-rolled HTTP/1.1 layer (std-only by
-//!   design: no vendored HTTP stack).
-//! * [`metrics::Metrics`] — request/cache/deadline counters and
-//!   per-endpoint latency histograms, dumped as plain text on `/metrics`.
+//!   design: no vendored HTTP stack): [`http::ConnBuffer`] carries
+//!   buffered bytes across pipelined requests on a persistent connection
+//!   and allocates nothing in steady state.
+//! * [`metrics::Metrics`] — request/cache/deadline/connection counters and
+//!   per-endpoint latency histograms with p999-resolvable microsecond
+//!   buckets, dumped as plain text on `/metrics`.
+//! * [`loadgen`] — the client-side engine behind `pcover loadgen`:
+//!   keep-alive HTTP client, multi-connection phase runner, and
+//!   exact-percentile latency recording for the `pcover-bench-serve/1`
+//!   snapshot.
 //!
 //! ## Endpoints
 //!
@@ -60,7 +74,9 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod flight;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
 pub mod queue;
 pub mod server;
@@ -68,6 +84,8 @@ pub mod snapshot;
 mod sync;
 
 pub use cache::{CacheOutcome, SolveCache, WarmKey, WarmStore};
+pub use flight::{Flight, FlightLeader, SingleFlight};
+pub use loadgen::{LatencyRecorder, LoadClient, PhaseSummary, PlannedRequest};
 pub use queue::WorkQueue;
 pub use server::{DeadlineObserver, Server, ServerConfig, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotManager, SwapReceipt};

@@ -1,0 +1,367 @@
+//! Client-side load-generation machinery behind `pcover loadgen`.
+//!
+//! The serving claims this repo makes (keep-alive ≥2× connection-per-
+//! request throughput, sub-millisecond cache-hit tails) need a harness
+//! that measures them — ROADMAP item 3: no perf claim without numbers.
+//! This module is that harness's engine: a minimal keep-alive HTTP/1.1
+//! *client* ([`LoadClient`]), a phase runner that replays a planned
+//! request schedule over M concurrent connections ([`run_phase`]), and
+//! exact-percentile latency accounting ([`LatencyRecorder`]). The CLI
+//! builds the seeded request plan (zipfian `k`, solve/cover/minimize
+//! mix, optional interleaved deltas), runs one phase with keep-alive and
+//! one opening a fresh connection per request, and writes the
+//! `pcover-bench-serve/1` snapshot.
+//!
+//! Everything here is client-side: none of it is reachable from the
+//! server's `worker_loop`, so the serve heat-path allocation rules do
+//! not apply (and the module keeps no global state — each phase is
+//! self-contained and deterministic given its plan).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One planned request in a phase's schedule.
+#[derive(Clone, Debug)]
+pub struct PlannedRequest {
+    /// `GET` or `POST`.
+    pub method: String,
+    /// Request target including the query string, e.g. `/solve?k=3`.
+    pub target: String,
+    /// Request body (empty for GET).
+    pub body: String,
+}
+
+impl PlannedRequest {
+    /// A GET with no body.
+    pub fn get(target: String) -> Self {
+        Self {
+            method: "GET".to_owned(),
+            target,
+            body: String::new(),
+        }
+    }
+
+    /// A POST carrying `body`.
+    pub fn post(target: String, body: String) -> Self {
+        Self {
+            method: "POST".to_owned(),
+            target,
+            body,
+        }
+    }
+}
+
+/// One response as the client saw it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (framed by `Content-Length`).
+    pub body: String,
+}
+
+/// A minimal HTTP/1.1 client that can hold its connection open across
+/// requests (`keep_alive: true`) or open a fresh one per request —
+/// exactly the two serving modes `pcover loadgen` compares. Responses
+/// are framed strictly by `Content-Length` (which the server always
+/// sends), so the client never needs read-until-EOF and a kept-alive
+/// stream stays in sync.
+#[derive(Debug)]
+pub struct LoadClient {
+    addr: SocketAddr,
+    keep_alive: bool,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl LoadClient {
+    /// A client for `addr`; `keep_alive` picks the connection mode.
+    pub fn new(addr: SocketAddr, keep_alive: bool) -> Self {
+        Self {
+            addr,
+            keep_alive,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the full response. Under keep-alive
+    /// the connection is reused unless the server said `Connection:
+    /// close`; otherwise it is dropped after every request.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures and unparseable response framing surface as
+    /// [`std::io::Error`]; the phase runner counts them.
+    pub fn request(&mut self, planned: &PlannedRequest) -> std::io::Result<ClientResponse> {
+        let keep_alive = self.keep_alive;
+        let head = format!(
+            "{} {} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            planned.method,
+            planned.target,
+            planned.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        let stream = self.connect()?;
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(planned.body.as_bytes())?;
+        stream.flush()?;
+
+        // Read the response head.
+        self.buf.clear();
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let stream = self.stream.as_mut().expect("connected above");
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                self.stream = None;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head_text = String::from_utf8_lossy(&self.buf[..head_end - 4]).into_owned();
+        let status: u16 = head_text
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("response without a status code"))?;
+        let mut content_length = 0usize;
+        let mut server_closes = false;
+        for line in head_text.split("\r\n").skip(1) {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| std::io::Error::other("bad content-length in response"))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                server_closes = true;
+            }
+        }
+
+        // Read the body exactly.
+        let mut body = vec![0u8; content_length];
+        let buffered = (self.buf.len() - head_end).min(content_length);
+        body[..buffered].copy_from_slice(&self.buf[head_end..head_end + buffered]);
+        if buffered < content_length {
+            let stream = self.stream.as_mut().expect("connected above");
+            stream.read_exact(&mut body[buffered..])?;
+        }
+
+        if !keep_alive || server_closes {
+            self.stream = None;
+        }
+        Ok(ClientResponse {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+
+    /// Convenience: GET `target` and return the response. Named `fetch`
+    /// rather than `get` so the audit's name-based call-graph resolver
+    /// never confuses this client helper with `HashMap::get` calls made
+    /// on the server's request path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LoadClient::request`].
+    pub fn fetch(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        self.request(&PlannedRequest::get(target.to_owned()))
+    }
+}
+
+/// Exact-percentile latency accounting over recorded samples.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's latency.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.samples_us
+            .push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Absorbs another recorder's samples (per-connection recorders merge
+    /// into the phase total).
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.samples_us.extend(other.samples_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The exact `p`-th percentile (`0 < p <= 100`) in milliseconds, by
+    /// the nearest-rank method on the sorted samples; `None` when empty.
+    pub fn percentile_ms(&mut self, p: f64) -> Option<f64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        self.samples_us.sort_unstable();
+        let n = self.samples_us.len();
+        // The epsilon absorbs float fuzz like 99.9/100*1000 = 999.0000…01,
+        // which would otherwise ceil one rank too high.
+        let rank = ((p / 100.0) * n as f64 - 1e-9).ceil().max(1.0) as usize;
+        Some(self.samples_us[rank.min(n) - 1] as f64 / 1e3)
+    }
+}
+
+/// One phase's results: either the keep-alive or the
+/// connection-per-request replay of the same plan.
+#[derive(Clone, Debug)]
+pub struct PhaseSummary {
+    /// Requests attempted.
+    pub requests: u64,
+    /// Requests that failed at the socket level or answered >= 400.
+    pub errors: u64,
+    /// Wall-clock time for the whole phase.
+    pub wall: Duration,
+    /// Requests per second over the phase wall clock.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+}
+
+/// Replays `per_conn_plans` against `addr` — one thread per plan, each
+/// with its own [`LoadClient`] in the given connection mode — and folds
+/// every connection's samples into one [`PhaseSummary`].
+///
+/// Request failures are *counted*, not fatal: a load phase should keep
+/// pushing through sporadic errors and report them, and the CLI gate
+/// fails the run if any occurred.
+pub fn run_phase(
+    addr: SocketAddr,
+    keep_alive: bool,
+    per_conn_plans: &[Vec<PlannedRequest>],
+) -> PhaseSummary {
+    let started = Instant::now();
+    let per_conn: Vec<(LatencyRecorder, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_conn_plans
+            .iter()
+            .map(|plan| {
+                scope.spawn(move || {
+                    let mut client = LoadClient::new(addr, keep_alive);
+                    let mut recorder = LatencyRecorder::new();
+                    let mut errors = 0u64;
+                    for planned in plan {
+                        let sent = Instant::now();
+                        match client.request(planned) {
+                            Ok(resp) => {
+                                recorder.record(sent.elapsed());
+                                if resp.status >= 400 {
+                                    errors += 1;
+                                }
+                            }
+                            Err(_) => {
+                                recorder.record(sent.elapsed());
+                                errors += 1;
+                            }
+                        }
+                    }
+                    (recorder, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut all = LatencyRecorder::new();
+    let mut errors = 0u64;
+    for (recorder, conn_errors) in per_conn {
+        all.merge(recorder);
+        errors += conn_errors;
+    }
+    let requests = all.len() as u64;
+    PhaseSummary {
+        requests,
+        errors,
+        wall,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_ms: all.percentile_ms(50.0).unwrap_or(0.0),
+        p99_ms: all.percentile_ms(99.0).unwrap_or(0.0),
+        p999_ms: all.percentile_ms(99.9).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let mut rec = LatencyRecorder::new();
+        for us in 1..=1000u64 {
+            rec.record(Duration::from_micros(us));
+        }
+        assert_eq!(rec.percentile_ms(50.0), Some(0.5));
+        assert_eq!(rec.percentile_ms(99.0), Some(0.99));
+        assert_eq!(rec.percentile_ms(99.9), Some(0.999));
+        assert_eq!(rec.percentile_ms(100.0), Some(1.0));
+        assert_eq!(LatencyRecorder::new().percentile_ms(50.0), None);
+    }
+
+    #[test]
+    fn recorders_merge_for_phase_totals() {
+        let mut a = LatencyRecorder::new();
+        a.record(Duration::from_micros(100));
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_micros(300));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.percentile_ms(100.0), Some(0.3));
+    }
+
+    #[test]
+    fn planned_request_constructors() {
+        let g = PlannedRequest::get("/solve?k=2".to_owned());
+        assert_eq!((g.method.as_str(), g.body.as_str()), ("GET", ""));
+        let p = PlannedRequest::post("/admin/delta".to_owned(), "{}".to_owned());
+        assert_eq!((p.method.as_str(), p.body.as_str()), ("POST", "{}"));
+    }
+}

@@ -4,28 +4,36 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Upper edges (milliseconds) of the latency histogram buckets; the last
-/// bucket is implicit `+inf`.
-pub const LATENCY_BUCKETS_MS: [u64; 10] = [1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000];
+/// Upper edges (microseconds) of the latency histogram buckets; the last
+/// bucket is implicit `+inf`. Sub-millisecond edges exist so tail
+/// quantiles (p99/p999) stay resolvable for cache-hit responses that
+/// finish in tens of microseconds; labels still render in milliseconds
+/// (`0.05`, `0.1`, …) and every edge of the original millisecond layout
+/// (1, 2, 5, …, 5000) is preserved, so the exposition format is
+/// backward-compatible — old labels keep existing, new ones interleave.
+pub const LATENCY_BUCKETS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_000, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
 
 /// One endpoint's request counter plus latency histogram.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
     requests: AtomicU64,
-    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
-    total_ms: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    total_us: AtomicU64,
 }
 
 impl EndpointStats {
     /// Records one finished request.
     pub fn observe(&self, elapsed: Duration) {
-        let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.total_ms.fetch_add(ms, Ordering::Relaxed);
-        let idx = LATENCY_BUCKETS_MS
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        let idx = LATENCY_BUCKETS_US
             .iter()
-            .position(|&edge| ms <= edge)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
         if let Some(bucket) = self.buckets.get(idx) {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
@@ -36,24 +44,58 @@ impl EndpointStats {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// Upper bound (milliseconds) on the latency quantile `q` in `0..=1`:
+    /// the edge of the first bucket at which the cumulative count reaches
+    /// `q` of all requests. `None` with no requests recorded;
+    /// `f64::INFINITY` when the quantile lands in the overflow bucket.
+    /// This is what makes p999 *resolvable* from the histogram — the gate
+    /// `pcover loadgen` needs.
+    pub fn quantile_upper_bound_ms(&self, q: f64) -> Option<f64> {
+        let total = self.requests();
+        if total == 0 {
+            return None;
+        }
+        let needed = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= needed {
+                return Some(
+                    LATENCY_BUCKETS_US
+                        .get(i)
+                        .map(|&edge| edge as f64 / 1e3)
+                        .unwrap_or(f64::INFINITY),
+                );
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
     fn render(&self, name: &str, out: &mut String) {
         use std::fmt::Write;
         let _ = writeln!(out, "endpoint_{name}_requests {}", self.requests());
         let _ = writeln!(
             out,
             "endpoint_{name}_latency_ms_total {}",
-            self.total_ms.load(Ordering::Relaxed)
+            self.total_us.load(Ordering::Relaxed) / 1000
         );
         for (i, bucket) in self.buckets.iter().enumerate() {
-            let label = LATENCY_BUCKETS_MS
-                .get(i)
-                .map(|edge| edge.to_string())
-                .unwrap_or_else(|| "inf".to_owned());
-            let _ = writeln!(
-                out,
-                "endpoint_{name}_latency_ms_le_{label} {}",
-                bucket.load(Ordering::Relaxed)
-            );
+            let count = bucket.load(Ordering::Relaxed);
+            match LATENCY_BUCKETS_US.get(i) {
+                // f64 Display is shortest-roundtrip: 50us prints as
+                // `0.05`, 1000us as `1` — integral edges keep their old
+                // labels.
+                Some(&edge) => {
+                    let _ = writeln!(
+                        out,
+                        "endpoint_{name}_latency_ms_le_{} {count}",
+                        edge as f64 / 1e3
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "endpoint_{name}_latency_ms_le_inf {count}");
+                }
+            }
         }
     }
 }
@@ -61,11 +103,18 @@ impl EndpointStats {
 /// All counters the service exports.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Accepted connections (shed ones included).
+    /// HTTP requests answered (shed 503s included; one keep-alive
+    /// connection contributes one count per request it carries).
     pub requests_total: AtomicU64,
+    /// Connections accepted into the worker pool.
+    pub connections_total: AtomicU64,
+    /// Requests served on an already-used keep-alive connection (i.e.
+    /// beyond the first request of their connection).
+    pub keepalive_reuse_total: AtomicU64,
     /// Connections rejected with 503 because the queue was full.
     pub queue_shed_total: AtomicU64,
-    /// Requests rejected because the head or body was malformed.
+    /// Requests rejected because the head or body was malformed or
+    /// oversized.
     pub bad_request_total: AtomicU64,
     /// Solves that hit the cache exactly.
     pub cache_hits: AtomicU64,
@@ -73,6 +122,10 @@ pub struct Metrics {
     pub cache_prefix_hits: AtomicU64,
     /// Solves that had to run a solver.
     pub cache_misses: AtomicU64,
+    /// Solves that coalesced onto another request's in-flight solve
+    /// (single-flight): N concurrent identical requests perform 1 solve
+    /// and record N-1 here.
+    pub coalesced_hits: AtomicU64,
     /// Solves answered by repairing a previous generation's warm state
     /// instead of solving cold.
     pub warm_start_hits: AtomicU64,
@@ -104,12 +157,22 @@ impl Metrics {
     /// point-in-time gauges (queue depth, generation, cache size).
     pub fn render(&self) -> String {
         // lint: allow(alloc-per-request) — /metrics is an admin endpoint; the rendered text is returned as an owned body
-        let mut out = String::with_capacity(1024);
+        let mut out = String::with_capacity(2048);
         use std::fmt::Write;
         let _ = writeln!(
             out,
             "requests_total {}",
             self.requests_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "connections_total {}",
+            self.connections_total.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "keepalive_reuse_total {}",
+            self.keepalive_reuse_total.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
@@ -135,6 +198,11 @@ impl Metrics {
             out,
             "cache_misses {}",
             self.cache_misses.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "coalesced_hits {}",
+            self.coalesced_hits.load(Ordering::Relaxed)
         );
         let _ = writeln!(
             out,
@@ -189,10 +257,53 @@ mod tests {
         let mut out = String::new();
         stats.render("t", &mut out);
         assert!(out.contains("endpoint_t_requests 4"));
-        assert!(out.contains("endpoint_t_latency_ms_le_1 1"));
+        assert!(out.contains("endpoint_t_latency_ms_le_0.05 1"));
         assert!(out.contains("endpoint_t_latency_ms_le_5 1"));
         assert!(out.contains("endpoint_t_latency_ms_le_50 1"));
         assert!(out.contains("endpoint_t_latency_ms_le_inf 1"));
+    }
+
+    #[test]
+    fn old_millisecond_labels_survive_the_microsecond_layout() {
+        // Backward compatibility: every label of the original layout
+        // ([1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000] ms) must still be
+        // emitted, so dashboards keyed on them keep working.
+        let stats = EndpointStats::default();
+        stats.observe(Duration::from_millis(1));
+        let mut out = String::new();
+        stats.render("t", &mut out);
+        for label in [
+            "1", "2", "5", "10", "25", "50", "100", "250", "1000", "5000",
+        ] {
+            assert!(
+                out.contains(&format!("endpoint_t_latency_ms_le_{label} ")),
+                "legacy bucket label {label} missing:\n{out}"
+            );
+        }
+        for label in ["0.05", "0.1", "0.25", "0.5", "500", "2500"] {
+            assert!(
+                out.contains(&format!("endpoint_t_latency_ms_le_{label} ")),
+                "new bucket label {label} missing:\n{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn p999_is_resolvable_from_the_histogram() {
+        let stats = EndpointStats::default();
+        // 999 fast requests and one slow one: p99 must stay at the fast
+        // edge while p999 resolves the slow outlier — the old 10-bucket
+        // millisecond layout lumped everything under 1ms together and
+        // could not tell these apart.
+        for _ in 0..999 {
+            stats.observe(Duration::from_micros(40));
+        }
+        stats.observe(Duration::from_millis(400));
+        assert_eq!(stats.quantile_upper_bound_ms(0.5), Some(0.05));
+        assert_eq!(stats.quantile_upper_bound_ms(0.99), Some(0.05));
+        assert_eq!(stats.quantile_upper_bound_ms(0.999), Some(0.05));
+        assert_eq!(stats.quantile_upper_bound_ms(1.0), Some(500.0));
+        assert_eq!(EndpointStats::default().quantile_upper_bound_ms(0.5), None);
     }
 
     #[test]
@@ -202,7 +313,10 @@ mod tests {
         m.cache_hits.fetch_add(1, Ordering::Relaxed);
         let text = m.render();
         assert!(text.contains("requests_total 2"));
+        assert!(text.contains("connections_total 0"));
+        assert!(text.contains("keepalive_reuse_total 0"));
         assert!(text.contains("cache_hits 1"));
+        assert!(text.contains("coalesced_hits 0"));
         assert!(text.contains("queue_shed_total 0"));
         assert!(text.contains("warm_start_hits 0"));
         assert!(text.contains("warm_rounds_reused 0"));

@@ -1,18 +1,34 @@
 //! The server: accept loop, bounded work queue with load shedding, worker
-//! pool, request routing, and graceful shutdown.
+//! pool, keep-alive request loop, single-flight solve coalescing, request
+//! routing, and graceful shutdown.
 //!
 //! Shape: one acceptor thread pushes connections into a bounded
-//! [`WorkQueue`]; `workers` threads pop and handle one request per
-//! connection. When the queue is full the *acceptor* answers 503
-//! immediately — shedding costs a constant amount of work no matter how
-//! slow the solvers are. Shutdown (via [`ServerHandle::shutdown`] or
-//! `POST /admin/shutdown`) flips a flag, closes the queue, and drains:
-//! already-queued requests are still answered, new ones get 503.
+//! [`WorkQueue`]; `workers` threads pop a connection each and serve it
+//! with an HTTP/1.1 keep-alive loop — many requests per connection,
+//! bounded by [`ServerConfig::max_requests_per_connection`] and an
+//! [`ServerConfig::idle_timeout`] between requests, honoring the
+//! client's `Connection: close`/`keep-alive` preference. Steady-state
+//! request handling allocates nothing: the response head renders into a
+//! per-worker buffer and request bytes land in a per-worker
+//! [`ConnBuffer`], both reused across connections.
+//!
+//! Concurrent identical solves coalesce through a [`SingleFlight`]
+//! table: the first arrival computes, the rest park and share the one
+//! result (`coalesced_hits` in `/metrics`) — a cache stampede costs one
+//! solve instead of N.
+//!
+//! When the queue is full the *acceptor* answers 503 immediately —
+//! shedding costs a constant amount of work no matter how slow the
+//! solvers are. Shutdown (via [`ServerHandle::shutdown`] or
+//! `POST /admin/shutdown`) flips a flag, closes the queue and the
+//! in-flight table, and drains: already-queued requests are still
+//! answered, new ones get 503.
 //! Everything is in-band `std::net` — the workspace forbids `unsafe`, so
 //! there is no signal handler; process managers should use the admin
 //! endpoint (or just SIGKILL, which is safe: the graph is immutable on
 //! disk and all serving state is in memory).
 
+use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,10 +39,11 @@ use pcover_graph::delta::GraphDelta;
 use pcover_graph::PreferenceGraph;
 
 use crate::cache::{fingerprint, CacheKey, CacheOutcome, SolveCache, WarmKey, WarmStore};
-use crate::http::{read_request, write_json, write_response, HttpError, Request, Status};
+use crate::flight::{Flight, SingleFlight};
+use crate::http::{write_json, write_response, ConnBuffer, HttpError, Request, Status};
 use crate::metrics::Metrics;
 use crate::queue::WorkQueue;
-use crate::snapshot::SnapshotManager;
+use crate::snapshot::{Snapshot, SnapshotManager};
 
 /// Tunables for [`Server::start`].
 #[derive(Clone, Debug)]
@@ -42,8 +59,16 @@ pub struct ServerConfig {
     /// Default per-request wall-clock deadline; `None` means no deadline
     /// unless the request carries `deadline_ms`.
     pub default_deadline: Option<Duration>,
-    /// Per-connection socket read timeout (guards against stalled clients).
+    /// Socket read timeout while a request is being received (guards
+    /// against stalled clients mid-request).
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the worker hangs up and moves on.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it (the
+    /// final response says `Connection: close`); values below 1 behave
+    /// as 1.
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +80,8 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             default_deadline: None,
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 1000,
         }
     }
 }
@@ -65,11 +92,24 @@ struct AppState {
     snapshots: SnapshotManager,
     cache: SolveCache,
     warm: WarmStore,
+    flight: SingleFlight<FlightKey, FlightResult>,
     metrics: Metrics,
     queue: WorkQueue<TcpStream>,
     shutdown: AtomicBool,
     config: ServerConfig,
     local_addr: SocketAddr,
+}
+
+/// What one solve's leader publishes to its coalesced followers.
+type FlightResult = Result<Arc<SolveReport>, (Status, String)>;
+
+/// Single-flight identity: the cache key plus the effective deadline, so
+/// a tight-deadline request never receives (or delays behind) a
+/// no-deadline solve for the same answer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    key: CacheKey,
+    deadline_ms: Option<u64>,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -114,6 +154,7 @@ impl Server {
             snapshots: SnapshotManager::new(graph),
             cache: SolveCache::new(config.cache_capacity),
             warm: WarmStore::new(config.cache_capacity),
+            flight: SingleFlight::new(),
             metrics: Metrics::default(),
             queue: WorkQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
@@ -201,13 +242,16 @@ impl ServerHandle {
     }
 }
 
-/// Flips the shutdown flag, closes the queue, and pokes the acceptor loose
-/// with a throwaway connection to its own socket.
+/// Flips the shutdown flag, closes the queue and the in-flight table, and
+/// pokes the acceptor loose with a throwaway connection to its own socket.
 fn request_shutdown(state: &AppState) {
     if state.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
     state.queue.close();
+    // Parked single-flight waiters wake and solve for themselves, so the
+    // drain cannot strand a request behind a leader that never returns.
+    state.flight.close();
     // Unblock the acceptor's blocking `accept` — a connect that may
     // legitimately fail if the acceptor already exited.
     let _ = TcpStream::connect_timeout(&state.local_addr, Duration::from_millis(250));
@@ -219,10 +263,10 @@ fn accept_loop(listener: &TcpListener, state: &AppState) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(state.config.read_timeout));
         let _ = stream.set_nodelay(true);
         if let Err(mut rejected) = state.queue.push(stream) {
+            state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
             state
                 .metrics
                 .queue_shed_total
@@ -234,6 +278,7 @@ fn accept_loop(listener: &TcpListener, state: &AppState) {
                 &mut rejected,
                 &mut head_buf,
                 Status::Unavailable,
+                true,
                 "{\"error\":\"overloaded: request queue full\"}",
             );
         }
@@ -245,29 +290,90 @@ fn worker_loop(state: &AppState) {
     // this worker answers (see `http::write_response`).
     // lint: allow(alloc-per-request) — allocated once per worker before the request loop: this IS the reuse buffer
     let mut head_buf = Vec::with_capacity(128);
+    // One connection read buffer per worker, reused across connections and
+    // requests alike (zero-capacity until the first request grows it, so
+    // this is not a per-request allocation either).
+    let mut conn = ConnBuffer::new();
     while let Some(mut stream) = state.queue.pop() {
-        handle_connection(&mut stream, state, &mut head_buf);
+        handle_connection(&mut stream, state, &mut head_buf, &mut conn);
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, state: &AppState, head_buf: &mut Vec<u8>) {
-    let request = match read_request(stream) {
-        Ok(r) => r,
-        Err(HttpError::Io(_)) => return, // client went away; nothing to answer
-        Err(e) => {
+/// The keep-alive request loop: serve requests off one connection until
+/// the client asks to close (or hangs up), the per-connection request cap
+/// is reached, the idle timeout fires between requests, or the server
+/// starts shutting down. A malformed or oversized request is answered
+/// (400/413, `Connection: close`) and the connection dropped — the stream
+/// can no longer be trusted to be framed.
+fn handle_connection(
+    stream: &mut TcpStream,
+    state: &AppState,
+    head_buf: &mut Vec<u8>,
+    conn: &mut ConnBuffer,
+) {
+    conn.reset();
+    state
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    let cap = state.config.max_requests_per_connection.max(1);
+    let mut served = 0usize;
+    loop {
+        if served == 1 {
+            // From the second request on, the socket waits at most the
+            // idle timeout between requests; a timeout surfaces as
+            // `HttpError::Io` below and closes quietly. Set once per
+            // connection — it is a syscall, and the keep-alive loop is
+            // the hot path.
+            let _ = stream.set_read_timeout(Some(state.config.idle_timeout));
+        }
+        let request = match conn.read_request(stream) {
+            Ok(r) => r,
+            // Client went away (clean EOF, reset, or idle/read timeout);
+            // nothing to answer.
+            Err(HttpError::Io(_) | HttpError::Closed) => return,
+            Err(e) => {
+                state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .bad_request_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let status = match e {
+                    HttpError::TooLarge(_) => Status::PayloadTooLarge,
+                    _ => Status::BadRequest,
+                };
+                let body = serde_json::json!({ "error": e.to_string() }).to_string();
+                let _ = write_json(stream, head_buf, status, true, &body);
+                return;
+            }
+        };
+        served += 1;
+        state.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        if served > 1 {
             state
                 .metrics
-                .bad_request_total
+                .keepalive_reuse_total
                 .fetch_add(1, Ordering::Relaxed);
-            let body = serde_json::json!({ "error": e.to_string() }).to_string();
-            let _ = write_json(stream, head_buf, Status::BadRequest, &body);
+        }
+        // Decide the connection's fate *before* answering so the response
+        // can carry the truthful `Connection:` disposition.
+        let close = !request.keep_alive || served >= cap || state.shutdown.load(Ordering::SeqCst);
+        if route(stream, &request, state, head_buf, close) || close {
             return;
         }
-    };
-    route(stream, &request, state, head_buf);
+    }
 }
 
-fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut Vec<u8>) {
+/// Routes one request. `close` is the connection disposition every
+/// response must carry. Returns `true` when the connection must close
+/// regardless of `close` (the shutdown endpoint was hit).
+fn route(
+    stream: &mut TcpStream,
+    req: &Request,
+    state: &AppState,
+    head_buf: &mut Vec<u8>,
+    close: bool,
+) -> bool {
     let started = Instant::now();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -276,7 +382,7 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut
                 "generation": state.snapshots.generation(),
             })
             .to_string();
-            let _ = write_json(stream, head_buf, Status::Ok, &body);
+            let _ = write_json(stream, head_buf, Status::Ok, close, &body);
         }
         ("GET", "/metrics") => {
             let mut text = state.metrics.render();
@@ -287,43 +393,47 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut
             let _ = writeln!(text, "cache_entries {}", state.cache.len());
             let _ = writeln!(text, "cache_evictions {}", state.cache.evictions());
             let _ = writeln!(text, "warm_states {}", state.warm.len());
+            let _ = writeln!(text, "inflight_solves {}", state.flight.len());
             let _ = writeln!(text, "workers {}", state.config.workers);
             let _ = write_response(
                 stream,
                 head_buf,
                 Status::Ok,
                 "text/plain; charset=utf-8",
+                close,
                 text.as_bytes(),
             );
         }
         ("GET", "/solve") => {
             let outcome = solve_endpoint(req, state, SolveMode::Full);
             state.metrics.solve.observe(started.elapsed());
-            respond(stream, head_buf, outcome);
+            respond(stream, head_buf, close, outcome);
         }
         ("GET", "/cover") => {
             let outcome = solve_endpoint(req, state, SolveMode::CoverOnly);
             state.metrics.cover.observe(started.elapsed());
-            respond(stream, head_buf, outcome);
+            respond(stream, head_buf, close, outcome);
         }
         ("GET", "/minimize") => {
             let outcome = minimize_endpoint(req, state);
             state.metrics.minimize.observe(started.elapsed());
-            respond(stream, head_buf, outcome);
+            respond(stream, head_buf, close, outcome);
         }
         ("POST", "/admin/delta") => {
             let outcome = delta_endpoint(req, state);
             state.metrics.delta.observe(started.elapsed());
-            respond(stream, head_buf, outcome);
+            respond(stream, head_buf, close, outcome);
         }
         ("POST", "/admin/shutdown") => {
             let _ = write_json(
                 stream,
                 head_buf,
                 Status::Ok,
+                true,
                 "{\"status\":\"shutting down\"}",
             );
             request_shutdown(state);
+            return true;
         }
         (
             _,
@@ -334,6 +444,7 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut
                 stream,
                 head_buf,
                 Status::MethodNotAllowed,
+                close,
                 "{\"error\":\"method not allowed\"}",
             );
         }
@@ -342,24 +453,27 @@ fn route(stream: &mut TcpStream, req: &Request, state: &AppState, head_buf: &mut
                 stream,
                 head_buf,
                 Status::NotFound,
+                close,
                 "{\"error\":\"no such endpoint\"}",
             );
         }
     }
+    false
 }
 
 fn respond(
     stream: &mut TcpStream,
     head_buf: &mut Vec<u8>,
+    close: bool,
     outcome: Result<String, (Status, String)>,
 ) {
     match outcome {
         Ok(body) => {
-            let _ = write_json(stream, head_buf, Status::Ok, &body);
+            let _ = write_json(stream, head_buf, Status::Ok, close, &body);
         }
         Err((status, message)) => {
             let body = serde_json::json!({ "error": message }).to_string();
-            let _ = write_json(stream, head_buf, status, &body);
+            let _ = write_json(stream, head_buf, status, close, &body);
         }
     }
 }
@@ -450,6 +564,12 @@ fn parse_common(req: &Request, state: &AppState) -> Result<SolveParams, (Status,
 /// the usable report, the generation it belongs to, and how the cache
 /// answered. The snapshot `Arc` is held for the whole solve, so a swap
 /// mid-solve cannot mix generations.
+///
+/// On a cache miss the request enters the [`SingleFlight`] table: the
+/// first arrival for a `(cache key, deadline)` pair solves (warm or
+/// cold, below) and publishes; concurrent arrivals park and receive the
+/// published result as [`CacheOutcome::Coalesced`] — N racing identical
+/// requests cost 1 solve, not N.
 fn cached_solve(
     state: &AppState,
     params: &SolveParams,
@@ -475,11 +595,50 @@ fn cached_solve(
                     .cache_prefix_hits
                     .fetch_add(1, Ordering::Relaxed);
             }
-            CacheOutcome::Warm | CacheOutcome::Miss => {}
+            CacheOutcome::Warm | CacheOutcome::Miss | CacheOutcome::Coalesced => {}
         }
         return Ok((report, snapshot.generation, outcome));
     }
 
+    let flight_key = FlightKey {
+        key: key.clone(),
+        deadline_ms: params
+            .deadline
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+    };
+    match state.flight.begin(flight_key) {
+        Flight::Joined(result) => {
+            state.metrics.coalesced_hits.fetch_add(1, Ordering::Relaxed);
+            result.map(|report| (report, snapshot.generation, CacheOutcome::Coalesced))
+        }
+        Flight::Leader(token) => {
+            let solved = solve_uncached(state, params, k, &snapshot, key);
+            token.publish(
+                solved
+                    .as_ref()
+                    .map(|(report, _)| Arc::clone(report))
+                    .map_err(Clone::clone),
+            );
+            solved.map(|(report, outcome)| (report, snapshot.generation, outcome))
+        }
+        // Table closed (shutdown drain) or the previous leader panicked:
+        // solve independently rather than hang or propagate.
+        Flight::Bypass => solve_uncached(state, params, k, &snapshot, key)
+            .map(|(report, outcome)| (report, snapshot.generation, outcome)),
+    }
+}
+
+/// The warm-or-cold solve behind [`cached_solve`], run by single-flight
+/// leaders (and bypassers): repairs a harvested warm state when the
+/// solver supports it, otherwise solves cold; inserts the answer into the
+/// cache either way.
+fn solve_uncached(
+    state: &AppState,
+    params: &SolveParams,
+    k: usize,
+    snapshot: &Arc<Snapshot>,
+    key: CacheKey,
+) -> Result<(Arc<SolveReport>, CacheOutcome), (Status, String)> {
     let spec = state
         .registry
         .get(&params.solver)
@@ -538,7 +697,7 @@ fn cached_solve(
                             .fetch_add(warm.rounds_repaired as u64, Ordering::Relaxed);
                         let report = Arc::new(warm.report);
                         state.cache.insert(key, Arc::clone(&report));
-                        return Ok((report, snapshot.generation, CacheOutcome::Warm));
+                        return Ok((report, CacheOutcome::Warm));
                     }
                     Err(SolveError::Cancelled) => {
                         state
@@ -572,7 +731,7 @@ fn cached_solve(
         Ok(report) => {
             let report = Arc::new(report);
             state.cache.insert(key, Arc::clone(&report));
-            Ok((report, snapshot.generation, CacheOutcome::Miss))
+            Ok((report, CacheOutcome::Miss))
         }
         Err(SolveError::Cancelled) => {
             state
@@ -615,26 +774,42 @@ fn solve_endpoint(
             .prefix(k)
             .ok_or_else(|| (Status::Internal, "prefix donor shorter than k".to_owned()))?
     };
-    let body = match mode {
-        SolveMode::Full => serde_json::json!({
-            "generation": generation,
-            "algorithm": params.solver,
-            "variant": params.variant.name(),
-            "k": k,
-            "cover": cover,
-            "order": order.iter().map(|id| id.raw()).collect::<Vec<_>>(),
-            "cache": outcome.as_str(),
-        }),
-        SolveMode::CoverOnly => serde_json::json!({
-            "generation": generation,
-            "algorithm": params.solver,
-            "variant": params.variant.name(),
-            "k": k,
-            "cover": cover,
-            "cache": outcome.as_str(),
-        }),
+    // Rendered directly rather than through a `serde_json::Value` tree:
+    // the order array carries up to k ids, and building k boxed `Value`s
+    // per response was the dominant per-request cost for cache-hit
+    // traffic (every field here is a number or a registry-validated
+    // token, so no escaping is needed).
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\"generation\":{generation},\"algorithm\":\"{}\",\"variant\":\"{}\",\"k\":{k},\"cover\":",
+        params.solver,
+        params.variant.name(),
+    );
+    push_f64(&mut body, cover);
+    if matches!(mode, SolveMode::Full) {
+        body.push_str(",\"order\":[");
+        for (i, id) in order.iter().enumerate() {
+            let _ = write!(body, "{}{}", if i > 0 { "," } else { "" }, id.raw());
+        }
+        body.push(']');
+    }
+    let _ = write!(body, ",\"cache\":\"{}\"}}", outcome.as_str());
+    Ok(body)
+}
+
+/// Appends `v` exactly as the workspace JSON serializer renders floats
+/// (non-finite → `null`, integral keeps a trailing `.0`), so hand-rendered
+/// response bodies stay byte-compatible with `serde_json`-rendered ones.
+#[allow(clippy::float_cmp)] // integrality test must match the serializer's bit-exact comparison
+fn push_f64(out: &mut String, v: f64) {
+    let _ = if !v.is_finite() {
+        write!(out, "null")
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        write!(out, "{v:.1}")
+    } else {
+        write!(out, "{v}")
     };
-    Ok(body.to_string())
 }
 
 fn minimize_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, String)> {
@@ -682,17 +857,25 @@ fn minimize_endpoint(req: &Request, state: &AppState) -> Result<String, (Status,
     let (order, cover) = report
         .prefix(k_min)
         .ok_or_else(|| (Status::Internal, "minimize prefix out of range".to_owned()))?;
-    let body = serde_json::json!({
-        "generation": generation,
-        "algorithm": params.solver,
-        "variant": params.variant.name(),
-        "threshold": threshold,
-        "k": k_min,
-        "cover": cover,
-        "order": order.iter().map(|id| id.raw()).collect::<Vec<_>>(),
-        "cache": outcome.as_str(),
-    });
-    Ok(body.to_string())
+    // Hand-rendered for the same reason as `solve_endpoint`: the retained
+    // set can run to thousands of ids, and a `Value` tree per response is
+    // the expensive way to print integers.
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\"generation\":{generation},\"algorithm\":\"{}\",\"variant\":\"{}\",\"threshold\":",
+        params.solver,
+        params.variant.name(),
+    );
+    push_f64(&mut body, threshold);
+    let _ = write!(body, ",\"k\":{k_min},\"cover\":");
+    push_f64(&mut body, cover);
+    body.push_str(",\"order\":[");
+    for (i, id) in order.iter().enumerate() {
+        let _ = write!(body, "{}{}", if i > 0 { "," } else { "" }, id.raw());
+    }
+    let _ = write!(body, "],\"cache\":\"{}\"}}", outcome.as_str());
+    Ok(body)
 }
 
 fn delta_endpoint(req: &Request, state: &AppState) -> Result<String, (Status, String)> {

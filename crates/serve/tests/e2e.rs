@@ -77,20 +77,127 @@ fn order_of(v: &serde_json::Value) -> Vec<u64> {
         .collect()
 }
 
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 32,
+        default_deadline: None,
+        read_timeout: Duration::from_secs(5),
+        idle_timeout: Duration::from_secs(5),
+        max_requests_per_connection: 1000,
+    }
+}
+
 fn start_server() -> pcover_serve::ServerHandle {
     let (graph, _) = figure1_ids();
-    Server::start(
-        graph,
-        ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            workers: 4,
-            queue_capacity: 64,
-            cache_capacity: 32,
-            default_deadline: None,
-            read_timeout: Duration::from_secs(5),
-        },
-    )
-    .expect("server starts")
+    Server::start(graph, test_config()).expect("server starts")
+}
+
+fn start_server_with(config: ServerConfig) -> pcover_serve::ServerHandle {
+    let (graph, _) = figure1_ids();
+    Server::start(graph, config).expect("server starts")
+}
+
+/// A persistent client connection: sends requests with
+/// `Connection: keep-alive` and reads `Content-Length`-framed responses
+/// one at a time, so several can ride the same TCP stream.
+struct KeepAliveConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveConn {
+    fn open(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write request");
+        self.stream.flush().expect("flush");
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: &str) {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.send_raw(&[head.as_bytes(), body.as_bytes()].concat());
+    }
+
+    /// Reads exactly one response; returns `(status, head text, body)`.
+    fn read_response(&mut self) -> (u16, String, String) {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "connection closed while a response was expected");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end - 4]).into_owned();
+        let status: u16 = head
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let content_length: usize = head
+            .split("\r\n")
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("content-length"))
+            })
+            .expect("every response must carry Content-Length");
+        while self.buf.len() < head_end + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body =
+            String::from_utf8_lossy(&self.buf[head_end..head_end + content_length]).into_owned();
+        self.buf.drain(..head_end + content_length);
+        (status, head, body)
+    }
+
+    fn get_json(&mut self, target: &str) -> (u16, serde_json::Value) {
+        self.send("GET", target, "");
+        let (status, _, body) = self.read_response();
+        let value = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("non-JSON body for {target}: {e}\n{body}"));
+        (status, value)
+    }
+
+    /// True once the server has hung up (clean EOF, no stray bytes).
+    fn at_eof(&mut self) -> bool {
+        let mut probe = [0u8; 64];
+        match self.stream.read(&mut probe) {
+            Ok(0) => true,
+            Ok(n) => panic!(
+                "expected EOF, got {n} stray bytes: {:?}",
+                String::from_utf8_lossy(&probe[..n])
+            ),
+            Err(e) => panic!("expected clean EOF, got error: {e}"),
+        }
+    }
+}
+
+fn says_close(head: &str) -> bool {
+    head.split("\r\n").any(|l| {
+        l.split_once(':').is_some_and(|(name, value)| {
+            name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close")
+        })
+    })
 }
 
 #[test]
@@ -161,6 +268,14 @@ fn end_to_end_solve_cache_swap_deadline_and_shutdown() {
     assert!(metrics.contains("snapshot_generation 1"));
     assert!(metrics.contains("queue_capacity 64"));
     assert!(metrics.contains("endpoint_solve_latency_ms_le_inf"));
+    // Sub-millisecond buckets make p999 resolvable for cache-hit traffic.
+    assert!(metrics.contains("endpoint_solve_latency_ms_le_0.05"));
+    assert!(metrics.contains("endpoint_solve_latency_ms_le_0.5"));
+    // Connection and coalescing accounting are part of the surface.
+    assert!(metric_value(&metrics, "connections_total") >= 1);
+    assert!(metrics.contains("keepalive_reuse_total"));
+    assert!(metrics.contains("coalesced_hits"));
+    assert!(metrics.contains("inflight_solves"));
 
     // --- deadline: clean error, worker reusable afterward ----------------
     let (status, timed_out) = get_json(addr, "/solve?k=2&deadline_ms=0&seed=7");
@@ -349,6 +464,258 @@ fn shutdown_via_handle_drains_and_joins() {
     let handle = start_server();
     let addr = handle.addr();
     assert_eq!(get_json(addr, "/healthz").0, 200);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn keep_alive_serves_pipelined_and_sequential_requests_on_one_connection() {
+    let handle = start_server();
+    let addr = handle.addr();
+    let mut conn = KeepAliveConn::open(addr);
+
+    // Two requests pipelined back-to-back in a single write: the server
+    // must answer both, in order, on the same connection — the second is
+    // parsed out of bytes already buffered by the first read.
+    conn.send_raw(
+        b"GET /solve?k=2 HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n\
+          GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: keep-alive\r\n\r\n",
+    );
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(!says_close(&head), "keep-alive response must not close");
+    assert!(
+        body.contains("\"order\""),
+        "first answer is the solve: {body}"
+    );
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"status\""),
+        "second answer is healthz: {body}"
+    );
+
+    // A third, separate request still rides the same connection.
+    let (status, health) = conn.get_json("/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(text(&health, "status"), "ok");
+
+    // The reuse is visible in /metrics: one connection, several requests.
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(
+        metric_value(&metrics, "keepalive_reuse_total") >= 2,
+        "{metrics}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn malformed_request_after_a_good_one_gets_400_then_close() {
+    let handle = start_server();
+    let mut conn = KeepAliveConn::open(handle.addr());
+    let (status, _, _) = {
+        conn.send("GET", "/healthz", "");
+        conn.read_response()
+    };
+    assert_eq!(status, 200);
+
+    // Garbage where the next request line should be: the server must
+    // answer 400 with exact framing and then hang up — resynchronizing
+    // a corrupted stream is not possible.
+    conn.send_raw(b"NOT A REQUEST\r\n\r\n");
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        says_close(&head),
+        "a malformed request forces Connection: close"
+    );
+    assert!(conn.at_eof(), "server must close after a malformed request");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn idle_keep_alive_connection_is_hung_up_after_the_idle_timeout() {
+    let handle = start_server_with(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..test_config()
+    });
+    let mut conn = KeepAliveConn::open(handle.addr());
+    conn.send("GET", "/healthz", "");
+    assert_eq!(conn.read_response().0, 200);
+
+    // Stay quiet past the idle timeout: the worker hangs up silently (no
+    // response bytes — there is no request to answer) and moves on.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(conn.at_eof(), "idle connection must be disconnected");
+
+    // The worker that hung up is immediately reusable.
+    let (status, _) = get_json(handle.addr(), "/healthz");
+    assert_eq!(status, 200);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn requests_per_connection_cap_closes_after_the_final_response() {
+    let handle = start_server_with(ServerConfig {
+        max_requests_per_connection: 2,
+        ..test_config()
+    });
+    let mut conn = KeepAliveConn::open(handle.addr());
+    conn.send("GET", "/healthz", "");
+    let (status, head, _) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(!says_close(&head), "first response keeps the connection");
+
+    conn.send("GET", "/healthz", "");
+    let (status, head, _) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        says_close(&head),
+        "the cap'th response must announce Connection: close"
+    );
+    assert!(conn.at_eof(), "server must close once the cap is reached");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_body_gets_413_with_exact_framing() {
+    let handle = start_server();
+    let mut conn = KeepAliveConn::open(handle.addr());
+    // Announce a body beyond the 4 MiB cap; the server must refuse from
+    // the head alone without waiting for (or reading) the body.
+    conn.send_raw(
+        b"POST /admin/delta HTTP/1.1\r\nHost: t\r\nContent-Length: 5000000\r\nConnection: keep-alive\r\n\r\n",
+    );
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 413, "{body}");
+    assert!(says_close(&head), "oversize requests force a close");
+    let len: usize = head
+        .split("\r\n")
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .expect("Content-Length header");
+    assert_eq!(len, body.len(), "framing must be byte-exact");
+    assert!(conn.at_eof());
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn snapshot_swap_races_open_persistent_connections_consistently() {
+    let handle = start_server();
+    let addr = handle.addr();
+
+    let (status, first) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200, "{first}");
+    let gen1_cover = cover_of(&first);
+
+    // Persistent connections hammer /solve while the main thread swaps the
+    // snapshot underneath them. Each response must be internally
+    // consistent — generation and cover always agree — and the connection
+    // itself must survive the swap.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut conn = KeepAliveConn::open(addr);
+                (0..25)
+                    .map(|_| conn.get_json("/solve?k=2"))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let delta = r#"{"changes":[{"Delist":{"node":3}}]}"#;
+    let (status, swapped) = request(addr, "POST", "/admin/delta", delta);
+    assert_eq!(status, 200, "{swapped}");
+
+    let (status, gen2) = get_json(addr, "/solve?k=2");
+    assert_eq!(status, 200);
+    assert_eq!(uint(&gen2, "generation"), 2);
+    let gen2_cover = cover_of(&gen2);
+
+    for reader in readers {
+        for (status, resp) in reader.join().expect("reader thread") {
+            assert_eq!(status, 200, "{resp}");
+            let expected = match uint(&resp, "generation") {
+                1 => gen1_cover,
+                2 => gen2_cover,
+                g => panic!("impossible generation {g}"),
+            };
+            assert!(
+                (cover_of(&resp) - expected).abs() < 1e-15,
+                "mixed-generation answer on a persistent connection: {resp}"
+            );
+        }
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn concurrent_identical_solves_coalesce_into_one_run() {
+    // A graph big enough that one solve takes tens of milliseconds in
+    // release (seconds in debug, still inside the client's 10 s read
+    // timeout) — plenty of window for every racer to arrive while the
+    // leader is still computing.
+    let graph =
+        pcover_datagen::graphgen::generate_graph(&pcover_datagen::graphgen::GraphGenConfig {
+            nodes: 10_000,
+            avg_out_degree: 8,
+            popularity_exponent: 1.0,
+            locality: 16,
+            normalized: false,
+            seed: 42,
+        })
+        .expect("generated graph");
+    let handle = Server::start(
+        graph,
+        ServerConfig {
+            workers: 8,
+            ..test_config()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    const RACERS: usize = 8;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(RACERS));
+    let racers: Vec<_> = (0..RACERS)
+        .map(|_| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Connect first so the race is over request handling, not
+                // connection setup, then fire simultaneously.
+                let mut conn = KeepAliveConn::open(addr);
+                barrier.wait();
+                let (status, resp) = conn.get_json("/solve?k=150&algorithm=greedy");
+                assert_eq!(status, 200, "{resp}");
+                text(&resp, "cache")
+            })
+        })
+        .collect();
+    let outcomes: Vec<String> = racers
+        .into_iter()
+        .map(|r| r.join().expect("racer"))
+        .collect();
+
+    let misses = outcomes.iter().filter(|o| *o == "miss").count();
+    let coalesced = outcomes.iter().filter(|o| *o == "coalesced").count();
+    assert_eq!(
+        (misses, coalesced),
+        (1, RACERS - 1),
+        "exactly one solve, everyone else coalesces: {outcomes:?}"
+    );
+
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(metric_value(&metrics, "cache_misses"), 1, "{metrics}");
+    assert_eq!(
+        metric_value(&metrics, "coalesced_hits"),
+        (RACERS - 1) as u64,
+        "{metrics}"
+    );
     handle.shutdown();
     handle.join();
 }

@@ -18,7 +18,7 @@ use loom::thread;
 use pcover_graph::delta::{Change, GraphDelta};
 use pcover_graph::examples::figure1_ids;
 use pcover_serve::queue::WorkQueue;
-use pcover_serve::SnapshotManager;
+use pcover_serve::{Flight, SingleFlight, SnapshotManager};
 
 /// Shed/drain/shutdown: one producer pushing past capacity, one draining
 /// worker, close racing both. Every accepted item must be popped exactly
@@ -116,5 +116,113 @@ fn concurrent_deltas_serialize_into_distinct_generations() {
         gens.sort_unstable();
         assert_eq!(gens, [2, 3], "no generation lost or duplicated");
         assert_eq!(mgr.generation(), 3);
+    });
+}
+
+/// Single-flight coalescing: with a leader computing key 0, two racing
+/// followers must each either join the leader's published value or — if
+/// the schedule lands them after the flight drained — lead a fresh flight
+/// of their own. Never a double-solve *during* the leader's flight (a
+/// follower can only lead once the slot is gone), never a lost wakeup (a
+/// parked follower that misses its `notify_all` shows up as a modeled
+/// deadlock), and the table always drains to empty.
+#[test]
+fn coalesced_followers_join_or_lead_fresh_never_hang() {
+    loom::model(|| {
+        let table: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let Flight::Leader(token) = table.begin(0) else {
+            panic!("first arrival must lead");
+        };
+        let followers: Vec<_> = (0..2)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                thread::spawn(move || match table.begin(0) {
+                    Flight::Joined(v) => v,
+                    Flight::Leader(t) => {
+                        // Arrived after the first flight drained entirely.
+                        t.publish(99);
+                        99
+                    }
+                    Flight::Bypass => panic!("open table never bypasses"),
+                })
+            })
+            .collect();
+        token.publish(42);
+        for f in followers {
+            let v = f.join().expect("follower");
+            assert!(v == 42 || v == 99, "value must come from a real publish");
+        }
+        assert!(table.is_empty(), "table must drain under every schedule");
+    });
+}
+
+/// Leader abort: if the leader's token drops without publishing (solver
+/// panic), a racing follower must wake and fall back to computing itself
+/// — `Bypass` if it parked, or `Leader` of a fresh flight if it arrived
+/// after the abort drained. It must never receive a value and never hang.
+#[test]
+fn aborted_leader_releases_every_waiter() {
+    loom::model(|| {
+        let table: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let Flight::Leader(token) = table.begin(0) else {
+            panic!("leader");
+        };
+        let follower = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || match table.begin(0) {
+                Flight::Bypass => true,
+                Flight::Leader(t) => {
+                    t.publish(1);
+                    true
+                }
+                Flight::Joined(_) => false,
+            })
+        };
+        drop(token); // abort without publishing
+        assert!(
+            follower.join().expect("follower"),
+            "an aborted flight must never hand out a value"
+        );
+        assert!(table.is_empty());
+    });
+}
+
+/// Shutdown racing a parked waiter: `close()` may land before the waiter
+/// registers, while it is parked, or after the leader published. In every
+/// schedule the waiter must resolve — `Joined` with the published value or
+/// `Bypass` — and post-close arrivals always bypass.
+#[test]
+fn close_races_a_parked_waiter_without_stranding_it() {
+    loom::model(|| {
+        let table: Arc<SingleFlight<u32, u32>> = Arc::new(SingleFlight::new());
+        let Flight::Leader(token) = table.begin(0) else {
+            panic!("leader");
+        };
+        let waiter = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || match table.begin(0) {
+                Flight::Joined(v) => v == 7,
+                Flight::Bypass => true,
+                // Post-drain arrival on a still-open table.
+                Flight::Leader(t) => {
+                    t.publish(7);
+                    true
+                }
+            })
+        };
+        let closer = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || table.close())
+        };
+        token.publish(7);
+        assert!(
+            waiter.join().expect("waiter"),
+            "waiter must resolve cleanly"
+        );
+        closer.join().expect("closer");
+        assert!(
+            matches!(table.begin(1), Flight::Bypass),
+            "a closed table bypasses new arrivals"
+        );
     });
 }

@@ -917,6 +917,62 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_connection_loop_fires_on_per_request_alloc_but_not_reuse() {
+        // The keep-alive shape: worker_loop hands the stream to a
+        // per-connection loop that answers many requests. A fresh buffer
+        // per iteration fires; the reused-buffer idiom stays silent.
+        let fresh = "fn worker_loop(state: &S) {\n\
+                     while let Some(mut c) = state.queue.pop() { handle_connection(state, &mut c); }\n\
+                     }\n\
+                     fn handle_connection(state: &S, c: &mut C) {\n\
+                     loop { let head = String::with_capacity(256); answer(c, &head); }\n\
+                     }\n\
+                     fn answer(c: &mut C, s: &str) {}\n";
+        let out = analyze_src("crates/serve/src/server.rs", fresh);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "alloc-per-request");
+        assert!(
+            out[0]
+                .message
+                .contains("`server::worker_loop` -> `server::handle_connection`"),
+            "{}",
+            out[0].message
+        );
+
+        let reused = "fn worker_loop(state: &S) {\n\
+                      let mut head = String::new();\n\
+                      while let Some(mut c) = state.queue.pop() { handle_connection(&mut c, &mut head); }\n\
+                      }\n\
+                      fn handle_connection(c: &mut C, head: &mut String) {\n\
+                      loop { head.clear(); answer(c, head); }\n\
+                      }\n\
+                      fn answer(c: &mut C, s: &mut String) {}\n";
+        assert!(analyze_src("crates/serve/src/server.rs", reused).is_empty());
+    }
+
+    #[test]
+    fn coalescing_path_in_a_sibling_module_is_covered_cross_file() {
+        // Single-flight lives in its own module; allocations there are
+        // still on the request path once a server fn calls into it.
+        let server = "fn worker_loop(state: &S) {\n\
+                      while let Some(mut c) = state.queue.pop() { cached_solve(state, &mut c); }\n\
+                      }\n\
+                      fn cached_solve(state: &S, c: &mut C) { begin(state); }\n";
+        let flight = "pub fn begin(state: &S) -> String { format!(\"leader\") }\n";
+        let out = analyze_files(&[
+            ("crates/serve/src/server.rs", server),
+            ("crates/serve/src/flight.rs", flight),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "alloc-per-request");
+        assert!(
+            out[0].message.contains("`flight::begin`"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
     fn growable_unreserved_fires_only_without_capacity() {
         let src = "pub fn solve_with(g: &G, k: usize) -> Vec<u32> {\n\
                    let mut order = Vec::new();\n\
